@@ -1,0 +1,226 @@
+//! Closed-loop adaptive voltage scaling over a product lifetime.
+//!
+//! Every epoch, the controller picks the lowest supply that meets the
+//! delay target given the BTI shift accumulated so far (plus a monitor
+//! guardband); the device then ages *at that supply* until the next
+//! epoch. Raising V to compensate aging accelerates aging — the §3.3
+//! chicken-egg loop, integrated numerically here.
+
+use tc_core::units::{Celsius, Volt};
+use tc_device::{MosDevice, MosKind, Technology, VtClass};
+
+use crate::bti::BtiModel;
+
+/// The AVS platform: process, BTI model, rails and guardband.
+#[derive(Clone, Debug)]
+pub struct AvsSystem {
+    /// BTI model.
+    pub bti: BtiModel,
+    /// Device technology.
+    pub tech: Technology,
+    /// Nominal supply (delay reference).
+    pub v_nominal: Volt,
+    /// Lowest rail the regulator can deliver.
+    pub v_min: Volt,
+    /// Highest rail.
+    pub v_max: Volt,
+    /// Stress/operating temperature.
+    pub temp: Celsius,
+    /// Monitor tracking-error guardband (fraction of delay).
+    pub guardband: f64,
+}
+
+impl AvsSystem {
+    /// A 28 nm-class platform.
+    pub fn nominal_28nm() -> Self {
+        AvsSystem {
+            bti: BtiModel::nominal_28nm(),
+            tech: Technology::planar_28nm(),
+            v_nominal: Volt::new(0.9),
+            v_min: Volt::new(0.72),
+            v_max: Volt::new(1.08),
+            temp: Celsius::new(105.0),
+            guardband: 0.02,
+        }
+    }
+
+    /// Delay multiplier of a reference (SVT) critical path at supply `v`
+    /// with threshold shift `dvt`, normalized to (v_nominal, fresh).
+    pub fn delay_factor(&self, v: Volt, dvt: f64) -> f64 {
+        let fresh = MosDevice::new(MosKind::Nmos, VtClass::Svt, 1.0);
+        let aged = fresh.aged(dvt);
+        let d = |dev: &MosDevice, vv: Volt| vv.value() / dev.idsat(&self.tech, vv, self.temp);
+        d(&aged, v) / d(&fresh, self.v_nominal)
+    }
+
+    /// Minimal supply meeting `speed · delay_factor(v, dvt) · (1+gb) ≤ 1`,
+    /// clamped to the rails. `speed` < 1 means the design was sized
+    /// faster than the reference. Returns `(v, met)`.
+    pub fn required_voltage(&self, speed: f64, dvt: f64) -> (Volt, bool) {
+        let target_ok = |v: Volt| speed * self.delay_factor(v, dvt) * (1.0 + self.guardband) <= 1.0;
+        if target_ok(self.v_min) {
+            return (self.v_min, true);
+        }
+        if !target_ok(self.v_max) {
+            return (self.v_max, false);
+        }
+        let (mut lo, mut hi) = (self.v_min.value(), self.v_max.value());
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if target_ok(Volt::new(mid)) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        (Volt::new(hi), true)
+    }
+}
+
+/// A simulated lifetime: the AVS voltage schedule and its costs.
+#[derive(Clone, Debug)]
+pub struct AvsTrace {
+    /// Epoch boundaries, years.
+    pub times: Vec<f64>,
+    /// Supply chosen at each epoch.
+    pub voltages: Vec<Volt>,
+    /// Accumulated ΔVt entering each epoch.
+    pub dvt: Vec<f64>,
+    /// Whether the target was met at every epoch.
+    pub always_met: bool,
+}
+
+impl AvsTrace {
+    /// Time-weighted average supply, V.
+    pub fn average_voltage(&self) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..self.voltages.len() {
+            let dt = self.times[i + 1] - self.times[i];
+            num += self.voltages[i].value() * dt;
+            den += dt;
+        }
+        num / den
+    }
+
+    /// Time-weighted average power factor relative to operating the
+    /// reference design at nominal: `w_dyn·(V/V₀)² + w_leak·leak(V)`
+    /// with `w_dyn + w_leak = 1`.
+    pub fn average_power(&self, sys: &AvsSystem, w_dyn: f64, w_leak: f64) -> f64 {
+        let v0 = sys.v_nominal.value();
+        let dev = MosDevice::new(MosKind::Nmos, VtClass::Svt, 1.0);
+        let leak0 = dev.leakage(&sys.tech, sys.v_nominal, sys.temp) * v0;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..self.voltages.len() {
+            let dt = self.times[i + 1] - self.times[i];
+            let v = self.voltages[i].value();
+            // Aged devices leak less (higher Vt).
+            let aged = dev.aged(self.dvt[i]);
+            let leak = aged.leakage(&sys.tech, self.voltages[i], sys.temp) * v;
+            let p = w_dyn * (v / v0).powi(2) + w_leak * leak / leak0;
+            num += p * dt;
+            den += dt;
+        }
+        num / den
+    }
+
+    /// Supply at end of life.
+    pub fn final_voltage(&self) -> Volt {
+        *self.voltages.last().expect("non-empty trace")
+    }
+}
+
+/// Simulates `years` of closed-loop AVS operation for a design with the
+/// given speed factor, using log-spaced epochs (aging is front-loaded).
+pub fn simulate_lifetime(sys: &AvsSystem, speed: f64, years: f64, steps: usize) -> AvsTrace {
+    // Log-spaced epoch boundaries from ~3 days to end of life.
+    let t0 = 0.01;
+    let mut times = vec![0.0];
+    for i in 0..steps {
+        let f = i as f64 / (steps - 1) as f64;
+        times.push(t0 * (years / t0).powf(f));
+    }
+    let mut voltages = Vec::with_capacity(steps);
+    let mut dvts = Vec::with_capacity(steps);
+    let mut dvt = 0.0;
+    let mut always_met = true;
+    for i in 0..steps {
+        let (v, met) = sys.required_voltage(speed, dvt);
+        always_met &= met;
+        voltages.push(v);
+        dvts.push(dvt);
+        // Age over this epoch at the chosen supply. Power-law aging with
+        // a time-varying stress is integrated by matching an equivalent
+        // prior stress time at the current voltage.
+        let eq_years = sys.bti.years_for(dvt.max(1e-6), v, sys.temp);
+        let span = times[i + 1] - times[i];
+        dvt += sys.bti.increment(eq_years, eq_years + span, v, sys.temp);
+    }
+    AvsTrace {
+        times,
+        voltages,
+        dvt: dvts,
+        always_met,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> AvsSystem {
+        AvsSystem::nominal_28nm()
+    }
+
+    #[test]
+    fn delay_factor_reference_point_is_one() {
+        let s = sys();
+        assert!((s.delay_factor(s.v_nominal, 0.0) - 1.0).abs() < 1e-12);
+        assert!(s.delay_factor(Volt::new(0.8), 0.0) > 1.0);
+        assert!(s.delay_factor(Volt::new(1.0), 0.0) < 1.0);
+        assert!(s.delay_factor(s.v_nominal, 0.04) > 1.0);
+    }
+
+    #[test]
+    fn required_voltage_rises_with_aging() {
+        let s = sys();
+        let (v0, met0) = s.required_voltage(1.0, 0.0);
+        let (v1, met1) = s.required_voltage(1.0, 0.04);
+        assert!(met0 && met1);
+        assert!(v1 > v0, "aged part needs more supply: {v0} vs {v1}");
+    }
+
+    #[test]
+    fn faster_design_starts_at_lower_voltage() {
+        let s = sys();
+        let (v_fast, _) = s.required_voltage(0.9, 0.0);
+        let (v_ref, _) = s.required_voltage(1.0, 0.0);
+        assert!(v_fast < v_ref);
+    }
+
+    #[test]
+    fn lifetime_voltage_schedule_is_nondecreasing() {
+        let s = sys();
+        let trace = simulate_lifetime(&s, 0.97, 10.0, 30);
+        assert!(trace.always_met);
+        for w in trace.voltages.windows(2) {
+            assert!(w[1] >= w[0] - Volt::new(1e-6), "AVS only raises V");
+        }
+        assert!(trace.final_voltage() > trace.voltages[0]);
+        // ΔVt accumulates to tens of mV.
+        let end = *trace.dvt.last().unwrap();
+        assert!(end > 0.015 && end < 0.12, "ΔVt(10y) = {end}");
+    }
+
+    #[test]
+    fn oversized_design_saves_lifetime_power() {
+        let s = sys();
+        let margin = simulate_lifetime(&s, 0.92, 10.0, 30);
+        let tight = simulate_lifetime(&s, 1.0, 10.0, 30);
+        assert!(margin.average_voltage() < tight.average_voltage());
+        assert!(
+            margin.average_power(&s, 0.7, 0.3) < tight.average_power(&s, 0.7, 0.3)
+        );
+    }
+}

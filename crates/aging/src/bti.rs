@@ -1,0 +1,168 @@
+//! Bias-temperature-instability (BTI) threshold-shift model.
+//!
+//! Long-term DC-stress form: `ΔVt = A · exp((V−V₀)/Vα) · θ(T) · t^n`,
+//! with the fractional time exponent `n ≈ 0.2` of reaction-diffusion
+//! models and an exponential voltage-acceleration term — the property
+//! that makes AVS compensation self-aggravating (§3.3).
+
+use tc_core::units::{Celsius, Volt};
+
+/// BTI model parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BtiModel {
+    /// Prefactor: ΔVt in volts after 1 year at `v_ref`, 105 °C.
+    pub a: f64,
+    /// Reference voltage of the prefactor.
+    pub v_ref: Volt,
+    /// Voltage-acceleration scale (V per e-fold).
+    pub v_alpha: f64,
+    /// Time exponent n.
+    pub n: f64,
+    /// Temperature activation: e-folds per 60 °C above 105 °C.
+    pub t_scale: f64,
+}
+
+impl BtiModel {
+    /// A 28 nm-class calibration: ~25 mV after 1 year, ~40 mV after
+    /// 10 years at nominal stress.
+    pub fn nominal_28nm() -> Self {
+        BtiModel {
+            a: 0.025,
+            v_ref: Volt::new(0.9),
+            // Weak enough that the AVS feedback loop (raise V → age
+            // faster → raise V) converges, as production parts do.
+            v_alpha: 0.25,
+            n: 0.2,
+            t_scale: 60.0,
+        }
+    }
+
+    /// Threshold shift (V) after `years` of DC stress at supply `v` and
+    /// temperature `t`.
+    pub fn delta_vt(&self, years: f64, v: Volt, t: Celsius) -> f64 {
+        if years <= 0.0 {
+            return 0.0;
+        }
+        let accel_v = ((v.value() - self.v_ref.value()) / self.v_alpha).exp();
+        let accel_t = ((t.value() - 105.0) / self.t_scale).exp();
+        self.a * accel_v * accel_t * years.powf(self.n)
+    }
+
+    /// Incremental shift over `[t0, t1]` years at constant stress —
+    /// power-law aging accumulated piecewise, which is how the AVS loop
+    /// integrates a time-varying voltage schedule.
+    pub fn increment(&self, t0: f64, t1: f64, v: Volt, t: Celsius) -> f64 {
+        (self.delta_vt(t1, v, t) - self.delta_vt(t0, v, t)).max(0.0)
+    }
+
+    /// The stress time (years) that produces a given ΔVt at the
+    /// reference conditions — used to express signoff corners as
+    /// "assume N years of aging".
+    pub fn years_for(&self, dvt: f64, v: Volt, t: Celsius) -> f64 {
+        let accel_v = ((v.value() - self.v_ref.value()) / self.v_alpha).exp();
+        let accel_t = ((t.value() - 105.0) / self.t_scale).exp();
+        (dvt / (self.a * accel_v * accel_t)).powf(1.0 / self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> BtiModel {
+        BtiModel::nominal_28nm()
+    }
+
+    #[test]
+    fn aging_grows_sublinearly_in_time() {
+        let m = m();
+        let v = Volt::new(0.9);
+        let t = Celsius::new(105.0);
+        let y1 = m.delta_vt(1.0, v, t);
+        let y10 = m.delta_vt(10.0, v, t);
+        assert!(y10 > y1);
+        assert!(
+            y10 < 5.0 * y1,
+            "t^0.2: 10 years ≈ 1.58× of 1 year, got {}",
+            y10 / y1
+        );
+        assert_eq!(m.delta_vt(0.0, v, t), 0.0);
+    }
+
+    #[test]
+    fn voltage_accelerates_aging() {
+        let m = m();
+        let t = Celsius::new(105.0);
+        let lo = m.delta_vt(5.0, Volt::new(0.8), t);
+        let hi = m.delta_vt(5.0, Volt::new(1.0), t);
+        assert!(
+            hi > 2.0 * lo,
+            "±100 mV ≈ e^±0.83 each way: {lo} vs {hi}"
+        );
+    }
+
+    #[test]
+    fn temperature_accelerates_aging() {
+        let m = m();
+        let v = Volt::new(0.9);
+        assert!(m.delta_vt(5.0, v, Celsius::new(125.0)) > m.delta_vt(5.0, v, Celsius::new(85.0)));
+    }
+
+    #[test]
+    fn increments_sum_to_total_at_constant_stress() {
+        let m = m();
+        let v = Volt::new(0.9);
+        let t = Celsius::new(105.0);
+        let whole = m.delta_vt(8.0, v, t);
+        let pieces = m.increment(0.0, 2.0, v, t)
+            + m.increment(2.0, 5.0, v, t)
+            + m.increment(5.0, 8.0, v, t);
+        assert!((whole - pieces).abs() < 1e-12);
+    }
+
+    #[test]
+    fn years_for_inverts_delta_vt() {
+        let m = m();
+        let v = Volt::new(0.9);
+        let t = Celsius::new(105.0);
+        let dvt = m.delta_vt(7.0, v, t);
+        assert!((m.years_for(dvt, v, t) - 7.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn increments_are_additive_and_nonnegative(
+            split in 0.01f64..0.99,
+            total in 0.5f64..20.0,
+            v in 0.7f64..1.1,
+            t in 25.0f64..125.0,
+        ) {
+            let m = BtiModel::nominal_28nm();
+            let v = Volt::new(v);
+            let t = Celsius::new(t);
+            let mid = total * split;
+            let a = m.increment(0.0, mid, v, t);
+            let b = m.increment(mid, total, v, t);
+            prop_assert!(a >= 0.0 && b >= 0.0);
+            prop_assert!((a + b - m.delta_vt(total, v, t)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn years_for_is_a_right_inverse(
+            years in 0.05f64..30.0,
+            v in 0.7f64..1.1,
+        ) {
+            let m = BtiModel::nominal_28nm();
+            let v = Volt::new(v);
+            let t = Celsius::new(105.0);
+            let dvt = m.delta_vt(years, v, t);
+            prop_assert!((m.years_for(dvt, v, t) - years).abs() < 1e-6 * years);
+        }
+    }
+}

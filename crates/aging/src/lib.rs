@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # tc-aging — BTI aging, AVS, and aging-aware signoff
+//!
+//! Paper §3.3 (ref \[1\]): adaptive voltage scaling compensates BTI aging,
+//! but raising the supply *accelerates* aging — a chicken-egg loop that
+//! the signoff corner must anticipate. Underestimate aging and the part
+//! burns lifetime energy at elevated voltage; overestimate it and the
+//! part carries permanent area/power from pessimistic sizing. **Fig 9**
+//! sweeps that signoff knob for four benchmarks.
+//!
+//! * [`bti`] — a reaction-diffusion-flavoured BTI ΔVt(t, V, T) model
+//!   with voltage acceleration.
+//! * [`avs`] — the closed-loop lifetime simulation: at each epoch the
+//!   controller picks the lowest supply meeting the delay target given
+//!   the accumulated ΔVt; aging then proceeds at that supply.
+//! * [`signoff`] — the Fig 9 sweep: per assumed signoff corner, size the
+//!   design, run the AVS lifetime, report (area %, lifetime-average
+//!   power %).
+//! * [`monitor`] — design-dependent ring-oscillator monitors (ref \[3\])
+//!   whose tracking error sets the AVS guardband.
+//!
+//! # Examples
+//!
+//! ```
+//! use tc_aging::bti::BtiModel;
+//! use tc_core::units::{Celsius, Volt};
+//!
+//! let bti = BtiModel::nominal_28nm();
+//! let dvt = bti.delta_vt(10.0, Volt::new(0.9), Celsius::new(105.0));
+//! assert!(dvt > 0.02 && dvt < 0.09); // tens of mV over 10 years
+//! ```
+
+pub mod avs;
+pub mod bti;
+pub mod monitor;
+pub mod signoff;
+
+pub use avs::{AvsSystem, AvsTrace};
+pub use bti::BtiModel;
+pub use monitor::RingOscMonitor;
+pub use signoff::{aging_signoff_sweep, SignoffOutcome};

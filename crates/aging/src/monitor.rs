@@ -1,0 +1,130 @@
+//! Design-dependent ring-oscillator (DDRO) monitors — ref \[3\].
+//!
+//! AVS controllers do not see the real critical path; they see on-chip
+//! monitors. A plain ring oscillator tracks an SVT inverter chain, but a
+//! real critical path mixes Vt classes and wire, so the monitor-to-path
+//! gap across (V, ΔVt) sets the AVS guardband. Design-dependent ROs
+//! blend device flavours to shrink that gap.
+
+use tc_core::units::{Celsius, Volt};
+use tc_device::{MosDevice, MosKind, Technology, VtClass};
+
+/// A ring-oscillator monitor: a mix of stage flavours.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RingOscMonitor {
+    /// `(vt, weight)` of each stage flavour; weights sum to 1.
+    pub mix: Vec<(VtClass, f64)>,
+    /// Wire fraction of stage delay (monitors are compact: usually ~0).
+    pub wire_fraction: f64,
+}
+
+impl RingOscMonitor {
+    /// A plain SVT ring oscillator.
+    pub fn plain() -> Self {
+        RingOscMonitor {
+            mix: vec![(VtClass::Svt, 1.0)],
+            wire_fraction: 0.0,
+        }
+    }
+
+    /// A design-dependent RO matched to a path profile.
+    pub fn matched(mix: Vec<(VtClass, f64)>, wire_fraction: f64) -> Self {
+        RingOscMonitor {
+            mix,
+            wire_fraction,
+        }
+    }
+
+    /// Delay factor at (v, dvt) relative to (v_ref, fresh): the quantity
+    /// the AVS controller reads.
+    pub fn delay_factor(
+        &self,
+        tech: &Technology,
+        v: Volt,
+        v_ref: Volt,
+        dvt: f64,
+        temp: Celsius,
+    ) -> f64 {
+        let gate = |vt: VtClass, vv: Volt, shift: f64| {
+            let dev = MosDevice::new(MosKind::Nmos, vt, 1.0).aged(shift);
+            vv.value() / dev.idsat(tech, vv, temp)
+        };
+        let mut now = 0.0;
+        let mut reference = 0.0;
+        for &(vt, w) in &self.mix {
+            now += w * gate(vt, v, dvt);
+            reference += w * gate(vt, v_ref, 0.0);
+        }
+        // Wire delay does not scale with voltage or aging: blend the
+        // gate-delay ratio with a constant wire share.
+        (1.0 - self.wire_fraction) * now / reference.max(1e-12) + self.wire_fraction
+    }
+
+    /// Worst tracking error vs a target path profile over a voltage
+    /// sweep: the guardband an AVS system must carry.
+    pub fn tracking_error(
+        &self,
+        target: &RingOscMonitor,
+        tech: &Technology,
+        v_ref: Volt,
+        dvt: f64,
+        temp: Celsius,
+        v_sweep: &[f64],
+    ) -> f64 {
+        v_sweep
+            .iter()
+            .map(|&v| {
+                let m = self.delay_factor(tech, Volt::new(v), v_ref, dvt, temp);
+                let p = target.delay_factor(tech, Volt::new(v), v_ref, dvt, temp);
+                ((m - p) / p).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::planar_28nm()
+    }
+
+    #[test]
+    fn monitor_tracks_voltage() {
+        let m = RingOscMonitor::plain();
+        let t = tech();
+        let ref_v = Volt::new(0.9);
+        let at_nom = m.delay_factor(&t, ref_v, ref_v, 0.0, Celsius::new(105.0));
+        assert!((at_nom - 1.0).abs() < 1e-9);
+        let lower = m.delay_factor(&t, Volt::new(0.8), ref_v, 0.0, Celsius::new(105.0));
+        assert!(lower > 1.0);
+    }
+
+    #[test]
+    fn matched_monitor_tracks_hvt_path_better_than_plain() {
+        // A critical path dominated by HVT devices is *more* voltage-
+        // sensitive than an SVT ring oscillator; a matched DDRO closes
+        // that gap.
+        let t = tech();
+        let path = RingOscMonitor::matched(
+            vec![(VtClass::Hvt, 0.7), (VtClass::Svt, 0.3)],
+            0.0,
+        );
+        let plain = RingOscMonitor::plain();
+        let matched = RingOscMonitor::matched(
+            vec![(VtClass::Hvt, 0.6), (VtClass::Svt, 0.4)],
+            0.0,
+        );
+        let sweep: Vec<f64> = (0..8).map(|i| 0.72 + 0.04 * i as f64).collect();
+        let e_plain =
+            plain.tracking_error(&path, &t, Volt::new(0.9), 0.02, Celsius::new(105.0), &sweep);
+        let e_matched =
+            matched.tracking_error(&path, &t, Volt::new(0.9), 0.02, Celsius::new(105.0), &sweep);
+        assert!(
+            e_matched < e_plain,
+            "matched {e_matched} must beat plain {e_plain}"
+        );
+        assert!(e_plain > 0.005, "plain RO must show a real gap");
+    }
+}

@@ -1,0 +1,179 @@
+//! Aging-aware signoff corner selection — the paper's **Fig 9** (ref \[1\]).
+//!
+//! The designer must pick an *assumed* aging corner at signoff: the
+//! design is sized so it still meets frequency at nominal voltage after
+//! that much ΔVt. Sweeping the assumption produces the area/power
+//! tradeoff of Fig 9:
+//!
+//! * **Underestimate** (corner 1): small area, but AVS must ride the
+//!   supply up early and hard — lifetime-average power balloons (and the
+//!   rail may top out).
+//! * **Overestimate** (corner 7): power at the left of the curve but
+//!   permanent area cost from pessimistic upsizing (which itself adds
+//!   capacitance and leakage).
+
+use tc_core::units::Volt;
+
+use crate::avs::{simulate_lifetime, AvsSystem};
+
+/// Diminishing-returns exponent of sizing: speedup `s` costs area
+/// `s^SIZING_AREA_EXP`.
+const SIZING_AREA_EXP: f64 = 1.7;
+/// Fraction of dynamic power that scales with the upsized cells (the
+/// rest is wire/clock capacitance).
+const DYN_AREA_COUPLING: f64 = 0.55;
+
+/// One point of the Fig 9 sweep.
+#[derive(Clone, Debug)]
+pub struct SignoffOutcome {
+    /// The assumed aging corner, as equivalent stress years.
+    pub assumed_years: f64,
+    /// Die area relative to the true-lifetime corner, percent.
+    pub area_pct: f64,
+    /// Lifetime-average power relative to the true-lifetime corner,
+    /// percent.
+    pub power_pct: f64,
+    /// Supply at end of life.
+    pub final_voltage: Volt,
+    /// Whether the delay target held for the whole lifetime.
+    pub always_met: bool,
+}
+
+/// Workload character of a benchmark: how its power splits between
+/// dynamic and leakage (differs per design, which is why Fig 9 shows
+/// four differently-shaped plots).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerProfile {
+    /// Dynamic share of total power at nominal, 0–1.
+    pub dynamic_share: f64,
+}
+
+/// Runs the Fig 9 sweep: for each assumed corner, size, simulate the AVS
+/// lifetime, and report area/power normalized to the corner that assumes
+/// the *true* lifetime.
+pub fn aging_signoff_sweep(
+    sys: &AvsSystem,
+    profile: PowerProfile,
+    assumed_corners_years: &[f64],
+    lifetime_years: f64,
+) -> Vec<SignoffOutcome> {
+    let w_dyn = profile.dynamic_share;
+    let w_leak = 1.0 - w_dyn;
+
+    // Raw (area, power) per corner.
+    let evaluate = |years: f64| -> (f64, f64, Volt, bool) {
+        let dvt = sys.bti.delta_vt(years, sys.v_nominal, sys.temp);
+        // Size the design so that, fully aged to the assumed corner, it
+        // still meets target at nominal V: speed = delay multiplier the
+        // *fresh* design must have.
+        let aged_factor = sys.delay_factor(sys.v_nominal, dvt);
+        let speed = 1.0 / (aged_factor * (1.0 + sys.guardband));
+        let speedup = 1.0 / speed; // ≥ 1
+        let area = speedup.powf(SIZING_AREA_EXP);
+        // Upsizing adds switching capacitance and leakage.
+        let p_scale_dyn = 1.0 + DYN_AREA_COUPLING * (area - 1.0);
+        let p_scale_leak = area;
+
+        let trace = simulate_lifetime(sys, speed, lifetime_years, 40);
+        let p = trace.average_power(sys, w_dyn * p_scale_dyn, w_leak * p_scale_leak);
+        (area, p, trace.final_voltage(), trace.always_met)
+    };
+
+    let (a_ref, p_ref, _, _) = evaluate(lifetime_years);
+    assumed_corners_years
+        .iter()
+        .map(|&y| {
+            let (a, p, v_end, met) = evaluate(y);
+            SignoffOutcome {
+                assumed_years: y,
+                area_pct: 100.0 * a / a_ref,
+                power_pct: 100.0 * p / p_ref,
+                final_voltage: v_end,
+                always_met: met,
+            }
+        })
+        .collect()
+}
+
+/// The seven aging corners of Fig 9, as assumed stress years (corner 1 =
+/// no aging margin, corner 7 = heavy overestimate of a 10-year life).
+pub fn fig9_corners() -> [f64; 7] {
+    [0.0, 0.5, 2.0, 5.0, 10.0, 20.0, 40.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(dynamic_share: f64) -> Vec<SignoffOutcome> {
+        aging_signoff_sweep(
+            &AvsSystem::nominal_28nm(),
+            PowerProfile { dynamic_share },
+            &fig9_corners(),
+            10.0,
+        )
+    }
+
+    #[test]
+    fn area_monotone_in_assumed_corner() {
+        let s = sweep(0.7);
+        for w in s.windows(2) {
+            assert!(
+                w[1].area_pct >= w[0].area_pct,
+                "more assumed aging ⇒ more area"
+            );
+        }
+        // True corner normalizes to 100%.
+        let truth = s.iter().find(|o| o.assumed_years == 10.0).unwrap();
+        assert!((truth.area_pct - 100.0).abs() < 1e-9);
+        assert!((truth.power_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn underestimating_costs_lifetime_power() {
+        let s = sweep(0.7);
+        let none = &s[0]; // no aging margin at signoff
+        assert!(
+            none.power_pct > 100.0,
+            "corner 1 rides the rail up: {}%",
+            none.power_pct
+        );
+        assert!(none.area_pct < 100.0, "but is smaller");
+        assert!(none.final_voltage > AvsSystem::nominal_28nm().v_min);
+    }
+
+    #[test]
+    fn overestimating_costs_area() {
+        let s = sweep(0.7);
+        let over = s.last().unwrap();
+        assert!(over.area_pct > 100.0, "corner 7 oversizes");
+    }
+
+    #[test]
+    fn leaky_designs_punish_oversizing_harder() {
+        // With a large leakage share, oversizing (more leaking width)
+        // shows up in lifetime power: the power penalty of corner 7
+        // relative to truth is worse for the leaky profile.
+        let dyn_heavy = sweep(0.85);
+        let leaky = sweep(0.45);
+        let over_dyn = dyn_heavy.last().unwrap().power_pct;
+        let over_leak = leaky.last().unwrap().power_pct;
+        assert!(
+            over_leak > over_dyn,
+            "leaky {over_leak}% vs dynamic-heavy {over_dyn}%"
+        );
+    }
+
+    #[test]
+    fn tradeoff_curve_has_a_knee() {
+        // Somewhere between the extremes, both area and power are within
+        // a few percent of the truth corner — the paper's point that the
+        // corner choice matters and has an interior optimum.
+        let s = sweep(0.7);
+        let good = s
+            .iter()
+            .filter(|o| o.area_pct < 105.0 && o.power_pct < 105.0)
+            .count();
+        assert!(good >= 2, "an interior region must be near-optimal");
+    }
+}

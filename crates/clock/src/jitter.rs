@@ -1,0 +1,108 @@
+//! Jitter margining: the flat rug vs cycle-to-cycle decomposition.
+//!
+//! The paper notes (§1.3 footnote 5, §3.4) that production flows sweep
+//! PLL jitter, CTS jitter, foundry-dictated jitter margin and dynamic IR
+//! margin "under a single jitter margin rug" — a flat uncertainty — and
+//! that a cycle-to-cycle jitter model recovers pessimism because two
+//! consecutive short clock edges are unlikely.
+
+use tc_core::units::Ps;
+
+/// Which timing check the margin applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Max-delay (launch edge to next capture edge).
+    Setup,
+    /// Min-delay (same-edge race).
+    Hold,
+}
+
+/// A decomposed jitter budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JitterModel {
+    /// PLL period jitter, 1σ, ps.
+    pub pll_sigma: Ps,
+    /// CTS-induced jitter (supply-noise modulation of the tree), ps.
+    pub cts: Ps,
+    /// Dynamic IR-drop margin folded into "jitter", ps.
+    pub ir_margin: Ps,
+    /// Foundry-dictated flat adder, ps.
+    pub foundry_flat: Ps,
+}
+
+impl JitterModel {
+    /// A typical 28 nm-class budget.
+    pub fn typical() -> Self {
+        JitterModel {
+            pll_sigma: Ps::new(4.0),
+            cts: Ps::new(6.0),
+            ir_margin: Ps::new(8.0),
+            foundry_flat: Ps::new(5.0),
+        }
+    }
+
+    /// The classic flat margin: everything added linearly at 3σ — the
+    /// "single rug".
+    pub fn flat_margin(&self) -> Ps {
+        Ps::new(
+            3.0 * self.pll_sigma.value()
+                + self.cts.value()
+                + self.ir_margin.value()
+                + self.foundry_flat.value(),
+        )
+    }
+
+    /// Decomposed margin: independent components RSS'd, and for setup the
+    /// *cycle-to-cycle* PLL term (σ_c2c = √2·σ_period, but affecting the
+    /// check only once rather than being double-counted with the IR rug).
+    pub fn decomposed_margin(&self, check: CheckKind) -> Ps {
+        let pll = match check {
+            // Setup sees the difference of two edges: √2·σ at 3σ.
+            CheckKind::Setup => 3.0 * self.pll_sigma.value() * std::f64::consts::SQRT_2,
+            // Hold is a same-edge race: PLL period jitter largely cancels.
+            CheckKind::Hold => 0.5 * self.pll_sigma.value(),
+        };
+        let rss = (pll * pll + self.cts.value().powi(2) + self.ir_margin.value().powi(2)).sqrt();
+        Ps::new(rss + self.foundry_flat.value())
+    }
+
+    /// Margin recovered by decomposition relative to the flat rug.
+    pub fn recovered(&self, check: CheckKind) -> Ps {
+        self.flat_margin() - self.decomposed_margin(check)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_recovers_hold_margin() {
+        let j = JitterModel::typical();
+        let rec = j.recovered(CheckKind::Hold);
+        assert!(
+            rec.value() > 5.0,
+            "hold decomposition should recover real margin, got {rec}"
+        );
+    }
+
+    #[test]
+    fn setup_recovery_is_smaller_but_nonnegative() {
+        let j = JitterModel::typical();
+        let setup = j.recovered(CheckKind::Setup);
+        let hold = j.recovered(CheckKind::Hold);
+        assert!(setup.value() >= 0.0);
+        assert!(hold > setup, "hold recovers more than setup");
+    }
+
+    #[test]
+    fn flat_margin_is_the_sum_of_the_rug() {
+        let j = JitterModel {
+            pll_sigma: Ps::new(2.0),
+            cts: Ps::new(3.0),
+            ir_margin: Ps::new(4.0),
+            foundry_flat: Ps::new(1.0),
+        };
+        assert_eq!(j.flat_margin(), Ps::new(6.0 + 3.0 + 4.0 + 1.0));
+    }
+}

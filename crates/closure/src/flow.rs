@@ -1,0 +1,281 @@
+//! The closure iteration driver — Fig 1's five-iteration loop.
+
+use tc_core::error::Result;
+use tc_core::units::Ps;
+use tc_interconnect::BeolStack;
+use tc_liberty::Library;
+use tc_netlist::Netlist;
+use tc_sta::{Constraints, Sta, TimingReport};
+
+use crate::fixes::{
+    buffering_pass, ndr_pass, sizing_pass, vt_swap_pass, FixKind, FixOutcome,
+};
+
+/// Loop configuration.
+#[derive(Clone, Debug)]
+pub struct ClosureConfig {
+    /// Iteration cap — the schedule: "three weeks for the final pass
+    /// permits five three-day repair and signoff analysis iterations".
+    pub max_iterations: usize,
+    /// Worst paths examined per fix pass.
+    pub k_paths: usize,
+    /// ECO budget per fix pass per iteration.
+    pub budget_per_pass: usize,
+    /// Fix ordering (ablate against [`FixKind::RECOMMENDED`]).
+    pub ordering: Vec<FixKind>,
+    /// Useful-skew step when that fix runs.
+    pub skew_step: Ps,
+    /// Days charged per iteration in the schedule model.
+    pub days_per_iteration: f64,
+}
+
+impl Default for ClosureConfig {
+    fn default() -> Self {
+        ClosureConfig {
+            max_iterations: 5,
+            k_paths: 25,
+            budget_per_pass: 60,
+            ordering: FixKind::RECOMMENDED.to_vec(),
+            skew_step: Ps::new(10.0),
+            days_per_iteration: 3.0,
+        }
+    }
+}
+
+/// One iteration's record.
+#[derive(Clone, Debug)]
+pub struct IterationRecord {
+    /// Iteration number, 1-based.
+    pub iteration: usize,
+    /// WNS entering the iteration.
+    pub wns_before: Ps,
+    /// WNS after the iteration's fixes.
+    pub wns_after: Ps,
+    /// TNS after.
+    pub tns_after: Ps,
+    /// Setup violations after.
+    pub violations_after: usize,
+    /// `(fix, edits)` applied this iteration.
+    pub fixes: Vec<(FixKind, usize)>,
+}
+
+/// The full run's outcome.
+#[derive(Clone, Debug)]
+pub struct ClosureOutcome {
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+    /// Final report.
+    pub final_report: TimingReport,
+    /// The (possibly skew-adjusted) constraints after closure.
+    pub constraints: Constraints,
+    /// Whether the design closed (setup and hold clean).
+    pub closed: bool,
+    /// Schedule consumed, days.
+    pub days: f64,
+}
+
+/// The closure flow engine.
+pub struct ClosureFlow<'a> {
+    lib: &'a Library,
+    stack: &'a BeolStack,
+    config: ClosureConfig,
+}
+
+impl<'a> ClosureFlow<'a> {
+    /// Creates a flow over a library/stack environment.
+    pub fn new(lib: &'a Library, stack: &'a BeolStack, config: ClosureConfig) -> Self {
+        ClosureFlow {
+            lib,
+            stack,
+            config,
+        }
+    }
+
+    /// Runs the loop, editing `nl` (and the clock tree inside the
+    /// returned constraints) in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STA failures.
+    pub fn run(&mut self, nl: &mut Netlist, cons: Constraints) -> Result<ClosureOutcome> {
+        let mut cons = cons;
+        let mut iterations = Vec::new();
+        for it in 1..=self.config.max_iterations {
+            let before = Sta::new(nl, self.lib, self.stack, &cons).run()?;
+            if before.is_clean() {
+                break;
+            }
+            let wns_before = before.wns();
+            let mut fixes = Vec::new();
+            let mut wns_running = wns_before;
+            for &kind in &self.config.ordering.clone() {
+                // Incremental-timing discipline: apply the pass, verify
+                // it helped, roll back otherwise (a fix that regresses
+                // timing is the ping-pong effect of §2.3).
+                let snapshot_nl = nl.clone();
+                let snapshot_cons = cons.clone();
+                let outcome = self.apply_fix(kind, nl, &mut cons)?;
+                if outcome.edits == 0 {
+                    fixes.push((kind, 0));
+                    continue;
+                }
+                let check = Sta::new(nl, self.lib, self.stack, &cons).run()?;
+                if check.wns() >= wns_running {
+                    wns_running = check.wns();
+                    fixes.push((kind, outcome.edits));
+                } else {
+                    *nl = snapshot_nl;
+                    cons = snapshot_cons;
+                    fixes.push((kind, 0));
+                }
+            }
+            let after = Sta::new(nl, self.lib, self.stack, &cons).run()?;
+            iterations.push(IterationRecord {
+                iteration: it,
+                wns_before,
+                wns_after: after.wns(),
+                tns_after: after.tns(),
+                violations_after: after.setup_violations(),
+                fixes,
+            });
+            // Ping-pong guard: a fully unproductive iteration means the
+            // remaining violations need different medicine — stop rather
+            // than thrash (§2.3's "without ping-pong effects").
+            if after.wns() <= wns_before + Ps::new(1e-9)
+                && iterations.len() >= 2
+                && fixes_were_empty(&iterations[iterations.len() - 1])
+            {
+                break;
+            }
+        }
+        let final_report = Sta::new(nl, self.lib, self.stack, &cons).run()?;
+        let closed = final_report.is_clean();
+        let days = iterations.len() as f64 * self.config.days_per_iteration;
+        Ok(ClosureOutcome {
+            iterations,
+            final_report,
+            constraints: cons,
+            closed,
+            days,
+        })
+    }
+
+    fn apply_fix(
+        &self,
+        kind: FixKind,
+        nl: &mut Netlist,
+        cons: &mut Constraints,
+    ) -> Result<FixOutcome> {
+        let (k, b) = (self.config.k_paths, self.config.budget_per_pass);
+        match kind {
+            FixKind::VtSwap => vt_swap_pass(nl, self.lib, self.stack, cons, k, b, |_| true),
+            FixKind::Sizing => sizing_pass(nl, self.lib, self.stack, cons, k, b),
+            FixKind::Buffering => buffering_pass(nl, self.lib, self.stack, cons, k, b / 6),
+            FixKind::Ndr => ndr_pass(nl, self.lib, self.stack, cons, k, b / 3),
+            FixKind::UsefulSkew => {
+                let res = tc_clock::optimize_useful_skew(
+                    nl,
+                    self.lib,
+                    self.stack,
+                    cons,
+                    b / 10,
+                    self.config.skew_step,
+                )?;
+                let edits = res.moves.len();
+                *cons = res.constraints;
+                Ok(FixOutcome { edits })
+            }
+        }
+    }
+}
+
+fn fixes_were_empty(rec: &IterationRecord) -> bool {
+    rec.fixes.iter().all(|&(_, n)| n == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_liberty::{LibConfig, PvtCorner};
+    use tc_netlist::gen::{generate, BenchProfile};
+
+    fn env(margin: f64) -> (Library, BeolStack, Netlist, Constraints) {
+        let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+        let nl = generate(&lib, BenchProfile::tiny(), 33).unwrap();
+        let stack = BeolStack::n20();
+        let probe = Constraints::single_clock(5_000.0);
+        let r = Sta::new(&nl, &lib, &stack, &probe).run().unwrap();
+        let period = 5_000.0 - r.wns().value() + margin;
+        (lib, stack, nl, Constraints::single_clock(period))
+    }
+
+    #[test]
+    fn loop_improves_timing_iteration_over_iteration() {
+        // Constrain 50 ps beyond current capability.
+        let (lib, stack, mut nl, cons) = env(-50.0);
+        let mut flow = ClosureFlow::new(&lib, &stack, ClosureConfig::default());
+        let out = flow.run(&mut nl, cons).unwrap();
+        assert!(!out.iterations.is_empty());
+        let first = &out.iterations[0];
+        assert!(
+            first.wns_after > first.wns_before,
+            "iteration 1 must improve WNS: {} → {}",
+            first.wns_before,
+            first.wns_after
+        );
+        // WNS is monotone over iterations (each records its own start).
+        for w in out.iterations.windows(2) {
+            assert!(w[1].wns_before >= w[0].wns_after - Ps::new(1e-6));
+        }
+        nl.validate(&lib).unwrap();
+    }
+
+    #[test]
+    fn mild_violation_closes_within_schedule() {
+        let (lib, stack, mut nl, cons) = env(-25.0);
+        let mut flow = ClosureFlow::new(&lib, &stack, ClosureConfig::default());
+        let out = flow.run(&mut nl, cons).unwrap();
+        assert!(
+            out.closed,
+            "25 ps violation should close: final {}",
+            out.final_report.summary()
+        );
+        assert!(out.days <= 15.0, "within the 5-iteration schedule");
+    }
+
+    #[test]
+    fn clean_design_takes_zero_iterations() {
+        let (lib, stack, mut nl, cons) = env(100.0);
+        let mut flow = ClosureFlow::new(&lib, &stack, ClosureConfig::default());
+        let out = flow.run(&mut nl, cons).unwrap();
+        assert!(out.closed);
+        assert!(out.iterations.is_empty());
+        assert_eq!(out.days, 0.0);
+    }
+
+    #[test]
+    fn recommended_order_beats_or_matches_reversed_on_cheap_fixes() {
+        // Ablation: same budget, recommended vs reversed ordering. The
+        // recommended order applies cheap high-leverage fixes first, so
+        // after one iteration its WNS should be at least as good.
+        let (lib, stack, nl, cons) = env(-40.0);
+        let run = |ordering: Vec<FixKind>| {
+            let mut nl2 = nl.clone();
+            let cfg = ClosureConfig {
+                max_iterations: 1,
+                ordering,
+                ..Default::default()
+            };
+            let mut flow = ClosureFlow::new(&lib, &stack, cfg);
+            flow.run(&mut nl2, cons.clone()).unwrap().final_report.wns()
+        };
+        let rec = run(FixKind::RECOMMENDED.to_vec());
+        let mut reversed = FixKind::RECOMMENDED.to_vec();
+        reversed.reverse();
+        let rev = run(reversed);
+        assert!(
+            rec >= rev - Ps::new(5.0),
+            "recommended {rec} vs reversed {rev}"
+        );
+    }
+}

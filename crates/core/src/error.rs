@@ -1,0 +1,106 @@
+//! Workspace-wide error type.
+//!
+//! All public fallible functions in the `tc-*` crates return
+//! [`Result<T>`](Result) with this [`Error`]. The variants are deliberately
+//! coarse — this is a modeling/analysis library, and the useful payload is
+//! the human-readable context string.
+//!
+//! # Examples
+//!
+//! ```
+//! use tc_core::error::{Error, Result};
+//!
+//! fn checked_period(ps: f64) -> Result<f64> {
+//!     if ps <= 0.0 {
+//!         return Err(Error::invalid_input("clock period must be positive"));
+//!     }
+//!     Ok(ps)
+//! }
+//! assert!(checked_period(-1.0).is_err());
+//! ```
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The error type returned by every `tc-*` crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A caller-supplied argument was rejected by validation.
+    InvalidInput(String),
+    /// A name or id did not resolve (unknown cell, net, clock, corner…).
+    NotFound(String),
+    /// A numerical procedure failed to converge (simulator Newton loop,
+    /// AVS fixed point, bisection…).
+    Convergence(String),
+    /// An internal invariant was violated; indicates a bug in this library.
+    Internal(String),
+}
+
+impl Error {
+    /// Builds an [`Error::InvalidInput`] from any displayable context.
+    pub fn invalid_input(msg: impl Into<String>) -> Self {
+        Error::InvalidInput(msg.into())
+    }
+
+    /// Builds an [`Error::NotFound`] from any displayable context.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// Builds an [`Error::Convergence`] from any displayable context.
+    pub fn convergence(msg: impl Into<String>) -> Self {
+        Error::Convergence(msg.into())
+    }
+
+    /// Builds an [`Error::Internal`] from any displayable context.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Convergence(m) => write!(f, "failed to converge: {m}"),
+            Error::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_contextual() {
+        let e = Error::invalid_input("negative load");
+        assert_eq!(e.to_string(), "invalid input: negative load");
+        let e = Error::convergence("newton at t=3ps");
+        assert!(e.to_string().starts_with("failed to converge"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn works_with_question_mark() {
+        fn inner() -> Result<()> {
+            Err(Error::not_found("clock 'phi'"))
+        }
+        fn outer() -> Result<()> {
+            inner()?;
+            Ok(())
+        }
+        assert_eq!(outer(), Err(Error::not_found("clock 'phi'")));
+    }
+}

@@ -1,0 +1,115 @@
+//! Typed index newtypes shared by the netlist and timing graphs.
+//!
+//! Graph-heavy EDA code indexes into dense `Vec`s; using distinct index
+//! types for cells, nets, pins and timing nodes prevents a cell index from
+//! being used to subscript a net table (C-NEWTYPE).
+//!
+//! # Examples
+//!
+//! ```
+//! use tc_core::ids::CellId;
+//!
+//! let id = CellId::new(3);
+//! assert_eq!(id.index(), 3);
+//! ```
+
+use std::fmt;
+
+/// Declares a dense-index newtype with `new`/`index` accessors.
+macro_rules! index_id {
+    ($(#[$doc:meta])* $name:ident, $tag:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a dense index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                $name(index as u32)
+            }
+
+            /// Returns the dense index for subscripting.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $tag, self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(i: usize) -> Self {
+                $name::new(i)
+            }
+        }
+    };
+}
+
+index_id!(
+    /// Index of a cell *instance* in a netlist.
+    CellId,
+    "c"
+);
+index_id!(
+    /// Index of a net in a netlist.
+    NetId,
+    "n"
+);
+index_id!(
+    /// Index of a pin in a netlist.
+    PinId,
+    "p"
+);
+index_id!(
+    /// Index of a library cell (a "master") in a cell library.
+    LibCellId,
+    "L"
+);
+index_id!(
+    /// Index of a node in a timing graph.
+    TimingNodeId,
+    "t"
+);
+index_id!(
+    /// Index of a clock definition.
+    ClockId,
+    "clk"
+);
+index_id!(
+    /// Index of an analysis scenario (mode × corner).
+    ScenarioId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let a = CellId::new(0);
+        let b = CellId::new(7);
+        assert_eq!(b.index(), 7);
+        assert!(a < b);
+        assert_eq!(CellId::from(7usize), b);
+    }
+
+    #[test]
+    fn display_tags() {
+        assert_eq!(NetId::new(4).to_string(), "n4");
+        assert_eq!(ClockId::new(1).to_string(), "clk1");
+    }
+
+    #[test]
+    fn usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(PinId::new(2), "d");
+        assert_eq!(m[&PinId::new(2)], "d");
+    }
+}

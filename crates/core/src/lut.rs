@@ -1,0 +1,356 @@
+//! Interpolated lookup tables.
+//!
+//! [`Lut1`] and [`Lut2`] are the data structures behind Liberty-style NLDM
+//! and LVF delay/slew tables: values sampled on a monotone axis (or axis
+//! pair), evaluated by linear (bilinear) interpolation with linear
+//! extrapolation beyond the sampled range — matching how production STA
+//! tools treat out-of-range slews and loads.
+//!
+//! # Examples
+//!
+//! ```
+//! use tc_core::lut::Lut2;
+//!
+//! // delay(slew, load) = 1 + 2·slew + 3·load, sampled on a 2×2 grid.
+//! let lut = Lut2::new(
+//!     vec![0.0, 1.0],
+//!     vec![0.0, 1.0],
+//!     vec![vec![1.0, 4.0], vec![3.0, 6.0]],
+//! )?;
+//! assert!((lut.eval(0.5, 0.5) - 3.5).abs() < 1e-12);
+//! # Ok::<(), tc_core::Error>(())
+//! ```
+
+use crate::error::{Error, Result};
+
+/// Locates `x` in the monotone axis `axis`, returning the index pair
+/// `(i, i+1)` bracketing it and the interpolation fraction. Out-of-range
+/// inputs clamp to the first/last segment, yielding linear extrapolation.
+fn bracket(axis: &[f64], x: f64) -> (usize, f64) {
+    debug_assert!(axis.len() >= 2);
+    let n = axis.len();
+    let mut i = match axis.binary_search_by(|a| a.partial_cmp(&x).unwrap()) {
+        Ok(i) => i,
+        Err(i) => i.saturating_sub(1),
+    };
+    if i >= n - 1 {
+        i = n - 2;
+    }
+    let x0 = axis[i];
+    let x1 = axis[i + 1];
+    let t = (x - x0) / (x1 - x0);
+    (i, t)
+}
+
+fn validate_axis(name: &str, axis: &[f64]) -> Result<()> {
+    if axis.len() < 2 {
+        return Err(Error::invalid_input(format!(
+            "{name} axis needs at least 2 points, got {}",
+            axis.len()
+        )));
+    }
+    if axis.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(Error::invalid_input(format!(
+            "{name} axis must be strictly increasing"
+        )));
+    }
+    if axis.iter().any(|v| !v.is_finite()) {
+        return Err(Error::invalid_input(format!("{name} axis must be finite")));
+    }
+    Ok(())
+}
+
+/// A 1-D linearly interpolated table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lut1 {
+    axis: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Lut1 {
+    /// Builds a table from a strictly increasing axis and matching values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the axis is shorter than 2,
+    /// not strictly increasing, or the lengths mismatch.
+    pub fn new(axis: Vec<f64>, values: Vec<f64>) -> Result<Self> {
+        validate_axis("lut1", &axis)?;
+        if axis.len() != values.len() {
+            return Err(Error::invalid_input(format!(
+                "axis length {} != values length {}",
+                axis.len(),
+                values.len()
+            )));
+        }
+        Ok(Lut1 { axis, values })
+    }
+
+    /// Evaluates the table at `x` with linear interpolation and linear
+    /// extrapolation beyond the sampled range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let (i, t) = bracket(&self.axis, x);
+        self.values[i] + t * (self.values[i + 1] - self.values[i])
+    }
+
+    /// The sampled axis.
+    pub fn axis(&self) -> &[f64] {
+        &self.axis
+    }
+
+    /// The sampled values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Applies `f` to every stored value, returning a new table on the
+    /// same axis (used for corner/derate scaling of characterized tables).
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Lut1 {
+        Lut1 {
+            axis: self.axis.clone(),
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+}
+
+/// A 2-D bilinearly interpolated table indexed as `(row, column)`.
+///
+/// In Liberty terms the row axis is typically input slew and the column
+/// axis output load.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lut2 {
+    rows: Vec<f64>,
+    cols: Vec<f64>,
+    /// `values[r][c]` sampled at `(rows[r], cols[c])`.
+    values: Vec<Vec<f64>>,
+}
+
+impl Lut2 {
+    /// Builds a table from strictly increasing axes and a full value grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if either axis is invalid or the
+    /// grid dimensions do not match the axes.
+    pub fn new(rows: Vec<f64>, cols: Vec<f64>, values: Vec<Vec<f64>>) -> Result<Self> {
+        validate_axis("row", &rows)?;
+        validate_axis("column", &cols)?;
+        if values.len() != rows.len() || values.iter().any(|r| r.len() != cols.len()) {
+            return Err(Error::invalid_input(format!(
+                "grid must be {}x{}",
+                rows.len(),
+                cols.len()
+            )));
+        }
+        Ok(Lut2 { rows, cols, values })
+    }
+
+    /// Samples `f(row, col)` on the given axes to build a table — the
+    /// characterization entry point used by the library generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if either axis is invalid.
+    pub fn from_fn(
+        rows: Vec<f64>,
+        cols: Vec<f64>,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Result<Self> {
+        validate_axis("row", &rows)?;
+        validate_axis("column", &cols)?;
+        let values = rows
+            .iter()
+            .map(|&r| cols.iter().map(|&c| f(r, c)).collect())
+            .collect();
+        Ok(Lut2 { rows, cols, values })
+    }
+
+    /// Evaluates the table at `(row, col)` with bilinear interpolation and
+    /// linear extrapolation beyond the sampled range.
+    pub fn eval(&self, row: f64, col: f64) -> f64 {
+        let (i, ti) = bracket(&self.rows, row);
+        let (j, tj) = bracket(&self.cols, col);
+        let v00 = self.values[i][j];
+        let v01 = self.values[i][j + 1];
+        let v10 = self.values[i + 1][j];
+        let v11 = self.values[i + 1][j + 1];
+        let top = v00 + tj * (v01 - v00);
+        let bot = v10 + tj * (v11 - v10);
+        top + ti * (bot - top)
+    }
+
+    /// The row (slew) axis.
+    pub fn row_axis(&self) -> &[f64] {
+        &self.rows
+    }
+
+    /// The column (load) axis.
+    pub fn col_axis(&self) -> &[f64] {
+        &self.cols
+    }
+
+    /// Applies `f` to every stored value, returning a new table on the
+    /// same axes.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Lut2 {
+        Lut2 {
+            rows: self.rows.clone(),
+            cols: self.cols.clone(),
+            values: self
+                .values
+                .iter()
+                .map(|r| r.iter().map(|&v| f(v)).collect())
+                .collect(),
+        }
+    }
+
+    /// The maximum stored value (useful for sanity bounds in tests).
+    pub fn max_value(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut1_interpolates_and_extrapolates() {
+        let lut = Lut1::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, 6.0]).unwrap();
+        assert!((lut.eval(0.5) - 1.0).abs() < 1e-12);
+        assert!((lut.eval(2.0) - 4.0).abs() < 1e-12);
+        // Linear extrapolation off both ends.
+        assert!((lut.eval(-1.0) + 2.0).abs() < 1e-12);
+        assert!((lut.eval(4.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lut1_rejects_bad_axes() {
+        assert!(Lut1::new(vec![0.0], vec![0.0]).is_err());
+        assert!(Lut1::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Lut1::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Lut1::new(vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn lut2_reproduces_bilinear_function_exactly() {
+        // f(x,y) = 2 + 3x + 4y is reproduced exactly (it has no xy term).
+        let lut = Lut2::from_fn(vec![0.0, 2.0, 5.0], vec![1.0, 4.0], |x, y| {
+            2.0 + 3.0 * x + 4.0 * y
+        })
+        .unwrap();
+        for &(x, y) in &[(0.5, 2.0), (3.0, 1.5), (-1.0, 6.0), (7.0, 0.0)] {
+            let want = 2.0 + 3.0 * x + 4.0 * y;
+            assert!(
+                (lut.eval(x, y) - want).abs() < 1e-9,
+                "f({x},{y}) = {} want {want}",
+                lut.eval(x, y)
+            );
+        }
+    }
+
+    #[test]
+    fn lut2_hits_grid_points_exactly() {
+        let lut = Lut2::new(
+            vec![1.0, 2.0],
+            vec![10.0, 20.0, 30.0],
+            vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+        )
+        .unwrap();
+        assert_eq!(lut.eval(1.0, 10.0), 1.0);
+        assert_eq!(lut.eval(2.0, 30.0), 6.0);
+        assert_eq!(lut.eval(1.0, 20.0), 2.0);
+    }
+
+    #[test]
+    fn lut2_rejects_ragged_grid() {
+        assert!(Lut2::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![vec![1.0, 2.0], vec![3.0]],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn map_scales_values() {
+        let lut = Lut1::new(vec![0.0, 1.0], vec![1.0, 2.0]).unwrap();
+        let scaled = lut.map(|v| v * 10.0);
+        assert!((scaled.eval(0.5) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_value_scans_grid() {
+        let lut = Lut2::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![vec![1.0, 9.0], vec![3.0, 4.0]],
+        )
+        .unwrap();
+        assert_eq!(lut.max_value(), 9.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sorted_axis(n: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(0.01f64..10.0, n).prop_map(|steps| {
+            let mut axis = Vec::with_capacity(steps.len());
+            let mut x = 0.0;
+            for s in steps {
+                x += s;
+                axis.push(x);
+            }
+            axis
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn lut1_interior_values_are_bounded_by_samples(
+            axis in sorted_axis(6),
+            values in proptest::collection::vec(-100.0f64..100.0, 6),
+            t in 0.0f64..1.0,
+        ) {
+            let lut = Lut1::new(axis.clone(), values.clone()).unwrap();
+            let x = axis[0] + t * (axis[5] - axis[0]);
+            let y = lut.eval(x);
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+        }
+
+        #[test]
+        fn lut1_hits_sample_points(
+            axis in sorted_axis(5),
+            values in proptest::collection::vec(-100.0f64..100.0, 5),
+            idx in 0usize..5,
+        ) {
+            let lut = Lut1::new(axis.clone(), values.clone()).unwrap();
+            prop_assert!((lut.eval(axis[idx]) - values[idx]).abs() < 1e-9);
+        }
+
+        #[test]
+        fn lut2_reproduces_separable_linear_functions(
+            rows in sorted_axis(4),
+            cols in sorted_axis(4),
+            a in -10.0f64..10.0,
+            b in -10.0f64..10.0,
+            c in -10.0f64..10.0,
+            tx in 0.0f64..1.0,
+            ty in 0.0f64..1.0,
+        ) {
+            let lut = Lut2::from_fn(rows.clone(), cols.clone(), |x, y| a + b * x + c * y).unwrap();
+            let x = rows[0] + tx * (rows[3] - rows[0]);
+            let y = cols[0] + ty * (cols[3] - cols[0]);
+            let want = a + b * x + c * y;
+            prop_assert!((lut.eval(x, y) - want).abs() < 1e-6 * (1.0 + want.abs()));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The Monte Carlo experiments in this workspace (Figures 7 and 8 of the
+//! paper, the POCV/LVF extraction flows, the synthetic netlist generators)
+//! must be reproducible bit-for-bit from a seed recorded in
+//! `EXPERIMENTS.md`. We therefore ship a small, self-contained
+//! **xoshiro256\*\*** generator seeded through SplitMix64, rather than
+//! depending on an external crate whose stream may change across versions.
+//!
+//! Samplers provided: uniform, Gaussian (Box–Muller), and Azzalini
+//! skew-normal — the latter models the asymmetric ("setup long tail")
+//! path-delay distributions of the paper's Figure 7.
+//!
+//! # Examples
+//!
+//! ```
+//! use tc_core::rng::Rng;
+//!
+//! let mut a = Rng::seed_from(42);
+//! let mut b = Rng::seed_from(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // reproducible
+//! let u = a.uniform();
+//! assert!((0.0..1.0).contains(&u));
+//! ```
+
+/// A deterministic xoshiro256** generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    state: [u64; 4],
+    /// Cached second output of the most recent Box–Muller pair.
+    gauss_spare: Option<u64>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed. The same seed always yields
+    /// the same stream.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            state,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each Monte
+    /// Carlo sample or netlist generator its own stream.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from(self.next_u64())
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        // Multiply-shift bounded generation; bias is < 2^-32 for the n used
+        // in this workspace (all far below u32::MAX).
+        ((self.next_u64() >> 32).wrapping_mul(n as u64) >> 32) as usize
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal sample via Box–Muller (with pair caching).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(bits) = self.gauss_spare.take() {
+            return f64::from_bits(bits);
+        }
+        // Rejection-free polar-less form: u1 in (0,1], u2 in [0,1).
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let z0 = r * theta.cos();
+        let z1 = r * theta.sin();
+        self.gauss_spare = Some(z1.to_bits());
+        z0
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.gaussian()
+    }
+
+    /// Azzalini skew-normal sample with location 0, scale 1 and shape
+    /// `alpha`. Positive `alpha` produces a right (late/setup) tail — the
+    /// asymmetry of the paper's Figure 7.
+    pub fn skew_normal(&mut self, alpha: f64) -> f64 {
+        let delta = alpha / (1.0 + alpha * alpha).sqrt();
+        let z1 = self.gaussian();
+        let z2 = self.gaussian();
+        delta * z1.abs() + (1.0 - delta * delta).sqrt() * z2
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from(8);
+        assert_ne!(Rng::seed_from(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_range_and_covers() {
+        let mut r = Rng::seed_from(1);
+        let mut lo = 1.0f64;
+        let mut hi = 0.0f64;
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            lo = lo.min(u);
+            hi = hi.max(u);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng::seed_from(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| r.gaussian()).collect();
+        let s = Summary::of(&xs);
+        assert!(s.mean.abs() < 0.02, "mean {}", s.mean);
+        assert!((s.sigma - 1.0).abs() < 0.02, "sigma {}", s.sigma);
+        assert!(s.skewness.abs() < 0.05, "skew {}", s.skewness);
+    }
+
+    #[test]
+    fn skew_normal_is_skewed_in_requested_direction() {
+        let mut r = Rng::seed_from(3);
+        let right: Vec<f64> = (0..40_000).map(|_| r.skew_normal(4.0)).collect();
+        let left: Vec<f64> = (0..40_000).map(|_| r.skew_normal(-4.0)).collect();
+        assert!(Summary::of(&right).skewness > 0.3);
+        assert!(Summary::of(&left).skewness < -0.3);
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut r = Rng::seed_from(4);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[r.below(5)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::seed_from(5);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_distinct_streams() {
+        let mut parent = Rng::seed_from(6);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,126 @@
+//! Threshold-voltage classes.
+//!
+//! Modern libraries ship each logic cell in several threshold flavours;
+//! swapping a cell's Vt is the *first* fix a physical-design engineer
+//! reaches for during timing closure (paper Fig 1, ref \[30\]) because it
+//! changes neither footprint nor routing — until minimum-implant-area
+//! rules make it placement-dependent (paper §2.4).
+
+use std::fmt;
+
+/// A threshold-voltage class, ordered fastest/leakiest first.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VtClass {
+    /// Ultra-low threshold: fastest, leakiest.
+    Ulvt,
+    /// Low threshold.
+    Lvt,
+    /// Standard threshold (the default flavour).
+    #[default]
+    Svt,
+    /// High threshold: slowest, lowest leakage.
+    Hvt,
+}
+
+impl VtClass {
+    /// All classes, fastest first.
+    pub const ALL: [VtClass; 4] = [VtClass::Ulvt, VtClass::Lvt, VtClass::Svt, VtClass::Hvt];
+
+    /// Threshold-voltage offset in volts relative to the SVT device.
+    /// Lower Vt ⇒ more gate overdrive ⇒ faster switching.
+    pub fn vt_offset(self) -> f64 {
+        match self {
+            VtClass::Ulvt => -0.10,
+            VtClass::Lvt => -0.05,
+            VtClass::Svt => 0.0,
+            VtClass::Hvt => 0.06,
+        }
+    }
+
+    /// Leakage multiplier relative to SVT. Subthreshold current scales as
+    /// `exp(−ΔVt / (n·vT))`; with n·vT ≈ 36 mV at room temperature a
+    /// 50 mV Vt step is roughly a 4× leakage step.
+    pub fn leakage_factor(self) -> f64 {
+        (-self.vt_offset() / 0.036).exp()
+    }
+
+    /// The next-slower (lower-leakage) class, if any. `Vt`-swap power
+    /// recovery walks down this ladder.
+    pub fn slower(self) -> Option<VtClass> {
+        match self {
+            VtClass::Ulvt => Some(VtClass::Lvt),
+            VtClass::Lvt => Some(VtClass::Svt),
+            VtClass::Svt => Some(VtClass::Hvt),
+            VtClass::Hvt => None,
+        }
+    }
+
+    /// The next-faster (higher-leakage) class, if any. Timing fixes walk
+    /// up this ladder (paper Fig 1 step "Vt swap").
+    pub fn faster(self) -> Option<VtClass> {
+        match self {
+            VtClass::Ulvt => None,
+            VtClass::Lvt => Some(VtClass::Ulvt),
+            VtClass::Svt => Some(VtClass::Lvt),
+            VtClass::Hvt => Some(VtClass::Svt),
+        }
+    }
+
+    /// Short library-style suffix ("ulvt", "lvt", …).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            VtClass::Ulvt => "ulvt",
+            VtClass::Lvt => "lvt",
+            VtClass::Svt => "svt",
+            VtClass::Hvt => "hvt",
+        }
+    }
+}
+
+impl fmt::Display for VtClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_ordering_is_monotone_in_vt() {
+        let leak: Vec<f64> = VtClass::ALL.iter().map(|v| v.leakage_factor()).collect();
+        for w in leak.windows(2) {
+            assert!(w[0] > w[1], "leakage must fall as Vt rises: {leak:?}");
+        }
+        // SVT is the reference.
+        assert!((VtClass::Svt.leakage_factor() - 1.0).abs() < 1e-12);
+        // A 50–60 mV step is a several-x leakage step.
+        assert!(VtClass::Ulvt.leakage_factor() > 10.0);
+        assert!(VtClass::Hvt.leakage_factor() < 0.25);
+    }
+
+    #[test]
+    fn ladder_walks_both_ways() {
+        assert_eq!(VtClass::Svt.faster(), Some(VtClass::Lvt));
+        assert_eq!(VtClass::Svt.slower(), Some(VtClass::Hvt));
+        assert_eq!(VtClass::Ulvt.faster(), None);
+        assert_eq!(VtClass::Hvt.slower(), None);
+        // faster then slower round-trips in the interior.
+        assert_eq!(VtClass::Lvt.faster().unwrap().slower(), Some(VtClass::Lvt));
+    }
+
+    #[test]
+    fn ordering_fastest_first() {
+        assert!(VtClass::Ulvt < VtClass::Hvt);
+        let mut v = vec![VtClass::Hvt, VtClass::Ulvt, VtClass::Svt];
+        v.sort();
+        assert_eq!(v, vec![VtClass::Ulvt, VtClass::Svt, VtClass::Hvt]);
+    }
+
+    #[test]
+    fn display_suffixes() {
+        assert_eq!(VtClass::Ulvt.to_string(), "ulvt");
+        assert_eq!(VtClass::Hvt.to_string(), "hvt");
+    }
+}

@@ -1,0 +1,305 @@
+//! The BEOL metal stack: per-layer electricals, corners, and variation.
+
+use std::fmt;
+
+use tc_core::rng::Rng;
+
+/// One metal layer's nominal electricals and variation parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetalLayer {
+    /// Layer name ("M1"…"M9").
+    pub name: String,
+    /// Resistance per µm at the typical corner, kΩ/µm.
+    pub r_per_um: f64,
+    /// Ground capacitance per µm, fF/µm.
+    pub cg_per_um: f64,
+    /// Coupling capacitance per µm (to same-layer neighbours), fF/µm.
+    pub cc_per_um: f64,
+    /// `true` if the layer is double/multi-patterned (adds corner axes).
+    pub multi_patterned: bool,
+    /// Relative 1σ of per-layer *global* R variation.
+    pub sigma_r: f64,
+    /// Relative 1σ of per-layer global C variation.
+    pub sigma_c: f64,
+}
+
+impl MetalLayer {
+    /// RC product of 1 µm of wire (ps/µm²-ish figure of merit) at a
+    /// corner — used to rank layer speed.
+    pub fn unit_delay(&self, corner: BeolCorner) -> f64 {
+        let f = corner.factors(self.multi_patterned);
+        (self.r_per_um * f.r) * (self.cg_per_um * f.cg + self.cc_per_um * f.cc)
+    }
+
+    /// Total capacitance per µm (ground + coupling) at a corner.
+    pub fn c_total_per_um(&self, corner: BeolCorner) -> f64 {
+        let f = corner.factors(self.multi_patterned);
+        self.cg_per_um * f.cg + self.cc_per_um * f.cc
+    }
+
+    /// Resistance per µm at a corner.
+    pub fn r_at(&self, corner: BeolCorner) -> f64 {
+        self.r_per_um * corner.factors(self.multi_patterned).r
+    }
+}
+
+/// Conventional homogeneous BEOL corners (paper §3.2): every layer is
+/// pushed to the same extreme simultaneously — the pessimism that
+/// Tightened BEOL Corners recover.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BeolCorner {
+    /// Nominal extraction.
+    #[default]
+    Typical,
+    /// Worst total capacitance.
+    CWorst,
+    /// Best (lowest) total capacitance.
+    CBest,
+    /// Worst *coupling* capacitance (noise/SI signoff).
+    CcWorst,
+    /// Best coupling capacitance.
+    CcBest,
+    /// Worst RC product (resistance-dominated paths).
+    RcWorst,
+    /// Best RC product.
+    RcBest,
+}
+
+/// Multipliers a corner applies to a layer's electricals.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CornerFactors {
+    /// Resistance multiplier.
+    pub r: f64,
+    /// Ground-capacitance multiplier.
+    pub cg: f64,
+    /// Coupling-capacitance multiplier.
+    pub cc: f64,
+}
+
+impl BeolCorner {
+    /// Every conventional corner, the set a flat signoff must cover —
+    /// and which *doubles* per multi-patterned mask pair (§2.3).
+    pub const ALL: [BeolCorner; 7] = [
+        BeolCorner::Typical,
+        BeolCorner::CWorst,
+        BeolCorner::CBest,
+        BeolCorner::CcWorst,
+        BeolCorner::CcBest,
+        BeolCorner::RcWorst,
+        BeolCorner::RcBest,
+    ];
+
+    /// The multipliers this corner applies. Multi-patterned layers see
+    /// wider spreads (mask-to-mask overlay adds variation).
+    pub fn factors(self, multi_patterned: bool) -> CornerFactors {
+        let w = if multi_patterned { 1.5 } else { 1.0 };
+        let spread = |base: f64| 1.0 + (base - 1.0) * w;
+        match self {
+            BeolCorner::Typical => CornerFactors {
+                r: 1.0,
+                cg: 1.0,
+                cc: 1.0,
+            },
+            BeolCorner::CWorst => CornerFactors {
+                r: spread(0.94),
+                cg: spread(1.12),
+                cc: spread(1.12),
+            },
+            BeolCorner::CBest => CornerFactors {
+                r: spread(1.06),
+                cg: spread(0.88),
+                cc: spread(0.88),
+            },
+            BeolCorner::CcWorst => CornerFactors {
+                r: spread(0.97),
+                cg: spread(1.02),
+                cc: spread(1.25),
+            },
+            BeolCorner::CcBest => CornerFactors {
+                r: spread(1.03),
+                cg: spread(0.98),
+                cc: spread(0.78),
+            },
+            BeolCorner::RcWorst => CornerFactors {
+                r: spread(1.15),
+                cg: spread(1.06),
+                cc: spread(1.06),
+            },
+            BeolCorner::RcBest => CornerFactors {
+                r: spread(0.86),
+                cg: spread(0.94),
+                cc: spread(0.94),
+            },
+        }
+    }
+
+    /// Short report name ("Cw", "RCw", …).
+    pub fn name(self) -> &'static str {
+        match self {
+            BeolCorner::Typical => "typ",
+            BeolCorner::CWorst => "Cw",
+            BeolCorner::CBest => "Cb",
+            BeolCorner::CcWorst => "Ccw",
+            BeolCorner::CcBest => "Ccb",
+            BeolCorner::RcWorst => "RCw",
+            BeolCorner::RcBest => "RCb",
+        }
+    }
+}
+
+impl fmt::Display for BeolCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A full metal stack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BeolStack {
+    layers: Vec<MetalLayer>,
+}
+
+/// One Monte Carlo sample of per-layer global variation: independent
+/// multiplicative factors on each layer's R and C. The *independence*
+/// across layers is what makes homogeneous corners pessimistic (Fig 8).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BeolSample {
+    /// Per-layer resistance factors.
+    pub r: Vec<f64>,
+    /// Per-layer capacitance factors.
+    pub c: Vec<f64>,
+}
+
+impl BeolStack {
+    /// A 20 nm-flavoured 9-layer stack: thin double-patterned lower
+    /// layers (resistive, variable), fat upper layers (fast, stable).
+    pub fn n20() -> Self {
+        let mk = |name: &str, r: f64, cg: f64, cc: f64, mp: bool, sr: f64, sc: f64| MetalLayer {
+            name: name.to_string(),
+            r_per_um: r,
+            cg_per_um: cg,
+            cc_per_um: cc,
+            multi_patterned: mp,
+            sigma_r: sr,
+            sigma_c: sc,
+        };
+        BeolStack {
+            // Per-layer sigmas are ~1/3 of the enveloping corner spread,
+            // so a homogeneous corner ≈ a 3σ excursion of one layer.
+            layers: vec![
+                mk("M1", 0.0090, 0.080, 0.110, true, 0.070, 0.055),
+                mk("M2", 0.0080, 0.085, 0.120, true, 0.070, 0.055),
+                mk("M3", 0.0075, 0.085, 0.115, true, 0.060, 0.050),
+                mk("M4", 0.0030, 0.095, 0.095, false, 0.045, 0.035),
+                mk("M5", 0.0028, 0.095, 0.090, false, 0.045, 0.035),
+                mk("M6", 0.0012, 0.110, 0.075, false, 0.035, 0.028),
+                mk("M7", 0.0010, 0.115, 0.070, false, 0.035, 0.028),
+                mk("M8", 0.0004, 0.130, 0.055, false, 0.025, 0.018),
+                mk("M9", 0.0003, 0.130, 0.050, false, 0.025, 0.018),
+            ],
+        }
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer by index (0 = M1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn layer(&self, idx: usize) -> &MetalLayer {
+        &self.layers[idx]
+    }
+
+    /// All layers.
+    pub fn layers(&self) -> &[MetalLayer] {
+        &self.layers
+    }
+
+    /// Draws one per-layer global-variation sample (independent truncated
+    /// Gaussians per layer, ±3σ).
+    pub fn sample(&self, rng: &mut Rng) -> BeolSample {
+        let clamp3 = |x: f64, s: f64| (1.0 + x.clamp(-3.0, 3.0) * s).max(0.2);
+        let mut r = Vec::with_capacity(self.layers.len());
+        let mut c = Vec::with_capacity(self.layers.len());
+        for l in &self.layers {
+            r.push(clamp3(rng.gaussian(), l.sigma_r));
+            c.push(clamp3(rng.gaussian(), l.sigma_c));
+        }
+        BeolSample { r, c }
+    }
+
+    /// Number of BEOL extraction corners a flat signoff must carry, given
+    /// that every multi-patterned layer doubles the Cw/Cb axes (the
+    /// "corner super-explosion" arithmetic of §2.3).
+    pub fn flat_corner_count(&self) -> usize {
+        let mp_layers = self.layers.iter().filter(|l| l.multi_patterned).count();
+        BeolCorner::ALL.len() * (1 << mp_layers.min(4))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_is_ordered_fat_on_top() {
+        let s = BeolStack::n20();
+        assert_eq!(s.layer_count(), 9);
+        assert!(s.layer(0).r_per_um > 10.0 * s.layer(8).r_per_um);
+        // Unit delay improves going up the stack.
+        assert!(
+            s.layer(1).unit_delay(BeolCorner::Typical)
+                > s.layer(6).unit_delay(BeolCorner::Typical)
+        );
+    }
+
+    #[test]
+    fn corners_order_correctly() {
+        let s = BeolStack::n20();
+        let l = s.layer(2);
+        assert!(l.c_total_per_um(BeolCorner::CWorst) > l.c_total_per_um(BeolCorner::Typical));
+        assert!(l.c_total_per_um(BeolCorner::CBest) < l.c_total_per_um(BeolCorner::Typical));
+        assert!(l.r_at(BeolCorner::RcWorst) > l.r_at(BeolCorner::Typical));
+        assert!(l.unit_delay(BeolCorner::RcWorst) > l.unit_delay(BeolCorner::Typical));
+        // Ccw pushes coupling harder than ground cap.
+        let f = BeolCorner::CcWorst.factors(false);
+        assert!(f.cc > f.cg);
+    }
+
+    #[test]
+    fn multipatterned_layers_spread_wider() {
+        let f_mp = BeolCorner::CWorst.factors(true);
+        let f_sp = BeolCorner::CWorst.factors(false);
+        assert!(f_mp.cg > f_sp.cg);
+    }
+
+    #[test]
+    fn samples_are_per_layer_independent() {
+        let s = BeolStack::n20();
+        let mut rng = Rng::seed_from(3);
+        let mut m1 = Vec::new();
+        let mut m8 = Vec::new();
+        for _ in 0..4000 {
+            let smp = s.sample(&mut rng);
+            m1.push(smp.c[0]);
+            m8.push(smp.c[7]);
+        }
+        let corr = tc_core::stats::correlation(&m1, &m8);
+        assert!(corr.abs() < 0.05, "layers must vary independently: {corr}");
+        // Lower layers vary more.
+        let s1 = tc_core::stats::Summary::of(&m1).sigma;
+        let s8 = tc_core::stats::Summary::of(&m8).sigma;
+        assert!(s1 > 1.5 * s8);
+    }
+
+    #[test]
+    fn corner_explosion_counts() {
+        let s = BeolStack::n20();
+        // 7 corners × 2^3 double-patterned lower layers = 56.
+        assert_eq!(s.flat_corner_count(), 56);
+    }
+}

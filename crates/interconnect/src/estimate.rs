@@ -1,0 +1,297 @@
+//! Wirelength-based net models: layer assignment, non-default rules, and
+//! the (driver load, per-sink wire delay) interface consumed by `tc-sta`.
+
+use tc_core::error::Result;
+use tc_core::units::{Ff, Kohm, Ps};
+
+use crate::beol::{BeolCorner, BeolSample, BeolStack};
+use crate::rctree::RcTree;
+
+/// Routing rule class for a net. Non-default rules (NDRs) are one of the
+/// classic manual timing fixes of the paper's Fig 1: wider/spaced wiring
+/// trades track resources for lower R (and lower coupling).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum NdrClass {
+    /// Minimum-width, minimum-spacing default rule.
+    #[default]
+    Default,
+    /// Double width: ~half the resistance, slightly more ground cap.
+    DoubleWidth,
+    /// Double width + double spacing: half R and much less coupling.
+    DoubleWidthSpacing,
+}
+
+impl NdrClass {
+    /// `(r_factor, cg_factor, cc_factor)` relative to the default rule.
+    pub fn factors(self) -> (f64, f64, f64) {
+        match self {
+            NdrClass::Default => (1.0, 1.0, 1.0),
+            NdrClass::DoubleWidth => (0.52, 1.18, 1.05),
+            NdrClass::DoubleWidthSpacing => (0.52, 1.22, 0.55),
+        }
+    }
+
+    /// Routing-resource cost multiplier (tracks consumed).
+    pub fn track_cost(self) -> f64 {
+        match self {
+            NdrClass::Default => 1.0,
+            NdrClass::DoubleWidth => 2.0,
+            NdrClass::DoubleWidthSpacing => 4.0,
+        }
+    }
+}
+
+/// Per-sink timing of an estimated net.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireTiming {
+    /// Effective capacitive load presented to the driver (total wire +
+    /// pin capacitance — the value looked up in the driver's NLDM table).
+    pub driver_load: Ff,
+    /// Additional wire delay from driver output to each sink, in the
+    /// order the sink caps were supplied.
+    pub sink_delays: Vec<Ps>,
+    /// Total wire resistance (diagnostics / NDR decisions).
+    pub r_total: Kohm,
+}
+
+/// A net reduced to (length, layer, rule); the estimation model of a
+/// placed-but-unrouted flow.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireModel {
+    /// Routed length in µm.
+    pub length_um: f64,
+    /// Stack layer index the router would choose.
+    pub layer: usize,
+    /// Routing rule.
+    pub ndr: NdrClass,
+}
+
+impl WireModel {
+    /// Estimates a net: layer chosen by length (short nets stay on thin
+    /// local metal, long nets are promoted to fat upper layers).
+    pub fn from_length(length_um: f64) -> Self {
+        let layer = if length_um < 50.0 {
+            1 // M2
+        } else if length_um < 200.0 {
+            3 // M4
+        } else {
+            5 // M6
+        };
+        WireModel {
+            length_um,
+            layer,
+            ndr: NdrClass::Default,
+        }
+    }
+
+    /// Returns the same net with a different rule applied (the NDR fix).
+    pub fn with_ndr(mut self, ndr: NdrClass) -> Self {
+        self.ndr = ndr;
+        self
+    }
+
+    /// Returns the same net promoted one layer pair up (fixes long nets).
+    pub fn promoted(mut self, stack: &BeolStack) -> Self {
+        self.layer = (self.layer + 2).min(stack.layer_count() - 1);
+        self
+    }
+
+    /// Builds the RC tree: the wire is a 4-segment ladder with sinks
+    /// attached round-robin along it.
+    fn build_tree(
+        &self,
+        stack: &BeolStack,
+        corner: BeolCorner,
+        sample: Option<&BeolSample>,
+        sink_caps: &[Ff],
+    ) -> RcTree {
+        let layer = stack.layer(self.layer);
+        let (fr, fcg, fcc) = self.ndr.factors();
+        let cf = corner.factors(layer.multi_patterned);
+        let (sr, sc) = match sample {
+            Some(s) => (s.r[self.layer], s.c[self.layer]),
+            None => (1.0, 1.0),
+        };
+        let r_per_um = layer.r_per_um * fr * cf.r * sr;
+        let c_per_um = (layer.cg_per_um * fcg * cf.cg + layer.cc_per_um * fcc * cf.cc) * sc;
+
+        const SEGS: usize = 4;
+        let seg_len = self.length_um / SEGS as f64;
+        let mut tree = RcTree::new(Ff::new(0.5 * c_per_um * seg_len));
+        let mut nodes = Vec::with_capacity(SEGS);
+        let mut prev = 0;
+        for _ in 0..SEGS {
+            let node = tree.add_node(
+                prev,
+                Kohm::new(r_per_um * seg_len),
+                Ff::new(c_per_um * seg_len),
+            );
+            nodes.push(node);
+            prev = node;
+        }
+        for (i, &cap) in sink_caps.iter().enumerate() {
+            // Farthest sink last: spread sinks over the back half.
+            let node = nodes[SEGS / 2 + (i % (SEGS / 2)).min(SEGS - 1 - SEGS / 2)];
+            let node = if i == 0 { nodes[SEGS - 1] } else { node };
+            tree.add_cap(node, cap);
+        }
+        tree
+    }
+
+    /// Computes the driver load and per-sink Elmore delays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RC-tree errors (which indicate an internal bug).
+    pub fn timing(
+        &self,
+        stack: &BeolStack,
+        corner: BeolCorner,
+        sample: Option<&BeolSample>,
+        sink_caps: &[Ff],
+    ) -> Result<WireTiming> {
+        let tree = self.build_tree(stack, corner, sample, sink_caps);
+        let layer = stack.layer(self.layer);
+        let (fr, _, _) = self.ndr.factors();
+        let cf = corner.factors(layer.multi_patterned);
+        let sr = sample.map_or(1.0, |s| s.r[self.layer]);
+        let r_total = Kohm::new(layer.r_per_um * fr * cf.r * sr * self.length_um);
+
+        // Sinks were attached to interior nodes; their delays are the
+        // Elmore delays at those nodes. Recompute attachment for lookup.
+        const SEGS: usize = 4;
+        let mut sink_delays = Vec::with_capacity(sink_caps.len());
+        for i in 0..sink_caps.len() {
+            let node = if i == 0 {
+                SEGS
+            } else {
+                1 + SEGS / 2 + (i % (SEGS / 2)).min(SEGS - 1 - SEGS / 2)
+            };
+            sink_delays.push(tree.elmore(node)?);
+        }
+        Ok(WireTiming {
+            driver_load: tree.total_cap(),
+            sink_delays,
+            r_total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack() -> BeolStack {
+        BeolStack::n20()
+    }
+
+    #[test]
+    fn layer_assignment_by_length() {
+        assert_eq!(WireModel::from_length(10.0).layer, 1);
+        assert_eq!(WireModel::from_length(100.0).layer, 3);
+        assert_eq!(WireModel::from_length(500.0).layer, 5);
+    }
+
+    #[test]
+    fn longer_nets_are_slower() {
+        let s = stack();
+        let caps = [Ff::new(2.0)];
+        let short = WireModel::from_length(20.0)
+            .timing(&s, BeolCorner::Typical, None, &caps)
+            .unwrap();
+        let long = WireModel::from_length(400.0)
+            .timing(&s, BeolCorner::Typical, None, &caps)
+            .unwrap();
+        assert!(long.sink_delays[0] > short.sink_delays[0]);
+        assert!(long.driver_load > short.driver_load);
+    }
+
+    #[test]
+    fn ndr_cuts_wire_delay() {
+        let s = stack();
+        let caps = [Ff::new(2.0)];
+        let wm = WireModel {
+            length_um: 300.0,
+            layer: 3,
+            ndr: NdrClass::Default,
+        };
+        let base = wm.timing(&s, BeolCorner::Typical, None, &caps).unwrap();
+        let ndr = wm
+            .with_ndr(NdrClass::DoubleWidthSpacing)
+            .timing(&s, BeolCorner::Typical, None, &caps)
+            .unwrap();
+        assert!(
+            ndr.sink_delays[0].value() < 0.8 * base.sink_delays[0].value(),
+            "NDR {} vs default {}",
+            ndr.sink_delays[0],
+            base.sink_delays[0]
+        );
+        assert!(NdrClass::DoubleWidthSpacing.track_cost() > 1.0);
+    }
+
+    #[test]
+    fn layer_promotion_helps_long_nets() {
+        let s = stack();
+        let caps = [Ff::new(2.0)];
+        let wm = WireModel {
+            length_um: 600.0,
+            layer: 3,
+            ndr: NdrClass::Default,
+        };
+        let base = wm.timing(&s, BeolCorner::Typical, None, &caps).unwrap();
+        let promoted = wm
+            .promoted(&s)
+            .timing(&s, BeolCorner::Typical, None, &caps)
+            .unwrap();
+        assert!(promoted.sink_delays[0] < base.sink_delays[0]);
+    }
+
+    #[test]
+    fn corners_move_wire_timing() {
+        let s = stack();
+        let caps = [Ff::new(2.0)];
+        let wm = WireModel::from_length(300.0);
+        let typ = wm.timing(&s, BeolCorner::Typical, None, &caps).unwrap();
+        let cw = wm.timing(&s, BeolCorner::CWorst, None, &caps).unwrap();
+        let rcw = wm.timing(&s, BeolCorner::RcWorst, None, &caps).unwrap();
+        assert!(cw.driver_load > typ.driver_load);
+        assert!(rcw.sink_delays[0] > typ.sink_delays[0]);
+    }
+
+    #[test]
+    fn samples_perturb_timing() {
+        let s = stack();
+        let caps = [Ff::new(2.0)];
+        let wm = WireModel::from_length(150.0);
+        let mut rng = tc_core::rng::Rng::seed_from(4);
+        let base = wm
+            .timing(&s, BeolCorner::Typical, None, &caps)
+            .unwrap()
+            .sink_delays[0];
+        let mut distinct = 0;
+        for _ in 0..10 {
+            let smp = s.sample(&mut rng);
+            let d = wm
+                .timing(&s, BeolCorner::Typical, Some(&smp), &caps)
+                .unwrap()
+                .sink_delays[0];
+            if (d.value() - base.value()).abs() > 1e-9 {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 9, "samples must perturb delay");
+    }
+
+    #[test]
+    fn multi_sink_nets_report_all_delays() {
+        let s = stack();
+        let caps = [Ff::new(2.0), Ff::new(1.0), Ff::new(3.0)];
+        let t = WireModel::from_length(100.0)
+            .timing(&s, BeolCorner::Typical, None, &caps)
+            .unwrap();
+        assert_eq!(t.sink_delays.len(), 3);
+        for d in &t.sink_delays {
+            assert!(d.value() > 0.0);
+        }
+    }
+}

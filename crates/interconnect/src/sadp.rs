@@ -1,0 +1,238 @@
+//! Self-aligned double patterning (SADP) variability — the paper's
+//! **Figure 5** (§2.2).
+//!
+//! In SID ("spacer is dielectric") SADP, a wire's two edges may each be
+//! defined by a mandrel edge, a spacer edge, or a block-mask edge. Which
+//! combination a wire gets depends on its track assignment, and each
+//! combination has a different critical-dimension variance — Fig 5(c)'s
+//! four formulas, implemented verbatim in
+//! [`PatterningSolution::cd_variance`]. Cut-mask restrictions additionally
+//! force line-end extensions and floating fill wires (Fig 5(b)), modeled
+//! here as capacitance adders.
+
+use tc_core::rng::Rng;
+
+/// Process sigmas of the SADP flow's primitive patterning steps, in nm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SadpProcess {
+    /// Mandrel CD sigma σM.
+    pub sigma_mandrel: f64,
+    /// Spacer thickness sigma σS.
+    pub sigma_spacer: f64,
+    /// Block (cut) mask CD sigma σB.
+    pub sigma_block: f64,
+    /// Mandrel-to-block overlay sigma σM−B.
+    pub sigma_mandrel_block: f64,
+}
+
+impl SadpProcess {
+    /// A 10 nm-node-flavoured calibration.
+    pub fn n10() -> Self {
+        SadpProcess {
+            sigma_mandrel: 1.0,
+            sigma_spacer: 0.6,
+            sigma_block: 1.4,
+            sigma_mandrel_block: 1.2,
+        }
+    }
+}
+
+/// The four SID-SADP patterning solutions of Fig 5(c).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PatterningSolution {
+    /// (i) Both line edges defined by mandrel edges: σ² = σ²M.
+    MandrelMandrel,
+    /// (ii) Both edges defined by spacer edges: σ² = σ²M + 2σ²S.
+    SpacerSpacer,
+    /// (iii) One mandrel edge, one block edge:
+    /// σ² = (0.5σM)² + σ²M−B + (0.5σB)².
+    MandrelBlock,
+    /// (iv) One spacer edge, one block edge:
+    /// σ² = (0.5σM)² + σ²S + σ²M−B + (0.5σB)².
+    SpacerBlock,
+}
+
+impl PatterningSolution {
+    /// All four solutions in Fig 5(c) order.
+    pub const ALL: [PatterningSolution; 4] = [
+        PatterningSolution::MandrelMandrel,
+        PatterningSolution::SpacerSpacer,
+        PatterningSolution::MandrelBlock,
+        PatterningSolution::SpacerBlock,
+    ];
+
+    /// CD variance σ² in nm², per the paper's formulas.
+    pub fn cd_variance(self, p: &SadpProcess) -> f64 {
+        let m2 = p.sigma_mandrel * p.sigma_mandrel;
+        let s2 = p.sigma_spacer * p.sigma_spacer;
+        let b2 = p.sigma_block * p.sigma_block;
+        let mb2 = p.sigma_mandrel_block * p.sigma_mandrel_block;
+        match self {
+            PatterningSolution::MandrelMandrel => m2,
+            PatterningSolution::SpacerSpacer => m2 + 2.0 * s2,
+            PatterningSolution::MandrelBlock => 0.25 * m2 + mb2 + 0.25 * b2,
+            PatterningSolution::SpacerBlock => 0.25 * m2 + s2 + mb2 + 0.25 * b2,
+        }
+    }
+
+    /// CD sigma in nm.
+    pub fn cd_sigma(self, p: &SadpProcess) -> f64 {
+        self.cd_variance(p).sqrt()
+    }
+
+    /// The solution a wire on the given routing track receives in a
+    /// regular SID scheme: mandrel tracks alternate with gap tracks; line
+    /// ends (signalled by `cut_adjacent`) involve the block mask.
+    pub fn for_track(track: usize, cut_adjacent: bool) -> Self {
+        match (track % 2 == 0, cut_adjacent) {
+            (true, false) => PatterningSolution::MandrelMandrel,
+            (false, false) => PatterningSolution::SpacerSpacer,
+            (true, true) => PatterningSolution::MandrelBlock,
+            (false, true) => PatterningSolution::SpacerBlock,
+        }
+    }
+}
+
+/// Capacitance side-effects of cut-mask restrictions (Fig 5(b)).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CutMaskEffects {
+    /// Line-end extension length forced by rectangular cut shapes, nm.
+    pub line_end_extension_nm: f64,
+    /// Probability that a floating fill wire lands adjacent to a given
+    /// net segment.
+    pub fill_adjacency_prob: f64,
+    /// Effective coupling-capacitance increase from an adjacent floating
+    /// fill wire (fraction of nominal cc).
+    pub fill_coupling_factor: f64,
+}
+
+impl CutMaskEffects {
+    /// A 10 nm-flavoured calibration.
+    pub fn n10() -> Self {
+        CutMaskEffects {
+            line_end_extension_nm: 24.0,
+            fill_adjacency_prob: 0.35,
+            fill_coupling_factor: 0.18,
+        }
+    }
+
+    /// Extra capacitance (fF) a net of `length_um` on a layer with
+    /// `cc_per_um` picks up from line-end extensions and (stochastically)
+    /// floating fill.
+    pub fn extra_cap_ff(&self, length_um: f64, cc_per_um: f64, rng: &mut Rng) -> f64 {
+        // Two line ends per net.
+        let ends = 2.0 * (self.line_end_extension_nm / 1000.0) * cc_per_um * 2.0;
+        let fill = if rng.chance(self.fill_adjacency_prob) {
+            self.fill_coupling_factor * cc_per_um * length_um
+        } else {
+            0.0
+        };
+        ends + fill
+    }
+}
+
+/// Bimodal CD distribution of LELE (litho-etch-litho-etch) double
+/// patterning: the two mask populations sit at ±`offset` around nominal,
+/// each with its own sigma — the bimodal distribution of refs \[9\]/\[14\].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BimodalCd {
+    /// Half-distance between the two mask populations' means, nm.
+    pub offset_nm: f64,
+    /// Within-population sigma, nm.
+    pub sigma_nm: f64,
+}
+
+impl BimodalCd {
+    /// Samples a CD deviation (nm) for a wire on mask `color` (0 or 1).
+    pub fn sample(&self, color: u8, rng: &mut Rng) -> f64 {
+        let mean = if color == 0 {
+            self.offset_nm
+        } else {
+            -self.offset_nm
+        };
+        rng.normal(mean, self.sigma_nm)
+    }
+
+    /// Population variance of the full (mixed) distribution:
+    /// `σ² + offset²`.
+    pub fn mixed_variance(&self) -> f64 {
+        self.sigma_nm * self.sigma_nm + self.offset_nm * self.offset_nm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::stats::Summary;
+
+    #[test]
+    fn variance_formulas_match_fig5() {
+        let p = SadpProcess {
+            sigma_mandrel: 2.0,
+            sigma_spacer: 1.0,
+            sigma_block: 2.0,
+            sigma_mandrel_block: 1.5,
+        };
+        assert!((PatterningSolution::MandrelMandrel.cd_variance(&p) - 4.0).abs() < 1e-12);
+        assert!((PatterningSolution::SpacerSpacer.cd_variance(&p) - 6.0).abs() < 1e-12);
+        // (0.5·2)² + 1.5² + (0.5·2)² = 1 + 2.25 + 1 = 4.25
+        assert!((PatterningSolution::MandrelBlock.cd_variance(&p) - 4.25).abs() < 1e-12);
+        // + σS² = 5.25
+        assert!((PatterningSolution::SpacerBlock.cd_variance(&p) - 5.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_mask_solutions_are_noisier() {
+        let p = SadpProcess::n10();
+        assert!(
+            PatterningSolution::SpacerBlock.cd_sigma(&p)
+                > PatterningSolution::SpacerSpacer.cd_sigma(&p)
+        );
+        assert!(
+            PatterningSolution::MandrelBlock.cd_sigma(&p)
+                > PatterningSolution::MandrelMandrel.cd_sigma(&p)
+        );
+    }
+
+    #[test]
+    fn track_assignment_covers_all_solutions() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for track in 0..4 {
+            for cut in [false, true] {
+                seen.insert(PatterningSolution::for_track(track, cut));
+            }
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn cut_mask_effects_add_cap() {
+        let fx = CutMaskEffects::n10();
+        let mut rng = Rng::seed_from(9);
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| fx.extra_cap_ff(50.0, 0.12, &mut rng))
+            .collect();
+        let s = Summary::of(&samples);
+        assert!(s.min > 0.0, "line-end extension always adds cap");
+        assert!(s.max > s.min * 10.0, "fill adds a stochastic component");
+    }
+
+    #[test]
+    fn bimodal_distribution_is_bimodal() {
+        let b = BimodalCd {
+            offset_nm: 1.5,
+            sigma_nm: 0.5,
+        };
+        let mut rng = Rng::seed_from(10);
+        let mixed: Vec<f64> = (0..20_000)
+            .map(|i| b.sample((i % 2) as u8, &mut rng))
+            .collect();
+        let s = Summary::of(&mixed);
+        // Mixed sigma matches sqrt(σ² + offset²).
+        assert!((s.sigma - b.mixed_variance().sqrt()).abs() < 0.05);
+        // Each mode is clearly offset.
+        let mode0: Vec<f64> = (0..5_000).map(|_| b.sample(0, &mut rng)).collect();
+        assert!((Summary::of(&mode0).mean - 1.5).abs() < 0.05);
+    }
+}

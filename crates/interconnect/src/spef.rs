@@ -1,0 +1,269 @@
+//! SPEF-style parasitics exchange, with the *sensitivity* extension.
+//!
+//! §3.1: "Another flirtation, Sensitivity SPEF (SSPEF) for statistical
+//! modeling of interconnect, seems to have recently dropped by the
+//! wayside, leaving BEOL variations as a major hole in signoff
+//! enablement"; §4 predicts "Statistical SPEF or similar will be
+//! revived (cf. 'BEOL as first-class citizen')". This module implements
+//! that revival for our stack: each net's total R/C is written together
+//! with its *per-layer sensitivity coefficients*, so a downstream tool
+//! can re-evaluate the parasitics at any BEOL corner or Monte Carlo
+//! sample without re-extraction.
+//!
+//! Format (a compact SPEF-inspired subset, one `*D_NET` block per net):
+//!
+//! ```text
+//! *SPEF tc-interconnect sensitivity
+//! *D_NET n42 R 0.48 C 12.75 LAYER 5
+//! *SENS R M6 1.0
+//! *SENS C M6 1.0
+//! *END
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use tc_core::error::{Error, Result};
+
+use crate::beol::{BeolSample, BeolStack};
+use crate::estimate::WireModel;
+
+/// Parasitics of one net with its variation sensitivities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetParasitics {
+    /// Net name.
+    pub name: String,
+    /// Total resistance at the typical corner, kΩ.
+    pub r_total: f64,
+    /// Total wire capacitance (ground + coupling) at typical, fF.
+    pub c_total: f64,
+    /// Stack layer index the net is routed on.
+    pub layer: usize,
+    /// Per-layer sensitivity of R: dR/R per unit layer R factor.
+    /// For single-layer routes this is 1.0 on the route layer.
+    pub r_sens: HashMap<usize, f64>,
+    /// Per-layer sensitivity of C.
+    pub c_sens: HashMap<usize, f64>,
+}
+
+impl NetParasitics {
+    /// Extracts one net's parasitics from a wire model.
+    pub fn extract(name: impl Into<String>, wm: &WireModel, stack: &BeolStack) -> Self {
+        let layer = stack.layer(wm.layer);
+        let (fr, fcg, fcc) = wm.ndr.factors();
+        let r_total = layer.r_per_um * fr * wm.length_um;
+        let c_total =
+            (layer.cg_per_um * fcg + layer.cc_per_um * fcc) * wm.length_um;
+        let mut r_sens = HashMap::new();
+        let mut c_sens = HashMap::new();
+        r_sens.insert(wm.layer, 1.0);
+        c_sens.insert(wm.layer, 1.0);
+        NetParasitics {
+            name: name.into(),
+            r_total,
+            c_total,
+            layer: wm.layer,
+            r_sens,
+            c_sens,
+        }
+    }
+
+    /// Re-evaluates the parasitics under a per-layer Monte Carlo sample
+    /// using the stored sensitivities — the SSPEF use case.
+    pub fn at_sample(&self, sample: &BeolSample) -> (f64, f64) {
+        let r_factor: f64 = self
+            .r_sens
+            .iter()
+            .map(|(&l, &s)| 1.0 + s * (sample.r[l] - 1.0))
+            .product();
+        let c_factor: f64 = self
+            .c_sens
+            .iter()
+            .map(|(&l, &s)| 1.0 + s * (sample.c[l] - 1.0))
+            .product();
+        (self.r_total * r_factor, self.c_total * c_factor)
+    }
+}
+
+/// Serializes a set of net parasitics to sensitivity-SPEF text.
+pub fn write_spef(nets: &[NetParasitics], stack: &BeolStack) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "*SPEF tc-interconnect sensitivity");
+    let _ = writeln!(out, "*T_UNIT ps  *C_UNIT ff  *R_UNIT kohm");
+    for n in nets {
+        let _ = writeln!(
+            out,
+            "*D_NET {} R {:.6} C {:.6} LAYER {}",
+            n.name, n.r_total, n.c_total, n.layer
+        );
+        let mut keys: Vec<_> = n.r_sens.iter().collect();
+        keys.sort_by_key(|(l, _)| **l);
+        for (&l, &s) in keys {
+            let _ = writeln!(out, "*SENS R {} {:.4}", stack.layer(l).name, s);
+        }
+        let mut keys: Vec<_> = n.c_sens.iter().collect();
+        keys.sort_by_key(|(l, _)| **l);
+        for (&l, &s) in keys {
+            let _ = writeln!(out, "*SENS C {} {:.4}", stack.layer(l).name, s);
+        }
+        let _ = writeln!(out, "*END");
+    }
+    out
+}
+
+/// Parses the sensitivity-SPEF subset written by [`write_spef`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] on malformed records or unknown layer
+/// names.
+pub fn parse_spef(text: &str, stack: &BeolStack) -> Result<Vec<NetParasitics>> {
+    let layer_idx = |name: &str| -> Result<usize> {
+        stack
+            .layers()
+            .iter()
+            .position(|l| l.name == name)
+            .ok_or_else(|| Error::invalid_input(format!("unknown layer {name}")))
+    };
+    let mut nets = Vec::new();
+    let mut cur: Option<NetParasitics> = None;
+    for line in text.lines() {
+        let l = line.trim();
+        if let Some(rest) = l.strip_prefix("*D_NET ") {
+            let tok: Vec<&str> = rest.split_whitespace().collect();
+            if tok.len() != 7 || tok[1] != "R" || tok[3] != "C" || tok[5] != "LAYER" {
+                return Err(Error::invalid_input(format!("bad D_NET record: {l}")));
+            }
+            let parse = |s: &str| {
+                s.parse::<f64>()
+                    .map_err(|e| Error::invalid_input(format!("bad number {s}: {e}")))
+            };
+            cur = Some(NetParasitics {
+                name: tok[0].to_string(),
+                r_total: parse(tok[2])?,
+                c_total: parse(tok[4])?,
+                layer: tok[6]
+                    .parse()
+                    .map_err(|e| Error::invalid_input(format!("bad layer index: {e}")))?,
+                r_sens: HashMap::new(),
+                c_sens: HashMap::new(),
+            });
+        } else if let Some(rest) = l.strip_prefix("*SENS ") {
+            let tok: Vec<&str> = rest.split_whitespace().collect();
+            if tok.len() != 3 {
+                return Err(Error::invalid_input(format!("bad SENS record: {l}")));
+            }
+            let net = cur
+                .as_mut()
+                .ok_or_else(|| Error::invalid_input("SENS outside D_NET"))?;
+            let layer = layer_idx(tok[1])?;
+            let s = tok[2]
+                .parse::<f64>()
+                .map_err(|e| Error::invalid_input(format!("bad sensitivity: {e}")))?;
+            match tok[0] {
+                "R" => {
+                    net.r_sens.insert(layer, s);
+                }
+                "C" => {
+                    net.c_sens.insert(layer, s);
+                }
+                other => {
+                    return Err(Error::invalid_input(format!("bad SENS kind {other}")));
+                }
+            }
+        } else if l == "*END" {
+            nets.push(
+                cur.take()
+                    .ok_or_else(|| Error::invalid_input("END without D_NET"))?,
+            );
+        }
+    }
+    if cur.is_some() {
+        return Err(Error::invalid_input("unterminated D_NET block"));
+    }
+    Ok(nets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::NdrClass;
+    use tc_core::rng::Rng;
+
+    fn stack() -> BeolStack {
+        BeolStack::n20()
+    }
+
+    fn sample_nets(stack: &BeolStack) -> Vec<NetParasitics> {
+        [(20.0, NdrClass::Default), (150.0, NdrClass::Default), (400.0, NdrClass::DoubleWidthSpacing)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(len, ndr))| {
+                let wm = WireModel::from_length(len).with_ndr(ndr);
+                NetParasitics::extract(format!("n{i}"), &wm, stack)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let stack = stack();
+        let nets = sample_nets(&stack);
+        let text = write_spef(&nets, &stack);
+        assert!(text.contains("*D_NET n0"));
+        let parsed = parse_spef(&text, &stack).unwrap();
+        assert_eq!(parsed.len(), nets.len());
+        for (a, b) in nets.iter().zip(&parsed) {
+            assert_eq!(a.name, b.name);
+            assert!((a.r_total - b.r_total).abs() < 1e-6);
+            assert!((a.c_total - b.c_total).abs() < 1e-6);
+            assert_eq!(a.layer, b.layer);
+            assert_eq!(a.r_sens, b.r_sens);
+        }
+    }
+
+    #[test]
+    fn sensitivities_reproduce_monte_carlo_reevaluation() {
+        // The SSPEF promise: a consumer can re-evaluate parasitics at a
+        // sample without the extractor. Cross-check against WireModel's
+        // own sampled timing inputs.
+        let stack = stack();
+        let wm = WireModel::from_length(150.0);
+        let net = NetParasitics::extract("n", &wm, &stack);
+        let mut rng = Rng::seed_from(17);
+        for _ in 0..20 {
+            let smp = stack.sample(&mut rng);
+            let (r, c) = net.at_sample(&smp);
+            let want_r = net.r_total * smp.r[wm.layer];
+            let want_c = net.c_total * smp.c[wm.layer];
+            assert!((r - want_r).abs() < 1e-9);
+            assert!((c - want_c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_records() {
+        let stack = stack();
+        assert!(parse_spef("*D_NET bogus R x C 1 LAYER 2\n*END", &stack).is_err());
+        assert!(parse_spef("*SENS R M1 1.0", &stack).is_err());
+        assert!(parse_spef("*D_NET n R 1 C 1 LAYER 1\n*SENS R M99 1.0\n*END", &stack).is_err());
+        assert!(parse_spef("*D_NET n R 1 C 1 LAYER 1\n", &stack).is_err());
+    }
+
+    #[test]
+    fn ndr_nets_carry_their_rule_in_the_totals() {
+        let stack = stack();
+        let base = NetParasitics::extract(
+            "a",
+            &WireModel::from_length(400.0),
+            &stack,
+        );
+        let ndr = NetParasitics::extract(
+            "b",
+            &WireModel::from_length(400.0).with_ndr(NdrClass::DoubleWidthSpacing),
+            &stack,
+        );
+        assert!(ndr.r_total < 0.6 * base.r_total);
+        assert!(ndr.c_total < base.c_total, "spacing cuts coupling");
+    }
+}

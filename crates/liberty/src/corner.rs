@@ -1,0 +1,237 @@
+//! PVT corner definitions and delay scaling.
+//!
+//! The paper distinguishes SS (global + local variation) from SSG
+//! ("global corner", local variation left to AOCV/POCV/LVF), and notes
+//! that cross-corners (FS, SF) are increasingly required for clock
+//! signoff (§1.2 footnote, §4). Voltage/temperature scaling is derived
+//! from the `tc-device` alpha-power model, so a corner at 0.6 V / −30 °C
+//! is slower than at 0.6 V / 125 °C (temperature inversion) without any
+//! special-casing here.
+
+use std::fmt;
+
+use tc_core::units::{Celsius, Volt};
+use tc_device::{MosDevice, MosKind, Technology, VtClass};
+
+/// Global FEOL process corner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ProcessCorner {
+    /// Slow NMOS, slow PMOS, including on-die mismatch allowance.
+    Ss,
+    /// Slow "global" corner: global variation only, local variation left
+    /// to the OCV/POCV/LVF models (the modern signoff style).
+    Ssg,
+    /// Typical.
+    #[default]
+    Tt,
+    /// Fast global corner.
+    Ffg,
+    /// Fast, including mismatch allowance.
+    Ff,
+    /// Cross-corner: slow NMOS / fast PMOS (clock-network signoff).
+    Sf,
+    /// Cross-corner: fast NMOS / slow PMOS.
+    Fs,
+}
+
+impl ProcessCorner {
+    /// All corners a full signoff would enumerate.
+    pub const ALL: [ProcessCorner; 7] = [
+        ProcessCorner::Ss,
+        ProcessCorner::Ssg,
+        ProcessCorner::Tt,
+        ProcessCorner::Ffg,
+        ProcessCorner::Ff,
+        ProcessCorner::Sf,
+        ProcessCorner::Fs,
+    ];
+
+    /// Multiplier on device drive resistance (>1 = slower than typical).
+    ///
+    /// SS carries more margin than SSG because it folds the on-die
+    /// mismatch in; SSG leaves that to the variation model (paper §1.2).
+    pub fn drive_factor(self) -> f64 {
+        match self {
+            ProcessCorner::Ss => 1.28,
+            ProcessCorner::Ssg => 1.20,
+            ProcessCorner::Tt => 1.0,
+            ProcessCorner::Ffg => 0.85,
+            ProcessCorner::Ff => 0.80,
+            // Cross corners sit near typical on average but skew the
+            // P/N balance; the skew matters for clock duty/skew checks.
+            ProcessCorner::Sf => 1.04,
+            ProcessCorner::Fs => 0.98,
+        }
+    }
+
+    /// Multiplier on leakage current (fast silicon leaks more).
+    pub fn leakage_factor(self) -> f64 {
+        match self {
+            ProcessCorner::Ss => 0.4,
+            ProcessCorner::Ssg => 0.45,
+            ProcessCorner::Tt => 1.0,
+            ProcessCorner::Ffg => 2.2,
+            ProcessCorner::Ff => 2.6,
+            ProcessCorner::Sf | ProcessCorner::Fs => 1.1,
+        }
+    }
+
+    /// Short signoff-report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcessCorner::Ss => "SS",
+            ProcessCorner::Ssg => "SSG",
+            ProcessCorner::Tt => "TT",
+            ProcessCorner::Ffg => "FFG",
+            ProcessCorner::Ff => "FF",
+            ProcessCorner::Sf => "SF",
+            ProcessCorner::Fs => "FS",
+        }
+    }
+}
+
+impl fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A full PVT analysis corner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PvtCorner {
+    /// Global process corner.
+    pub process: ProcessCorner,
+    /// Supply voltage.
+    pub voltage: Volt,
+    /// Die temperature.
+    pub temperature: Celsius,
+}
+
+impl PvtCorner {
+    /// Typical-typical at nominal planar supply, room temperature — the
+    /// "signoff at typical" corner AVS enables (paper §1.3).
+    pub fn typical() -> Self {
+        PvtCorner {
+            process: ProcessCorner::Tt,
+            voltage: Volt::new(0.9),
+            temperature: Celsius::new(25.0),
+        }
+    }
+
+    /// Classic worst-setup corner: slow global silicon, low V, low T
+    /// (below the temperature-reversal point, cold is slow).
+    pub fn slow_cold() -> Self {
+        PvtCorner {
+            process: ProcessCorner::Ssg,
+            voltage: Volt::new(0.81),
+            temperature: Celsius::new(-30.0),
+        }
+    }
+
+    /// Slow, low V, hot — required *in addition to* `slow_cold` when the
+    /// signoff voltage is near the reversal point (paper Fig 6b).
+    pub fn slow_hot() -> Self {
+        PvtCorner {
+            process: ProcessCorner::Ssg,
+            voltage: Volt::new(0.81),
+            temperature: Celsius::new(125.0),
+        }
+    }
+
+    /// Classic best-case (hold-risk) corner: fast silicon, high V, cold.
+    pub fn fast_cold() -> Self {
+        PvtCorner {
+            process: ProcessCorner::Ffg,
+            voltage: Volt::new(0.99),
+            temperature: Celsius::new(-30.0),
+        }
+    }
+
+    /// A descriptive name like `SSG_0.81V_-30C`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}_{:.2}V_{:.0}C",
+            self.process,
+            self.voltage.value(),
+            self.temperature.value()
+        )
+    }
+
+    /// Delay multiplier relative to [`PvtCorner::typical`] for a device of
+    /// the given Vt class, combining the process drive factor with the
+    /// device model's voltage/temperature behaviour (delay ∝ C·V/Idsat).
+    pub fn delay_factor(&self, tech: &Technology, vt: VtClass) -> f64 {
+        let dev = MosDevice::new(MosKind::Nmos, vt, 1.0);
+        let typ = PvtCorner::typical();
+        let d_here = self.voltage.value() / dev.idsat(tech, self.voltage, self.temperature);
+        let d_typ = typ.voltage.value() / dev.idsat(tech, typ.voltage, typ.temperature);
+        self.process.drive_factor() * d_here / d_typ
+    }
+}
+
+impl fmt::Display for PvtCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_factors_are_ordered() {
+        assert!(ProcessCorner::Ss.drive_factor() > ProcessCorner::Ssg.drive_factor());
+        assert!(ProcessCorner::Ssg.drive_factor() > ProcessCorner::Tt.drive_factor());
+        assert!(ProcessCorner::Tt.drive_factor() > ProcessCorner::Ffg.drive_factor());
+        assert!(ProcessCorner::Ffg.drive_factor() > ProcessCorner::Ff.drive_factor());
+    }
+
+    #[test]
+    fn slow_corners_slow_down_delay() {
+        let tech = Technology::planar_28nm();
+        let slow = PvtCorner::slow_cold().delay_factor(&tech, VtClass::Svt);
+        let fast = PvtCorner::fast_cold().delay_factor(&tech, VtClass::Svt);
+        let typ = PvtCorner::typical().delay_factor(&tech, VtClass::Svt);
+        assert!((typ - 1.0).abs() < 1e-9, "typical is the reference");
+        assert!(slow > 1.2, "slow_cold factor {slow}");
+        assert!(fast < 0.95, "fast_cold factor {fast}");
+    }
+
+    #[test]
+    fn temperature_inversion_shows_in_corner_factors() {
+        // At a low signoff voltage, the cold corner is slower than hot —
+        // the reason both must be checked (paper Fig 6b).
+        let tech = Technology::planar_28nm();
+        let base = PvtCorner {
+            process: ProcessCorner::Ssg,
+            voltage: Volt::new(0.6),
+            temperature: Celsius::new(-30.0),
+        };
+        let hot = PvtCorner {
+            temperature: Celsius::new(125.0),
+            ..base
+        };
+        assert!(
+            base.delay_factor(&tech, VtClass::Svt) > hot.delay_factor(&tech, VtClass::Svt)
+        );
+        // And the relation flips at high voltage.
+        let base_hv = PvtCorner {
+            voltage: Volt::new(1.15),
+            ..base
+        };
+        let hot_hv = PvtCorner {
+            voltage: Volt::new(1.15),
+            ..hot
+        };
+        assert!(
+            base_hv.delay_factor(&tech, VtClass::Svt) < hot_hv.delay_factor(&tech, VtClass::Svt)
+        );
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(PvtCorner::typical().label(), "TT_0.90V_25C");
+        assert!(PvtCorner::slow_cold().label().contains("SSG"));
+    }
+}

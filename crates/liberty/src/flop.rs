@@ -1,0 +1,177 @@
+//! Sequential timing: setup/hold constraint tables, c2q arcs, and the
+//! interdependent setup–hold–c2q surface of the paper's **Figure 10**.
+//!
+//! Conventional Liberty models freeze (setup, hold, c2q) at values
+//! characterized with a 10% c2q-pushout criterion, discarding the region
+//! where the three trade off smoothly. [`InterdepModel`] keeps that
+//! region as an analytic surface (calibratable against the `tc-sim`
+//! bisection characterization), enabling the margin-recovery optimization
+//! of ref \[23\] implemented in `tc-signoff`.
+
+use tc_core::lut::Lut2;
+use tc_core::units::Ps;
+
+/// Analytic interdependent setup–hold–c2q surface:
+///
+/// ```text
+/// c2q(s, h) = c2q0 · (1 + a_s·exp(−(s − s0)/τ_s) + a_h·exp(−(h − h0)/τ_h))
+/// ```
+///
+/// c2q degrades exponentially as the data-to-clock gap `s` (setup side)
+/// or clock-to-data-change gap `h` (hold side) shrinks toward the
+/// characterization walls `s0`/`h0` — the shape measured from the
+/// transistor-level DFF in `tc_sim::ff_char`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InterdepModel {
+    /// Unconstrained clock-to-q delay, ps.
+    pub c2q0: f64,
+    /// Setup-side pushout amplitude (relative).
+    pub a_s: f64,
+    /// Setup-side decay constant, ps.
+    pub tau_s: f64,
+    /// Setup-side wall position, ps.
+    pub s0: f64,
+    /// Hold-side pushout amplitude (relative).
+    pub a_h: f64,
+    /// Hold-side decay constant, ps.
+    pub tau_h: f64,
+    /// Hold-side wall position, ps.
+    pub h0: f64,
+}
+
+impl InterdepModel {
+    /// A 65 nm-flavoured calibration (c2q ≈ 90 ps), matching the scale of
+    /// the paper's Fig 10 DFQDX plots.
+    pub fn typical_65nm() -> Self {
+        InterdepModel {
+            c2q0: 90.0,
+            a_s: 1.0,
+            tau_s: 12.0,
+            s0: 20.0,
+            a_h: 0.6,
+            tau_h: 10.0,
+            h0: 5.0,
+        }
+    }
+
+    /// c2q delay at a (setup, hold) operating point.
+    pub fn c2q_at(&self, setup: Ps, hold: Ps) -> Ps {
+        let push_s = self.a_s * (-(setup.value() - self.s0) / self.tau_s).exp();
+        let push_h = self.a_h * (-(hold.value() - self.h0) / self.tau_h).exp();
+        Ps::new(self.c2q0 * (1.0 + push_s + push_h))
+    }
+
+    /// The minimum setup such that, with the hold side relaxed,
+    /// `c2q ≤ pushout · c2q0` — the conventional characterization point.
+    pub fn setup_at_pushout(&self, pushout: f64) -> Ps {
+        // a_s·exp(−(s−s0)/τ) = pushout − 1  (hold term ≈ 0 when relaxed)
+        let excess = (pushout - 1.0).max(1e-9);
+        Ps::new(self.s0 + self.tau_s * (self.a_s / excess).ln())
+    }
+
+    /// The minimum hold at pushout with the setup side relaxed.
+    pub fn hold_at_pushout(&self, pushout: f64) -> Ps {
+        let excess = (pushout - 1.0).max(1e-9);
+        Ps::new(self.h0 + self.tau_h * (self.a_h / excess).ln())
+    }
+
+    /// For a given setup, the minimum hold keeping `c2q ≤ pushout·c2q0`;
+    /// `None` if the setup side alone already exceeds the budget (the
+    /// contour's vertical asymptote in Fig 10's third panel).
+    pub fn min_hold_for(&self, setup: Ps, pushout: f64) -> Option<Ps> {
+        let budget = pushout - 1.0;
+        let push_s = self.a_s * (-(setup.value() - self.s0) / self.tau_s).exp();
+        let remain = budget - push_s;
+        if remain <= 0.0 {
+            return None;
+        }
+        Some(Ps::new(self.h0 + self.tau_h * (self.a_h / remain).ln()))
+    }
+
+    /// Samples the setup–hold tradeoff contour at the given pushout.
+    pub fn contour(&self, pushout: f64, setups: &[f64]) -> Vec<(Ps, Ps)> {
+        setups
+            .iter()
+            .filter_map(|&s| {
+                self.min_hold_for(Ps::new(s), pushout)
+                    .map(|h| (Ps::new(s), h))
+            })
+            .collect()
+    }
+}
+
+/// Sequential constraint data attached to a flop cell.
+#[derive(Clone, Debug)]
+pub struct FlopTiming {
+    /// Setup constraint table: rows = data slew (ps), cols = clock slew.
+    pub setup: Lut2,
+    /// Hold constraint table on the same axes.
+    pub hold: Lut2,
+    /// Interdependent surface for margin recovery.
+    pub interdep: InterdepModel,
+}
+
+impl FlopTiming {
+    /// Setup requirement at an operating point.
+    pub fn setup_at(&self, data_slew: f64, clk_slew: f64) -> Ps {
+        Ps::new(self.setup.eval(data_slew, clk_slew))
+    }
+
+    /// Hold requirement at an operating point.
+    pub fn hold_at(&self, data_slew: f64, clk_slew: f64) -> Ps {
+        Ps::new(self.hold.eval(data_slew, clk_slew))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2q_degrades_toward_walls() {
+        let m = InterdepModel::typical_65nm();
+        let relaxed = m.c2q_at(Ps::new(120.0), Ps::new(120.0));
+        let squeezed_s = m.c2q_at(Ps::new(25.0), Ps::new(120.0));
+        let squeezed_h = m.c2q_at(Ps::new(120.0), Ps::new(8.0));
+        assert!((relaxed.value() - m.c2q0).abs() < 1.0, "relaxed ≈ c2q0");
+        assert!(squeezed_s > relaxed * 1.2);
+        assert!(squeezed_h > relaxed * 1.1);
+    }
+
+    #[test]
+    fn pushout_points_invert_the_surface() {
+        let m = InterdepModel::typical_65nm();
+        let s = m.setup_at_pushout(1.10);
+        // At the characterized setup, the pushout is exactly 10% (hold
+        // relaxed).
+        let c2q = m.c2q_at(s, Ps::new(500.0));
+        assert!((c2q.value() / m.c2q0 - 1.10).abs() < 0.005, "c2q {c2q}");
+        let h = m.hold_at_pushout(1.10);
+        let c2q = m.c2q_at(Ps::new(500.0), h);
+        assert!((c2q.value() / m.c2q0 - 1.10).abs() < 0.005);
+    }
+
+    #[test]
+    fn contour_trades_setup_against_hold() {
+        let m = InterdepModel::typical_65nm();
+        let pts = m.contour(1.10, &[52.0, 60.0, 80.0, 120.0]);
+        assert!(pts.len() >= 3);
+        // Smaller setup ⇒ larger required hold.
+        for w in pts.windows(2) {
+            assert!(w[0].1 >= w[1].1, "contour must be non-increasing");
+        }
+        // Each contour point indeed meets the pushout budget.
+        for &(s, h) in &pts {
+            let c2q = m.c2q_at(s, h);
+            assert!(c2q.value() / m.c2q0 <= 1.105, "({s}, {h}) → {c2q}");
+        }
+    }
+
+    #[test]
+    fn contour_has_vertical_asymptote() {
+        let m = InterdepModel::typical_65nm();
+        // Very tight setup eats the whole pushout budget; no hold works.
+        assert!(m.min_hold_for(Ps::new(15.0), 1.10).is_none());
+        assert!(m.min_hold_for(Ps::new(80.0), 1.10).is_some());
+    }
+}

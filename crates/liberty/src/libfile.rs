@@ -1,0 +1,382 @@
+//! Liberty-format export and (subset) import.
+//!
+//! The paper's modeling-standards discussion lives entirely inside
+//! `.lib` files (NLDM tables, AOCV sidecars, the LVF extension — see the
+//! "Open Source Liberty" reference \[38\]). This module writes the
+//! synthetic library in a Liberty-compatible subset so it can be
+//! inspected or diffed like a foundry deliverable, and parses that
+//! subset back for round-trip verification.
+//!
+//! Supported constructs: `library`, `cell` (area, leakage), `pin`
+//! (direction, capacitance), `timing` groups with `cell_rise` /
+//! `rise_transition` 7×7 tables (`index_1`, `index_2`, `values`), and
+//! `ocv_sigma_cell_rise` tables for LVF.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use tc_core::error::{Error, Result};
+use tc_core::lut::Lut2;
+
+use crate::library::Library;
+
+/// Serializes a library to Liberty text.
+pub fn write_liberty(lib: &Library) -> String {
+    let mut out = String::new();
+    let name = format!(
+        "tc_synth_{}",
+        lib.corner.label().replace(['.', '-'], "p")
+    );
+    let _ = writeln!(out, "library ({name}) {{");
+    let _ = writeln!(out, "  time_unit : \"1ps\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(out, "  voltage_unit : \"1V\";");
+    let _ = writeln!(
+        out,
+        "  nom_voltage : {:.3};\n  nom_temperature : {:.1};",
+        lib.corner.voltage.value(),
+        lib.corner.temperature.value()
+    );
+
+    for cell in lib.cells() {
+        let _ = writeln!(out, "  cell ({}) {{", cell.name);
+        let _ = writeln!(out, "    area : {:.3};", cell.area_sites);
+        let _ = writeln!(out, "    cell_leakage_power : {:.6};", cell.leakage_uw);
+        for pin in cell.input_pins() {
+            let _ = writeln!(out, "    pin ({pin}) {{");
+            let _ = writeln!(out, "      direction : input;");
+            let _ = writeln!(
+                out,
+                "      capacitance : {:.4};",
+                cell.input_cap.value()
+            );
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "    pin (Y) {{");
+        let _ = writeln!(out, "      direction : output;");
+        for arc in &cell.arcs {
+            let _ = writeln!(out, "      timing () {{");
+            let _ = writeln!(out, "        related_pin : \"{}\";", arc.input);
+            write_table(&mut out, "cell_rise", &arc.delay);
+            write_table(&mut out, "rise_transition", &arc.out_slew);
+            if let Some(lvf) = &arc.lvf {
+                write_table(&mut out, "ocv_sigma_cell_rise", &lvf.sigma_late);
+                write_table(&mut out, "ocv_sigma_cell_fall", &lvf.sigma_early);
+            }
+            let _ = writeln!(out, "      }}");
+        }
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn write_table(out: &mut String, kind: &str, lut: &Lut2) {
+    let fmt_axis = |axis: &[f64]| {
+        axis.iter()
+            .map(|v| format!("{v:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(out, "        {kind} (tbl_{}x{}) {{", lut.row_axis().len(), lut.col_axis().len());
+    let _ = writeln!(out, "          index_1 (\"{}\");", fmt_axis(lut.row_axis()));
+    let _ = writeln!(out, "          index_2 (\"{}\");", fmt_axis(lut.col_axis()));
+    let rows: Vec<String> = lut
+        .row_axis()
+        .iter()
+        .map(|&r| {
+            lut.col_axis()
+                .iter()
+                .map(|&c| format!("{:.5}", lut.eval(r, c)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        })
+        .map(|row| format!("\"{row}\""))
+        .collect();
+    let _ = writeln!(out, "          values ({});", rows.join(", \\\n                  "));
+    let _ = writeln!(out, "        }}");
+}
+
+/// A parsed timing table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedTable {
+    /// Table kind ("cell_rise", "ocv_sigma_cell_rise", …).
+    pub kind: String,
+    /// The reconstructed table.
+    pub lut: Lut2,
+}
+
+/// A parsed timing arc.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArc {
+    /// Related (input) pin.
+    pub related_pin: String,
+    /// Tables in the arc.
+    pub tables: Vec<ParsedTable>,
+}
+
+/// A parsed cell.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedCell {
+    /// Cell name.
+    pub name: String,
+    /// Area attribute.
+    pub area: f64,
+    /// Leakage attribute.
+    pub leakage: f64,
+    /// Input pin capacitances.
+    pub pin_caps: HashMap<String, f64>,
+    /// Timing arcs.
+    pub arcs: Vec<ParsedArc>,
+}
+
+/// A parsed library (the subset this module writes).
+#[derive(Clone, Debug, Default)]
+pub struct ParsedLibrary {
+    /// Library name.
+    pub name: String,
+    /// Cells by name.
+    pub cells: HashMap<String, ParsedCell>,
+}
+
+/// Parses the Liberty subset produced by [`write_liberty`].
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] on malformed structure (unbalanced
+/// braces, missing axes, ragged value grids).
+pub fn parse_liberty(text: &str) -> Result<ParsedLibrary> {
+    let mut lib = ParsedLibrary::default();
+    let mut cur_cell: Option<ParsedCell> = None;
+    let mut cur_arc: Option<ParsedArc> = None;
+    let mut cur_pin: Option<String> = None;
+    let mut table_kind: Option<String> = None;
+    let mut index1: Option<Vec<f64>> = None;
+    let mut index2: Option<Vec<f64>> = None;
+    let mut depth = 0i32;
+
+    // The writer emits one construct per line except `values`, which may
+    // continue with `\`-terminated lines; splice those first.
+    let mut spliced = Vec::new();
+    let mut pending = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim_end();
+        if trimmed.ends_with('\\') {
+            pending.push_str(trimmed.trim_end_matches('\\'));
+        } else if pending.is_empty() {
+            spliced.push(trimmed.to_string());
+        } else {
+            pending.push_str(trimmed);
+            spliced.push(std::mem::take(&mut pending));
+        }
+    }
+
+    let parse_quoted_axis = |line: &str| -> Result<Vec<f64>> {
+        let inner = line
+            .split('"')
+            .nth(1)
+            .ok_or_else(|| Error::invalid_input("axis missing quotes"))?;
+        inner
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse::<f64>()
+                    .map_err(|e| Error::invalid_input(format!("bad axis value: {e}")))
+            })
+            .collect()
+    };
+
+    for line in &spliced {
+        let l = line.trim();
+        if l.starts_with("library (") {
+            lib.name = l
+                .trim_start_matches("library (")
+                .split(')')
+                .next()
+                .unwrap_or("")
+                .to_string();
+            depth += 1;
+        } else if l.starts_with("cell (") {
+            let name = l.trim_start_matches("cell (").split(')').next().unwrap_or("");
+            cur_cell = Some(ParsedCell {
+                name: name.to_string(),
+                ..Default::default()
+            });
+            depth += 1;
+        } else if l.starts_with("pin (") {
+            cur_pin = Some(
+                l.trim_start_matches("pin (")
+                    .split(')')
+                    .next()
+                    .unwrap_or("")
+                    .to_string(),
+            );
+            depth += 1;
+        } else if l.starts_with("timing ") {
+            cur_arc = Some(ParsedArc::default());
+            depth += 1;
+        } else if l.starts_with("related_pin") {
+            if let Some(arc) = cur_arc.as_mut() {
+                arc.related_pin = l.split('"').nth(1).unwrap_or("").to_string();
+            }
+        } else if l.starts_with("area :") {
+            if let Some(c) = cur_cell.as_mut() {
+                c.area = attr_value(l)?;
+            }
+        } else if l.starts_with("cell_leakage_power :") {
+            if let Some(c) = cur_cell.as_mut() {
+                c.leakage = attr_value(l)?;
+            }
+        } else if l.starts_with("capacitance :") {
+            if let (Some(c), Some(pin)) = (cur_cell.as_mut(), cur_pin.as_ref()) {
+                c.pin_caps.insert(pin.clone(), attr_value(l)?);
+            }
+        } else if l.starts_with("cell_rise")
+            || l.starts_with("rise_transition")
+            || l.starts_with("ocv_sigma_cell_rise")
+            || l.starts_with("ocv_sigma_cell_fall")
+        {
+            table_kind = Some(l.split_whitespace().next().unwrap_or("").to_string());
+            index1 = None;
+            index2 = None;
+            depth += 1;
+        } else if l.starts_with("index_1") {
+            index1 = Some(parse_quoted_axis(l)?);
+        } else if l.starts_with("index_2") {
+            index2 = Some(parse_quoted_axis(l)?);
+        } else if l.starts_with("values (") {
+            let kind = table_kind
+                .clone()
+                .ok_or_else(|| Error::invalid_input("values outside a table"))?;
+            let rows_axis = index1
+                .clone()
+                .ok_or_else(|| Error::invalid_input("values before index_1"))?;
+            let cols_axis = index2
+                .clone()
+                .ok_or_else(|| Error::invalid_input("values before index_2"))?;
+            let mut grid = Vec::new();
+            for row_str in l.split('"').skip(1).step_by(2) {
+                let row: Result<Vec<f64>> = row_str
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<f64>()
+                            .map_err(|e| Error::invalid_input(format!("bad value: {e}")))
+                    })
+                    .collect();
+                grid.push(row?);
+            }
+            let lut = Lut2::new(rows_axis, cols_axis, grid)?;
+            if let Some(arc) = cur_arc.as_mut() {
+                arc.tables.push(ParsedTable { kind, lut });
+            }
+        } else if l == "}" {
+            depth -= 1;
+            // Close the innermost open construct.
+            if table_kind.take().is_some() {
+                // table closed
+            } else if let Some(arc) = cur_arc.take() {
+                if let Some(c) = cur_cell.as_mut() {
+                    c.arcs.push(arc);
+                }
+            } else if cur_pin.take().is_some() {
+                // pin closed
+            } else if let Some(c) = cur_cell.take() {
+                lib.cells.insert(c.name.clone(), c);
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(Error::invalid_input(format!(
+            "unbalanced braces: depth {depth} at end of file"
+        )));
+    }
+    Ok(lib)
+}
+
+fn attr_value(line: &str) -> Result<f64> {
+    line.split(':')
+        .nth(1)
+        .and_then(|v| v.trim().trim_end_matches(';').parse::<f64>().ok())
+        .ok_or_else(|| Error::invalid_input(format!("bad attribute line: {line}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::PvtCorner;
+    use crate::library::{LibConfig, Library};
+
+    fn lib() -> Library {
+        let mut cfg = LibConfig::default();
+        // Keep the file small for the test.
+        cfg.comb_drives = vec![1.0, 2.0];
+        cfg.flop_drives = vec![1.0];
+        Library::generate(&cfg, &PvtCorner::typical())
+    }
+
+    #[test]
+    fn writes_well_formed_liberty() {
+        let text = write_liberty(&lib());
+        assert!(text.starts_with("library ("));
+        assert!(text.contains("cell (NAND2_X2_SVT)"));
+        assert!(text.contains("ocv_sigma_cell_rise"));
+        // Balanced braces.
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn roundtrip_preserves_cells_and_tables() {
+        let library = lib();
+        let text = write_liberty(&library);
+        let parsed = parse_liberty(&text).unwrap();
+        assert_eq!(parsed.cells.len(), library.cells().len());
+
+        let nand = &parsed.cells["NAND2_X1_SVT"];
+        let orig = library.cell_named("NAND2_X1_SVT").unwrap();
+        assert!((nand.area - orig.area_sites).abs() < 1e-3);
+        assert!((nand.leakage - orig.leakage_uw).abs() < 1e-5);
+        assert!((nand.pin_caps["A"] - orig.input_cap.value()).abs() < 1e-3);
+        assert_eq!(nand.arcs.len(), orig.arcs.len());
+
+        // Table values survive the round trip at print precision.
+        let arc = nand.arcs.iter().find(|a| a.related_pin == "A").unwrap();
+        let rise = arc.tables.iter().find(|t| t.kind == "cell_rise").unwrap();
+        for &s in orig.arcs[0].delay.row_axis() {
+            for &l in orig.arcs[0].delay.col_axis() {
+                let want = orig.arcs[0].delay.eval(s, l);
+                let got = rise.lut.eval(s, l);
+                assert!(
+                    (want - got).abs() < 1e-4,
+                    "table mismatch at ({s},{l}): {want} vs {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parser_rejects_unbalanced_input() {
+        assert!(parse_liberty("library (x) {
+  cell (a) {
+}").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_values_without_axes() {
+        let bad = "library (x) {
+  cell (a) {
+    pin (Y) {
+      timing () {
+        cell_rise (t) {
+          values (\"1.0\");
+        }
+      }
+    }
+  }
+}";
+        assert!(parse_liberty(bad).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Closed-form NLDM table generation.
+//!
+//! Cell delay is modeled in logical-effort style on top of the
+//! `tc-device` drive model:
+//!
+//! ```text
+//! delay(slew, load) = ln2 · R(corner, vt) / drive · (load + C_par)
+//!                     + k_slew · slew + d0
+//! ```
+//!
+//! where `R` is the effective switching resistance of a unit device at the
+//! corner's (process, V, T) — so voltage scaling, temperature inversion
+//! and process corners all flow through one model — and the logical-effort
+//! parameters (`g`, `p`) capture gate topology. Output slew is modeled as
+//! `2.2·R/drive·(load + C_par)/0.8 · k + k2·slew`.
+
+use tc_core::lut::Lut2;
+use tc_core::units::{Ff, Kohm};
+use tc_device::{MosDevice, MosKind, Technology, VtClass};
+
+use crate::corner::PvtCorner;
+
+/// Default NLDM slew axis (ps).
+pub const SLEW_AXIS: [f64; 7] = [5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0];
+/// Default NLDM load axis (fF).
+pub const LOAD_AXIS: [f64; 7] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// Logical-effort style template parameters for one cell topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellTemplate {
+    /// Template name ("INV", "NAND2", …).
+    pub name: &'static str,
+    /// Logical effort g: input capacitance multiplier relative to an
+    /// inverter of equal drive.
+    pub logical_effort: f64,
+    /// Parasitic delay multiplier p (self-loading).
+    pub parasitic: f64,
+    /// Number of inputs.
+    pub inputs: usize,
+    /// Area of the X1 variant in placement sites.
+    pub area_sites: f64,
+    /// Total device width of the X1 variant in µm (leakage/power basis).
+    pub unit_width_um: f64,
+}
+
+impl CellTemplate {
+    /// The combinational templates of the synthetic library.
+    pub const COMB: [CellTemplate; 6] = [
+        CellTemplate {
+            name: "INV",
+            logical_effort: 1.0,
+            parasitic: 1.0,
+            inputs: 1,
+            area_sites: 2.0,
+            unit_width_um: 2.8,
+        },
+        CellTemplate {
+            name: "BUF",
+            logical_effort: 1.0,
+            parasitic: 2.0,
+            inputs: 1,
+            area_sites: 3.0,
+            unit_width_um: 4.2,
+        },
+        CellTemplate {
+            name: "NAND2",
+            logical_effort: 4.0 / 3.0,
+            parasitic: 2.0,
+            inputs: 2,
+            area_sites: 3.0,
+            unit_width_um: 5.2,
+        },
+        CellTemplate {
+            name: "NOR2",
+            logical_effort: 5.0 / 3.0,
+            parasitic: 2.0,
+            inputs: 2,
+            area_sites: 3.0,
+            unit_width_um: 6.4,
+        },
+        CellTemplate {
+            name: "AOI21",
+            logical_effort: 1.7,
+            parasitic: 2.6,
+            inputs: 3,
+            area_sites: 4.0,
+            unit_width_um: 7.6,
+        },
+        CellTemplate {
+            name: "XOR2",
+            logical_effort: 2.0,
+            parasitic: 3.0,
+            inputs: 2,
+            area_sites: 6.0,
+            unit_width_um: 9.5,
+        },
+    ];
+
+    /// The flip-flop template.
+    pub const DFF: CellTemplate = CellTemplate {
+        name: "DFF",
+        logical_effort: 1.4,
+        parasitic: 3.0,
+        inputs: 2, // D and CK
+        area_sites: 8.0,
+        unit_width_um: 14.0,
+    };
+
+    /// Looks a template up by name.
+    pub fn by_name(name: &str) -> Option<&'static CellTemplate> {
+        if name == "DFF" {
+            return Some(&CellTemplate::DFF);
+        }
+        CellTemplate::COMB.iter().find(|t| t.name == name)
+    }
+}
+
+/// The per-(corner, vt, drive) delay coefficients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriveModel {
+    /// Effective switching resistance, kΩ.
+    pub resistance: Kohm,
+    /// Output parasitic capacitance, fF.
+    pub c_par: Ff,
+    /// Input capacitance per input pin, fF.
+    pub c_in: Ff,
+    /// Intrinsic (zero-load, zero-slew) delay, ps.
+    pub intrinsic: f64,
+    /// Sensitivity of delay to input slew (ps per ps).
+    pub slew_coeff: f64,
+}
+
+/// Builds the drive model for one cell variant at one corner.
+pub fn drive_model(
+    tech: &Technology,
+    template: &CellTemplate,
+    vt: VtClass,
+    drive: f64,
+    corner: &PvtCorner,
+) -> DriveModel {
+    let dev = MosDevice::new(MosKind::Nmos, vt, 1.0);
+    let r_unit = dev.eff_resistance(tech, corner.voltage, corner.temperature);
+    let r = Kohm::new(
+        r_unit.value() * corner.process.drive_factor() / drive,
+    );
+    // Unit inverter input cap ≈ (wn + wp)·cg = 2.8·cg; scale by g & drive.
+    let cin_unit = 2.8 * tech.cgate_per_um;
+    let c_in = Ff::new(cin_unit * template.logical_effort * drive);
+    let c_par = Ff::new(0.5 * cin_unit * template.parasitic * drive * tech.cdiff_per_um
+        / tech.cgate_per_um);
+    DriveModel {
+        resistance: r,
+        c_par,
+        c_in,
+        // Intrinsic delay and slew sensitivity track the drive resistance
+        // so process/V/T corners scale the whole arc, not just its
+        // load-dependent part.
+        intrinsic: 0.4 + 0.3 * template.parasitic * r.value(),
+        slew_coeff: 0.055 * r.value(),
+    }
+}
+
+impl DriveModel {
+    /// Closed-form arc delay at one (slew, load) point, ps.
+    pub fn delay_at(&self, slew_ps: f64, load_ff: f64) -> f64 {
+        let rc = self.resistance.value() * (load_ff + self.c_par.value());
+        self.intrinsic + std::f64::consts::LN_2 * rc + self.slew_coeff * slew_ps
+    }
+
+    /// Closed-form output slew at one (slew, load) point, ps.
+    pub fn slew_at(&self, slew_ps: f64, load_ff: f64) -> f64 {
+        let rc = self.resistance.value() * (load_ff + self.c_par.value());
+        2.2 * rc / 0.8 * 0.9 + 0.10 * slew_ps + 2.0
+    }
+
+    /// Samples the delay model onto the default NLDM grid.
+    pub fn delay_table(&self) -> Lut2 {
+        Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
+            self.delay_at(s, l)
+        })
+        .expect("static axes are valid")
+    }
+
+    /// Samples the output-slew model onto the default NLDM grid.
+    pub fn slew_table(&self) -> Lut2 {
+        Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
+            self.slew_at(s, l)
+        })
+        .expect("static axes are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(vt: VtClass, drive: f64, corner: &PvtCorner) -> DriveModel {
+        let tech = Technology::planar_28nm();
+        drive_model(&tech, &CellTemplate::COMB[0], vt, drive, corner)
+    }
+
+    #[test]
+    fn delay_scales_down_with_drive() {
+        let c = PvtCorner::typical();
+        let x1 = model(VtClass::Svt, 1.0, &c);
+        let x4 = model(VtClass::Svt, 4.0, &c);
+        // At a fixed external load the X4 is faster…
+        assert!(x4.delay_at(20.0, 8.0) < x1.delay_at(20.0, 8.0));
+        // …but presents 4× the input cap.
+        assert!((x4.c_in.value() / x1.c_in.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vt_ladder_orders_delay() {
+        let c = PvtCorner::typical();
+        let d_ulvt = model(VtClass::Ulvt, 1.0, &c).delay_at(20.0, 4.0);
+        let d_svt = model(VtClass::Svt, 1.0, &c).delay_at(20.0, 4.0);
+        let d_hvt = model(VtClass::Hvt, 1.0, &c).delay_at(20.0, 4.0);
+        assert!(d_ulvt < d_svt && d_svt < d_hvt);
+    }
+
+    #[test]
+    fn slow_corner_slows_tables() {
+        let typ = model(VtClass::Svt, 1.0, &PvtCorner::typical());
+        let slow = model(VtClass::Svt, 1.0, &PvtCorner::slow_cold());
+        assert!(slow.delay_at(20.0, 4.0) > 1.2 * typ.delay_at(20.0, 4.0));
+    }
+
+    #[test]
+    fn nand_has_higher_input_cap_than_inv() {
+        let tech = Technology::planar_28nm();
+        let c = PvtCorner::typical();
+        let inv = drive_model(&tech, CellTemplate::by_name("INV").unwrap(), VtClass::Svt, 1.0, &c);
+        let nand = drive_model(&tech, CellTemplate::by_name("NAND2").unwrap(), VtClass::Svt, 1.0, &c);
+        assert!(nand.c_in > inv.c_in);
+    }
+
+    #[test]
+    fn tables_are_monotone() {
+        let m = model(VtClass::Svt, 2.0, &PvtCorner::typical());
+        let d = m.delay_table();
+        assert!(d.eval(20.0, 16.0) > d.eval(20.0, 1.0));
+        assert!(d.eval(160.0, 4.0) > d.eval(10.0, 4.0));
+        let s = m.slew_table();
+        assert!(s.eval(20.0, 16.0) > s.eval(20.0, 1.0));
+    }
+
+    #[test]
+    fn template_lookup() {
+        assert_eq!(CellTemplate::by_name("NOR2").unwrap().inputs, 2);
+        assert_eq!(CellTemplate::by_name("DFF").unwrap().name, "DFF");
+        assert!(CellTemplate::by_name("MUX8").is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tc_core::units::{Celsius, Volt};
+    use crate::corner::ProcessCorner;
+
+    proptest! {
+        #[test]
+        fn delay_monotone_in_load_and_slew_everywhere(
+            tmpl_idx in 0usize..6,
+            vt_idx in 0usize..4,
+            drive in 1.0f64..8.0,
+            v in 0.6f64..1.2,
+            t in -40.0f64..125.0,
+            slew in 5.0f64..300.0,
+            load in 0.5f64..30.0,
+        ) {
+            let tech = Technology::planar_28nm();
+            let corner = PvtCorner {
+                process: ProcessCorner::Tt,
+                voltage: Volt::new(v),
+                temperature: Celsius::new(t),
+            };
+            let m = drive_model(
+                &tech,
+                &CellTemplate::COMB[tmpl_idx],
+                VtClass::ALL[vt_idx],
+                drive,
+                &corner,
+            );
+            prop_assert!(m.delay_at(slew, load) > 0.0);
+            prop_assert!(m.delay_at(slew, load + 1.0) > m.delay_at(slew, load));
+            prop_assert!(m.delay_at(slew + 10.0, load) > m.delay_at(slew, load));
+            prop_assert!(m.slew_at(slew, load + 1.0) > m.slew_at(slew, load));
+        }
+
+        #[test]
+        fn upsizing_never_slows_a_cell(
+            vt_idx in 0usize..4,
+            drive in 1.0f64..4.0,
+            slew in 5.0f64..200.0,
+            load in 1.0f64..30.0,
+        ) {
+            let tech = Technology::planar_28nm();
+            let corner = PvtCorner::typical();
+            let tmpl = &CellTemplate::COMB[0];
+            let small = drive_model(&tech, tmpl, VtClass::ALL[vt_idx], drive, &corner);
+            let big = drive_model(&tech, tmpl, VtClass::ALL[vt_idx], drive * 2.0, &corner);
+            prop_assert!(big.delay_at(slew, load) < small.delay_at(slew, load));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Variation-modeling standards: flat OCV, AOCV, POCV and LVF.
+//!
+//! The paper's §3.1 traces the industry ladder:
+//!
+//! 1. **Flat OCV** — one global derate factor per early/late analysis.
+//! 2. **AOCV** — derate as a function of path *stage count* (and spatial
+//!    extent): deeper paths statistically average out local variation, so
+//!    their per-stage derate shrinks.
+//! 3. **POCV** — one relative sigma per cell; per-path sigmas accumulate
+//!    in root-sum-square instead of linearly.
+//! 4. **LVF** — sigma per *(slew, load)* point per arc, with separate
+//!    late/early values capturing the non-Gaussian path-delay asymmetry
+//!    of Fig 7.
+//!
+//! `tc-sta` consumes these through [`DerateModel`]; `tc-variation`
+//! cross-validates them against Monte Carlo.
+
+use tc_core::lut::Lut2;
+
+use crate::nldm::{LOAD_AXIS, SLEW_AXIS};
+
+/// An AOCV derate table: multiplicative late/early derates indexed by
+/// path depth (stage count), optionally widened by spatial distance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AocvTable {
+    depths: Vec<usize>,
+    late: Vec<f64>,
+    early: Vec<f64>,
+    /// Additional derate per mm of path bounding-box diagonal.
+    pub distance_slope: f64,
+}
+
+impl AocvTable {
+    /// Builds a table from a per-stage local sigma fraction: at depth `n`
+    /// the ±3σ path derate is `1 ± 3·sigma/√n` (statistical averaging).
+    pub fn from_stage_sigma(sigma: f64) -> Self {
+        let depths: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+        let late = depths
+            .iter()
+            .map(|&n| 1.0 + 3.0 * sigma / (n as f64).sqrt())
+            .collect();
+        let early = depths
+            .iter()
+            .map(|&n| (1.0 - 3.0 * sigma / (n as f64).sqrt()).max(0.5))
+            .collect();
+        AocvTable {
+            depths,
+            late,
+            early,
+            distance_slope: 0.01,
+        }
+    }
+
+    fn lookup(&self, values: &[f64], depth: usize) -> f64 {
+        let depth = depth.max(1);
+        match self.depths.binary_search(&depth) {
+            Ok(i) => values[i],
+            Err(0) => values[0],
+            Err(i) if i >= self.depths.len() => values[values.len() - 1],
+            Err(i) => {
+                let (d0, d1) = (self.depths[i - 1] as f64, self.depths[i] as f64);
+                let t = (depth as f64 - d0) / (d1 - d0);
+                values[i - 1] + t * (values[i] - values[i - 1])
+            }
+        }
+    }
+
+    /// Late (setup) derate at the given path depth and spatial extent.
+    pub fn late_derate(&self, depth: usize, distance_mm: f64) -> f64 {
+        self.lookup(&self.late, depth) + self.distance_slope * distance_mm
+    }
+
+    /// Early (hold) derate at the given path depth and spatial extent.
+    pub fn early_derate(&self, depth: usize, distance_mm: f64) -> f64 {
+        (self.lookup(&self.early, depth) - self.distance_slope * distance_mm).max(0.5)
+    }
+}
+
+/// POCV: a single relative sigma per cell; the STA accumulates
+/// `σ_path² = Σ σ_stage²` and margins at `mean + k·σ_path`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PocvSigma {
+    /// Relative late sigma (fraction of nominal stage delay).
+    pub late: f64,
+    /// Relative early sigma.
+    pub early: f64,
+}
+
+impl PocvSigma {
+    /// A typical advanced-node local-variation figure.
+    pub fn standard() -> Self {
+        PocvSigma {
+            late: 0.045,
+            early: 0.040,
+        }
+    }
+}
+
+/// LVF: per-arc sigma *tables* on the NLDM (slew × load) axes, separate
+/// for late and early analysis — "one number per load-slew combination
+/// per cell" versus POCV's "one number per cell" (paper §3.1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LvfTable {
+    /// Late (setup-side) absolute sigma in ps, on (slew, load) axes.
+    pub sigma_late: Lut2,
+    /// Early (hold-side) absolute sigma in ps.
+    pub sigma_early: Lut2,
+}
+
+impl LvfTable {
+    /// Builds an LVF table from a nominal delay surface: local variation
+    /// is relatively larger for lightly-loaded, fast-input arcs (where
+    /// the transistor's own variation dominates) and the late sigma
+    /// carries the long-tail excess over the early sigma (Fig 7).
+    pub fn from_delay_surface(delay: &Lut2, base_sigma: f64, asymmetry: f64) -> Self {
+        let rel = |s: f64, l: f64, d: f64| -> f64 {
+            // Relative sigma shrinks slowly with load and slew.
+            let shape = 1.0 + 0.5 / (1.0 + l / 4.0) + 0.3 / (1.0 + s / 40.0);
+            base_sigma * shape * d
+        };
+        let sigma_late = Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
+            rel(s, l, delay.eval(s, l)) * asymmetry
+        })
+        .expect("static axes");
+        let sigma_early = Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
+            rel(s, l, delay.eval(s, l))
+        })
+        .expect("static axes");
+        LvfTable {
+            sigma_late,
+            sigma_early,
+        }
+    }
+}
+
+/// Which variation-modeling standard an analysis run uses — the knob the
+/// accuracy-comparison experiment sweeps.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DerateModel {
+    /// No derating (nominal analysis).
+    None,
+    /// Flat OCV: single late/early multipliers applied to every stage.
+    Flat {
+        /// Late multiplier (≥ 1).
+        late: f64,
+        /// Early multiplier (≤ 1).
+        early: f64,
+    },
+    /// AOCV: stage-count/distance-dependent derate table.
+    Aocv(AocvTable),
+    /// POCV: per-cell relative sigma, RSS-accumulated, margined at k·σ.
+    Pocv {
+        /// Per-cell sigma.
+        sigma: PocvSigma,
+        /// Sigma multiplier for the slack criterion (3 = 3σ signoff).
+        k: f64,
+    },
+    /// LVF: per-arc (slew, load) sigma tables, RSS-accumulated at k·σ.
+    Lvf {
+        /// Sigma multiplier.
+        k: f64,
+    },
+}
+
+impl DerateModel {
+    /// The flat derates the 2010-era flow of Fig 1 would use.
+    pub fn classic_flat() -> Self {
+        DerateModel::Flat {
+            late: 1.08,
+            early: 0.92,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::lut::Lut2;
+
+    #[test]
+    fn aocv_derate_shrinks_with_depth() {
+        let t = AocvTable::from_stage_sigma(0.05);
+        assert!(t.late_derate(1, 0.0) > t.late_derate(8, 0.0));
+        assert!(t.late_derate(8, 0.0) > t.late_derate(64, 0.0));
+        assert!(t.late_derate(64, 0.0) > 1.0);
+        // Early is the mirror image.
+        assert!(t.early_derate(1, 0.0) < t.early_derate(8, 0.0));
+        assert!(t.early_derate(64, 0.0) < 1.0);
+    }
+
+    #[test]
+    fn aocv_interpolates_between_depths() {
+        let t = AocvTable::from_stage_sigma(0.05);
+        let d5 = t.late_derate(5, 0.0);
+        assert!(d5 < t.late_derate(4, 0.0) && d5 > t.late_derate(6, 0.0));
+        // Beyond the table: clamps.
+        assert_eq!(t.late_derate(1000, 0.0), t.late_derate(64, 0.0));
+    }
+
+    #[test]
+    fn aocv_distance_widens_derate() {
+        let t = AocvTable::from_stage_sigma(0.05);
+        assert!(t.late_derate(8, 2.0) > t.late_derate(8, 0.0));
+        assert!(t.early_derate(8, 2.0) < t.early_derate(8, 0.0));
+    }
+
+    #[test]
+    fn lvf_sigma_shapes() {
+        let delay = Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
+            5.0 + 0.2 * s + 1.5 * l
+        })
+        .unwrap();
+        let lvf = LvfTable::from_delay_surface(&delay, 0.05, 1.3);
+        // Late sigma exceeds early sigma everywhere (setup long tail).
+        for &s in &[10.0, 80.0] {
+            for &l in &[1.0, 16.0] {
+                assert!(lvf.sigma_late.eval(s, l) > lvf.sigma_early.eval(s, l));
+            }
+        }
+        // Absolute sigma grows with delay (load), even though the
+        // *relative* sigma shrinks.
+        assert!(lvf.sigma_late.eval(20.0, 16.0) > lvf.sigma_late.eval(20.0, 1.0));
+    }
+
+    #[test]
+    fn pocv_defaults_are_asymmetric() {
+        let p = PocvSigma::standard();
+        assert!(p.late > p.early);
+    }
+}

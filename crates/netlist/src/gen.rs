@@ -1,0 +1,305 @@
+//! Seeded synthetic netlist generators.
+//!
+//! The paper's Fig 9 evaluates on ISCAS-85 c5315/c7552 plus AES and MPEG2
+//! cores; those netlists (and the commercial synthesis flow producing
+//! them) are not redistributable, so we generate random-logic designs
+//! with matching *profiles* — gate count, register count, logic depth and
+//! fan-in distribution — which is what the figure's power/area tradeoff
+//! shapes actually depend on.
+
+use tc_core::error::Result;
+use tc_core::ids::NetId;
+use tc_core::rng::Rng;
+use tc_device::VtClass;
+use tc_liberty::Library;
+
+use crate::graph::Netlist;
+
+/// Size/shape profile of a synthetic benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchProfile {
+    /// Design name.
+    pub name: &'static str,
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of flops.
+    pub flops: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Recency-bias window for input selection; smaller ⇒ deeper logic.
+    pub window: usize,
+}
+
+impl BenchProfile {
+    /// ISCAS-85 c5315 stand-in (~2.3 k gates, combinational with a
+    /// registered boundary added).
+    pub fn c5315() -> Self {
+        BenchProfile {
+            name: "c5315",
+            gates: 2_300,
+            flops: 180,
+            inputs: 178,
+            outputs: 123,
+            window: 220,
+        }
+    }
+
+    /// ISCAS-85 c7552 stand-in (~3.5 k gates).
+    pub fn c7552() -> Self {
+        BenchProfile {
+            name: "c7552",
+            gates: 3_500,
+            flops: 210,
+            inputs: 207,
+            outputs: 108,
+            window: 300,
+        }
+    }
+
+    /// AES core stand-in (~12 k gates, shallow & wide).
+    pub fn aes() -> Self {
+        BenchProfile {
+            name: "aes",
+            gates: 12_000,
+            flops: 530,
+            inputs: 260,
+            outputs: 129,
+            window: 1_500,
+        }
+    }
+
+    /// MPEG2 encoder stand-in (~15 k gates, deeper datapath).
+    pub fn mpeg2() -> Self {
+        BenchProfile {
+            name: "mpeg2",
+            gates: 15_000,
+            flops: 900,
+            inputs: 190,
+            outputs: 170,
+            window: 900,
+        }
+    }
+
+    /// A small profile for fast unit tests.
+    pub fn tiny() -> Self {
+        BenchProfile {
+            name: "tiny",
+            gates: 120,
+            flops: 16,
+            inputs: 8,
+            outputs: 8,
+            window: 24,
+        }
+    }
+
+    /// A mid-size SoC-block profile for closure-flow experiments (Fig 1).
+    pub fn soc_block() -> Self {
+        BenchProfile {
+            name: "soc_block",
+            gates: 6_000,
+            flops: 450,
+            inputs: 96,
+            outputs: 96,
+            window: 420,
+        }
+    }
+
+    /// The Fig 9 benchmark set in paper order.
+    pub fn fig9_set() -> [BenchProfile; 4] {
+        [
+            BenchProfile::c5315(),
+            BenchProfile::c7552(),
+            BenchProfile::aes(),
+            BenchProfile::mpeg2(),
+        ]
+    }
+}
+
+/// Weighted gate-template mix of the generator.
+const TEMPLATE_MIX: [(&str, u32); 6] = [
+    ("INV", 18),
+    ("BUF", 8),
+    ("NAND2", 30),
+    ("NOR2", 20),
+    ("AOI21", 16),
+    ("XOR2", 8),
+];
+
+fn pick_template(rng: &mut Rng) -> &'static str {
+    let total: u32 = TEMPLATE_MIX.iter().map(|&(_, w)| w).sum();
+    let mut roll = rng.below(total as usize) as u32;
+    for &(name, w) in &TEMPLATE_MIX {
+        if roll < w {
+            return name;
+        }
+        roll -= w;
+    }
+    "NAND2"
+}
+
+/// Picks a driver signal with recency bias: recent signals are preferred,
+/// which strings gates into paths of controlled depth.
+fn pick_signal(rng: &mut Rng, pool: &[NetId], window: usize) -> NetId {
+    let w = window.min(pool.len());
+    let from_recent = rng.chance(0.75) && w > 0;
+    if from_recent {
+        pool[pool.len() - 1 - rng.below(w)]
+    } else {
+        *rng.choose(pool)
+    }
+}
+
+/// Generates a seeded random-logic netlist matching the given profile.
+/// The same `(profile, seed)` pair always yields the identical netlist.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (which indicate a bug in the
+/// generator rather than bad input).
+pub fn generate(lib: &Library, profile: BenchProfile, seed: u64) -> Result<Netlist> {
+    let mut rng = Rng::seed_from(seed ^ 0x6e65_746c_6973_74);
+    let mut nl = Netlist::new(profile.name);
+
+    let clk = nl.add_input("clk");
+    let mut pool: Vec<NetId> = Vec::new();
+    for i in 0..profile.inputs {
+        pool.push(nl.add_input(format!("pi{i}")));
+    }
+
+    // Registers first: their Q outputs seed the signal pool. D inputs are
+    // temporarily tied to a PI and rewired once the logic exists.
+    let dff = lib
+        .variant("DFF", VtClass::Svt, 1.0)
+        .expect("library has DFF_X1_SVT");
+    let mut flops = Vec::with_capacity(profile.flops);
+    for i in 0..profile.flops {
+        let d_placeholder = pool[rng.below(pool.len())];
+        let (ff, q) = nl.add_cell(format!("ff{i}"), lib, dff, &[d_placeholder, clk])?;
+        flops.push(ff);
+        pool.push(q);
+    }
+
+    // Combinational cloud.
+    let drives = [1.0, 1.0, 2.0, 2.0, 4.0];
+    for i in 0..profile.gates {
+        let tmpl = pick_template(&mut rng);
+        let drive = drives[rng.below(drives.len())];
+        let master = lib
+            .variant(tmpl, VtClass::Svt, drive)
+            .expect("library has all generator templates");
+        let n_in = lib.cell(master).input_pins().len();
+        let inputs: Vec<NetId> = (0..n_in)
+            .map(|_| pick_signal(&mut rng, &pool, profile.window))
+            .collect();
+        let (_, out) = nl.add_cell(format!("g{i}"), lib, master, &inputs)?;
+        pool.push(out);
+    }
+
+    // Rewire each flop's D to a signal from the most recent logic so
+    // register-to-register paths traverse the cloud.
+    let recent = profile.window.min(pool.len());
+    for &ff in &flops {
+        let d_net = pool[pool.len() - 1 - rng.below(recent)];
+        nl.rewire_input(
+            crate::graph::PinRef { cell: ff, pin: 0 },
+            d_net,
+        );
+    }
+
+    // Primary outputs from the deepest signals.
+    for k in 0..profile.outputs.min(pool.len()) {
+        let net = pool[pool.len() - 1 - k];
+        nl.mark_output(net);
+    }
+
+    // Plausible wirelengths: mostly short, occasionally long (the long
+    // tail is what NDR/buffering fixes exist for).
+    for i in 0..nl.net_count() {
+        let um = if rng.chance(0.06) {
+            rng.uniform_in(150.0, 900.0)
+        } else {
+            rng.uniform_in(2.0, 80.0)
+        };
+        nl.set_wire_length(NetId::new(i), um);
+    }
+
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::levelize;
+    use tc_liberty::{LibConfig, PvtCorner};
+
+    fn lib() -> Library {
+        Library::generate(&LibConfig::default(), &PvtCorner::typical())
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let lib = lib();
+        let a = generate(&lib, BenchProfile::tiny(), 7).unwrap();
+        let b = generate(&lib, BenchProfile::tiny(), 7).unwrap();
+        assert_eq!(a.cell_count(), b.cell_count());
+        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(ca.master, cb.master);
+            assert_eq!(ca.inputs, cb.inputs);
+        }
+        let c = generate(&lib, BenchProfile::tiny(), 8).unwrap();
+        let differs = a
+            .cells()
+            .iter()
+            .zip(c.cells())
+            .any(|(x, y)| x.master != y.master || x.inputs != y.inputs);
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn generated_netlists_are_valid_and_acyclic() {
+        let lib = lib();
+        for seed in [1, 2, 3] {
+            let nl = generate(&lib, BenchProfile::tiny(), seed).unwrap();
+            nl.validate(&lib).unwrap();
+            let lv = levelize(&nl, &lib).unwrap();
+            assert!(lv.max_depth() >= 3, "depth {}", lv.max_depth());
+        }
+    }
+
+    #[test]
+    fn profile_counts_respected() {
+        let lib = lib();
+        let p = BenchProfile::tiny();
+        let nl = generate(&lib, p.clone(), 42).unwrap();
+        assert_eq!(nl.cell_count(), p.gates + p.flops);
+        assert_eq!(nl.flops(&lib).count(), p.flops);
+        // clk + PIs
+        assert_eq!(nl.primary_inputs().len(), p.inputs + 1);
+        assert_eq!(nl.primary_outputs().count(), p.outputs);
+    }
+
+    #[test]
+    fn c5315_profile_scales() {
+        let lib = lib();
+        let nl = generate(&lib, BenchProfile::c5315(), 42).unwrap();
+        assert!(nl.cell_count() > 2_000);
+        nl.validate(&lib).unwrap();
+        let lv = levelize(&nl, &lib).unwrap();
+        assert!(
+            (8..120).contains(&lv.max_depth()),
+            "plausible depth, got {}",
+            lv.max_depth()
+        );
+    }
+
+    #[test]
+    fn wirelengths_have_a_long_tail() {
+        let lib = lib();
+        let nl = generate(&lib, BenchProfile::c5315(), 42).unwrap();
+        let long = nl.nets().iter().filter(|n| n.wire_length_um > 150.0).count();
+        let short = nl.nets().iter().filter(|n| n.wire_length_um <= 80.0).count();
+        assert!(long > 0 && short > 10 * long);
+    }
+}

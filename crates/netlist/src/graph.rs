@@ -1,0 +1,419 @@
+//! The netlist graph and its ECO edit operations.
+
+use std::collections::HashMap;
+
+use tc_core::error::{Error, Result};
+use tc_core::ids::{CellId, LibCellId, NetId};
+use tc_liberty::{CellKind, Library};
+
+/// A (cell, input-pin-index) sink reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PinRef {
+    /// The sink cell.
+    pub cell: CellId,
+    /// Index into the cell's input pin list.
+    pub pin: usize,
+}
+
+/// One cell instance.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Instance name.
+    pub name: String,
+    /// The library master this instance is bound to.
+    pub master: LibCellId,
+    /// Input nets, in the master's pin order (`D`, `CK` for flops).
+    pub inputs: Vec<NetId>,
+    /// The output net.
+    pub output: NetId,
+}
+
+/// One net.
+#[derive(Clone, Debug, Default)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Driving cell; `None` for primary inputs.
+    pub driver: Option<CellId>,
+    /// Sink pins.
+    pub sinks: Vec<PinRef>,
+    /// `true` if the net is a primary output.
+    pub is_output: bool,
+    /// Estimated routed wirelength in µm (annotated by placement).
+    pub wire_length_um: f64,
+    /// Routing-rule class: 0 = default, 1 = double-width NDR,
+    /// 2 = double-width/double-spacing NDR (set by closure fixes and
+    /// interpreted by `tc-interconnect`).
+    pub route_class: u8,
+}
+
+/// A gate-level netlist bound to a [`Library`]'s master ids.
+///
+/// Invariants (checked by [`Netlist::validate`]):
+/// * every net has exactly one driver (a cell or a primary input);
+/// * every cell's input count matches its master's pin count;
+/// * flop `CK` pins connect to a clock net.
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    inputs: Vec<NetId>,
+    by_cell_name: HashMap<String, CellId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a primary input and returns its net.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId::new(self.nets.len());
+        self.nets.push(Net {
+            name: name.into(),
+            ..Default::default()
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a cell instance driving a fresh net; returns `(cell, output)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the input count does not match
+    /// the master's pin count, or the instance name is already taken.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        lib: &Library,
+        master: LibCellId,
+        inputs: &[NetId],
+    ) -> Result<(CellId, NetId)> {
+        let name = name.into();
+        let want = lib.cell(master).input_pins().len();
+        if inputs.len() != want {
+            return Err(Error::invalid_input(format!(
+                "cell {name}: master {} wants {want} inputs, got {}",
+                lib.cell(master).name,
+                inputs.len()
+            )));
+        }
+        if self.by_cell_name.contains_key(&name) {
+            return Err(Error::invalid_input(format!(
+                "duplicate instance name {name}"
+            )));
+        }
+        let cell_id = CellId::new(self.cells.len());
+        let out = NetId::new(self.nets.len());
+        self.nets.push(Net {
+            name: format!("{name}_out"),
+            driver: Some(cell_id),
+            ..Default::default()
+        });
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].sinks.push(PinRef {
+                cell: cell_id,
+                pin,
+            });
+        }
+        self.by_cell_name.insert(name.clone(), cell_id);
+        self.cells.push(Cell {
+            name,
+            master,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        Ok((cell_id, out))
+    }
+
+    /// Marks a net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.nets[net.index()].is_output = true;
+    }
+
+    /// Number of cell instances.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// All cells, indexable by [`CellId`].
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// All nets, indexable by [`NetId`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// One cell.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// One net.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Primary input nets.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary output nets.
+    pub fn primary_outputs(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_output)
+            .map(|(i, _)| NetId::new(i))
+    }
+
+    /// Looks up a cell by instance name.
+    pub fn cell_named(&self, name: &str) -> Option<CellId> {
+        self.by_cell_name.get(name).copied()
+    }
+
+    /// Ids of all flop instances.
+    pub fn flops<'a>(&'a self, lib: &'a Library) -> impl Iterator<Item = CellId> + 'a {
+        self.cells.iter().enumerate().filter_map(move |(i, c)| {
+            (lib.cell(c.master).kind == CellKind::Flop).then(|| CellId::new(i))
+        })
+    }
+
+    /// Annotates a net's estimated wirelength.
+    pub fn set_wire_length(&mut self, net: NetId, um: f64) {
+        self.nets[net.index()].wire_length_um = um;
+    }
+
+    /// **ECO: routing rule.** Sets a net's route class (NDR application).
+    pub fn set_route_class(&mut self, net: NetId, class: u8) {
+        self.nets[net.index()].route_class = class;
+    }
+
+    /// **ECO: master swap.** Rebinds a cell to a different master with the
+    /// same pin interface (Vt-swap or resize).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the new master's pin count
+    /// differs.
+    pub fn swap_master(&mut self, lib: &Library, cell: CellId, new_master: LibCellId) -> Result<()> {
+        let want = self.cells[cell.index()].inputs.len();
+        let got = lib.cell(new_master).input_pins().len();
+        if want != got {
+            return Err(Error::invalid_input(format!(
+                "swap on {}: pin count {got} != {want}",
+                self.cells[cell.index()].name
+            )));
+        }
+        self.cells[cell.index()].master = new_master;
+        Ok(())
+    }
+
+    /// **ECO: buffer insertion.** Splits `net`, inserting a buffer that
+    /// drives the given subset of its sinks (the classic long-net /
+    /// weak-driver fix of Fig 1). Returns the new buffer's cell id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if any requested sink is not on the
+    /// net, or the buffer master is not single-input.
+    pub fn insert_buffer(
+        &mut self,
+        lib: &Library,
+        net: NetId,
+        moved_sinks: &[PinRef],
+        buf_master: LibCellId,
+    ) -> Result<CellId> {
+        if lib.cell(buf_master).input_pins().len() != 1 {
+            return Err(Error::invalid_input("buffer master must be single-input"));
+        }
+        for s in moved_sinks {
+            if !self.nets[net.index()].sinks.contains(s) {
+                return Err(Error::invalid_input(format!(
+                    "sink {:?} not on net {}",
+                    s,
+                    self.nets[net.index()].name
+                )));
+            }
+        }
+        let buf_name = format!("eco_buf_{}", self.cells.len());
+        let (buf_id, buf_out) = self.add_cell(buf_name, lib, buf_master, &[net])?;
+        // Detach the moved sinks from the original net and re-home them.
+        self.nets[net.index()]
+            .sinks
+            .retain(|s| !moved_sinks.contains(s));
+        for &s in moved_sinks {
+            self.cells[s.cell.index()].inputs[s.pin] = buf_out;
+            self.nets[buf_out.index()].sinks.push(s);
+        }
+        Ok(buf_id)
+    }
+
+    /// **ECO: rewire.** Moves one input pin of a cell onto a different
+    /// net, maintaining both nets' sink lists.
+    pub fn rewire_input(&mut self, sink: PinRef, new_net: NetId) {
+        let old = self.cells[sink.cell.index()].inputs[sink.pin];
+        self.nets[old.index()].sinks.retain(|s| *s != sink);
+        self.cells[sink.cell.index()].inputs[sink.pin] = new_net;
+        self.nets[new_net.index()].sinks.push(sink);
+    }
+
+    /// Total placement-site area of the design.
+    pub fn total_area(&self, lib: &Library) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| lib.cell(c.master).area_sites)
+            .sum()
+    }
+
+    /// Total leakage power in µW at the library's corner.
+    pub fn total_leakage_uw(&self, lib: &Library) -> f64 {
+        self.cells
+            .iter()
+            .map(|c| lib.cell(c.master).leakage_uw)
+            .sum()
+    }
+
+    /// Checks the structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Internal`] describing the first violation found.
+    pub fn validate(&self, lib: &Library) -> Result<()> {
+        for (i, net) in self.nets.iter().enumerate() {
+            let id = NetId::new(i);
+            let is_pi = self.inputs.contains(&id);
+            if net.driver.is_none() && !is_pi {
+                return Err(Error::internal(format!("net {} undriven", net.name)));
+            }
+            if net.driver.is_some() && is_pi {
+                return Err(Error::internal(format!(
+                    "net {} both driven and a primary input",
+                    net.name
+                )));
+            }
+            for s in &net.sinks {
+                if self.cells[s.cell.index()].inputs[s.pin] != id {
+                    return Err(Error::internal(format!(
+                        "net {}: sink {:?} does not point back",
+                        net.name, s
+                    )));
+                }
+            }
+        }
+        for (i, cell) in self.cells.iter().enumerate() {
+            if cell.inputs.len() != lib.cell(cell.master).input_pins().len() {
+                return Err(Error::internal(format!("cell {} pin mismatch", cell.name)));
+            }
+            let out = &self.nets[cell.output.index()];
+            if out.driver != Some(CellId::new(i)) {
+                return Err(Error::internal(format!(
+                    "cell {} output net driver mismatch",
+                    cell.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_device::VtClass;
+    use tc_liberty::{LibConfig, PvtCorner};
+
+    fn lib() -> Library {
+        Library::generate(&LibConfig::default(), &PvtCorner::typical())
+    }
+
+    fn tiny(lib: &Library) -> Netlist {
+        // a, b → NAND2 → INV → out
+        let mut nl = Netlist::new("tiny");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let nand = lib.variant("NAND2", VtClass::Svt, 1.0).unwrap();
+        let inv = lib.variant("INV", VtClass::Svt, 1.0).unwrap();
+        let (_, n1) = nl.add_cell("u1", lib, nand, &[a, b]).unwrap();
+        let (_, n2) = nl.add_cell("u2", lib, inv, &[n1]).unwrap();
+        nl.mark_output(n2);
+        nl
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let lib = lib();
+        let nl = tiny(&lib);
+        assert_eq!(nl.cell_count(), 2);
+        assert_eq!(nl.net_count(), 4);
+        nl.validate(&lib).unwrap();
+        assert_eq!(nl.primary_outputs().count(), 1);
+        assert!(nl.cell_named("u1").is_some());
+    }
+
+    #[test]
+    fn rejects_pin_mismatch_and_duplicates() {
+        let lib = lib();
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let nand = lib.variant("NAND2", VtClass::Svt, 1.0).unwrap();
+        assert!(nl.add_cell("u1", &lib, nand, &[a]).is_err());
+        let inv = lib.variant("INV", VtClass::Svt, 1.0).unwrap();
+        nl.add_cell("u1", &lib, inv, &[a]).unwrap();
+        assert!(nl.add_cell("u1", &lib, inv, &[a]).is_err());
+    }
+
+    #[test]
+    fn swap_master_eco() {
+        let lib = lib();
+        let mut nl = tiny(&lib);
+        let u1 = nl.cell_named("u1").unwrap();
+        let lvt = lib.variant("NAND2", VtClass::Lvt, 1.0).unwrap();
+        nl.swap_master(&lib, u1, lvt).unwrap();
+        assert_eq!(nl.cell(u1).master, lvt);
+        nl.validate(&lib).unwrap();
+        // Swapping to a mismatched-arity master fails.
+        let inv = lib.variant("INV", VtClass::Svt, 1.0).unwrap();
+        assert!(nl.swap_master(&lib, u1, inv).is_err());
+    }
+
+    #[test]
+    fn buffer_insertion_eco() {
+        let lib = lib();
+        let mut nl = tiny(&lib);
+        let u2 = nl.cell_named("u2").unwrap();
+        let n1 = nl.cell(nl.cell_named("u1").unwrap()).output;
+        let sink = PinRef { cell: u2, pin: 0 };
+        let buf = lib.variant("BUF", VtClass::Svt, 2.0).unwrap();
+        let buf_id = nl.insert_buffer(&lib, n1, &[sink], buf).unwrap();
+        nl.validate(&lib).unwrap();
+        // Original net now drives only the buffer.
+        assert_eq!(nl.net(n1).sinks.len(), 1);
+        assert_eq!(nl.net(n1).sinks[0].cell, buf_id);
+        // u2 is fed by the buffer's output.
+        assert_eq!(nl.cell(u2).inputs[0], nl.cell(buf_id).output);
+    }
+
+    #[test]
+    fn area_and_leakage_aggregate() {
+        let lib = lib();
+        let nl = tiny(&lib);
+        assert!(nl.total_area(&lib) > 0.0);
+        assert!(nl.total_leakage_uw(&lib) > 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Levelization: topological ordering of the combinational graph with
+//! flops as sequential boundaries.
+//!
+//! STA propagates arrivals in level order; the AOCV derate model needs
+//! per-node logic depth; generators use depth statistics for their
+//! profiles. Flop outputs (Q) are treated as *start points* and flop
+//! inputs (D) as *end points*, so registered feedback does not create
+//! combinational cycles.
+
+use tc_core::error::{Error, Result};
+use tc_core::ids::CellId;
+use tc_liberty::{CellKind, Library};
+
+use crate::graph::Netlist;
+
+/// The result of levelizing a netlist.
+#[derive(Clone, Debug)]
+pub struct Levelization {
+    /// Cells in a valid combinational evaluation order (flops first).
+    pub order: Vec<CellId>,
+    /// Logic depth of each cell's output (flop outputs and PIs = 0).
+    pub depth: Vec<usize>,
+}
+
+impl Levelization {
+    /// Maximum combinational depth in the design.
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Levelizes a netlist.
+///
+/// # Errors
+///
+/// Returns [`Error::Internal`] if the combinational graph contains a
+/// cycle (unregistered feedback).
+pub fn levelize(nl: &Netlist, lib: &Library) -> Result<Levelization> {
+    let n = nl.cell_count();
+    let mut indeg = vec![0usize; n];
+    let mut is_flop = vec![false; n];
+    for (i, cell) in nl.cells().iter().enumerate() {
+        if lib.cell(cell.master).kind == CellKind::Flop {
+            is_flop[i] = true;
+            continue; // flops have no combinational fan-in dependency
+        }
+        for &input in &cell.inputs {
+            if let Some(drv) = nl.net(input).driver {
+                if !lib_is_flop(nl, lib, drv) {
+                    indeg[i] += 1;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<CellId> = Vec::with_capacity(n);
+    let mut depth = vec![0usize; n];
+    let mut queue: Vec<CellId> = Vec::new();
+    for i in 0..n {
+        if indeg[i] == 0 {
+            queue.push(CellId::new(i));
+            // A gate whose fan-in is all PIs/flops sits one level in;
+            // flops themselves are level-0 start points.
+            if !is_flop[i] {
+                depth[i] = 1;
+            }
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let c = queue[head];
+        head += 1;
+        order.push(c);
+        if is_flop[c.index()] {
+            // Flop-driven pins were never counted in `indeg`.
+            continue;
+        }
+        let out = nl.cell(c).output;
+        for sink in &nl.net(out).sinks {
+            let s = sink.cell;
+            if is_flop[s.index()] {
+                continue;
+            }
+            depth[s.index()] = depth[s.index()].max(depth[c.index()] + 1);
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(Error::internal(format!(
+            "combinational loop: {} of {} cells unplaced in topological order",
+            n - order.len(),
+            n
+        )));
+    }
+    Ok(Levelization { order, depth })
+}
+
+fn lib_is_flop(nl: &Netlist, lib: &Library, cell: CellId) -> bool {
+    lib.cell(nl.cell(cell).master).kind == CellKind::Flop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_device::VtClass;
+    use tc_liberty::{LibConfig, Library, PvtCorner};
+
+    fn lib() -> Library {
+        Library::generate(&LibConfig::default(), &PvtCorner::typical())
+    }
+
+    #[test]
+    fn chain_depths_count_up() {
+        let lib = lib();
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_input("a");
+        let inv = lib.variant("INV", VtClass::Svt, 1.0).unwrap();
+        let mut net = a;
+        let mut cells = Vec::new();
+        for i in 0..5 {
+            let (c, out) = nl.add_cell(format!("i{i}"), &lib, inv, &[net]).unwrap();
+            cells.push(c);
+            net = out;
+        }
+        let lv = levelize(&nl, &lib).unwrap();
+        assert_eq!(lv.max_depth(), 5);
+        for (i, &c) in cells.iter().enumerate() {
+            assert_eq!(lv.depth[c.index()], i + 1);
+        }
+    }
+
+    #[test]
+    fn flops_break_cycles() {
+        // Registered feedback: flop.Q → INV → flop.D must levelize fine.
+        let lib = lib();
+        let mut nl = Netlist::new("loop");
+        let clk = nl.add_input("clk");
+        let dff = lib.variant("DFF", VtClass::Svt, 1.0).unwrap();
+        let inv = lib.variant("INV", VtClass::Svt, 1.0).unwrap();
+        // Build flop with a placeholder D, then rewire through the INV.
+        let d_tmp = nl.add_input("d_tmp");
+        let (_ff, q) = nl.add_cell("ff", &lib, dff, &[d_tmp, clk]).unwrap();
+        let (_g, _gout) = nl.add_cell("g", &lib, inv, &[q]).unwrap();
+        let lv = levelize(&nl, &lib).unwrap();
+        assert_eq!(lv.order.len(), 2);
+        // Flop output is depth 0; the inverter is depth 1.
+        let g = nl.cell_named("g").unwrap();
+        assert_eq!(lv.depth[g.index()], 1);
+    }
+
+    #[test]
+    fn detects_combinational_loop() {
+        use crate::graph::PinRef;
+        let lib = lib();
+        let mut nl = Netlist::new("bad");
+        let a = nl.add_input("a");
+        let tmp = nl.add_input("tmp");
+        let nand = lib.variant("NAND2", VtClass::Svt, 1.0).unwrap();
+        let (u1, n1) = nl.add_cell("u1", &lib, nand, &[a, tmp]).unwrap();
+        let (_u2, n2) = nl.add_cell("u2", &lib, nand, &[n1, n1]).unwrap();
+        // Close the loop: u1 input 1 ← u2 output.
+        nl.rewire_input(PinRef { cell: u1, pin: 1 }, n2);
+        nl.validate(&lib).unwrap();
+        assert!(levelize(&nl, &lib).is_err());
+    }
+}

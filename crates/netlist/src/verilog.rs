@@ -1,0 +1,261 @@
+//! Structural-Verilog export and import.
+//!
+//! The gate-level netlist is the handoff artifact between synthesis and
+//! physical design; this module writes a netlist as a flat structural
+//! Verilog module (instances of library masters with named port
+//! connections) and parses that subset back, so designs can be stored,
+//! diffed, or exchanged with other tools.
+//!
+//! Subset: one `module` with `input`/`output`/`wire` declarations and
+//! instantiations of the form `MASTER name (.A(net), .B(net), .Y(net));`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use tc_core::error::{Error, Result};
+use tc_core::ids::NetId;
+use tc_liberty::Library;
+
+use crate::graph::Netlist;
+
+/// Sanitizes a net name into a Verilog identifier.
+fn ident(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().unwrap().is_ascii_digit() {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+/// Serializes a netlist to structural Verilog.
+pub fn write_verilog(nl: &Netlist, lib: &Library) -> String {
+    let mut out = String::new();
+    let net_name = |id: NetId| ident(&nl.net(id).name);
+
+    let inputs: Vec<String> = nl.primary_inputs().iter().map(|&n| net_name(n)).collect();
+    let outputs: Vec<String> = nl.primary_outputs().map(net_name).collect();
+    let mut ports = inputs.clone();
+    ports.extend(outputs.iter().cloned());
+
+    let _ = writeln!(out, "module {} ({});", ident(&nl.name), ports.join(", "));
+    for i in &inputs {
+        let _ = writeln!(out, "  input {i};");
+    }
+    for o in &outputs {
+        let _ = writeln!(out, "  output {o};");
+    }
+    // Internal wires: every net that is neither a PI nor a PO.
+    for (i, net) in nl.nets().iter().enumerate() {
+        let id = NetId::new(i);
+        if nl.primary_inputs().contains(&id) || net.is_output {
+            continue;
+        }
+        let _ = writeln!(out, "  wire {};", net_name(id));
+    }
+    let _ = writeln!(out);
+
+    for cell in nl.cells() {
+        let master = lib.cell(cell.master);
+        let mut conns: Vec<String> = master
+            .input_pins()
+            .iter()
+            .zip(&cell.inputs)
+            .map(|(pin, &net)| format!(".{pin}({})", net_name(net)))
+            .collect();
+        conns.push(format!(".Y({})", net_name(cell.output)));
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            master.name,
+            ident(&cell.name),
+            conns.join(", ")
+        );
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Parses the structural subset produced by [`write_verilog`] back into
+/// a [`Netlist`] bound to `lib`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] for unknown masters, undeclared nets,
+/// missing pins, or syntax outside the supported subset.
+pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist> {
+    // Join statements (";"-terminated) across lines.
+    let body: String = text
+        .lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    let mut nl = Netlist::new("parsed");
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut outputs: Vec<String> = Vec::new();
+    // Instances must be created after all declarations; collect them.
+    let mut instances: Vec<(String, String, Vec<(String, String)>)> = Vec::new();
+
+    for stmt in body.split(';') {
+        let stmt = stmt.trim();
+        if stmt.is_empty() || stmt == "endmodule" {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("module ") {
+            let name = rest.split('(').next().unwrap_or("parsed").trim();
+            nl.name = name.to_string();
+        } else if let Some(rest) = stmt.strip_prefix("input ") {
+            for n in rest.split(',') {
+                let n = n.trim();
+                if !n.is_empty() {
+                    let id = nl.add_input(n);
+                    nets.insert(n.to_string(), id);
+                }
+            }
+        } else if let Some(rest) = stmt.strip_prefix("output ") {
+            for n in rest.split(',') {
+                outputs.push(n.trim().to_string());
+            }
+        } else if stmt.strip_prefix("wire ").is_some() {
+            // Wires are implied by driver outputs; nothing to pre-create.
+        } else {
+            // Instance: MASTER name (.PIN(net), ...)
+            let open = stmt
+                .find('(')
+                .ok_or_else(|| Error::invalid_input(format!("bad statement: {stmt}")))?;
+            let head: Vec<&str> = stmt[..open].split_whitespace().collect();
+            if head.len() != 2 {
+                return Err(Error::invalid_input(format!("bad instance head: {stmt}")));
+            }
+            let conns_str = &stmt[open + 1..stmt.rfind(')').unwrap_or(stmt.len())];
+            let mut conns = Vec::new();
+            for c in conns_str.split(',') {
+                let c = c.trim().trim_start_matches('.');
+                let (pin, net) = c
+                    .split_once('(')
+                    .ok_or_else(|| Error::invalid_input(format!("bad connection: {c}")))?;
+                conns.push((
+                    pin.trim().to_string(),
+                    net.trim_end_matches(')').trim().to_string(),
+                ));
+            }
+            instances.push((head[0].to_string(), head[1].to_string(), conns));
+        }
+    }
+
+    // Instance order in the file is arbitrary, but `add_cell` needs its
+    // input nets up front. Create every instance with a placeholder
+    // input first (an existing PI), then rewire once all output nets
+    // exist.
+    let scratch = nl
+        .primary_inputs()
+        .first()
+        .copied()
+        .unwrap_or_else(|| nl.add_input("__scratch__"));
+    let mut pending: Vec<(tc_core::ids::CellId, Vec<(usize, String)>)> = Vec::new();
+    for (master_name, inst_name, conns) in &instances {
+        let master = lib
+            .id_of(master_name)
+            .ok_or_else(|| Error::not_found(format!("master {master_name}")))?;
+        let pins = lib.cell(master).input_pins();
+        let placeholder = vec![scratch; pins.len()];
+        let (cid, out_net) = nl.add_cell(inst_name.clone(), lib, master, &placeholder)?;
+        // The instance's Y connection names its output net.
+        let y = conns
+            .iter()
+            .find(|(p, _)| p == "Y")
+            .ok_or_else(|| Error::invalid_input(format!("{inst_name}: no Y connection")))?;
+        nets.insert(y.1.clone(), out_net);
+        let mut wiring = Vec::new();
+        for (idx, pin) in pins.iter().enumerate() {
+            let conn = conns
+                .iter()
+                .find(|(p, _)| p == pin)
+                .ok_or_else(|| Error::invalid_input(format!("{inst_name}: missing pin {pin}")))?;
+            wiring.push((idx, conn.1.clone()));
+        }
+        pending.push((cid, wiring));
+    }
+    for (cid, wiring) in pending {
+        for (pin, net_name) in wiring {
+            let net = *nets
+                .get(&net_name)
+                .ok_or_else(|| Error::not_found(format!("net {net_name}")))?;
+            nl.rewire_input(crate::graph::PinRef { cell: cid, pin }, net);
+        }
+    }
+    for o in outputs {
+        let net = *nets
+            .get(&o)
+            .ok_or_else(|| Error::not_found(format!("output net {o}")))?;
+        nl.mark_output(net);
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, BenchProfile};
+    use tc_liberty::{LibConfig, PvtCorner};
+
+    fn lib() -> Library {
+        Library::generate(&LibConfig::default(), &PvtCorner::typical())
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let lib = lib();
+        let orig = generate(&lib, BenchProfile::tiny(), 55).unwrap();
+        let text = write_verilog(&orig, &lib);
+        assert!(text.contains("module tiny"));
+        assert!(text.contains("endmodule"));
+
+        let parsed = parse_verilog(&text, &lib).unwrap();
+        parsed.validate(&lib).unwrap();
+        assert_eq!(parsed.cell_count(), orig.cell_count());
+        assert_eq!(parsed.primary_outputs().count(), orig.primary_outputs().count());
+
+        // Per-instance master binding survives.
+        for cell in orig.cells() {
+            let pc = parsed
+                .cell_named(&cell.name)
+                .expect("instance name preserved");
+            assert_eq!(parsed.cell(pc).master, cell.master, "cell {}", cell.name);
+        }
+
+        // Connectivity: same driver-master for every input pin.
+        for cell in orig.cells() {
+            let pid = parsed.cell_named(&cell.name).unwrap();
+            for (i, &net) in cell.inputs.iter().enumerate() {
+                let want_driver = orig.net(net).driver.map(|d| orig.cell(d).name.clone());
+                let pnet = parsed.cell(pid).inputs[i];
+                let got_driver = parsed.net(pnet).driver.map(|d| parsed.cell(d).name.clone());
+                assert_eq!(want_driver, got_driver, "cell {} pin {i}", cell.name);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_master() {
+        let lib = lib();
+        let bad = "module m (a); input a; FOO_X1 u1 (.A(a), .Y(b)); endmodule";
+        assert!(parse_verilog(bad, &lib).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_missing_pin() {
+        let lib = lib();
+        let bad = "module m (a); input a; NAND2_X1_SVT u1 (.A(a), .Y(b)); endmodule";
+        assert!(parse_verilog(bad, &lib).is_err());
+    }
+
+    #[test]
+    fn identifiers_are_sanitized() {
+        assert_eq!(ident("a.b-c"), "a_b_c");
+        assert_eq!(ident("3x"), "n3x");
+    }
+}

@@ -1,0 +1,38 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # tc-placement — row placement and minimum-implant-area rules
+//!
+//! The paper's §2.4 ("Placement-Sizing Interferences", Fig 6a): at
+//! foundry 20 nm and below, implant layers that define a cell's Vt carry
+//! *minimum-area* rules, so a narrow cell of one Vt sandwiched between
+//! cells of another Vt creates a design-rule violation. Post-route
+//! Vt-swapping — the cheapest timing fix — is therefore no longer
+//! placement-independent.
+//!
+//! * [`rows`] — a site/row placement model with cell positions (also the
+//!   geometry source for `tc-clock`'s tree construction).
+//! * [`minia`] — the MinIA rule checker and the fixing heuristics of
+//!   ref \[24\]: Vt-homogenization of short islands and
+//!   perturbation-minimizing cell swaps, under a timing veto supplied by
+//!   the caller.
+//!
+//! # Examples
+//!
+//! ```
+//! use tc_liberty::{LibConfig, Library, PvtCorner};
+//! use tc_netlist::gen::{generate, BenchProfile};
+//! use tc_placement::rows::Placement;
+//!
+//! let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+//! let nl = generate(&lib, BenchProfile::tiny(), 1)?;
+//! let pl = Placement::row_fill(&nl, &lib, 64, 7);
+//! assert!(pl.row_count() > 0);
+//! # Ok::<(), tc_core::Error>(())
+//! ```
+
+pub mod minia;
+pub mod rows;
+
+pub use minia::{MinIaRule, MiniaFixReport};
+pub use rows::{Placement, PlacedCell};

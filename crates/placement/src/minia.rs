@@ -1,0 +1,319 @@
+//! Minimum implant area (MinIA) rule checking and fixing — the paper's
+//! **Fig 6a** and ref \[24\].
+//!
+//! An *implant island* is a maximal run of abutting same-Vt cells in a
+//! row. The rule requires every island to be at least `min_width_sites`
+//! wide. A narrow island (e.g. a single LVT cell dropped in by a
+//! Vt-swap timing fix and sandwiched between SVT neighbours) violates
+//! the rule, forcing an ECO — the "placement-sizing interference" that
+//! weakens the classic fix ordering of Fig 1.
+//!
+//! Fixing heuristics, in cost order (after \[24\]):
+//! 1. **Vt-homogenize**: swap the island's cells to the neighbouring Vt
+//!    if the caller's timing veto allows it;
+//! 2. **Same-width swap**: exchange an island cell with a same-width,
+//!    same-Vt-as-neighbours cell elsewhere in the row, so islands merge,
+//!    minimizing placement perturbation.
+
+use tc_core::ids::{CellId, LibCellId};
+use tc_device::VtClass;
+use tc_liberty::Library;
+use tc_netlist::Netlist;
+
+use crate::rows::Placement;
+
+/// The MinIA design rule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinIaRule {
+    /// Minimum implant-island width in sites.
+    pub min_width_sites: usize,
+}
+
+impl MinIaRule {
+    /// A 20 nm-flavoured rule: islands narrower than 6 sites violate.
+    pub fn n20() -> Self {
+        MinIaRule { min_width_sites: 6 }
+    }
+}
+
+/// One implant island: a maximal same-Vt run in a row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Island {
+    /// Row index.
+    pub row: usize,
+    /// Index range `[start, end)` into the row's cell list.
+    pub start: usize,
+    /// Exclusive end index.
+    pub end: usize,
+    /// The island's Vt class.
+    pub vt: VtClass,
+    /// Total width in sites.
+    pub width_sites: usize,
+}
+
+/// Finds all implant islands of a placement.
+pub fn islands(pl: &Placement, nl: &Netlist, lib: &Library) -> Vec<Island> {
+    let mut out = Vec::new();
+    for r in 0..pl.row_count() {
+        let row = pl.row(r);
+        let mut i = 0;
+        while i < row.len() {
+            let vt = lib.cell(nl.cell(row[i].cell).master).vt;
+            let mut j = i;
+            let mut width = 0;
+            while j < row.len() && lib.cell(nl.cell(row[j].cell).master).vt == vt {
+                // Abutment required for a contiguous island.
+                if j > i && row[j].x_site != row[j - 1].x_site + row[j - 1].width_sites {
+                    break;
+                }
+                width += row[j].width_sites;
+                j += 1;
+            }
+            out.push(Island {
+                row: r,
+                start: i,
+                end: j,
+                vt,
+                width_sites: width,
+            });
+            i = j;
+        }
+    }
+    out
+}
+
+/// Counts MinIA violations.
+pub fn violation_count(pl: &Placement, nl: &Netlist, lib: &Library, rule: &MinIaRule) -> usize {
+    islands(pl, nl, lib)
+        .iter()
+        .filter(|i| i.width_sites < rule.min_width_sites)
+        .count()
+}
+
+/// Outcome of a fixing pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MiniaFixReport {
+    /// Violations before fixing.
+    pub before: usize,
+    /// Violations after fixing.
+    pub after: usize,
+    /// Cells whose Vt was homogenized (master swapped).
+    pub vt_swaps: usize,
+    /// Same-row cell swaps performed.
+    pub moves: usize,
+}
+
+impl MiniaFixReport {
+    /// Fraction of violations removed.
+    pub fn fix_rate(&self) -> f64 {
+        if self.before == 0 {
+            1.0
+        } else {
+            1.0 - self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Fixes MinIA violations. `timing_ok(cell, new_master)` is the timing
+/// veto: it must return `true` for a Vt change to be committed (the
+/// caller typically checks the cell's slack margin).
+pub fn fix_violations(
+    pl: &mut Placement,
+    nl: &mut Netlist,
+    lib: &Library,
+    rule: &MinIaRule,
+    mut timing_ok: impl FnMut(CellId, LibCellId) -> bool,
+) -> MiniaFixReport {
+    let before = violation_count(pl, nl, lib, rule);
+    let mut vt_swaps = 0;
+    let mut moves = 0;
+
+    // Pass 1: Vt-homogenize narrow islands into a neighbour's Vt.
+    loop {
+        let all = islands(pl, nl, lib);
+        let viol = all
+            .iter()
+            .find(|i| i.width_sites < rule.min_width_sites)
+            .cloned();
+        let Some(isl) = viol else { break };
+        let row_cells = pl.row(isl.row).to_vec();
+        // Candidate target Vt: the wider neighbouring island's Vt.
+        let left_vt = (isl.start > 0)
+            .then(|| lib.cell(nl.cell(row_cells[isl.start - 1].cell).master).vt);
+        let right_vt = (isl.end < row_cells.len())
+            .then(|| lib.cell(nl.cell(row_cells[isl.end].cell).master).vt);
+        let targets: Vec<VtClass> = [left_vt, right_vt].into_iter().flatten().collect();
+
+        let mut fixed = false;
+        for target in targets {
+            // Every island cell must have a same-template variant at the
+            // target Vt, and all swaps must pass the timing veto.
+            let mut swaps = Vec::new();
+            let mut ok = true;
+            for pc in &row_cells[isl.start..isl.end] {
+                let master = nl.cell(pc.cell).master;
+                let c = lib.cell(master);
+                match lib.variant(c.template.name, target, c.drive) {
+                    Some(v) if timing_ok(pc.cell, v) => swaps.push((pc.cell, v)),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                for (cell, master) in swaps {
+                    nl.swap_master(lib, cell, master)
+                        .expect("same-template swap keeps arity");
+                    vt_swaps += 1;
+                }
+                fixed = true;
+                break;
+            }
+        }
+
+        if !fixed {
+            // Pass 2 fallback for this island: try to swap one island
+            // cell with a same-width cell of the neighbour Vt from
+            // elsewhere in the row (merging islands).
+            let mut done = false;
+            'search: for k in isl.start..isl.end {
+                for m in 0..row_cells.len() {
+                    if m >= isl.start && m < isl.end {
+                        continue;
+                    }
+                    let other_vt = lib.cell(nl.cell(row_cells[m].cell).master).vt;
+                    if other_vt == isl.vt {
+                        continue;
+                    }
+                    if row_cells[m].width_sites == row_cells[k].width_sites
+                        && pl.swap_in_row(isl.row, k, m)
+                    {
+                        moves += 1;
+                        done = true;
+                        break 'search;
+                    }
+                }
+            }
+            if !done {
+                // Unfixable with these heuristics; leave it and stop to
+                // avoid an infinite loop (remaining count reported).
+                break;
+            }
+        }
+    }
+
+    let after = violation_count(pl, nl, lib, rule);
+    MiniaFixReport {
+        before,
+        after,
+        vt_swaps,
+        moves,
+    }
+}
+
+/// Injects MinIA-style violations for experiments: randomly swaps
+/// `count` isolated cells to a different Vt (the paper's scenario where
+/// post-route Vt-swap fixes create narrow islands). Returns how many
+/// swaps were applied.
+pub fn inject_vt_islands(
+    nl: &mut Netlist,
+    lib: &Library,
+    count: usize,
+    seed: u64,
+) -> usize {
+    let mut rng = tc_core::rng::Rng::seed_from(seed ^ 0x696e_6a65_6374);
+    let n = nl.cell_count();
+    let mut injected = 0;
+    for _ in 0..count * 4 {
+        if injected >= count {
+            break;
+        }
+        let cell = CellId::new(rng.below(n));
+        let master = nl.cell(cell).master;
+        let c = lib.cell(master);
+        let target = if rng.chance(0.5) {
+            c.vt.faster()
+        } else {
+            c.vt.slower()
+        };
+        if let Some(vt) = target {
+            if let Some(v) = lib.variant(c.template.name, vt, c.drive) {
+                nl.swap_master(lib, cell, v).expect("same template");
+                injected += 1;
+            }
+        }
+    }
+    injected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_liberty::{LibConfig, PvtCorner};
+    use tc_netlist::gen::{generate, BenchProfile};
+
+    fn setup() -> (Library, Netlist) {
+        let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+        let nl = generate(&lib, BenchProfile::tiny(), 3).unwrap();
+        (lib, nl)
+    }
+
+    #[test]
+    fn uniform_vt_placement_has_no_violations_after_homogenize() {
+        // Generator emits all-SVT designs: every island is as wide as its
+        // row run, so violations only appear at row remainders.
+        let (lib, nl) = setup();
+        let pl = Placement::row_fill(&nl, &lib, 64, 1);
+        let isl = islands(&pl, &nl, &lib);
+        // All islands are SVT.
+        assert!(isl.iter().all(|i| i.vt == VtClass::Svt));
+    }
+
+    #[test]
+    fn injected_islands_create_violations_and_fixer_removes_them() {
+        let (lib, mut nl) = setup();
+        let injected = inject_vt_islands(&mut nl, &lib, 20, 9);
+        assert!(injected >= 15);
+        let mut pl = Placement::row_fill(&nl, &lib, 64, 1);
+        let rule = MinIaRule::n20();
+        let before = violation_count(&pl, &nl, &lib, &rule);
+        assert!(before > 0, "injection must create violations");
+
+        let report = fix_violations(&mut pl, &mut nl, &lib, &rule, |_, _| true);
+        assert_eq!(report.before, before);
+        assert!(
+            report.after < report.before / 4,
+            "fixer must remove most violations: {} → {}",
+            report.before,
+            report.after
+        );
+        assert!(report.vt_swaps + report.moves > 0);
+        nl.validate(&lib).unwrap();
+    }
+
+    #[test]
+    fn timing_veto_blocks_fixes() {
+        let (lib, mut nl) = setup();
+        inject_vt_islands(&mut nl, &lib, 20, 9);
+        let mut pl = Placement::row_fill(&nl, &lib, 64, 1);
+        let rule = MinIaRule::n20();
+        // Veto everything: only placement moves are available.
+        let report = fix_violations(&mut pl, &mut nl, &lib, &rule, |_, _| false);
+        assert_eq!(report.vt_swaps, 0);
+        assert!(report.after >= report.before.saturating_sub(report.moves));
+    }
+
+    #[test]
+    fn fix_rate_metric() {
+        let r = MiniaFixReport {
+            before: 10,
+            after: 1,
+            vt_swaps: 9,
+            moves: 0,
+        };
+        assert!((r.fix_rate() - 0.9).abs() < 1e-12);
+        let clean = MiniaFixReport::default();
+        assert_eq!(clean.fix_rate(), 1.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Site/row placement model.
+
+use tc_core::ids::CellId;
+use tc_core::rng::Rng;
+use tc_core::units::Um;
+use tc_liberty::Library;
+use tc_netlist::Netlist;
+
+/// Width of one placement site, µm.
+pub const SITE_UM: f64 = 0.2;
+/// Row height, µm.
+pub const ROW_UM: f64 = 1.2;
+
+/// One placed cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlacedCell {
+    /// The netlist instance.
+    pub cell: CellId,
+    /// Left edge, in sites from the row origin.
+    pub x_site: usize,
+    /// Width in sites.
+    pub width_sites: usize,
+}
+
+/// A row-based placement of a netlist.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Placement {
+    rows: Vec<Vec<PlacedCell>>,
+    /// Row index of each cell.
+    row_of: Vec<usize>,
+}
+
+impl Placement {
+    /// Fills rows of `row_sites` capacity with the netlist's cells in a
+    /// seeded random order, abutting cells left to right (100% island
+    /// adjacency — the worst case for MinIA).
+    pub fn row_fill(nl: &Netlist, lib: &Library, row_sites: usize, seed: u64) -> Placement {
+        let mut order: Vec<usize> = (0..nl.cell_count()).collect();
+        let mut rng = Rng::seed_from(seed ^ 0x706c_6163_65);
+        rng.shuffle(&mut order);
+
+        let mut rows: Vec<Vec<PlacedCell>> = vec![Vec::new()];
+        let mut row_of = vec![0usize; nl.cell_count()];
+        let mut x = 0usize;
+        for idx in order {
+            let cell = CellId::new(idx);
+            let w = lib
+                .cell(nl.cell(cell).master)
+                .area_sites
+                .ceil()
+                .max(1.0) as usize;
+            if x + w > row_sites && x > 0 {
+                rows.push(Vec::new());
+                x = 0;
+            }
+            let row = rows.len() - 1;
+            rows.last_mut()
+                .expect("at least one row")
+                .push(PlacedCell {
+                    cell,
+                    x_site: x,
+                    width_sites: w,
+                });
+            row_of[idx] = row;
+            x += w;
+        }
+        Placement { rows, row_of }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cells of one row, left to right.
+    pub fn row(&self, r: usize) -> &[PlacedCell] {
+        &self.rows[r]
+    }
+
+    /// `(x, y)` position of a cell's left edge in µm.
+    pub fn position(&self, cell: CellId) -> (Um, Um) {
+        let r = self.row_of[cell.index()];
+        let p = self.rows[r]
+            .iter()
+            .find(|p| p.cell == cell)
+            .expect("cell is placed");
+        (
+            Um::new(p.x_site as f64 * SITE_UM),
+            Um::new(r as f64 * ROW_UM),
+        )
+    }
+
+    /// Half-perimeter of the bounding box of a set of cells, µm — the
+    /// standard wirelength estimate.
+    pub fn hpwl(&self, cells: &[CellId]) -> Um {
+        if cells.is_empty() {
+            return Um::ZERO;
+        }
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for &c in cells {
+            let (x, y) = self.position(c);
+            min_x = min_x.min(x.value());
+            max_x = max_x.max(x.value());
+            min_y = min_y.min(y.value());
+            max_y = max_y.max(y.value());
+        }
+        Um::new((max_x - min_x) + (max_y - min_y))
+    }
+
+    /// Swaps two same-row cells' slots (used by the MinIA fixer); both
+    /// keep their widths, positions are exchanged and the row re-sorted.
+    /// Returns `false` if the widths differ (swap would overlap).
+    pub(crate) fn swap_in_row(&mut self, row: usize, i: usize, j: usize) -> bool {
+        if self.rows[row][i].width_sites != self.rows[row][j].width_sites {
+            return false;
+        }
+        let (ci, cj) = (self.rows[row][i].cell, self.rows[row][j].cell);
+        self.rows[row][i].cell = cj;
+        self.rows[row][j].cell = ci;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_liberty::{LibConfig, PvtCorner};
+    use tc_netlist::gen::{generate, BenchProfile};
+
+    fn setup() -> (Library, Netlist) {
+        let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+        let nl = generate(&lib, BenchProfile::tiny(), 3).unwrap();
+        (lib, nl)
+    }
+
+    #[test]
+    fn all_cells_are_placed_without_overlap() {
+        let (lib, nl) = setup();
+        let pl = Placement::row_fill(&nl, &lib, 64, 1);
+        let total: usize = (0..pl.row_count()).map(|r| pl.row(r).len()).sum();
+        assert_eq!(total, nl.cell_count());
+        for r in 0..pl.row_count() {
+            let row = pl.row(r);
+            for w in row.windows(2) {
+                assert!(
+                    w[0].x_site + w[0].width_sites <= w[1].x_site,
+                    "overlap in row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let (lib, nl) = setup();
+        let a = Placement::row_fill(&nl, &lib, 64, 1);
+        let b = Placement::row_fill(&nl, &lib, 64, 1);
+        assert_eq!(a, b);
+        let c = Placement::row_fill(&nl, &lib, 64, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn positions_and_hpwl() {
+        let (lib, nl) = setup();
+        let pl = Placement::row_fill(&nl, &lib, 64, 1);
+        let c0 = CellId::new(0);
+        let c1 = CellId::new(1);
+        let (x, y) = pl.position(c0);
+        assert!(x.value() >= 0.0 && y.value() >= 0.0);
+        let w = pl.hpwl(&[c0, c1]);
+        assert!(w.value() >= 0.0);
+        assert_eq!(pl.hpwl(&[c0]), Um::ZERO);
+    }
+
+    #[test]
+    fn same_width_swap_works() {
+        let (lib, nl) = setup();
+        let mut pl = Placement::row_fill(&nl, &lib, 64, 1);
+        // Find a row with two same-width cells.
+        'outer: for r in 0..pl.row_count() {
+            let row = pl.row(r).to_vec();
+            for i in 0..row.len() {
+                for j in i + 1..row.len() {
+                    if row[i].width_sites == row[j].width_sites {
+                        let (a, b) = (row[i].cell, row[j].cell);
+                        assert!(pl.swap_in_row(r, i, j));
+                        assert_eq!(pl.row(r)[i].cell, b);
+                        assert_eq!(pl.row(r)[j].cell, a);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+}

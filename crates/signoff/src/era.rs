@@ -1,0 +1,119 @@
+//! The historical arc of timing closure as data: Fig 2's old-vs-new
+//! feature matrix and Fig 3's care-abouts-by-node timeline.
+
+use std::fmt;
+
+/// One timing-closure concern and the node range where it bites.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CareAbout {
+    /// Concern name.
+    pub name: &'static str,
+    /// First node (nm) at which it becomes a signoff care-about.
+    pub first_node_nm: u32,
+    /// Brief description.
+    pub note: &'static str,
+}
+
+/// Fig 3's sampling of care-abouts, ordered by onset node (larger nm =
+/// earlier era).
+pub fn care_abouts() -> Vec<CareAbout> {
+    vec![
+        CareAbout { name: "Noise/SI", first_node_nm: 90, note: "coupling delta delay and glitch" },
+        CareAbout { name: "MCMM", first_node_nm: 90, note: "multi-corner multi-mode analysis" },
+        CareAbout { name: "Max transition", first_node_nm: 90, note: "slew limits as electrical DRC" },
+        CareAbout { name: "EM", first_node_nm: 90, note: "electromigration limits on signal/clock" },
+        CareAbout { name: "BTI aging", first_node_nm: 65, note: "NBTI/PBTI Vt drift over lifetime" },
+        CareAbout { name: "Temperature inversion", first_node_nm: 65, note: "slower cold at low VDD" },
+        CareAbout { name: "AOCV", first_node_nm: 40, note: "stage/distance-based derates" },
+        CareAbout { name: "PBA", first_node_nm: 40, note: "path-based pessimism reduction" },
+        CareAbout { name: "Fixed-margin spec", first_node_nm: 40, note: "flat margins defined per corner" },
+        CareAbout { name: "Multi-patterning", first_node_nm: 20, note: "LELE/SADP corner proliferation" },
+        CareAbout { name: "MOL/BEOL resistance", first_node_nm: 20, note: "middle/back-end R dominance" },
+        CareAbout { name: "Dynamic IR in timing", first_node_nm: 20, note: "-dynamic analysis options" },
+        CareAbout { name: "Cell-based POCV", first_node_nm: 20, note: "per-cell sigma models" },
+        CareAbout { name: "Min implant area", first_node_nm: 20, note: "Vt-swap/placement interference" },
+        CareAbout { name: "Fill effects", first_node_nm: 16, note: "metal fill capacitance in timing" },
+        CareAbout { name: "BEOL/MOL variation", first_node_nm: 16, note: "per-layer corners and TBCs" },
+        CareAbout { name: "Signoff with AVS", first_node_nm: 16, note: "typical-corner setup closure" },
+        CareAbout { name: "LVF", first_node_nm: 16, note: "per-(slew,load) sigma tables" },
+        CareAbout { name: "MIS", first_node_nm: 16, note: "multi-input switching margins" },
+        CareAbout { name: "Physically-aware ECO", first_node_nm: 16, note: "legal-location timing fixes" },
+        CareAbout { name: "Self-heating", first_node_nm: 10, note: "FinFET thermal/reliability coupling" },
+        CareAbout { name: "SAQP variation", first_node_nm: 10, note: "quadruple-patterning CD classes" },
+    ]
+}
+
+/// Care-abouts active at a given node.
+pub fn active_at_node(node_nm: u32) -> Vec<CareAbout> {
+    care_abouts()
+        .into_iter()
+        .filter(|c| c.first_node_nm >= node_nm)
+        .collect()
+}
+
+/// One row of Fig 2's "old vs new" matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EraRow {
+    /// Aspect of the flow.
+    pub aspect: &'static str,
+    /// The 2005-era (65 nm) answer.
+    pub old: &'static str,
+    /// The 2015-era (16/14 nm) answer.
+    pub new: &'static str,
+}
+
+impl fmt::Display for EraRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<22} | {:<28} | {}", self.aspect, self.old, self.new)
+    }
+}
+
+/// Fig 2's old-vs-new sketch as a table.
+pub fn old_vs_new() -> Vec<EraRow> {
+    vec![
+        EraRow { aspect: "Modes", old: "1 functional mode", new: "MCMM: hundreds of scenarios" },
+        EraRow { aspect: "Checks", old: "setup/hold + SI", new: "+ noise closure, aging, dynamic IR" },
+        EraRow { aspect: "Delay model", old: "NLDM", new: "cell-POCV / LVF sigma tables" },
+        EraRow { aspect: "BEOL corners", old: "Cw only", new: "exploding corners, cross-corners, TBC reduction" },
+        EraRow { aspect: "Margins", old: "single flat margin", new: "flat margin selection per corner; AVS credit" },
+        EraRow { aspect: "Supply", old: "fixed VDD", new: "wide-range AVS (0.46-1.25 V), overdrive signoff" },
+        EraRow { aspect: "Optimization", old: "post-route Vt swap is free", new: "place/opt interference (MinIA), mask-aware" },
+        EraRow { aspect: "Patterning", old: "single exposure", new: "multi-patterning color/overlay corners" },
+        EraRow { aspect: "Analysis style", old: "graph-based (gba)", new: "path-based (pba) with noise, earlier in flow" },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_accumulates_monotonically() {
+        // Every node inherits all older care-abouts: active set grows.
+        let n65 = active_at_node(65).len();
+        let n20 = active_at_node(20).len();
+        let n10 = active_at_node(10).len();
+        assert!(n65 < n20 && n20 < n10);
+        assert_eq!(active_at_node(10).len(), care_abouts().len());
+    }
+
+    #[test]
+    fn known_onsets() {
+        let all = care_abouts();
+        let lvf = all.iter().find(|c| c.name == "LVF").unwrap();
+        assert_eq!(lvf.first_node_nm, 16);
+        let aocv = all.iter().find(|c| c.name == "AOCV").unwrap();
+        assert_eq!(aocv.first_node_nm, 40);
+        // MIS is *not* active at 40 nm.
+        assert!(active_at_node(40).iter().all(|c| c.name != "MIS"));
+    }
+
+    #[test]
+    fn matrix_renders() {
+        let rows = old_vs_new();
+        assert!(rows.len() >= 8);
+        let s = rows[0].to_string();
+        assert!(s.contains('|'));
+        assert!(s.contains("MCMM"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Dynamic IR-drop awareness in timing signoff.
+//!
+//! §1.3 notes that one component of the flat "jitter margin rug" is
+//! dynamic IR drop, and Comment 1 that signoff tools now offer
+//! `-dynamic` analysis options. The difference is locality: a flat
+//! margin charges *every* path the chip-worst droop, while a dynamic
+//! analysis charges each cell its own region's droop.
+//!
+//! This module builds a coarse power-grid droop map from placement and
+//! switching activity, converts droop to a delay penalty through the
+//! device model, and quantifies the pessimism the flat margin carries.
+
+use tc_core::units::Volt;
+use tc_device::{MosDevice, MosKind, Technology, VtClass};
+use tc_liberty::Library;
+use tc_netlist::Netlist;
+use tc_placement::rows::{Placement, ROW_UM, SITE_UM};
+
+/// A coarse rectangular droop map over the die.
+#[derive(Clone, Debug)]
+pub struct IrGrid {
+    cols: usize,
+    rows: usize,
+    tile_um: f64,
+    /// Droop per tile, volts.
+    droop: Vec<f64>,
+}
+
+/// Power-grid model parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridModel {
+    /// Effective grid resistance per tile, kΩ (current in mA ⇒ droop in V).
+    pub r_tile: f64,
+    /// Switching activity (average fraction of cells toggling per cycle).
+    pub activity: f64,
+    /// Clock frequency, GHz.
+    pub freq_ghz: f64,
+    /// Tile edge, µm.
+    pub tile_um: f64,
+}
+
+impl Default for GridModel {
+    fn default() -> Self {
+        GridModel {
+            // Effective loop impedance seen by a tile on these small
+            // test dies (straps shared over few tiles).
+            r_tile: 3.0,
+            activity: 0.15,
+            freq_ghz: 1.0,
+            tile_um: 10.0,
+        }
+    }
+}
+
+impl IrGrid {
+    /// Builds the droop map: per-tile switching current (from each
+    /// cell's dynamic energy × activity × frequency) times the tile's
+    /// grid resistance, smoothed over the 4-neighbourhood to mimic grid
+    /// sharing.
+    pub fn build(nl: &Netlist, lib: &Library, pl: &Placement, model: &GridModel) -> IrGrid {
+        // Die extent from the placement.
+        let mut max_x: f64 = 1.0;
+        let max_y = pl.row_count() as f64 * ROW_UM;
+        for r in 0..pl.row_count() {
+            for p in pl.row(r) {
+                max_x = max_x.max((p.x_site + p.width_sites) as f64 * SITE_UM);
+            }
+        }
+        let cols = (max_x / model.tile_um).ceil().max(1.0) as usize;
+        let rows = (max_y / model.tile_um).ceil().max(1.0) as usize;
+        let mut current = vec![0.0; cols * rows];
+
+        for r in 0..pl.row_count() {
+            for p in pl.row(r) {
+                let x = p.x_site as f64 * SITE_UM;
+                let y = r as f64 * ROW_UM;
+                let cx = ((x / model.tile_um) as usize).min(cols - 1);
+                let cy = ((y / model.tile_um) as usize).min(rows - 1);
+                let cell = lib.cell(nl.cell(p.cell).master);
+                // Average switching current in mA: fJ × GHz = µW; /V ≈ µA;
+                // ×1e-3 = mA.
+                let p_uw = cell.switch_energy(4.0) * model.activity * model.freq_ghz;
+                current[cy * cols + cx] += p_uw / 0.9 * 1e-3;
+            }
+        }
+
+        // One Jacobi smoothing pass: neighbouring tiles share the grid.
+        let mut droop = vec![0.0; cols * rows];
+        for y in 0..rows {
+            for x in 0..cols {
+                let mut acc = current[y * cols + x];
+                let mut n = 1.0;
+                if x > 0 {
+                    acc += 0.5 * current[y * cols + x - 1];
+                    n += 0.5;
+                }
+                if x + 1 < cols {
+                    acc += 0.5 * current[y * cols + x + 1];
+                    n += 0.5;
+                }
+                if y > 0 {
+                    acc += 0.5 * current[(y - 1) * cols + x];
+                    n += 0.5;
+                }
+                if y + 1 < rows {
+                    acc += 0.5 * current[(y + 1) * cols + x];
+                    n += 0.5;
+                }
+                droop[y * cols + x] = acc / n * model.r_tile; // mA·kΩ = V
+            }
+        }
+        IrGrid {
+            cols,
+            rows,
+            tile_um: model.tile_um,
+            droop,
+        }
+    }
+
+    /// Droop at a die coordinate, volts.
+    pub fn droop_at(&self, x_um: f64, y_um: f64) -> f64 {
+        let cx = ((x_um / self.tile_um) as usize).min(self.cols - 1);
+        let cy = ((y_um / self.tile_um) as usize).min(self.rows - 1);
+        self.droop[cy * self.cols + cx]
+    }
+
+    /// Chip-worst droop — what the flat margin must assume.
+    pub fn worst(&self) -> f64 {
+        self.droop.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean droop — what a typical path actually sees.
+    pub fn mean(&self) -> f64 {
+        self.droop.iter().sum::<f64>() / self.droop.len() as f64
+    }
+}
+
+/// Delay penalty factor of operating a cell at `vdd − droop` instead of
+/// `vdd` (≥ 1), from the device model.
+pub fn droop_delay_factor(tech: &Technology, vdd: Volt, droop: f64) -> f64 {
+    let dev = MosDevice::new(MosKind::Nmos, VtClass::Svt, 1.0);
+    let t = tc_core::units::Celsius::new(85.0);
+    let d = |v: Volt| v.value() / dev.idsat(tech, v, t);
+    d(Volt::new((vdd.value() - droop).max(0.3))) / d(vdd)
+}
+
+/// The flat-vs-dynamic comparison: the delay margin (percent) a flat IR
+/// margin charges every path, vs the mean-droop penalty a `-dynamic`
+/// analysis would charge — the recovered pessimism in percentage points.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IrComparison {
+    /// Chip-worst droop, V.
+    pub worst_droop: f64,
+    /// Mean droop, V.
+    pub mean_droop: f64,
+    /// Flat-margin delay penalty, percent.
+    pub flat_penalty_pct: f64,
+    /// Dynamic (mean) penalty, percent.
+    pub dynamic_penalty_pct: f64,
+}
+
+impl IrComparison {
+    /// Margin recovered by dynamic analysis, percentage points of delay.
+    pub fn recovered_pct(&self) -> f64 {
+        self.flat_penalty_pct - self.dynamic_penalty_pct
+    }
+}
+
+/// Runs the comparison for a placed design.
+pub fn compare_flat_vs_dynamic(
+    nl: &Netlist,
+    lib: &Library,
+    pl: &Placement,
+    model: &GridModel,
+) -> IrComparison {
+    let grid = IrGrid::build(nl, lib, pl, model);
+    let vdd = lib.corner.voltage;
+    let flat = droop_delay_factor(&lib.tech, vdd, grid.worst());
+    let dynamic = droop_delay_factor(&lib.tech, vdd, grid.mean());
+    IrComparison {
+        worst_droop: grid.worst(),
+        mean_droop: grid.mean(),
+        flat_penalty_pct: 100.0 * (flat - 1.0),
+        dynamic_penalty_pct: 100.0 * (dynamic - 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_liberty::{LibConfig, PvtCorner};
+    use tc_netlist::gen::{generate, BenchProfile};
+
+    fn setup() -> (Library, Netlist, Placement) {
+        let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+        let nl = generate(&lib, BenchProfile::c5315(), 17).unwrap();
+        let pl = Placement::row_fill(&nl, &lib, 400, 2);
+        (lib, nl, pl)
+    }
+
+    #[test]
+    fn droop_map_is_positive_and_bounded() {
+        let (lib, nl, pl) = setup();
+        let grid = IrGrid::build(&nl, &lib, &pl, &GridModel::default());
+        assert!(grid.worst() > 0.0);
+        assert!(grid.worst() < 0.2, "droop {} V implausible", grid.worst());
+        assert!(grid.mean() <= grid.worst());
+        assert!(grid.droop_at(0.0, 0.0) >= 0.0);
+    }
+
+    #[test]
+    fn higher_activity_more_droop() {
+        let (lib, nl, pl) = setup();
+        let low = IrGrid::build(
+            &nl,
+            &lib,
+            &pl,
+            &GridModel {
+                activity: 0.05,
+                ..Default::default()
+            },
+        );
+        let high = IrGrid::build(
+            &nl,
+            &lib,
+            &pl,
+            &GridModel {
+                activity: 0.30,
+                ..Default::default()
+            },
+        );
+        assert!(high.worst() > 2.0 * low.worst());
+    }
+
+    #[test]
+    fn droop_slows_delay_monotonically() {
+        let tech = Technology::planar_28nm();
+        let vdd = Volt::new(0.9);
+        let f0 = droop_delay_factor(&tech, vdd, 0.0);
+        let f50 = droop_delay_factor(&tech, vdd, 0.05);
+        let f100 = droop_delay_factor(&tech, vdd, 0.10);
+        assert!((f0 - 1.0).abs() < 1e-12);
+        assert!(f50 > 1.0 && f100 > f50);
+    }
+
+    #[test]
+    fn dynamic_analysis_recovers_margin() {
+        let (lib, nl, pl) = setup();
+        let cmp = compare_flat_vs_dynamic(&nl, &lib, &pl, &GridModel::default());
+        assert!(
+            cmp.recovered_pct() > 0.0,
+            "flat must be more pessimistic: {cmp:?}"
+        );
+        assert!(cmp.flat_penalty_pct > cmp.dynamic_penalty_pct);
+    }
+}

@@ -1,0 +1,44 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # tc-signoff — signoff methodology
+//!
+//! The paper's thesis is that signoff *criteria* — which corners, which
+//! margins, which goalposts — now dominate timing-closure effort. This
+//! crate implements that methodology layer:
+//!
+//! * [`corners`] — the corner super-explosion of §2.3: enumeration over
+//!   modes × PVT × BEOL × aging × cross-domain interfaces, historical
+//!   per-node counts (Fig 3's arc), and dominance-based pruning.
+//! * [`margins`] — signoff strategies: classic worst-case + flat margins
+//!   vs the AVS-enabled signoff-at-typical-plus-margin of §1.3, and the
+//!   parametric yield-vs-slack view of Lutkemeyer's "old goalposts"
+//!   remark.
+//! * [`margin_recovery`] — flexible flip-flop timing (ref \[23\], §3.4):
+//!   sequential optimization over the setup–hold–c2q surface that
+//!   recovers "free" margin at path boundaries (up to ~130 ps at 65 nm
+//!   in the paper).
+//! * [`era`] — the Fig 2 old-vs-new feature matrix and the Fig 3
+//!   care-abouts-by-node timeline, as queryable data.
+//!
+//! # Examples
+//!
+//! ```
+//! use tc_signoff::corners::CornerSpace;
+//!
+//! let full = CornerSpace::n16_soc();
+//! // The N16 product sees a corner count in the hundreds.
+//! assert!(full.count() > 200);
+//! ```
+
+pub mod corners;
+pub mod era;
+pub mod ir;
+pub mod margin_recovery;
+pub mod margins;
+
+pub use corners::{CornerSpace, Mode};
+pub use era::{care_abouts, old_vs_new, CareAbout};
+pub use ir::{compare_flat_vs_dynamic, GridModel, IrGrid};
+pub use margin_recovery::{recover_margin, FlopBoundary, RecoveryResult};
+pub use margins::{SignoffStrategy, YieldModel};

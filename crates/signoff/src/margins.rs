@@ -1,0 +1,187 @@
+//! Signoff strategies and the yield-vs-slack goalpost.
+//!
+//! §1.3: AVS "enables setup timing to be closed at typical corners",
+//! replacing worst-case-everything with typical-plus-flat-margin.
+//! Lutkemeyer's footnote 7: the *goalposts* are still absolute slack,
+//! although the honest metric is parametric yield — implemented here so
+//! the two views can be compared on the same report.
+
+use tc_core::stats::normal_cdf;
+use tc_core::units::Ps;
+use tc_sta::TimingReport;
+
+/// How setup signoff is margined.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SignoffStrategy {
+    /// Close timing at the worst PVT/BEOL corner with a flat margin on
+    /// top (the classic recipe).
+    WorstCasePlusMargin {
+        /// Flat margin, ps.
+        margin: Ps,
+    },
+    /// Close setup at the *typical* corner with a flat margin, relying
+    /// on AVS to absorb slow silicon and aging (§1.3).
+    TypicalPlusAvs {
+        /// Flat margin, ps.
+        margin: Ps,
+        /// Voltage headroom the AVS loop can deploy, as an equivalent
+        /// delay credit in percent.
+        avs_headroom_pct: f64,
+    },
+}
+
+impl SignoffStrategy {
+    /// The effective maximum data-path delay (ps) that signs off at a
+    /// given clock period, for a path whose worst-corner delay is
+    /// `worst_over_typical` times its typical delay.
+    pub fn max_path_delay(&self, period: Ps, worst_over_typical: f64) -> Ps {
+        match *self {
+            SignoffStrategy::WorstCasePlusMargin { margin } => {
+                // The path must fit at the worst corner: budget shrinks
+                // by the corner inflation.
+                Ps::new((period - margin).value() / worst_over_typical)
+            }
+            SignoffStrategy::TypicalPlusAvs {
+                margin,
+                avs_headroom_pct,
+            } => {
+                // Slow silicon is pulled back by raising V: the check is
+                // at typical, provided AVS headroom covers the corner
+                // inflation beyond the margin.
+                let credit = 1.0 + avs_headroom_pct / 100.0;
+                let residual = (worst_over_typical / credit).max(1.0);
+                Ps::new((period - margin).value() / residual)
+            }
+        }
+    }
+
+    /// The achievable clock frequency gain of AVS signoff over worst-case
+    /// signoff for the same path, in percent.
+    pub fn avs_gain_pct(period: Ps, worst_over_typical: f64, margin: Ps, headroom: f64) -> f64 {
+        let wc = SignoffStrategy::WorstCasePlusMargin { margin }
+            .max_path_delay(period, worst_over_typical);
+        let avs = SignoffStrategy::TypicalPlusAvs {
+            margin,
+            avs_headroom_pct: headroom,
+        }
+        .max_path_delay(period, worst_over_typical);
+        100.0 * (avs.value() / wc.value() - 1.0)
+    }
+}
+
+/// Parametric-yield model: each endpoint passes with probability
+/// `Φ(slack / σ)`; chip yield is the product over endpoints
+/// (independent-path approximation).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct YieldModel {
+    /// Per-endpoint slack sigma, ps.
+    pub sigma_ps: f64,
+}
+
+impl YieldModel {
+    /// Chip-level timing yield of a report.
+    pub fn chip_yield(&self, report: &TimingReport) -> f64 {
+        report
+            .endpoints
+            .iter()
+            .map(|e| normal_cdf(e.setup_slack.value() / self.sigma_ps))
+            .product()
+    }
+
+    /// Yield as a function of an added flat guardband: shifting every
+    /// slack by `guardband` (the "cost of guardband" view, ref \[15\]).
+    pub fn yield_vs_guardband(&self, report: &TimingReport, guardbands: &[f64]) -> Vec<(f64, f64)> {
+        guardbands
+            .iter()
+            .map(|&g| {
+                let y: f64 = report
+                    .endpoints
+                    .iter()
+                    .map(|e| normal_cdf((e.setup_slack.value() - g) / self.sigma_ps))
+                    .product();
+                (g, y)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::ids::CellId;
+    use tc_sta::{Endpoint, EndpointTiming};
+
+    fn report(slacks: &[f64]) -> TimingReport {
+        let eps = slacks
+            .iter()
+            .map(|&s| EndpointTiming {
+                endpoint: Endpoint::FlopD(CellId::new(0)),
+                setup_slack: Ps::new(s),
+                hold_slack: Ps::new(100.0),
+                arrival: Ps::new(500.0),
+                required: Ps::new(500.0 + s),
+                depth: 5,
+                gate_ps: 400.0,
+                wire_ps: 100.0,
+                data_slew: 30.0,
+            })
+            .collect();
+        TimingReport::from_endpoints(eps, Ps::new(1000.0))
+    }
+
+    #[test]
+    fn avs_signoff_buys_path_budget() {
+        let period = Ps::new(1000.0);
+        let gain = SignoffStrategy::avs_gain_pct(period, 1.25, Ps::new(50.0), 20.0);
+        assert!(
+            gain > 10.0,
+            "AVS should recover much of the 25% corner inflation: {gain}%"
+        );
+        // Without headroom there is no gain.
+        let none = SignoffStrategy::avs_gain_pct(period, 1.25, Ps::new(50.0), 0.0);
+        assert!(none.abs() < 1e-9);
+    }
+
+    #[test]
+    fn headroom_beyond_corner_inflation_saturates() {
+        let s = SignoffStrategy::TypicalPlusAvs {
+            margin: Ps::new(50.0),
+            avs_headroom_pct: 60.0,
+        };
+        // Residual clamps at 1.0: signoff is truly at typical.
+        let budget = s.max_path_delay(Ps::new(1000.0), 1.25);
+        assert_eq!(budget, Ps::new(950.0));
+    }
+
+    #[test]
+    fn yield_tracks_slack() {
+        let y = YieldModel { sigma_ps: 20.0 };
+        let healthy = y.chip_yield(&report(&[60.0, 80.0, 100.0]));
+        let marginal = y.chip_yield(&report(&[0.0, 80.0, 100.0]));
+        let failing = y.chip_yield(&report(&[-40.0, 80.0, 100.0]));
+        assert!(healthy > 0.99);
+        assert!((marginal - 0.5).abs() < 0.02, "zero slack ⇒ coin flip");
+        assert!(failing < 0.05);
+    }
+
+    #[test]
+    fn same_wns_different_yield() {
+        // Lutkemeyer's point: two designs with identical WNS can have
+        // very different yield — slack goalposts miss this.
+        let y = YieldModel { sigma_ps: 20.0 };
+        let one_bad = report(&[-10.0, 200.0, 200.0, 200.0]);
+        let many_bad = report(&[-10.0, -10.0, -10.0, -10.0]);
+        assert_eq!(one_bad.wns(), many_bad.wns());
+        assert!(y.chip_yield(&one_bad) > 2.0 * y.chip_yield(&many_bad));
+    }
+
+    #[test]
+    fn guardband_sweep_is_monotone() {
+        let y = YieldModel { sigma_ps: 20.0 };
+        let r = report(&[30.0, 50.0, 80.0]);
+        let curve = y.yield_vs_guardband(&r, &[0.0, 20.0, 40.0, 60.0]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1, "more guardband ⇒ less yield margin");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Circuit description: nodes, passive elements, sources and MOSFETs.
+//!
+//! Unit system matches `tc-device`: volts, picoseconds, femtofarads,
+//! kilohms, milliamps — mutually consistent so the integrator needs no
+//! conversion factors.
+
+use tc_core::error::{Error, Result};
+use tc_core::units::{Ff, Kohm, Volt};
+use tc_device::MosDevice;
+
+/// Index of a circuit node. Node 0 is always ground.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Dense index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A piecewise-linear voltage waveform: `(time_ps, volts)` breakpoints.
+/// Before the first breakpoint the first value holds; after the last, the
+/// last value holds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Pwl {
+    points: Vec<(f64, f64)>,
+}
+
+impl Pwl {
+    /// A constant voltage.
+    pub fn constant(v: Volt) -> Self {
+        Pwl {
+            points: vec![(0.0, v.value())],
+        }
+    }
+
+    /// A single ramp from `v0` to `v1` starting at `t0` with the given
+    /// 0–100% transition time.
+    pub fn ramp(t0: f64, transition_ps: f64, v0: Volt, v1: Volt) -> Self {
+        Pwl {
+            points: vec![(t0, v0.value()), (t0 + transition_ps.max(1e-9), v1.value())],
+        }
+    }
+
+    /// A rise followed by a fall (a pulse), each edge with the given
+    /// transition time. If the fall begins before the rise completes,
+    /// the waveform is the physically correct *triangle* — the rising
+    /// ramp cut short by the falling ramp (a runt pulse); if the fall
+    /// precedes the rise entirely, the output never leaves `lo`.
+    pub fn pulse(t_rise: f64, t_fall: f64, transition_ps: f64, lo: Volt, hi: Volt) -> Self {
+        let tr = transition_ps.max(1e-9);
+        if t_fall >= t_rise + tr {
+            return Pwl {
+                points: vec![
+                    (t_rise, lo.value()),
+                    (t_rise + tr, hi.value()),
+                    (t_fall, hi.value()),
+                    (t_fall + tr, lo.value()),
+                ],
+            };
+        }
+        // Overlapping ramps: D(t) = min(rise(t), fall(t)). They intersect
+        // at t_peak; the peak never reaches full swing.
+        let t_peak = 0.5 * (t_rise + t_fall + tr);
+        if t_peak <= t_rise {
+            return Pwl::constant(lo);
+        }
+        let frac = ((t_peak - t_rise) / tr).clamp(0.0, 1.0);
+        let v_peak = lo.value() + frac * (hi.value() - lo.value());
+        Pwl {
+            points: vec![
+                (t_rise, lo.value()),
+                (t_peak, v_peak),
+                (t_fall + tr, lo.value()),
+            ],
+        }
+    }
+
+    /// Builds from explicit breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if the breakpoints are empty or not
+    /// sorted by time.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(Error::invalid_input("pwl needs at least one breakpoint"));
+        }
+        if points.windows(2).any(|w| w[1].0 < w[0].0) {
+            return Err(Error::invalid_input("pwl breakpoints must be sorted"));
+        }
+        Ok(Pwl { points })
+    }
+
+    /// Waveform value at time `t` (ps).
+    pub fn at(&self, t: f64) -> f64 {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (t0, v0) = w[0];
+            let (t1, v1) = w[1];
+            if t <= t1 {
+                if t1 - t0 <= 0.0 {
+                    return v1;
+                }
+                return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+            }
+        }
+        pts[pts.len() - 1].1
+    }
+}
+
+/// A circuit element.
+#[derive(Clone, Debug)]
+pub enum Element {
+    /// Linear resistor between two nodes.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance.
+        r: Kohm,
+    },
+    /// Linear capacitor between two nodes.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance.
+        c: Ff,
+    },
+    /// Ideal voltage source pinning `node` to a waveform.
+    Source {
+        /// The pinned node.
+        node: NodeId,
+        /// The driving waveform.
+        wave: Pwl,
+    },
+    /// A MOSFET.
+    Mosfet {
+        /// Device parameters.
+        dev: MosDevice,
+        /// Drain node.
+        d: NodeId,
+        /// Gate node.
+        g: NodeId,
+        /// Source node.
+        s: NodeId,
+    },
+}
+
+/// A flat transistor-level circuit under construction.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    names: Vec<String>,
+    pub(crate) elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            names: vec!["gnd".to_string()],
+            elements: Vec::new(),
+        }
+    }
+
+    /// Adds a named node and returns its id.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        self.names.push(name.into());
+        NodeId(self.names.len() - 1)
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.names[n.0]
+    }
+
+    /// Looks a node up by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.names.iter().position(|n| n == name).map(NodeId)
+    }
+
+    /// Adds a resistor.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, r: Kohm) {
+        self.elements.push(Element::Resistor { a, b, r });
+    }
+
+    /// Adds a capacitor.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, c: Ff) {
+        self.elements.push(Element::Capacitor { a, b, c });
+    }
+
+    /// Adds a grounded capacitor.
+    pub fn cap_to_ground(&mut self, a: NodeId, c: Ff) {
+        self.capacitor(a, NodeId::GROUND, c);
+    }
+
+    /// Pins a node to an ideal source waveform.
+    pub fn source(&mut self, node: NodeId, wave: Pwl) {
+        self.elements.push(Element::Source { node, wave });
+    }
+
+    /// Convenience: a node pinned to a constant rail.
+    pub fn rail(&mut self, name: impl Into<String>, v: Volt) -> NodeId {
+        let n = self.node(name);
+        self.source(n, Pwl::constant(v));
+        n
+    }
+
+    /// Adds a MOSFET.
+    pub fn mosfet(&mut self, dev: MosDevice, d: NodeId, g: NodeId, s: NodeId) {
+        self.elements.push(Element::Mosfet { dev, d, g, s });
+    }
+
+    /// The elements added so far.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pwl_evaluation() {
+        let p = Pwl::ramp(10.0, 20.0, Volt::new(0.0), Volt::new(1.0));
+        assert_eq!(p.at(0.0), 0.0);
+        assert_eq!(p.at(10.0), 0.0);
+        assert!((p.at(20.0) - 0.5).abs() < 1e-12);
+        assert_eq!(p.at(30.0), 1.0);
+        assert_eq!(p.at(100.0), 1.0);
+    }
+
+    #[test]
+    fn pwl_pulse_shape() {
+        let p = Pwl::pulse(100.0, 300.0, 10.0, Volt::new(0.0), Volt::new(0.9));
+        assert_eq!(p.at(50.0), 0.0);
+        assert_eq!(p.at(200.0), 0.9);
+        assert_eq!(p.at(400.0), 0.0);
+    }
+
+    #[test]
+    fn pwl_rejects_unsorted() {
+        assert!(Pwl::from_points(vec![(1.0, 0.0), (0.5, 1.0)]).is_err());
+        assert!(Pwl::from_points(vec![]).is_err());
+    }
+
+    #[test]
+    fn node_bookkeeping() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.node_name(a), "a");
+        assert_eq!(c.find_node("b"), Some(b));
+        assert_eq!(c.find_node("zz"), None);
+        c.resistor(a, b, Kohm::new(1.0));
+        c.cap_to_ground(b, Ff::new(2.0));
+        assert_eq!(c.elements().len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pwl_pulse_is_bounded_and_returns_to_lo(
+            t_rise in 0.0f64..500.0,
+            gap in -60.0f64..300.0,
+            tr in 1.0f64..60.0,
+            hi in 0.5f64..1.2,
+        ) {
+            let t_fall = t_rise + gap;
+            let p = Pwl::pulse(t_rise, t_fall, tr, Volt::ZERO, Volt::new(hi));
+            for i in 0..200 {
+                let t = -50.0 + i as f64 * 5.0;
+                let v = p.at(t);
+                prop_assert!(v >= -1e-12 && v <= hi + 1e-12, "v({t}) = {v}");
+            }
+            // Long after both edges the pulse is back at lo.
+            prop_assert!(p.at(t_rise + gap.abs() + 10.0 * tr + 1_000.0).abs() < 1e-9);
+            // Before the rise it is lo.
+            prop_assert!(p.at(t_rise - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn pwl_ramp_is_monotone(
+            t0 in 0.0f64..500.0,
+            tr in 1.0f64..100.0,
+            v1 in 0.2f64..1.2,
+        ) {
+            let p = Pwl::ramp(t0, tr, Volt::ZERO, Volt::new(v1));
+            let mut last = -1e-9;
+            for i in 0..100 {
+                let t = t0 - 10.0 + i as f64 * (tr + 20.0) / 100.0;
+                let v = p.at(t);
+                prop_assert!(v >= last - 1e-12);
+                last = v;
+            }
+        }
+    }
+}

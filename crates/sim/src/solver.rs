@@ -1,0 +1,518 @@
+//! Backward-Euler transient solver with damped Newton iteration.
+//!
+//! The solver targets the small transistor-level circuits built in
+//! [`crate::cells`] (a few dozen nodes), so it uses a dense Jacobian with
+//! Gaussian elimination. Jacobian entries are stamped per element:
+//! analytic for R and C, terminal-local finite differences for MOSFETs.
+//!
+//! DC initialization is done by *pseudo-transient continuation*: the
+//! circuit is simulated with all sources frozen at their `t = 0` values
+//! for a settling window before recording starts. This is robust against
+//! the weakly-driven internal nodes of latch feedback loops.
+
+use tc_core::error::{Error, Result};
+use tc_core::units::{Celsius, Volt};
+use tc_device::{MosKind, Technology};
+
+use crate::circuit::{Circuit, Element, NodeId};
+use crate::measure::Waveform;
+
+/// Transient-analysis options.
+#[derive(Clone, Debug)]
+pub struct TranOptions {
+    /// Simulation end time in ps (recording starts at 0).
+    pub t_stop: f64,
+    /// Fixed timestep in ps.
+    pub dt: f64,
+    /// Pseudo-transient settling window before `t = 0`, in ps.
+    pub settle: f64,
+    /// Die temperature.
+    pub temp: Celsius,
+    /// Minimum grounded capacitance added to every non-source node (fF),
+    /// keeping the backward-Euler system well-posed.
+    pub cmin: f64,
+}
+
+impl Default for TranOptions {
+    fn default() -> Self {
+        TranOptions {
+            t_stop: 1000.0,
+            dt: 0.5,
+            settle: 400.0,
+            temp: Celsius::new(25.0),
+            cmin: 0.01,
+        }
+    }
+}
+
+impl TranOptions {
+    /// Options with the given stop time and defaults elsewhere.
+    pub fn until(t_stop: f64) -> Self {
+        TranOptions {
+            t_stop,
+            ..TranOptions::default()
+        }
+    }
+}
+
+/// Result of a transient run: sampled node voltages over time.
+#[derive(Clone, Debug)]
+pub struct TranResult {
+    times: Vec<f64>,
+    /// `volts[node][sample]`.
+    volts: Vec<Vec<f64>>,
+}
+
+impl TranResult {
+    /// Sample times in ps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Extracts one node's waveform.
+    pub fn waveform(&self, node: NodeId) -> Waveform {
+        Waveform::new(self.times.clone(), self.volts[node.index()].clone())
+    }
+
+    /// Final voltage of a node.
+    pub fn final_voltage(&self, node: NodeId) -> f64 {
+        *self.volts[node.index()].last().expect("non-empty result")
+    }
+}
+
+/// Conductance added from every free node to ground (mA/V = mS) to keep
+/// the Newton matrix non-singular when devices are deeply off.
+const GMIN: f64 = 1e-7;
+const NEWTON_TOL_V: f64 = 1e-7;
+const NEWTON_TOL_I: f64 = 1e-8;
+const MAX_NEWTON: usize = 60;
+const DV_CLIP: f64 = 0.4;
+
+struct System<'a> {
+    circuit: &'a Circuit,
+    tech: &'a Technology,
+    temp: Celsius,
+    sources: Vec<(NodeId, crate::circuit::Pwl)>,
+    /// Free-node list and inverse map.
+    free: Vec<usize>,
+    free_index: Vec<Option<usize>>,
+    cmin: f64,
+}
+
+impl<'a> System<'a> {
+    fn build(circuit: &'a Circuit, tech: &'a Technology, opts: &TranOptions) -> Result<Self> {
+        let n = circuit.node_count();
+        let mut pinned = vec![None; n];
+        let mut sources = Vec::new();
+        for el in circuit.elements() {
+            if let Element::Source { node, wave } = el {
+                if pinned[node.index()].is_some() {
+                    return Err(Error::invalid_input(format!(
+                        "node {} pinned by two sources",
+                        circuit.node_name(*node)
+                    )));
+                }
+                pinned[node.index()] = Some(sources.len());
+                sources.push((*node, wave.clone()));
+            }
+        }
+        // Ground is always pinned to zero via a constant source slot.
+        if pinned[0].is_none() {
+            pinned[0] = Some(sources.len());
+            sources.push((NodeId::GROUND, crate::circuit::Pwl::constant(Volt::ZERO)));
+        }
+        let mut free = Vec::new();
+        let mut free_index = vec![None; n];
+        for i in 0..n {
+            if pinned[i].is_none() {
+                free_index[i] = Some(free.len());
+                free.push(i);
+            }
+        }
+        Ok(System {
+            circuit,
+            tech,
+            temp: opts.temp,
+            sources,
+            free,
+            free_index,
+            cmin: opts.cmin,
+        })
+    }
+
+    fn apply_sources(&self, t: f64, v: &mut [f64]) {
+        for (node, wave) in &self.sources {
+            v[node.index()] = wave.at(t);
+        }
+    }
+
+    /// MOSFET drain current with polarity resolution: returns the signed
+    /// current flowing *into* the drain terminal.
+    fn fet_current(&self, dev: &tc_device::MosDevice, vd: f64, vg: f64, vs: f64) -> f64 {
+        match dev.kind {
+            MosKind::Nmos => {
+                if vd >= vs {
+                    dev.drain_current(
+                        self.tech,
+                        Volt::new(vg - vs),
+                        Volt::new(vd - vs),
+                        self.temp,
+                    )
+                } else {
+                    // Source/drain swap: conduction is symmetric.
+                    -dev.drain_current(
+                        self.tech,
+                        Volt::new(vg - vd),
+                        Volt::new(vs - vd),
+                        self.temp,
+                    )
+                }
+            }
+            MosKind::Pmos => {
+                if vs >= vd {
+                    // Channel conducts source→drain: current *exits* the
+                    // device at the drain, so the into-drain current is
+                    // negative.
+                    -dev.drain_current(
+                        self.tech,
+                        Volt::new(vs - vg),
+                        Volt::new(vs - vd),
+                        self.temp,
+                    )
+                } else {
+                    dev.drain_current(
+                        self.tech,
+                        Volt::new(vd - vg),
+                        Volt::new(vd - vs),
+                        self.temp,
+                    )
+                }
+            }
+        }
+    }
+
+    /// Accumulates the residual `f[i]` = net current *leaving* each free
+    /// node, and optionally the dense Jacobian `df/dv`.
+    fn residual(&self, v: &[f64], v_prev: &[f64], dt: f64, f: &mut [f64], jac: Option<&mut [f64]>) {
+        let nf = self.free.len();
+        for x in f.iter_mut() {
+            *x = 0.0;
+        }
+        let mut jbuf = jac;
+        if let Some(j) = jbuf.as_deref_mut() {
+            for x in j.iter_mut() {
+                *x = 0.0;
+            }
+        }
+
+        let stamp =
+            |jac: &mut Option<&mut [f64]>, row_node: usize, col_node: usize, g: f64| {
+                if let (Some(r), Some(c)) = (self.free_index[row_node], self.free_index[col_node]) {
+                    if let Some(j) = jac.as_deref_mut() {
+                        j[r * nf + c] += g;
+                    }
+                }
+            };
+
+        // gmin + cmin to ground on every free node.
+        for (fi, &node) in self.free.iter().enumerate() {
+            let g = GMIN + self.cmin / dt;
+            f[fi] += GMIN * v[node] + self.cmin * (v[node] - v_prev[node]) / dt;
+            stamp(&mut jbuf, node, node, g);
+        }
+
+        for el in self.circuit.elements() {
+            match el {
+                Element::Source { .. } => {}
+                Element::Resistor { a, b, r } => {
+                    let g = 1.0 / r.value();
+                    let i = g * (v[a.index()] - v[b.index()]);
+                    if let Some(fa) = self.free_index[a.index()] {
+                        f[fa] += i;
+                    }
+                    if let Some(fb) = self.free_index[b.index()] {
+                        f[fb] -= i;
+                    }
+                    stamp(&mut jbuf, a.index(), a.index(), g);
+                    stamp(&mut jbuf, a.index(), b.index(), -g);
+                    stamp(&mut jbuf, b.index(), b.index(), g);
+                    stamp(&mut jbuf, b.index(), a.index(), -g);
+                }
+                Element::Capacitor { a, b, c } => {
+                    let g = c.value() / dt;
+                    let dv_now = v[a.index()] - v[b.index()];
+                    let dv_old = v_prev[a.index()] - v_prev[b.index()];
+                    let i = g * (dv_now - dv_old);
+                    if let Some(fa) = self.free_index[a.index()] {
+                        f[fa] += i;
+                    }
+                    if let Some(fb) = self.free_index[b.index()] {
+                        f[fb] -= i;
+                    }
+                    stamp(&mut jbuf, a.index(), a.index(), g);
+                    stamp(&mut jbuf, a.index(), b.index(), -g);
+                    stamp(&mut jbuf, b.index(), b.index(), g);
+                    stamp(&mut jbuf, b.index(), a.index(), -g);
+                }
+                Element::Mosfet { dev, d, g, s } => {
+                    let (vd, vg, vs) = (v[d.index()], v[g.index()], v[s.index()]);
+                    let i_d = self.fet_current(dev, vd, vg, vs);
+                    // i_d flows from the drain node into the device and out
+                    // at the source: leaving(drain) = +i_d,
+                    // leaving(source) = −i_d.
+                    if let Some(fd) = self.free_index[d.index()] {
+                        f[fd] += i_d;
+                    }
+                    if let Some(fs) = self.free_index[s.index()] {
+                        f[fs] -= i_d;
+                    }
+                    if jbuf.is_some() {
+                        const H: f64 = 1e-5;
+                        let di_dd = (self.fet_current(dev, vd + H, vg, vs) - i_d) / H;
+                        let di_dg = (self.fet_current(dev, vd, vg + H, vs) - i_d) / H;
+                        let di_ds = (self.fet_current(dev, vd, vg, vs + H) - i_d) / H;
+                        // Row = drain (leaving drain = +i_d).
+                        stamp(&mut jbuf, d.index(), d.index(), di_dd);
+                        stamp(&mut jbuf, d.index(), g.index(), di_dg);
+                        stamp(&mut jbuf, d.index(), s.index(), di_ds);
+                        // Row = source (leaving source = −i_d).
+                        stamp(&mut jbuf, s.index(), d.index(), -di_dd);
+                        stamp(&mut jbuf, s.index(), g.index(), -di_dg);
+                        stamp(&mut jbuf, s.index(), s.index(), -di_ds);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One backward-Euler step with damped Newton; `v` holds the solution
+    /// on exit.
+    fn step(&self, t_new: f64, dt: f64, v_prev: &[f64], v: &mut [f64]) -> Result<()> {
+        let nf = self.free.len();
+        if nf == 0 {
+            self.apply_sources(t_new, v);
+            return Ok(());
+        }
+        self.apply_sources(t_new, v);
+        let mut f = vec![0.0; nf];
+        let mut jac = vec![0.0; nf * nf];
+        let mut delta = vec![0.0; nf];
+
+        for _iter in 0..MAX_NEWTON {
+            self.residual(v, v_prev, dt, &mut f, Some(&mut jac));
+            let max_f = f.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+            // Solve J·delta = f  (so v_new = v − delta).
+            let mut a = jac.clone();
+            delta.copy_from_slice(&f);
+            solve_dense(&mut a, &mut delta, nf)?;
+            let mut max_dv = 0.0f64;
+            for (fi, &node) in self.free.iter().enumerate() {
+                let dv = delta[fi].clamp(-DV_CLIP, DV_CLIP);
+                v[node] -= dv;
+                max_dv = max_dv.max(dv.abs());
+            }
+            if max_dv < NEWTON_TOL_V && max_f < NEWTON_TOL_I {
+                return Ok(());
+            }
+        }
+        Err(Error::convergence(format!(
+            "newton did not converge at t = {t_new:.2} ps"
+        )))
+    }
+}
+
+/// Solves a dense `n×n` system in place by Gaussian elimination with
+/// partial pivoting. `a` is row-major; `b` holds the RHS on entry and the
+/// solution on exit.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<()> {
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        let mut best = a[col * n + col].abs();
+        for row in col + 1..n {
+            let mag = a[row * n + col].abs();
+            if mag > best {
+                best = mag;
+                piv = row;
+            }
+        }
+        if best < 1e-18 {
+            return Err(Error::internal("singular newton matrix"));
+        }
+        if piv != col {
+            for k in 0..n {
+                a.swap(col * n + k, piv * n + k);
+            }
+            b.swap(col, piv);
+        }
+        let diag = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col * n + k] * b[k];
+        }
+        b[col] = acc / a[col * n + col];
+    }
+    Ok(())
+}
+
+/// Runs a transient analysis of `circuit` under `tech` at the given
+/// options.
+///
+/// # Errors
+///
+/// Returns [`Error::Convergence`] if the Newton iteration fails, or
+/// [`Error::InvalidInput`] for malformed circuits (duplicate sources,
+/// non-positive timestep).
+pub fn transient(circuit: &Circuit, tech: &Technology, opts: &TranOptions) -> Result<TranResult> {
+    if opts.dt <= 0.0 || opts.t_stop <= 0.0 {
+        return Err(Error::invalid_input("dt and t_stop must be positive"));
+    }
+    let sys = System::build(circuit, tech, opts)?;
+    let n = circuit.node_count();
+    let mut v = vec![0.0; n];
+    sys.apply_sources(-opts.settle, &mut v);
+    // Heuristic initial guess: free nodes at half the max source voltage.
+    let vmax = sys
+        .sources
+        .iter()
+        .map(|(_, w)| w.at(-opts.settle))
+        .fold(0.0f64, f64::max);
+    for &node in &sys.free {
+        v[node] = 0.5 * vmax;
+    }
+
+    // Pseudo-transient settling with a coarse step, sources frozen at t≤0.
+    let settle_dt = (opts.dt * 4.0).max(1.0);
+    let mut v_prev = v.clone();
+    let mut t = -opts.settle;
+    while t < 0.0 {
+        let t_next = (t + settle_dt).min(0.0);
+        sys.step(t_next.min(0.0), t_next - t, &v_prev, &mut v)?;
+        v_prev.copy_from_slice(&v);
+        t = t_next;
+    }
+
+    let steps = (opts.t_stop / opts.dt).ceil() as usize;
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut volts = vec![Vec::with_capacity(steps + 1); n];
+    let record = |times: &mut Vec<f64>, volts: &mut Vec<Vec<f64>>, t: f64, v: &[f64]| {
+        times.push(t);
+        for (i, w) in volts.iter_mut().enumerate() {
+            w.push(v[i]);
+        }
+    };
+    record(&mut times, &mut volts, 0.0, &v);
+    let mut t = 0.0;
+    for _ in 0..steps {
+        let t_next = t + opts.dt;
+        sys.step(t_next, opts.dt, &v_prev, &mut v)?;
+        v_prev.copy_from_slice(&v);
+        t = t_next;
+        record(&mut times, &mut volts, t, &v);
+    }
+    Ok(TranResult { times, volts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Pwl;
+    use tc_core::units::{Ff, Kohm};
+
+    #[test]
+    fn dense_solver_solves_known_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1; 3]
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![5.0, 10.0];
+        solve_dense(&mut a, &mut b, 2).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_solver_rejects_singular() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_dense(&mut a, &mut b, 2).is_err());
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic_time_constant() {
+        // 1 kΩ from a 1 V step source into 10 fF: tau = 10 ps.
+        let tech = Technology::planar_28nm();
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        let out = ckt.node("out");
+        ckt.source(src, Pwl::ramp(0.0, 0.01, Volt::new(0.0), Volt::new(1.0)));
+        ckt.resistor(src, out, Kohm::new(1.0));
+        ckt.cap_to_ground(out, Ff::new(10.0));
+        let opts = TranOptions {
+            t_stop: 60.0,
+            dt: 0.05,
+            settle: 50.0,
+            cmin: 0.0001,
+            ..Default::default()
+        };
+        let res = transient(&ckt, &tech, &opts).unwrap();
+        let w = res.waveform(out);
+        // After one tau (10 ps): 63.2%; after 3 tau: 95%.
+        let v_tau = w.at(10.0);
+        assert!(
+            (v_tau - 0.632).abs() < 0.02,
+            "v(tau) = {v_tau}, want ~0.632"
+        );
+        assert!(w.at(30.0) > 0.94);
+        assert!(res.final_voltage(out) > 0.99);
+    }
+
+    #[test]
+    fn capacitive_divider_settles() {
+        // Two caps in series from a stepped source: the middle node divides.
+        let tech = Technology::planar_28nm();
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        let mid = ckt.node("mid");
+        ckt.source(src, Pwl::ramp(0.0, 1.0, Volt::ZERO, Volt::new(1.0)));
+        ckt.capacitor(src, mid, Ff::new(3.0));
+        ckt.cap_to_ground(mid, Ff::new(1.0));
+        let opts = TranOptions {
+            t_stop: 20.0,
+            dt: 0.1,
+            settle: 10.0,
+            cmin: 1e-5,
+            ..Default::default()
+        };
+        let res = transient(&ckt, &tech, &opts).unwrap();
+        // Divider: 3/(3+1) = 0.75 right after the edge (gmin discharges it
+        // only on far longer timescales).
+        let v = res.waveform(mid).at(3.0);
+        assert!((v - 0.75).abs() < 0.03, "divider voltage {v}");
+    }
+
+    #[test]
+    fn rejects_bad_options_and_double_source() {
+        let tech = Technology::planar_28nm();
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.source(a, Pwl::constant(Volt::new(1.0)));
+        ckt.source(a, Pwl::constant(Volt::new(0.5)));
+        assert!(transient(&ckt, &tech, &TranOptions::default()).is_err());
+
+        let ckt2 = Circuit::new();
+        let mut opts = TranOptions::default();
+        opts.dt = -1.0;
+        assert!(transient(&ckt2, &tech, &opts).is_err());
+    }
+}

@@ -1,0 +1,705 @@
+//! Graph-based timing analysis (GBA).
+//!
+//! Late/early arrivals with slews are propagated through the levelized
+//! netlist; POCV/LVF variance is accumulated per stage and slacks are
+//! margined at `mean ± k·σ` ("slacks now reported at a confidence tail of
+//! the slack distribution", §1.3 footnote). AOCV in GBA uses the
+//! conservative depth bound of 1 stage — the pessimism PBA then recovers.
+
+use std::collections::HashMap;
+
+use tc_core::error::{Error, Result};
+use tc_core::ids::CellId;
+use tc_core::units::{Ff, Ps};
+use tc_interconnect::beol::{BeolCorner, BeolSample, BeolStack};
+use tc_interconnect::estimate::{NdrClass, WireModel};
+use tc_liberty::{CellKind, DerateModel, Library, TimingArc};
+use tc_netlist::level::levelize;
+use tc_netlist::Netlist;
+
+use crate::constraints::Constraints;
+use crate::report::{Endpoint, EndpointTiming, TimingReport};
+use crate::si::coupling_delta;
+
+/// One propagated arrival bound (late or early).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct Arr {
+    /// Mean arrival, ps.
+    pub t: f64,
+    /// Accumulated delay variance, ps².
+    pub var: f64,
+    /// Transition time at this point, ps.
+    pub slew: f64,
+    /// Stage count from the launch point.
+    pub depth: usize,
+    /// Cumulative gate delay along the winning path, ps.
+    pub gate_ps: f64,
+    /// Cumulative wire delay along the winning path, ps.
+    pub wire_ps: f64,
+}
+
+impl Arr {
+    fn late_criterion(&self, k: f64) -> f64 {
+        self.t + k * self.var.sqrt()
+    }
+
+    fn early_criterion(&self, k: f64) -> f64 {
+        self.t - k * self.var.sqrt()
+    }
+}
+
+/// Per-net propagation state.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct NetState {
+    pub late: Arr,
+    pub early: Arr,
+    /// `(driver input pin index)` that produced the late arrival — the
+    /// breadcrumb PBA backtracking follows.
+    pub late_pred_pin: Option<usize>,
+    /// Whether any arrival reached this net.
+    pub reached: bool,
+}
+
+/// The STA engine, borrowing the design and its environment.
+#[derive(Clone, Debug)]
+pub struct Sta<'a> {
+    pub(crate) nl: &'a Netlist,
+    pub(crate) lib: &'a Library,
+    pub(crate) stack: &'a BeolStack,
+    pub(crate) cons: &'a Constraints,
+    pub(crate) beol_corner: BeolCorner,
+    pub(crate) beol_sample: Option<&'a BeolSample>,
+}
+
+/// Wire timing cached per net.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct NetWire {
+    pub driver_load: Ff,
+    /// Per-sink wire delay, aligned with the net's sink list.
+    pub sink_delays: Vec<Ps>,
+    /// SI delta delay (ps) added late / subtracted early when enabled.
+    pub si_delta: f64,
+}
+
+impl<'a> Sta<'a> {
+    /// Creates an analysis over a netlist at the library's PVT corner and
+    /// the typical BEOL corner.
+    pub fn new(
+        nl: &'a Netlist,
+        lib: &'a Library,
+        stack: &'a BeolStack,
+        cons: &'a Constraints,
+    ) -> Self {
+        Sta {
+            nl,
+            lib,
+            stack,
+            cons,
+            beol_corner: BeolCorner::Typical,
+            beol_sample: None,
+        }
+    }
+
+    /// Selects a BEOL extraction corner.
+    pub fn with_beol_corner(mut self, corner: BeolCorner) -> Self {
+        self.beol_corner = corner;
+        self
+    }
+
+    /// Applies a Monte Carlo per-layer BEOL variation sample.
+    pub fn with_beol_sample(mut self, sample: &'a BeolSample) -> Self {
+        self.beol_sample = Some(sample);
+        self
+    }
+
+    pub(crate) fn k_sigma(&self) -> f64 {
+        match &self.cons.derate {
+            DerateModel::Pocv { k, .. } | DerateModel::Lvf { k } => *k,
+            _ => 0.0,
+        }
+    }
+
+    /// Late-stage delay and added variance for one arc evaluation.
+    /// `depth` is the path depth used for AOCV (GBA passes 1, PBA the
+    /// true count).
+    pub(crate) fn stage_late(
+        &self,
+        cell: CellId,
+        arc: &TimingArc,
+        slew: f64,
+        load: f64,
+        depth: usize,
+    ) -> (f64, f64) {
+        let raw = arc.delay.eval(slew, load);
+        match &self.cons.derate {
+            DerateModel::None => (raw, 0.0),
+            DerateModel::Flat { late, .. } => (raw * late, 0.0),
+            DerateModel::Aocv(t) => (raw * t.late_derate(depth, 0.0), 0.0),
+            DerateModel::Pocv { sigma, .. } => {
+                let s = sigma.late * raw;
+                (raw, s * s)
+            }
+            DerateModel::Lvf { .. } => {
+                let s = match &arc.lvf {
+                    Some(l) => l.sigma_late.eval(slew, load),
+                    None => self.lib.cell(self.nl.cell(cell).master).pocv.late * raw,
+                };
+                (raw, s * s)
+            }
+        }
+    }
+
+    /// Early-stage delay and variance for one arc evaluation.
+    pub(crate) fn stage_early(
+        &self,
+        cell: CellId,
+        arc: &TimingArc,
+        slew: f64,
+        load: f64,
+        depth: usize,
+    ) -> (f64, f64) {
+        let raw = arc.delay.eval(slew, load);
+        match &self.cons.derate {
+            DerateModel::None => (raw, 0.0),
+            DerateModel::Flat { early, .. } => (raw * early, 0.0),
+            DerateModel::Aocv(t) => (raw * t.early_derate(depth, 0.0), 0.0),
+            DerateModel::Pocv { sigma, .. } => {
+                let s = sigma.early * raw;
+                (raw, s * s)
+            }
+            DerateModel::Lvf { .. } => {
+                let s = match &arc.lvf {
+                    Some(l) => l.sigma_early.eval(slew, load),
+                    None => self.lib.cell(self.nl.cell(cell).master).pocv.early * raw,
+                };
+                (raw, s * s)
+            }
+        }
+    }
+
+    /// Wire delay derates: `(late_ps, late_var, early_ps, early_var)`.
+    pub(crate) fn wire_terms(&self, wire: Ps) -> (f64, f64, f64, f64) {
+        let w = wire.value();
+        match &self.cons.derate {
+            DerateModel::Pocv { .. } | DerateModel::Lvf { .. } => {
+                let s = 0.05 * w;
+                (w, s * s, w, s * s)
+            }
+            _ => (w * self.cons.wire_derate.0, 0.0, w * self.cons.wire_derate.1, 0.0),
+        }
+    }
+
+    /// Computes per-net wire timings (loads, sink delays, SI deltas).
+    pub(crate) fn wire_timings(&self) -> Result<Vec<NetWire>> {
+        let mut out = Vec::with_capacity(self.nl.net_count());
+        for net in self.nl.nets() {
+            let sink_caps: Vec<Ff> = net
+                .sinks
+                .iter()
+                .map(|s| self.lib.cell(self.nl.cell(s.cell).master).input_cap)
+                .collect();
+            let ndr = match net.route_class {
+                0 => NdrClass::Default,
+                1 => NdrClass::DoubleWidth,
+                _ => NdrClass::DoubleWidthSpacing,
+            };
+            let wm = WireModel::from_length(net.wire_length_um.max(1.0)).with_ndr(ndr);
+            let t = wm.timing(self.stack, self.beol_corner, self.beol_sample, &sink_caps)?;
+            let si_delta = if self.cons.si_enabled {
+                let layer = self.stack.layer(wm.layer);
+                coupling_delta(layer, self.beol_corner, ndr, &t)
+            } else {
+                0.0
+            };
+            out.push(NetWire {
+                driver_load: t.driver_load,
+                sink_delays: t.sink_delays,
+                si_delta,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Launch/capture clock components for a flop:
+    /// `(late_arrival, early_arrival)` at its CK pin. The common segment
+    /// (source latency + trunk) is not derated when CPPR is on.
+    pub(crate) fn clock_arrivals(&self, flop: CellId) -> (f64, f64) {
+        let clk = self.cons.default_clock();
+        let common = clk.source_latency.value() + self.cons.clock_tree.common.value();
+        let leaf = self.cons.clock_tree.leaf_of(flop).value();
+        let (dl, de) = match &self.cons.derate {
+            DerateModel::Flat { late, early } => (*late, *early),
+            DerateModel::Aocv(t) => (t.late_derate(4, 0.0), t.early_derate(4, 0.0)),
+            // POCV/LVF margin clock paths with a light flat derate (the
+            // variance bookkeeping lives on the data path).
+            DerateModel::Pocv { .. } | DerateModel::Lvf { .. } => (1.03, 0.97),
+            DerateModel::None => (1.0, 1.0),
+        };
+        if self.cons.cppr {
+            (common + leaf * dl, common + leaf * de)
+        } else {
+            ((common + leaf) * dl, (common + leaf) * de)
+        }
+    }
+
+    /// Runs graph-based analysis, returning per-net states plus wire
+    /// timings (the raw material for reports and PBA).
+    pub(crate) fn propagate(&self) -> Result<(Vec<NetState>, Vec<NetWire>)> {
+        let lv = levelize(self.nl, self.lib)?;
+        let wires = self.wire_timings()?;
+        let mut state = vec![NetState::default(); self.nl.net_count()];
+
+        // Map each (cell, pin) to its index in the driving net's sink
+        // list, to look up per-sink wire delay.
+        let mut sink_index: HashMap<(CellId, usize), usize> = HashMap::new();
+        for (ni, net) in self.nl.nets().iter().enumerate() {
+            let _ = ni;
+            for (si, s) in net.sinks.iter().enumerate() {
+                sink_index.insert((s.cell, s.pin), si);
+            }
+        }
+
+        // Primary inputs (data): known arrival & slew. Clock roots are
+        // excluded from data propagation.
+        let clock_names: Vec<&str> = self.cons.clocks.iter().map(|c| c.name.as_str()).collect();
+        for &pi in self.nl.primary_inputs() {
+            let net = self.nl.net(pi);
+            if clock_names.contains(&net.name.as_str()) {
+                continue;
+            }
+            let base = Arr {
+                t: self.cons.input_delay.value(),
+                var: 0.0,
+                slew: self.cons.input_slew,
+                depth: 0,
+                gate_ps: 0.0,
+                wire_ps: 0.0,
+            };
+            state[pi.index()] = NetState {
+                late: base,
+                early: base,
+                late_pred_pin: None,
+                reached: true,
+            };
+        }
+
+        let k = self.k_sigma();
+        for &cid in &lv.order {
+            let cell = self.nl.cell(cid);
+            let master = self.lib.cell(cell.master);
+            let out = cell.output;
+            let load = wires[out.index()].driver_load.value();
+
+            if master.kind == CellKind::Flop {
+                // Q launches from the clock.
+                let (ck_late, ck_early) = self.clock_arrivals(cid);
+                let arc = master
+                    .arc_from("CK")
+                    .ok_or_else(|| Error::internal("flop without CK arc"))?;
+                let cs = self.cons.clock_tree.clock_slew;
+                let (dl, vl) = self.stage_late(cid, arc, cs, load, 1);
+                let (de, ve) = self.stage_early(cid, arc, cs, load, 1);
+                let slew = arc.out_slew.eval(cs, load);
+                state[out.index()] = NetState {
+                    late: Arr {
+                        t: ck_late + dl,
+                        var: vl,
+                        slew,
+                        depth: 1,
+                        gate_ps: dl,
+                        wire_ps: 0.0,
+                    },
+                    early: Arr {
+                        t: ck_early + de,
+                        var: ve,
+                        slew,
+                        depth: 1,
+                        gate_ps: de,
+                        wire_ps: 0.0,
+                    },
+                    late_pred_pin: None,
+                    reached: true,
+                };
+                continue;
+            }
+
+            // Combinational: evaluate every input arc.
+            let mut best_late: Option<(Arr, usize)> = None;
+            let mut best_early: Option<Arr> = None;
+            for (pin, &in_net) in cell.inputs.iter().enumerate() {
+                let ns = state[in_net.index()];
+                if !ns.reached {
+                    continue;
+                }
+                let si = sink_index[&(cid, pin)];
+                let wire = wires[in_net.index()].sink_delays[si];
+                let si_delta = wires[in_net.index()].si_delta;
+                let (wl, wvl, we, wve) = self.wire_terms(wire);
+                let pin_name = master.input_pins()[pin];
+                let arc = master
+                    .arc_from(pin_name)
+                    .ok_or_else(|| Error::internal("missing arc"))?;
+
+                let pin_slew_late = ns.late.slew + 0.25 * wire.value();
+                let (dl, vl) = self.stage_late(cid, arc, pin_slew_late, load, 1);
+                let cand_late = Arr {
+                    t: ns.late.t + wl + si_delta + dl,
+                    var: ns.late.var + wvl + vl,
+                    slew: arc.out_slew.eval(pin_slew_late, load),
+                    depth: ns.late.depth + 1,
+                    gate_ps: ns.late.gate_ps + dl,
+                    wire_ps: ns.late.wire_ps + wl + si_delta,
+                };
+                let better = match &best_late {
+                    None => true,
+                    Some((b, _)) => cand_late.late_criterion(k) > b.late_criterion(k),
+                };
+                if better {
+                    best_late = Some((cand_late, pin));
+                }
+
+                let pin_slew_early = ns.early.slew + 0.25 * wire.value();
+                let (de, ve) = self.stage_early(cid, arc, pin_slew_early, load, 1);
+                let cand_early = Arr {
+                    t: ns.early.t + we - si_delta + de,
+                    var: ns.early.var + wve + ve,
+                    slew: arc.out_slew.eval(pin_slew_early, load),
+                    depth: ns.early.depth + 1,
+                    gate_ps: ns.early.gate_ps + de,
+                    wire_ps: ns.early.wire_ps + we - si_delta,
+                };
+                let better = match &best_early {
+                    None => true,
+                    Some(b) => cand_early.early_criterion(k) < b.early_criterion(k),
+                };
+                if better {
+                    best_early = Some(cand_early);
+                }
+            }
+            if let (Some((late, pin)), Some(early)) = (best_late, best_early) {
+                state[out.index()] = NetState {
+                    late,
+                    early,
+                    late_pred_pin: Some(pin),
+                    reached: true,
+                };
+            }
+        }
+        Ok((state, wires))
+    }
+
+    /// Runs the full analysis and builds the timing report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates levelization failures (combinational loops) and
+    /// interconnect estimation errors.
+    pub fn run(&self) -> Result<TimingReport> {
+        let (state, wires) = self.propagate()?;
+        let k = self.k_sigma();
+        let clk = self.cons.default_clock();
+        let period = clk.period.value();
+        let mut endpoints = Vec::new();
+
+        // Flop D endpoints: setup & hold checks.
+        for fid in self.nl.flops(self.lib) {
+            if self.cons.exceptions.is_false_path(fid) {
+                continue; // set_false_path: checks waived
+            }
+            let cell = self.nl.cell(fid);
+            let master = self.lib.cell(cell.master);
+            let flop_t = master.flop.as_ref().expect("flop has constraint data");
+            let d_net = cell.inputs[0];
+            let ns = state[d_net.index()];
+            if !ns.reached {
+                continue;
+            }
+            let si = self
+                .nl
+                .net(d_net)
+                .sinks
+                .iter()
+                .position(|s| s.cell == fid && s.pin == 0)
+                .ok_or_else(|| Error::internal("flop D not a sink of its net"))?;
+            let wire = wires[d_net.index()].sink_delays[si];
+            let si_delta = wires[d_net.index()].si_delta;
+            let (wl, wvl, we, wve) = self.wire_terms(wire);
+
+            let data_late = Arr {
+                t: ns.late.t + wl + si_delta,
+                var: ns.late.var + wvl,
+                wire_ps: ns.late.wire_ps + wl + si_delta,
+                ..ns.late
+            };
+            let data_early = Arr {
+                t: ns.early.t + we - si_delta,
+                var: ns.early.var + wve,
+                wire_ps: ns.early.wire_ps + we - si_delta,
+                ..ns.early
+            };
+            let data_slew = ns.late.slew + 0.25 * wire.value();
+            let cs = self.cons.clock_tree.clock_slew;
+            let setup_req = flop_t.setup_at(data_slew, cs).value();
+            let hold_req = flop_t.hold_at(data_slew, cs).value();
+            let (ck_late, ck_early) = self.clock_arrivals(fid);
+
+            // set_multicycle_path: the capture edge moves out by n−1
+            // periods for setup; hold stays single-cycle (SDC default).
+            let cycles = self.cons.exceptions.setup_cycles(fid) as f64;
+            let setup_slack = (cycles * period + ck_early)
+                - clk.uncertainty.value()
+                - setup_req
+                - data_late.late_criterion(k);
+            let hold_slack = data_early.early_criterion(k)
+                - ck_late
+                - hold_req
+                - clk.hold_uncertainty.value();
+
+            endpoints.push(EndpointTiming {
+                endpoint: Endpoint::FlopD(fid),
+                setup_slack: Ps::new(setup_slack),
+                hold_slack: Ps::new(hold_slack),
+                arrival: Ps::new(data_late.t),
+                required: Ps::new(
+                    cycles * period + ck_early - clk.uncertainty.value() - setup_req,
+                ),
+                depth: data_late.depth,
+                gate_ps: data_late.gate_ps,
+                wire_ps: data_late.wire_ps,
+                data_slew,
+            });
+        }
+
+        // Primary-output endpoints: setup-style only.
+        for po in self.nl.primary_outputs() {
+            let ns = state[po.index()];
+            if !ns.reached {
+                continue;
+            }
+            let required = period - self.cons.output_delay.value();
+            let setup_slack = required - ns.late.late_criterion(k);
+            endpoints.push(EndpointTiming {
+                endpoint: Endpoint::Output(po),
+                setup_slack: Ps::new(setup_slack),
+                hold_slack: Ps::new(f64::INFINITY),
+                arrival: Ps::new(ns.late.t),
+                required: Ps::new(required),
+                depth: ns.late.depth,
+                gate_ps: ns.late.gate_ps,
+                wire_ps: ns.late.wire_ps,
+                data_slew: ns.late.slew,
+            });
+        }
+
+        Ok(TimingReport::from_endpoints(endpoints, clk.period))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::ids::NetId;
+    use tc_device::VtClass;
+    use tc_liberty::{LibConfig, PvtCorner};
+    use tc_netlist::gen::{generate, BenchProfile};
+
+    fn env() -> (Library, BeolStack) {
+        (
+            Library::generate(&LibConfig::default(), &PvtCorner::typical()),
+            BeolStack::n20(),
+        )
+    }
+
+    /// flop → 4 inverters → flop, hand-checkable.
+    fn reg2reg(lib: &Library) -> Netlist {
+        let mut nl = Netlist::new("reg2reg");
+        let clk = nl.add_input("clk");
+        let d0 = nl.add_input("d0");
+        let dff = lib.variant("DFF", VtClass::Svt, 1.0).unwrap();
+        let inv = lib.variant("INV", VtClass::Svt, 2.0).unwrap();
+        let (_, q) = nl.add_cell("ff0", lib, dff, &[d0, clk]).unwrap();
+        let mut net = q;
+        for i in 0..4 {
+            let (_, out) = nl.add_cell(format!("i{i}"), lib, inv, &[net]).unwrap();
+            net = out;
+        }
+        let (_, q1) = nl.add_cell("ff1", lib, dff, &[net, clk]).unwrap();
+        nl.mark_output(q1);
+        for i in 0..nl.net_count() {
+            nl.set_wire_length(NetId::new(i), 10.0);
+        }
+        nl
+    }
+
+    #[test]
+    fn reg2reg_slack_tracks_period() {
+        let (lib, stack) = env();
+        let nl = reg2reg(&lib);
+        let fast = Constraints::single_clock(2_000.0);
+        let slow = Constraints::single_clock(200.0);
+        let r_fast = Sta::new(&nl, &lib, &stack, &fast).run().unwrap();
+        let r_slow = Sta::new(&nl, &lib, &stack, &slow).run().unwrap();
+        assert!(r_fast.wns() > r_slow.wns());
+        // Period delta flows 1:1 into slack.
+        let d = r_fast.wns().value() - r_slow.wns().value();
+        assert!((d - 1_800.0).abs() < 1.0, "slack delta {d}");
+        // Relaxed clock meets timing.
+        assert!(r_fast.wns().value() > 0.0);
+    }
+
+    #[test]
+    fn arrival_equals_clock_plus_c2q_plus_stages() {
+        let (lib, stack) = env();
+        let nl = reg2reg(&lib);
+        let cons = Constraints::single_clock(1_000.0).with_derate(DerateModel::None);
+        let r = Sta::new(&nl, &lib, &stack, &cons).run().unwrap();
+        let ff1 = nl.cell_named("ff1").unwrap();
+        let ep = r
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == Endpoint::FlopD(ff1))
+            .unwrap();
+        // 1 c2q + 4 inverters.
+        assert_eq!(ep.depth, 5);
+        assert!(ep.arrival.value() > 50.0, "arrival {}", ep.arrival);
+        assert!(
+            (ep.gate_ps + ep.wire_ps - (ep.arrival.value() - 50.0)).abs() < 1e-6,
+            "breakdown must sum to arrival minus clock source latency"
+        );
+    }
+
+    #[test]
+    fn derate_models_order_pessimism() {
+        let (lib, stack) = env();
+        let nl = generate(&lib, BenchProfile::tiny(), 5).unwrap();
+        let base = Constraints::single_clock(1_000.0);
+        let wns = |derate: DerateModel| {
+            let cons = base.clone().with_derate(derate);
+            Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns().value()
+        };
+        let none = wns(DerateModel::None);
+        let flat = wns(DerateModel::classic_flat());
+        assert!(flat < none, "flat derate must eat slack: {flat} vs {none}");
+        let lvf = wns(DerateModel::Lvf { k: 3.0 });
+        assert!(lvf < none, "3σ LVF must eat slack");
+    }
+
+    #[test]
+    fn longer_wires_reduce_slack() {
+        let (lib, stack) = env();
+        let mut nl = reg2reg(&lib);
+        let cons = Constraints::single_clock(1_000.0);
+        let base = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
+        for i in 0..nl.net_count() {
+            nl.set_wire_length(NetId::new(i), 400.0);
+        }
+        let long = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
+        assert!(long < base);
+    }
+
+    #[test]
+    fn cppr_recovers_pessimism() {
+        let (lib, stack) = env();
+        let nl = reg2reg(&lib);
+        let mut cons = Constraints::single_clock(600.0);
+        cons.clock_tree.common = Ps::new(300.0);
+        cons.clock_tree.default_leaf = Ps::new(60.0);
+        let with = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
+        cons.cppr = false;
+        let without = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
+        assert!(
+            with > without,
+            "CPPR must improve slack: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn si_eats_setup_slack() {
+        let (lib, stack) = env();
+        let nl = generate(&lib, BenchProfile::tiny(), 5).unwrap();
+        let mut cons = Constraints::single_clock(1_000.0);
+        let base = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
+        cons.si_enabled = true;
+        let si = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
+        assert!(si < base, "SI must eat slack: {si} vs {base}");
+    }
+
+    #[test]
+    fn beol_corner_moves_timing() {
+        let (lib, stack) = env();
+        let mut nl = generate(&lib, BenchProfile::tiny(), 5).unwrap();
+        // Exaggerate wires so the BEOL matters.
+        for i in 0..nl.net_count() {
+            nl.set_wire_length(NetId::new(i), 150.0);
+        }
+        let cons = Constraints::single_clock(1_500.0);
+        let typ = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
+        let rcw = Sta::new(&nl, &lib, &stack, &cons)
+            .with_beol_corner(BeolCorner::RcWorst)
+            .run()
+            .unwrap()
+            .wns();
+        assert!(rcw < typ);
+    }
+
+    #[test]
+    fn false_path_waives_and_multicycle_relaxes() {
+        let (lib, stack) = env();
+        let nl = reg2reg(&lib);
+        let ff1 = nl.cell_named("ff1").unwrap();
+        // A period that violates.
+        let probe = Constraints::single_clock(5_000.0);
+        let wns = Sta::new(&nl, &lib, &stack, &probe).run().unwrap().wns().value();
+        let mut cons = Constraints::single_clock(5_000.0 - wns - 50.0);
+        let base = Sta::new(&nl, &lib, &stack, &cons).run().unwrap();
+        assert!(base.wns().value() < 0.0);
+
+        // Multicycle: 2 cycles adds exactly one period of slack at ff1.
+        cons.exceptions.multicycle_to(ff1, 2);
+        let mc = Sta::new(&nl, &lib, &stack, &cons).run().unwrap();
+        let ep_base = base
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == Endpoint::FlopD(ff1))
+            .unwrap();
+        let ep_mc = mc
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == Endpoint::FlopD(ff1))
+            .unwrap();
+        let delta = ep_mc.setup_slack.value() - ep_base.setup_slack.value();
+        assert!(
+            (delta - cons.default_clock().period.value()).abs() < 1e-6,
+            "multicycle slack delta {delta}"
+        );
+        // Hold is unchanged (SDC default).
+        assert_eq!(ep_mc.hold_slack, ep_base.hold_slack);
+
+        // False path: the endpoint disappears from the report.
+        cons.exceptions.false_path_to(ff1);
+        let fp = Sta::new(&nl, &lib, &stack, &cons).run().unwrap();
+        assert!(fp
+            .endpoints
+            .iter()
+            .all(|e| e.endpoint != Endpoint::FlopD(ff1)));
+        assert!(fp.endpoints.len() == mc.endpoints.len() - 1);
+    }
+
+    #[test]
+    fn hold_slack_present_and_generally_positive_with_ideal_clock() {
+        let (lib, stack) = env();
+        let nl = generate(&lib, BenchProfile::tiny(), 5).unwrap();
+        let cons = Constraints::single_clock(1_000.0);
+        let r = Sta::new(&nl, &lib, &stack, &cons).run().unwrap();
+        // With an ideal clock (zero skew), most paths hold comfortably.
+        let holds: Vec<f64> = r
+            .endpoints
+            .iter()
+            .filter(|e| matches!(e.endpoint, Endpoint::FlopD(_)))
+            .map(|e| e.hold_slack.value())
+            .collect();
+        assert!(!holds.is_empty());
+        let ok = holds.iter().filter(|&&h| h > 0.0).count();
+        assert!(ok * 10 >= holds.len() * 9, "{ok}/{} hold-clean", holds.len());
+    }
+}

@@ -1,0 +1,262 @@
+//! Multi-corner multi-mode (MCMM) scenario management.
+//!
+//! The paper's §2.3 "corner super-explosion": a complex SoC must close
+//! timing at the cross product of functional/test modes, PVT corners and
+//! BEOL extraction corners. Each [`Scenario`] bundles one point of that
+//! product; [`merge_reports`] folds per-endpoint worst slacks across all
+//! of them — the number signoff actually gates on.
+
+use std::collections::HashMap;
+
+use tc_core::error::Result;
+use tc_core::units::Ps;
+use tc_interconnect::beol::{BeolCorner, BeolStack};
+use tc_liberty::Library;
+use tc_netlist::Netlist;
+
+use crate::analysis::Sta;
+use crate::constraints::Constraints;
+use crate::report::{Endpoint, TimingReport};
+
+/// One analysis scenario: a mode's constraints at a PVT corner (baked
+/// into the library) and a BEOL extraction corner.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name, e.g. `func_SSG_0.81V_-30C_RCw`.
+    pub name: String,
+    /// Library characterized at this scenario's PVT corner.
+    pub lib: Library,
+    /// BEOL extraction corner.
+    pub beol: BeolCorner,
+    /// Mode constraints (period, derates, margins).
+    pub constraints: Constraints,
+}
+
+impl Scenario {
+    /// Runs the scenario's STA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn run(&self, nl: &Netlist, stack: &BeolStack) -> Result<TimingReport> {
+        Sta::new(nl, &self.lib, stack, &self.constraints)
+            .with_beol_corner(self.beol)
+            .run()
+    }
+}
+
+/// Per-endpoint worst slack across scenarios, with attribution.
+#[derive(Clone, Debug)]
+pub struct MergedEndpoint {
+    /// The endpoint.
+    pub endpoint: Endpoint,
+    /// Worst setup slack and the scenario that produced it.
+    pub setup: (Ps, String),
+    /// Worst hold slack and the scenario that produced it.
+    pub hold: (Ps, String),
+}
+
+/// The merged signoff view across all scenarios.
+#[derive(Clone, Debug)]
+pub struct MergedReport {
+    /// Per-endpoint worst data.
+    pub endpoints: Vec<MergedEndpoint>,
+}
+
+impl MergedReport {
+    /// Merged worst setup slack.
+    pub fn wns(&self) -> Ps {
+        self.endpoints
+            .iter()
+            .map(|e| e.setup.0)
+            .fold(Ps::new(f64::INFINITY), Ps::min)
+    }
+
+    /// Merged worst hold slack.
+    pub fn hold_wns(&self) -> Ps {
+        self.endpoints
+            .iter()
+            .map(|e| e.hold.0)
+            .fold(Ps::new(f64::INFINITY), Ps::min)
+    }
+
+    /// Count of endpoints violating in *any* scenario.
+    pub fn violations(&self) -> usize {
+        self.endpoints
+            .iter()
+            .filter(|e| e.setup.0 < Ps::ZERO || e.hold.0 < Ps::ZERO)
+            .count()
+    }
+
+    /// How many endpoints each scenario dominates (is the worst for) —
+    /// the data behind corner-pruning decisions: a scenario that
+    /// dominates nothing is a candidate to drop (§2.3).
+    pub fn dominance(&self) -> HashMap<String, usize> {
+        let mut m = HashMap::new();
+        for e in &self.endpoints {
+            *m.entry(e.setup.1.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Runs every scenario and merges.
+///
+/// # Errors
+///
+/// Propagates the first failing scenario run.
+pub fn run_and_merge(
+    nl: &Netlist,
+    stack: &BeolStack,
+    scenarios: &[Scenario],
+) -> Result<MergedReport> {
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for s in scenarios {
+        reports.push((s.name.clone(), s.run(nl, stack)?));
+    }
+    Ok(merge_reports(&reports))
+}
+
+/// Folds per-endpoint worst slacks across named reports.
+pub fn merge_reports(reports: &[(String, TimingReport)]) -> MergedReport {
+    let mut map: HashMap<Endpoint, MergedEndpoint> = HashMap::new();
+    for (name, rep) in reports {
+        for ep in &rep.endpoints {
+            let entry = map.entry(ep.endpoint).or_insert_with(|| MergedEndpoint {
+                endpoint: ep.endpoint,
+                setup: (Ps::new(f64::INFINITY), String::new()),
+                hold: (Ps::new(f64::INFINITY), String::new()),
+            });
+            if ep.setup_slack < entry.setup.0 {
+                entry.setup = (ep.setup_slack, name.clone());
+            }
+            if ep.hold_slack < entry.hold.0 {
+                entry.hold = (ep.hold_slack, name.clone());
+            }
+        }
+    }
+    let mut endpoints: Vec<MergedEndpoint> = map.into_values().collect();
+    endpoints.sort_by(|a, b| a.setup.0.partial_cmp(&b.setup.0).unwrap());
+    MergedReport { endpoints }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_liberty::{LibConfig, PvtCorner};
+    use tc_netlist::gen::{generate, BenchProfile};
+
+    #[test]
+    fn merged_wns_is_worst_of_scenarios() {
+        let cfg = LibConfig::default();
+        let lib_typ = Library::generate(&cfg, &PvtCorner::typical());
+        let nl = generate(&lib_typ, BenchProfile::tiny(), 3).unwrap();
+        let stack = BeolStack::n20();
+
+        let scenarios = vec![
+            Scenario {
+                name: "typ".to_string(),
+                lib: lib_typ.clone(),
+                beol: BeolCorner::Typical,
+                constraints: Constraints::single_clock(900.0),
+            },
+            Scenario {
+                name: "slow_rcw".to_string(),
+                lib: Library::generate(&cfg, &PvtCorner::slow_cold()),
+                beol: BeolCorner::RcWorst,
+                constraints: Constraints::single_clock(900.0),
+            },
+        ];
+        let merged = run_and_merge(&nl, &stack, &scenarios).unwrap();
+        let typ = scenarios[0].run(&nl, &stack).unwrap();
+        let slow = scenarios[1].run(&nl, &stack).unwrap();
+        assert_eq!(merged.wns(), typ.wns().min(slow.wns()));
+        // The slow corner should dominate setup on most endpoints.
+        let dom = merged.dominance();
+        assert!(dom.get("slow_rcw").copied().unwrap_or(0) > dom.get("typ").copied().unwrap_or(0));
+    }
+
+    #[test]
+    fn merge_attributes_scenarios() {
+        let cfg = LibConfig::default();
+        let lib = Library::generate(&cfg, &PvtCorner::typical());
+        let nl = generate(&lib, BenchProfile::tiny(), 3).unwrap();
+        let stack = BeolStack::n20();
+        let fast = Scenario {
+            name: "fast".to_string(),
+            lib: Library::generate(&cfg, &PvtCorner::fast_cold()),
+            beol: BeolCorner::CBest,
+            constraints: Constraints::single_clock(900.0),
+        };
+        let r = fast.run(&nl, &stack).unwrap();
+        let merged = merge_reports(&[("fast".to_string(), r)]);
+        assert!(merged.endpoints.iter().all(|e| e.setup.1 == "fast"));
+        assert_eq!(merged.endpoints.len(), merged.endpoints.len());
+        assert!(merged.violations() <= merged.endpoints.len());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use tc_core::ids::CellId;
+    use tc_core::units::Ps;
+
+
+    fn ep(id: usize, setup: f64, hold: f64) -> crate::report::EndpointTiming {
+        crate::report::EndpointTiming {
+            endpoint: Endpoint::FlopD(CellId::new(id)),
+            setup_slack: Ps::new(setup),
+            hold_slack: Ps::new(hold),
+            arrival: Ps::new(100.0),
+            required: Ps::new(100.0 + setup),
+            depth: 3,
+            gate_ps: 80.0,
+            wire_ps: 20.0,
+            data_slew: 30.0,
+        }
+    }
+
+    fn report(eps: Vec<crate::report::EndpointTiming>) -> TimingReport {
+        TimingReport::from_endpoints(eps, Ps::new(1000.0))
+    }
+
+    #[test]
+    fn merge_takes_worst_per_check_independently() {
+        // Scenario A is worse for setup on ep0; B is worse for hold.
+        let a = report(vec![ep(0, -30.0, 50.0)]);
+        let b = report(vec![ep(0, 10.0, -5.0)]);
+        let merged = merge_reports(&[("a".into(), a), ("b".into(), b)]);
+        assert_eq!(merged.endpoints.len(), 1);
+        let e = &merged.endpoints[0];
+        assert_eq!(e.setup.0, Ps::new(-30.0));
+        assert_eq!(e.setup.1, "a");
+        assert_eq!(e.hold.0, Ps::new(-5.0));
+        assert_eq!(e.hold.1, "b");
+        assert_eq!(merged.violations(), 1);
+    }
+
+    #[test]
+    fn merge_handles_disjoint_endpoint_sets() {
+        // A scenario may skip endpoints (false paths, mode gating).
+        let a = report(vec![ep(0, 5.0, 5.0), ep(1, -2.0, 9.0)]);
+        let b = report(vec![ep(1, -8.0, 9.0), ep(2, 3.0, 3.0)]);
+        let merged = merge_reports(&[("a".into(), a), ("b".into(), b)]);
+        assert_eq!(merged.endpoints.len(), 3);
+        assert_eq!(merged.wns(), Ps::new(-8.0));
+        // Sorted worst-first.
+        assert!(merged.endpoints[0].setup.0 <= merged.endpoints[1].setup.0);
+    }
+
+    #[test]
+    fn dominance_counts_sum_to_endpoints() {
+        let a = report(vec![ep(0, -1.0, 5.0), ep(1, 2.0, 5.0)]);
+        let b = report(vec![ep(0, 4.0, 5.0), ep(1, -9.0, 5.0)]);
+        let merged = merge_reports(&[("a".into(), a), ("b".into(), b)]);
+        let dom = merged.dominance();
+        let total: usize = dom.values().sum();
+        assert_eq!(total, merged.endpoints.len());
+        assert_eq!(dom["a"], 1);
+        assert_eq!(dom["b"], 1);
+    }
+}

@@ -1,0 +1,333 @@
+//! Timing reports: WNS/TNS, slack histograms, and the failure breakdown
+//! that drives the manual-fix step of the paper's Fig 1.
+
+use tc_core::ids::{CellId, NetId};
+use tc_core::stats::Histogram;
+use tc_core::units::Ps;
+
+/// A timing endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// Setup/hold check at a flop's D pin.
+    FlopD(CellId),
+    /// Setup-style check at a primary output.
+    Output(NetId),
+}
+
+/// Per-endpoint timing results.
+#[derive(Clone, Debug)]
+pub struct EndpointTiming {
+    /// Which endpoint.
+    pub endpoint: Endpoint,
+    /// Setup (max-delay) slack.
+    pub setup_slack: Ps,
+    /// Hold (min-delay) slack; +∞ at outputs.
+    pub hold_slack: Ps,
+    /// Late data arrival.
+    pub arrival: Ps,
+    /// Required time used for the setup check.
+    pub required: Ps,
+    /// Worst-path stage count.
+    pub depth: usize,
+    /// Cumulative gate delay of the worst path, ps.
+    pub gate_ps: f64,
+    /// Cumulative wire delay of the worst path, ps.
+    pub wire_ps: f64,
+    /// Data slew at the endpoint, ps.
+    pub data_slew: f64,
+}
+
+impl EndpointTiming {
+    /// Fraction of the worst path's delay spent in wires.
+    pub fn wire_fraction(&self) -> f64 {
+        let total = self.gate_ps + self.wire_ps;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.wire_ps / total
+        }
+    }
+}
+
+/// Coarse cause classification of a setup violation — the "breakdown of
+/// timing failures" step in Fig 1, which decides the fix to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// Wire-dominated path: buffer / NDR / layer-promotion territory.
+    LongWire,
+    /// Unusually deep path: restructure or useful-skew territory.
+    DeepPath,
+    /// Gate-dominated shallow path: Vt-swap / upsizing territory.
+    WeakDrive,
+}
+
+/// The result of one STA run.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    /// Every checked endpoint.
+    pub endpoints: Vec<EndpointTiming>,
+    /// The clock period the run was constrained to.
+    pub period: Ps,
+}
+
+impl TimingReport {
+    /// Assembles a report.
+    pub fn from_endpoints(endpoints: Vec<EndpointTiming>, period: Ps) -> Self {
+        TimingReport { endpoints, period }
+    }
+
+    /// Worst negative (setup) slack — the headline number of every
+    /// closure iteration. Positive if timing is met.
+    pub fn wns(&self) -> Ps {
+        self.endpoints
+            .iter()
+            .map(|e| e.setup_slack)
+            .fold(Ps::new(f64::INFINITY), Ps::min)
+    }
+
+    /// Total negative setup slack (sum over violating endpoints).
+    pub fn tns(&self) -> Ps {
+        self.endpoints
+            .iter()
+            .filter(|e| e.setup_slack < Ps::ZERO)
+            .map(|e| e.setup_slack)
+            .sum()
+    }
+
+    /// Worst hold slack.
+    pub fn hold_wns(&self) -> Ps {
+        self.endpoints
+            .iter()
+            .map(|e| e.hold_slack)
+            .fold(Ps::new(f64::INFINITY), Ps::min)
+    }
+
+    /// Total negative hold slack.
+    pub fn hold_tns(&self) -> Ps {
+        self.endpoints
+            .iter()
+            .filter(|e| e.hold_slack < Ps::ZERO)
+            .map(|e| e.hold_slack)
+            .sum()
+    }
+
+    /// Number of setup-violating endpoints.
+    pub fn setup_violations(&self) -> usize {
+        self.endpoints
+            .iter()
+            .filter(|e| e.setup_slack < Ps::ZERO)
+            .count()
+    }
+
+    /// Number of hold-violating endpoints.
+    pub fn hold_violations(&self) -> usize {
+        self.endpoints
+            .iter()
+            .filter(|e| e.hold_slack < Ps::ZERO)
+            .count()
+    }
+
+    /// `true` if every endpoint meets both setup and hold.
+    pub fn is_clean(&self) -> bool {
+        self.setup_violations() == 0 && self.hold_violations() == 0
+    }
+
+    /// The `k` worst setup endpoints, most critical first.
+    pub fn worst_endpoints(&self, k: usize) -> Vec<&EndpointTiming> {
+        let mut v: Vec<&EndpointTiming> = self.endpoints.iter().collect();
+        v.sort_by(|a, b| a.setup_slack.partial_cmp(&b.setup_slack).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    /// Classifies a violating endpoint's dominant cause.
+    pub fn classify(&self, e: &EndpointTiming) -> FailureClass {
+        let max_depth = self.endpoints.iter().map(|x| x.depth).max().unwrap_or(1);
+        if e.wire_fraction() > 0.45 {
+            FailureClass::LongWire
+        } else if e.depth * 10 >= max_depth * 8 {
+            FailureClass::DeepPath
+        } else {
+            FailureClass::WeakDrive
+        }
+    }
+
+    /// Failure breakdown: violating-endpoint count per cause class.
+    pub fn failure_breakdown(&self) -> Vec<(FailureClass, usize)> {
+        let mut counts = [
+            (FailureClass::LongWire, 0usize),
+            (FailureClass::DeepPath, 0),
+            (FailureClass::WeakDrive, 0),
+        ];
+        for e in self.endpoints.iter().filter(|e| e.setup_slack < Ps::ZERO) {
+            let c = self.classify(e);
+            for entry in counts.iter_mut() {
+                if entry.0 == c {
+                    entry.1 += 1;
+                }
+            }
+        }
+        counts.to_vec()
+    }
+
+    /// A slack histogram over `[lo, hi]` ps with the given bin count.
+    pub fn slack_histogram(&self, lo: f64, hi: f64, bins: usize) -> Histogram {
+        let mut h = Histogram::new(lo, hi, bins);
+        for e in &self.endpoints {
+            h.add(e.setup_slack.value());
+        }
+        h
+    }
+
+    /// One-line summary string for logs and harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "WNS {:.1} ps | TNS {:.1} ps | setup viol {} | hold WNS {:.1} ps | hold viol {} | endpoints {}",
+            self.wns().value(),
+            self.tns().value(),
+            self.setup_violations(),
+            self.hold_wns().value(),
+            self.hold_violations(),
+            self.endpoints.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(slack: f64, hold: f64, depth: usize, gate: f64, wire: f64) -> EndpointTiming {
+        EndpointTiming {
+            endpoint: Endpoint::FlopD(CellId::new(0)),
+            setup_slack: Ps::new(slack),
+            hold_slack: Ps::new(hold),
+            arrival: Ps::new(500.0),
+            required: Ps::new(500.0 + slack),
+            depth,
+            gate_ps: gate,
+            wire_ps: wire,
+            data_slew: 30.0,
+        }
+    }
+
+    #[test]
+    fn wns_tns_and_counts() {
+        let r = TimingReport::from_endpoints(
+            vec![
+                ep(-50.0, 10.0, 10, 300.0, 50.0),
+                ep(-10.0, -5.0, 4, 100.0, 200.0),
+                ep(30.0, 20.0, 6, 200.0, 40.0),
+            ],
+            Ps::new(1000.0),
+        );
+        assert_eq!(r.wns(), Ps::new(-50.0));
+        assert_eq!(r.tns(), Ps::new(-60.0));
+        assert_eq!(r.setup_violations(), 2);
+        assert_eq!(r.hold_violations(), 1);
+        assert_eq!(r.hold_wns(), Ps::new(-5.0));
+        assert!(!r.is_clean());
+        let worst = r.worst_endpoints(2);
+        assert_eq!(worst[0].setup_slack, Ps::new(-50.0));
+        assert_eq!(worst.len(), 2);
+    }
+
+    #[test]
+    fn classification_by_cause() {
+        let r = TimingReport::from_endpoints(
+            vec![
+                ep(-50.0, 10.0, 10, 300.0, 50.0),  // deep (max depth)
+                ep(-10.0, 10.0, 4, 100.0, 200.0), // wire-dominated
+                ep(-5.0, 10.0, 3, 200.0, 20.0),   // shallow, gate-dominated
+            ],
+            Ps::new(1000.0),
+        );
+        assert_eq!(r.classify(&r.endpoints[0]), FailureClass::DeepPath);
+        assert_eq!(r.classify(&r.endpoints[1]), FailureClass::LongWire);
+        assert_eq!(r.classify(&r.endpoints[2]), FailureClass::WeakDrive);
+        let breakdown = r.failure_breakdown();
+        let total: usize = breakdown.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn clean_report() {
+        let r = TimingReport::from_endpoints(
+            vec![ep(5.0, 5.0, 3, 100.0, 10.0)],
+            Ps::new(1000.0),
+        );
+        assert!(r.is_clean());
+        assert_eq!(r.tns(), Ps::ZERO);
+        assert!(r.summary().contains("WNS 5.0"));
+    }
+
+    #[test]
+    fn histogram_covers_endpoints() {
+        let r = TimingReport::from_endpoints(
+            vec![ep(-20.0, 1.0, 3, 1.0, 1.0), ep(20.0, 1.0, 3, 1.0, 1.0)],
+            Ps::new(1000.0),
+        );
+        let h = r.slack_histogram(-50.0, 50.0, 4);
+        assert_eq!(h.counts().iter().sum::<usize>(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_endpoint() -> impl Strategy<Value = EndpointTiming> {
+        (
+            0usize..50,
+            -500.0f64..500.0,
+            -200.0f64..500.0,
+            1usize..40,
+            (0.0f64..400.0, 0.0f64..400.0),
+        )
+            .prop_map(|(id, setup, hold, depth, (gate, wire))| EndpointTiming {
+                endpoint: Endpoint::FlopD(CellId::new(id)),
+                setup_slack: Ps::new(setup),
+                hold_slack: Ps::new(hold),
+                arrival: Ps::new(1000.0 - setup),
+                required: Ps::new(1000.0),
+                depth,
+                gate_ps: gate,
+                wire_ps: wire,
+                data_slew: 30.0,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn invariants_of_aggregates(eps in proptest::collection::vec(arb_endpoint(), 1..40)) {
+            let r = TimingReport::from_endpoints(eps.clone(), Ps::new(1000.0));
+            // WNS is the min slack; TNS ≤ 0 and ≤ WNS when violating.
+            let min = eps.iter().map(|e| e.setup_slack).fold(Ps::new(f64::INFINITY), Ps::min);
+            prop_assert_eq!(r.wns(), min);
+            prop_assert!(r.tns() <= Ps::ZERO);
+            if r.wns() < Ps::ZERO {
+                prop_assert!(r.tns() <= r.wns());
+                prop_assert!(r.setup_violations() >= 1);
+            } else {
+                prop_assert_eq!(r.tns(), Ps::ZERO);
+                prop_assert_eq!(r.setup_violations(), 0);
+            }
+            // worst_endpoints is sorted and bounded.
+            let w = r.worst_endpoints(5);
+            prop_assert!(w.len() <= 5);
+            for pair in w.windows(2) {
+                prop_assert!(pair[0].setup_slack <= pair[1].setup_slack);
+            }
+            // Breakdown covers exactly the violating endpoints.
+            let total: usize = r.failure_breakdown().iter().map(|&(_, n)| n).sum();
+            prop_assert_eq!(total, r.setup_violations());
+            // Histogram + outliers account for every endpoint.
+            let h = r.slack_histogram(-500.0, 500.0, 10);
+            prop_assert_eq!(
+                h.counts().iter().sum::<usize>() + h.outliers(),
+                eps.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # tc-variation — Monte Carlo variation analysis
+//!
+//! The statistical backbone of the paper's modeling arguments:
+//!
+//! * [`mc`] — seeded Monte Carlo over path delay with skew-normal local
+//!   variation, reproducing the asymmetric ("setup long tail")
+//!   distribution of **Fig 7**, plus whole-netlist BEOL Monte Carlo
+//!   driving `tc-sta` with per-layer samples.
+//! * [`models`] — the §3.1 accuracy ladder: predicted +3σ/−3σ path delay
+//!   under flat OCV, AOCV, POCV and LVF, compared against Monte Carlo
+//!   ground truth (LVF's per-(slew,load) sigmas and split late/early
+//!   values make it the most accurate — the paper's conclusion).
+//! * [`tbc`] — Tightened BEOL Corners (**Fig 8**, ref \[2\]): the
+//!   pessimism metric `α = 3σ / Δd(corner)`, corner-dominance scatter,
+//!   and threshold-based selection of paths that can sign off at
+//!   tightened corners.
+//!
+//! # Examples
+//!
+//! ```
+//! use tc_variation::mc::{PathModel, StageModel};
+//!
+//! let path = PathModel::uniform(12, 20.0, 0.05, 3.0);
+//! let samples = path.monte_carlo(5_000, 42);
+//! let t = tc_core::stats::tail_sigmas(&samples);
+//! assert!(t.late > t.early); // the setup long tail
+//! ```
+
+pub mod mc;
+pub mod models;
+pub mod tbc;
+
+pub use mc::{PathModel, StageModel};
+pub use models::{model_accuracy, AccuracyRow};
+pub use tbc::{alpha_for_path, PathBeolProfile, TbcStudy};

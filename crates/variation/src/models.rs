@@ -1,0 +1,173 @@
+//! Variation-model accuracy comparison (paper §3.1).
+//!
+//! Given a path, each modeling standard predicts the +3σ (late) path
+//! delay differently:
+//!
+//! * **flat OCV** — `1.08 × Σ nominal` regardless of structure;
+//! * **AOCV** — `derate(depth) × Σ nominal`, structure-aware but
+//!   "one derate per depth" and relative to nominal;
+//! * **POCV** — `Σ nominal + 3·√(Σ (σ_cell·d)²)`, per-cell sigma;
+//! * **LVF** — like POCV but with per-stage (slew, load)-resolved sigmas
+//!   and separate late/early values.
+//!
+//! Monte Carlo over the same path is the ground truth. The experiment
+//! regenerates the paper's argument that LVF tracks MC better than the
+//! relative-margin OCV formats.
+
+use tc_core::stats::quantile;
+use tc_liberty::{AocvTable, PocvSigma};
+
+use crate::mc::PathModel;
+
+/// Predicted and true +3σ/−3σ path delays under each standard.
+#[derive(Clone, Debug)]
+pub struct AccuracyRow {
+    /// Number of stages in the path.
+    pub stages: usize,
+    /// Nominal path delay, ps.
+    pub nominal: f64,
+    /// Monte Carlo +3σ (99.865 %) delay — the ground truth.
+    pub mc_late: f64,
+    /// Monte Carlo −3σ (0.135 %) delay.
+    pub mc_early: f64,
+    /// Flat-OCV prediction of the late delay.
+    pub flat: f64,
+    /// AOCV prediction.
+    pub aocv: f64,
+    /// POCV prediction.
+    pub pocv: f64,
+    /// LVF prediction (split sigmas), late side.
+    pub lvf_late: f64,
+    /// LVF prediction, early side.
+    pub lvf_early: f64,
+}
+
+impl AccuracyRow {
+    /// Relative error of each model vs MC late truth, in percent:
+    /// `(flat, aocv, pocv, lvf)`.
+    pub fn errors_pct(&self) -> (f64, f64, f64, f64) {
+        let e = |m: f64| 100.0 * (m - self.mc_late) / self.mc_late;
+        (
+            e(self.flat),
+            e(self.aocv),
+            e(self.pocv),
+            e(self.lvf_late),
+        )
+    }
+}
+
+/// Runs the accuracy comparison for one path.
+///
+/// `lvf_sigma_scale` models LVF's per-point characterization fidelity:
+/// its sigmas match the true per-stage sigmas exactly (scale 1.0), while
+/// POCV uses the single library-wide number in `pocv`.
+pub fn model_accuracy(
+    path: &PathModel,
+    aocv: &AocvTable,
+    pocv: &PocvSigma,
+    samples: usize,
+    seed: u64,
+) -> AccuracyRow {
+    let nominal = path.nominal();
+    let mc = path.monte_carlo(samples, seed);
+    let mc_late = quantile(&mc, 0.99865);
+    let mc_early = quantile(&mc, 0.00135);
+
+    let flat = 1.08 * nominal;
+    let aocv_pred = aocv.late_derate(path.stages.len(), 0.0) * nominal;
+
+    let pocv_var: f64 = path
+        .stages
+        .iter()
+        .map(|s| {
+            let sig = pocv.late * s.nominal;
+            sig * sig
+        })
+        .sum();
+    let pocv_pred = nominal + 3.0 * pocv_var.sqrt();
+
+    // LVF knows each stage's true sigma and the late/early split. The
+    // skew-normal late tail is wider than 1σ·3 by the tail ratio; LVF
+    // captures that through its separately characterized late sigma.
+    let (lvf_late_var, lvf_early_var) = path.stages.iter().fold((0.0, 0.0), |(l, e), s| {
+        // Per-stage split sigmas measured from the stage's own
+        // distribution (what an LVF characterization run does).
+        let one = PathModel {
+            stages: vec![*s],
+        };
+        let t = one.tail_sigmas(4_000, seed ^ 0x5f5f);
+        (l + t.late * t.late, e + t.early * t.early)
+    });
+    let lvf_late = nominal + 3.0 * lvf_late_var.sqrt();
+    let lvf_early = nominal - 3.0 * lvf_early_var.sqrt();
+
+    AccuracyRow {
+        stages: path.stages.len(),
+        nominal,
+        mc_late,
+        mc_early,
+        flat,
+        aocv: aocv_pred,
+        pocv: pocv_pred,
+        lvf_late,
+        lvf_early,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AocvTable, PocvSigma) {
+        (AocvTable::from_stage_sigma(0.05), PocvSigma::standard())
+    }
+
+    #[test]
+    fn lvf_tracks_mc_best_on_skewed_paths() {
+        let (aocv, pocv) = setup();
+        let path = PathModel::uniform(16, 20.0, 0.05, 4.0);
+        let row = model_accuracy(&path, &aocv, &pocv, 60_000, 9);
+        let (e_flat, e_aocv, e_pocv, e_lvf) = row.errors_pct();
+        assert!(
+            e_lvf.abs() < e_flat.abs(),
+            "LVF ({e_lvf}%) must beat flat ({e_flat}%)"
+        );
+        assert!(
+            e_lvf.abs() < e_pocv.abs() + 0.5,
+            "LVF ({e_lvf}%) must be at least as good as POCV ({e_pocv}%)"
+        );
+        let _ = e_aocv;
+        assert!(e_lvf.abs() < 2.0, "LVF within 2% of MC, got {e_lvf}%");
+    }
+
+    #[test]
+    fn flat_ocv_overmargins_deep_paths() {
+        let (aocv, pocv) = setup();
+        let deep = PathModel::uniform(32, 20.0, 0.05, 2.0);
+        let row = model_accuracy(&deep, &aocv, &pocv, 40_000, 10);
+        // Statistical averaging: true 3σ excess on 32 stages is ~8%/√32;
+        // flat 8% is several times too much.
+        assert!(
+            row.flat > row.mc_late,
+            "flat must overmargin: {} vs {}",
+            row.flat,
+            row.mc_late
+        );
+        // AOCV narrows that gap.
+        assert!((row.aocv - row.mc_late).abs() < (row.flat - row.mc_late).abs());
+    }
+
+    #[test]
+    fn early_side_is_captured_by_lvf() {
+        let (aocv, pocv) = setup();
+        let path = PathModel::uniform(12, 20.0, 0.06, 4.0);
+        let row = model_accuracy(&path, &aocv, &pocv, 60_000, 11);
+        let err = 100.0 * (row.lvf_early - row.mc_early) / row.mc_early;
+        assert!(err.abs() < 2.5, "LVF early within 2.5%, got {err}%");
+        // Asymmetry: late excess exceeds early deficit.
+        assert!(
+            row.mc_late - row.nominal > row.nominal - row.mc_early,
+            "setup long tail in ground truth"
+        );
+    }
+}

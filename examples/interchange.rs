@@ -1,0 +1,65 @@
+//! Interchange formats: write the synthetic library as Liberty and a
+//! design as structural Verilog, read both back, and verify the round
+//! trip — the handoff artifacts a real flow would exchange.
+//!
+//! ```sh
+//! cargo run --release --example interchange
+//! ```
+
+use timing_closure::liberty::{parse_liberty, write_liberty, LibConfig, Library, PvtCorner};
+use timing_closure::netlist::gen::{generate, BenchProfile};
+use timing_closure::netlist::{parse_verilog, write_verilog};
+
+fn main() -> Result<(), tc_core::Error> {
+    // A compact library keeps the .lib readable.
+    let mut cfg = LibConfig::default();
+    cfg.comb_drives = vec![1.0, 2.0, 4.0];
+    cfg.flop_drives = vec![1.0];
+    let lib = Library::generate(&cfg, &PvtCorner::typical());
+
+    // --- Liberty ---
+    let lib_text = write_liberty(&lib);
+    println!(
+        "wrote {} cells as Liberty: {} lines, {} KiB",
+        lib.cells().len(),
+        lib_text.lines().count(),
+        lib_text.len() / 1024
+    );
+    let parsed = parse_liberty(&lib_text)?;
+    println!(
+        "parsed back: {} cells | NAND2_X1_SVT area {:.1}, A-pin cap {:.2} fF",
+        parsed.cells.len(),
+        parsed.cells["NAND2_X1_SVT"].area,
+        parsed.cells["NAND2_X1_SVT"].pin_caps["A"]
+    );
+
+    // Show a fragment of what a downstream tool would see.
+    println!("\n--- .lib fragment ---");
+    for line in lib_text.lines().skip(5).take(12) {
+        println!("{line}");
+    }
+
+    // --- Verilog ---
+    let nl = generate(&lib, BenchProfile::tiny(), 2026)?;
+    let v_text = write_verilog(&nl, &lib);
+    println!(
+        "\nwrote `{}` as structural Verilog: {} instances, {} lines",
+        nl.name,
+        nl.cell_count(),
+        v_text.lines().count()
+    );
+    let back = parse_verilog(&v_text, &lib)?;
+    back.validate(&lib)?;
+    println!(
+        "parsed back: {} instances, {} outputs — validation clean",
+        back.cell_count(),
+        back.primary_outputs().count()
+    );
+    assert_eq!(back.cell_count(), nl.cell_count());
+
+    println!("\n--- .v fragment ---");
+    for line in v_text.lines().take(8) {
+        println!("{line}");
+    }
+    Ok(())
+}

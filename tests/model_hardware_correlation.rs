@@ -1,0 +1,128 @@
+//! Model-hardware correlation: the library's closed-form NLDM tables
+//! (the "model") against the transistor-level simulator (our "silicon").
+//!
+//! The paper's §4: "as margin becomes scarcer, analysis accuracy and
+//! model-hardware correlation gain importance" and "model-hardware
+//! correlation is progressively weakening". These tests quantify our
+//! stack's own correlation — trend agreement between `tc-liberty` and
+//! `tc-sim` — the way a foundry test-chip program would.
+
+use timing_closure::liberty::{LibConfig, Library, PvtCorner};
+use timing_closure::sim::char_cell::{measure_arc, CellKind, CharConditions};
+use timing_closure::sim::measure::Edge;
+use tc_core::stats::correlation;
+use tc_core::units::Ff;
+
+/// The library's INV delay trend across load must correlate with the
+/// simulated transistor-level trend (r > 0.97), even though absolute
+/// values differ (different characterization conditions).
+#[test]
+fn inverter_delay_trend_correlates_across_load() {
+    let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+    let inv = lib.cell_named("INV_X1_SVT").unwrap();
+    let cond = CharConditions::nominal_28nm();
+
+    let loads = [1.0, 2.0, 4.0, 8.0, 12.0];
+    let model: Vec<f64> = loads
+        .iter()
+        .map(|&l| inv.arcs[0].delay_at(20.0, l).value())
+        .collect();
+    let silicon: Vec<f64> = loads
+        .iter()
+        .map(|&l| {
+            measure_arc(CellKind::Inv, &cond, 20.0, Ff::new(l), Edge::Rise)
+                .unwrap()
+                .delay
+        })
+        .collect();
+    let r = correlation(&model, &silicon);
+    assert!(r > 0.97, "load-trend correlation r = {r}\nmodel {model:?}\nsilicon {silicon:?}");
+}
+
+/// Same for the input-slew trend.
+#[test]
+fn inverter_delay_trend_correlates_across_slew() {
+    let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+    let inv = lib.cell_named("INV_X1_SVT").unwrap();
+    let cond = CharConditions::nominal_28nm();
+
+    let slews = [10.0, 20.0, 40.0, 80.0];
+    let model: Vec<f64> = slews
+        .iter()
+        .map(|&s| inv.arcs[0].delay_at(s, 4.0).value())
+        .collect();
+    let silicon: Vec<f64> = slews
+        .iter()
+        .map(|&s| {
+            measure_arc(CellKind::Inv, &cond, s, Ff::new(4.0), Edge::Rise)
+                .unwrap()
+                .delay
+        })
+        .collect();
+    let r = correlation(&model, &silicon);
+    assert!(r > 0.95, "slew-trend correlation r = {r}");
+}
+
+/// The drive-strength ladder must order identically in model and
+/// silicon: X2 faster than X1, X4 faster than X2, at a common load.
+#[test]
+fn drive_ladder_orders_identically() {
+    let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+    let mut cond = CharConditions::nominal_28nm();
+
+    let mut model = Vec::new();
+    let mut silicon = Vec::new();
+    for drive in [1.0, 2.0, 4.0] {
+        let name = format!("INV_X{}_SVT", drive as u32);
+        let cell = lib.cell_named(&name).unwrap();
+        model.push(cell.arcs[0].delay_at(20.0, 8.0).value());
+        cond.strength = drive;
+        silicon.push(
+            measure_arc(CellKind::Inv, &cond, 20.0, Ff::new(8.0), Edge::Rise)
+                .unwrap()
+                .delay,
+        );
+    }
+    for w in model.windows(2) {
+        assert!(w[1] < w[0], "model ladder must descend: {model:?}");
+    }
+    for w in silicon.windows(2) {
+        assert!(w[1] < w[0], "silicon ladder must descend: {silicon:?}");
+    }
+}
+
+/// NAND2 vs INV: the model's logical-effort penalty must appear in
+/// silicon too. The comparison uses the *rising-output* arc (falling
+/// input): the NAND2's pull-up is a single PMOS driving a larger
+/// diffusion load, so it is strictly slower than the inverter — whereas
+/// its 2×-upsized pull-down stack can actually beat the inverter's
+/// pull-down, which is exactly why logical effort charges NAND inputs
+/// in *capacitance*, not resistance.
+#[test]
+fn topology_penalty_correlates() {
+    let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+    let cond = CharConditions::nominal_28nm();
+
+    let inv_model = lib.cell_named("INV_X1_SVT").unwrap().arcs[0]
+        .delay_at(20.0, 4.0)
+        .value();
+    let nand_model = lib.cell_named("NAND2_X1_SVT").unwrap().arcs[0]
+        .delay_at(20.0, 4.0)
+        .value();
+    assert!(nand_model > inv_model, "model parasitic penalty");
+    // And the input-capacitance penalty (the real LE cost):
+    let inv_cin = lib.cell_named("INV_X1_SVT").unwrap().input_cap;
+    let nand_cin = lib.cell_named("NAND2_X1_SVT").unwrap().input_cap;
+    assert!(nand_cin.value() > 1.25 * inv_cin.value());
+
+    let inv_si = measure_arc(CellKind::Inv, &cond, 20.0, Ff::new(4.0), Edge::Fall)
+        .unwrap()
+        .delay;
+    let nand_si = measure_arc(CellKind::Nand2, &cond, 20.0, Ff::new(4.0), Edge::Fall)
+        .unwrap()
+        .delay;
+    assert!(
+        nand_si > inv_si,
+        "silicon rising-output penalty: nand {nand_si} vs inv {inv_si}"
+    );
+}

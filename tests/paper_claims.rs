@@ -1,0 +1,167 @@
+//! Reproduction checks for the paper's headline quantitative claims.
+//!
+//! These are the "shape" assertions of EXPERIMENTS.md, run as tests so a
+//! regression that breaks a figure's story fails CI — each test names
+//! the paper section it guards.
+
+use timing_closure::aging::avs::AvsSystem;
+use timing_closure::aging::signoff::{aging_signoff_sweep, fig9_corners, PowerProfile};
+use timing_closure::device::mosfet::temperature_reversal_point;
+use timing_closure::device::{MosDevice, MosKind, Technology, VtClass};
+use timing_closure::interconnect::beol::BeolStack;
+use timing_closure::interconnect::sadp::{PatterningSolution, SadpProcess};
+use timing_closure::liberty::{AocvTable, PocvSigma};
+use timing_closure::signoff::corners::CornerSpace;
+use timing_closure::variation::mc::PathModel;
+use timing_closure::variation::models::model_accuracy;
+use timing_closure::variation::tbc::TbcStudy;
+use tc_core::units::{Celsius, Volt};
+
+/// §2.1 / Fig 4: MIS rise arc well under SIS; MIS fall arc >10% over.
+/// (The full simulated version lives in the fig04 harness; here we keep
+/// the cheap 3-offset check.)
+#[test]
+fn fig4_mis_ratios() {
+    use timing_closure::sim::mis::{run_mis_study, InputDir, MisStudy};
+    let tech = Technology::planar_28nm();
+    let mut study = MisStudy::paper_default(Volt::new(0.9));
+    study.offsets = vec![-5.0, 0.0, 5.0];
+    let fall = run_mis_study(&tech, &study, InputDir::Falling).unwrap();
+    assert!(
+        fall.ratio() < 0.75,
+        "MIS rise arc must be far below SIS: {}",
+        fall.ratio()
+    );
+    let rise = run_mis_study(&tech, &study, InputDir::Rising).unwrap();
+    assert!(
+        rise.ratio() > 1.10,
+        "MIS fall arc must be >10% over SIS: {}",
+        rise.ratio()
+    );
+}
+
+/// §2.3 / Fig 6b: a temperature-reversal point exists in the usable
+/// supply range, so low-voltage signoff needs both temperature corners.
+#[test]
+fn fig6b_temperature_reversal_in_range() {
+    let tech = Technology::planar_28nm();
+    let dev = MosDevice::new(MosKind::Nmos, VtClass::Svt, 1.0);
+    let vtr = temperature_reversal_point(
+        &tech,
+        &dev,
+        Celsius::new(-30.0),
+        Celsius::new(125.0),
+        Volt::new(0.45),
+        Volt::new(1.2),
+    )
+    .expect("reversal point exists");
+    assert!((0.55..0.95).contains(&vtr.value()), "Vtr = {}", vtr.value());
+}
+
+/// §2.2 / Fig 5: the block-mask patterning solutions carry strictly more
+/// CD variance than the mandrel-defined one, in the paper's order.
+#[test]
+fn fig5_sadp_variance_ordering() {
+    let p = SadpProcess::n10();
+    let mm = PatterningSolution::MandrelMandrel.cd_variance(&p);
+    let ss = PatterningSolution::SpacerSpacer.cd_variance(&p);
+    let mb = PatterningSolution::MandrelBlock.cd_variance(&p);
+    let sb = PatterningSolution::SpacerBlock.cd_variance(&p);
+    assert!(mm < ss, "spacer adds 2σs²");
+    assert!(mb < sb, "the spacer-block case adds σs² to mandrel-block");
+    assert!(sb > mm, "block-mask edges are the noisiest");
+}
+
+/// §3.1 / Fig 7: the Monte Carlo path-delay distribution is
+/// right-skewed; the LVF split captures both tails within ~2%.
+#[test]
+fn fig7_setup_long_tail_and_lvf_accuracy() {
+    let path = PathModel::uniform(12, 20.0, 0.06, 4.0);
+    let t = tc_core::stats::tail_sigmas(&path.monte_carlo(60_000, 99));
+    assert!(t.late > 1.1 * t.early, "late σ must exceed early σ");
+
+    let row = model_accuracy(
+        &path,
+        &AocvTable::from_stage_sigma(0.05),
+        &PocvSigma::standard(),
+        60_000,
+        99,
+    );
+    let (e_flat, _, _, e_lvf) = row.errors_pct();
+    assert!(e_lvf.abs() < 2.0, "LVF within 2% of MC: {e_lvf}%");
+    assert!(e_lvf.abs() < e_flat.abs(), "LVF beats flat OCV");
+}
+
+/// §3.2 / Fig 8: homogeneous corners are pessimistic for the typical
+/// path (median dominating-corner α < 1), yet some paths exceed Cw
+/// coverage and need RCw — both corners stay in the signoff.
+#[test]
+fn fig8_tbc_structure() {
+    let stack = BeolStack::n20();
+    let study = TbcStudy::generate(&stack, 80, 1_500, 31);
+    assert!(study.median_min_alpha() < 1.0);
+    let under = study.cw_undercovered();
+    assert!(!under.is_empty(), "some paths must exceed Cw coverage");
+    let covered = under
+        .iter()
+        .filter(|&&i| study.at_rcw[i].alpha <= 1.05)
+        .count();
+    assert!(covered * 10 >= under.len() * 6);
+    // TBC eligibility grows with looser thresholds.
+    assert!(
+        study.tbc_eligible(0.06, 0.08).len() >= study.tbc_eligible(0.03, 0.04).len()
+    );
+}
+
+/// §3.3 / Fig 9: underestimating the aging corner costs lifetime power;
+/// overestimating costs area; the truth corner is the 100%/100% anchor.
+#[test]
+fn fig9_aging_tradeoff_shape() {
+    let outcomes = aging_signoff_sweep(
+        &AvsSystem::nominal_28nm(),
+        PowerProfile {
+            dynamic_share: 0.6,
+        },
+        &fig9_corners(),
+        10.0,
+    );
+    let first = &outcomes[0];
+    let last = outcomes.last().unwrap();
+    let truth = outcomes.iter().find(|o| o.assumed_years == 10.0).unwrap();
+    assert!(first.power_pct > truth.power_pct);
+    assert!(first.area_pct < truth.area_pct);
+    assert!(last.area_pct > truth.area_pct);
+    for w in outcomes.windows(2) {
+        assert!(w[1].area_pct >= w[0].area_pct, "area monotone in corner");
+    }
+}
+
+/// §2.3: the 16 nm corner space is more than an order of magnitude
+/// larger than the 65 nm one.
+#[test]
+fn corner_super_explosion_ratio() {
+    let ratio =
+        CornerSpace::n16_soc().count() as f64 / CornerSpace::n65_classic().count() as f64;
+    assert!(ratio > 10.0, "explosion ratio {ratio}");
+}
+
+/// §2.3: gate delay collapses with VDD while wire delay is flat, so the
+/// gate share of a mixed path falls with voltage (corner dominance
+/// flips between Cw and RCw).
+#[test]
+fn gate_wire_balance_shifts_with_voltage() {
+    let tech = Technology::finfet_16nm();
+    let dev = MosDevice::new(MosKind::Nmos, VtClass::Svt, 1.0);
+    let t = Celsius::new(25.0);
+    let gate = |v: f64| dev.eff_resistance(&tech, Volt::new(v), t).value() * 6.0;
+    let g_lo = gate(0.7);
+    let g_hi = gate(1.2);
+    assert!(
+        g_hi < 0.70 * g_lo,
+        "gate delay must drop ≥30% from 0.7→1.2 V: {g_lo} → {g_hi}"
+    );
+    // Wire delay is voltage-independent by construction, so the gate
+    // share strictly falls.
+    let wire = 10.0;
+    assert!(g_hi / (g_hi + wire) < g_lo / (g_lo + wire));
+}
