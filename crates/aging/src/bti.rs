@@ -132,37 +132,38 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Randomized invariants driven by the in-tree deterministic RNG.
 
-    proptest! {
-        #[test]
-        fn increments_are_additive_and_nonnegative(
-            split in 0.01f64..0.99,
-            total in 0.5f64..20.0,
-            v in 0.7f64..1.1,
-            t in 25.0f64..125.0,
-        ) {
-            let m = BtiModel::nominal_28nm();
-            let v = Volt::new(v);
-            let t = Celsius::new(t);
+    use super::*;
+    use tc_core::rng::Rng;
+
+    #[test]
+    fn increments_are_additive_and_nonnegative() {
+        let m = BtiModel::nominal_28nm();
+        let mut rng = Rng::seed_from(0xb71);
+        for _ in 0..128 {
+            let split = rng.uniform_in(0.01, 0.99);
+            let total = rng.uniform_in(0.5, 20.0);
+            let v = Volt::new(rng.uniform_in(0.7, 1.1));
+            let t = Celsius::new(rng.uniform_in(25.0, 125.0));
             let mid = total * split;
             let a = m.increment(0.0, mid, v, t);
             let b = m.increment(mid, total, v, t);
-            prop_assert!(a >= 0.0 && b >= 0.0);
-            prop_assert!((a + b - m.delta_vt(total, v, t)).abs() < 1e-12);
+            assert!(a >= 0.0 && b >= 0.0);
+            assert!((a + b - m.delta_vt(total, v, t)).abs() < 1e-12);
         }
+    }
 
-        #[test]
-        fn years_for_is_a_right_inverse(
-            years in 0.05f64..30.0,
-            v in 0.7f64..1.1,
-        ) {
-            let m = BtiModel::nominal_28nm();
-            let v = Volt::new(v);
-            let t = Celsius::new(105.0);
+    #[test]
+    fn years_for_is_a_right_inverse() {
+        let m = BtiModel::nominal_28nm();
+        let t = Celsius::new(105.0);
+        let mut rng = Rng::seed_from(0xb72);
+        for _ in 0..128 {
+            let years = rng.uniform_in(0.05, 30.0);
+            let v = Volt::new(rng.uniform_in(0.7, 1.1));
             let dvt = m.delta_vt(years, v, t);
-            prop_assert!((m.years_for(dvt, v, t) - years).abs() < 1e-6 * years);
+            assert!((m.years_for(dvt, v, t) - years).abs() < 1e-6 * years);
         }
     }
 }

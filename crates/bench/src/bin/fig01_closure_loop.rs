@@ -4,13 +4,18 @@
 //!
 //! Reproduces: per-iteration WNS/TNS/violation counts and the fix mix
 //! (Vt-swap first, then sizing, buffering, NDR, useful skew), plus the
-//! schedule model (three-day iterations).
+//! schedule model (three-day iterations). Runs under tc-obs: the
+//! per-phase timing report is printed after the table and the whole run
+//! (iterations + observability snapshot) lands in a JSON sidecar
+//! (`fig01_closure_loop.json`, directory `$TC_BENCH_OUT` or `.`).
 
-use tc_bench::{fmt, print_table, standard_env};
+use tc_bench::{fmt, print_table, standard_env, write_json_sidecar};
 use tc_closure::flow::{ClosureConfig, ClosureFlow};
+use tc_obs::JsonValue;
 use tc_sta::{Constraints, Sta};
 
 fn main() {
+    tc_obs::enable();
     let (lib, stack) = standard_env();
     let mut nl = tc_bench::bench_netlist(&lib, "soc_block", 2015);
 
@@ -33,6 +38,9 @@ fn main() {
     let breakdown = before.failure_breakdown();
     println!("failure breakdown: {breakdown:?}");
 
+    // The probe runs above are prologue, not the loop being measured.
+    tc_obs::reset();
+
     let config = ClosureConfig {
         budget_per_pass: 15,
         k_paths: 8,
@@ -48,7 +56,7 @@ fn main() {
             let fixes = it
                 .fixes
                 .iter()
-                .map(|(k, n)| format!("{k:?}:{n}"))
+                .map(|(k, n)| format!("{}:{n}", k.label()))
                 .collect::<Vec<_>>()
                 .join(" ");
             vec![
@@ -57,13 +65,17 @@ fn main() {
                 fmt(it.wns_after.value(), 1),
                 fmt(it.tns_after.value(), 1),
                 it.violations_after.to_string(),
+                fmt(it.elapsed_ms, 0),
+                it.counter_delta("sta.arcs_evaluated").to_string(),
                 fixes,
             ]
         })
         .collect();
     print_table(
         "Fig 1: closure iterations",
-        &["iter", "WNS in", "WNS out", "TNS out", "viol", "fixes"],
+        &[
+            "iter", "WNS in", "WNS out", "TNS out", "viol", "ms", "arcs", "fixes",
+        ],
         &rows,
     );
     println!(
@@ -73,4 +85,53 @@ fn main() {
         out.iterations.len()
     );
     println!("final: {}", out.final_report.summary());
+
+    let snapshot = tc_obs::snapshot();
+    println!("\n{}", snapshot.render_text());
+
+    let iterations: Vec<JsonValue> = out
+        .iterations
+        .iter()
+        .map(|it| {
+            let deltas: Vec<(String, JsonValue)> = it
+                .counter_deltas
+                .iter()
+                .map(|(n, v)| (n.clone(), JsonValue::from(*v)))
+                .collect();
+            JsonValue::obj([
+                ("iteration", JsonValue::from(it.iteration)),
+                ("wns_before_ps", JsonValue::from(it.wns_before.value())),
+                ("wns_after_ps", JsonValue::from(it.wns_after.value())),
+                ("tns_after_ps", JsonValue::from(it.tns_after.value())),
+                ("violations_after", JsonValue::from(it.violations_after)),
+                ("elapsed_ms", JsonValue::from(it.elapsed_ms)),
+                ("counter_deltas", JsonValue::Obj(deltas)),
+                (
+                    "fixes",
+                    JsonValue::Arr(
+                        it.fixes
+                            .iter()
+                            .map(|(k, n)| {
+                                JsonValue::obj([
+                                    ("fix", JsonValue::str(k.label())),
+                                    ("edits", JsonValue::from(*n)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::obj([
+        ("figure", JsonValue::str("fig01_closure_loop")),
+        ("closed", JsonValue::from(out.closed)),
+        ("days", JsonValue::from(out.days)),
+        ("iterations", JsonValue::Arr(iterations)),
+        ("observability", snapshot.to_json_value()),
+    ]);
+    match write_json_sidecar("fig01_closure_loop", &doc.render()) {
+        Ok(path) => println!("sidecar: {}", path.display()),
+        Err(e) => eprintln!("sidecar write failed: {e}"),
+    }
 }

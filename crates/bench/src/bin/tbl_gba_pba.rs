@@ -2,11 +2,15 @@
 //! pessimism GBA's conservative AOCV depth bound leaves on the table, at
 //! the cost of per-path re-evaluation (the turnaround/licensing tradeoff
 //! the paper describes).
+//!
+//! Runtime attribution comes from tc-obs span stats (`sta.gba` /
+//! `sta.pba`) instead of ad-hoc stopwatches, and the table plus the
+//! observability snapshot land in a JSON sidecar (`tbl_gba_pba.json`,
+//! directory `$TC_BENCH_OUT` or `.`).
 
-use std::time::Instant;
-
-use tc_bench::{fmt, print_table, standard_env};
+use tc_bench::{fmt, print_table, standard_env, write_json_sidecar};
 use tc_liberty::{AocvTable, DerateModel};
+use tc_obs::JsonValue;
 use tc_sta::pba::pba_worst_endpoints;
 use tc_sta::{Constraints, Sta};
 
@@ -25,13 +29,13 @@ fn main() {
         .with_derate(DerateModel::Aocv(AocvTable::from_stage_sigma(0.06)));
     let sta = Sta::new(&nl, &lib, &stack, &cons);
 
-    let t0 = Instant::now();
-    let gba = sta.run().expect("gba");
-    let gba_time = t0.elapsed();
+    // Only the measured runs below should appear in the snapshot.
+    tc_obs::enable();
+    tc_obs::reset();
 
-    let t0 = Instant::now();
+    let gba = sta.run().expect("gba");
     let results = pba_worst_endpoints(&sta, 50).expect("pba");
-    let pba_time = t0.elapsed();
+    let snapshot = tc_obs::snapshot();
 
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -63,9 +67,46 @@ fn main() {
     println!(
         "violations among analyzed endpoints: GBA {viol_gba} → PBA {viol_pba} | total recovered {total_rec:.1} ps"
     );
+
+    // Span-based runtime attribution: `sta.gba` covers every graph
+    // propagation (the PBA entry point reruns it), `sta.pba` only the
+    // path extraction + re-derating on top.
+    let gba_ms = snapshot.span("sta.gba").map_or(0.0, |s| s.total_ms());
+    let pba_ms = snapshot.span("sta.pba").map_or(0.0, |s| s.total_ms());
     println!(
-        "runtime: GBA {:.1} ms vs PBA(50 paths) {:.1} ms — the §1.3 turnaround cost",
-        gba_time.as_secs_f64() * 1e3,
-        pba_time.as_secs_f64() * 1e3
+        "runtime (tc-obs spans): GBA propagation {gba_ms:.1} ms total vs PBA overlay {pba_ms:.1} ms — the §1.3 turnaround cost"
     );
+    println!(
+        "arcs evaluated: {} | paths re-derated: {} ({} stages)",
+        snapshot.counter("sta.arcs_evaluated"),
+        snapshot.counter("sta.pba.paths"),
+        snapshot.counter("sta.pba.stages"),
+    );
+
+    let endpoints: Vec<JsonValue> = results
+        .iter()
+        .map(|r| {
+            JsonValue::obj([
+                ("endpoint", JsonValue::str(format!("{:?}", r.endpoint))),
+                ("gba_slack_ps", JsonValue::from(r.gba_slack.value())),
+                ("pba_slack_ps", JsonValue::from(r.pba_slack.value())),
+                ("recovered_ps", JsonValue::from(r.recovered().value())),
+                ("stages", JsonValue::from(r.stages)),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::obj([
+        ("table", JsonValue::str("tbl_gba_pba")),
+        ("gba_violations", JsonValue::from(viol_gba)),
+        ("pba_violations", JsonValue::from(viol_pba)),
+        ("total_recovered_ps", JsonValue::from(total_rec)),
+        ("gba_span_ms", JsonValue::from(gba_ms)),
+        ("pba_span_ms", JsonValue::from(pba_ms)),
+        ("endpoints", JsonValue::Arr(endpoints)),
+        ("observability", snapshot.to_json_value()),
+    ]);
+    match write_json_sidecar("tbl_gba_pba", &doc.render()) {
+        Ok(path) => println!("sidecar: {}", path.display()),
+        Err(e) => eprintln!("sidecar write failed: {e}"),
+    }
 }

@@ -36,6 +36,18 @@ impl FixKind {
         FixKind::Ndr,
         FixKind::UsefulSkew,
     ];
+
+    /// Stable snake_case label, used in reports and observability span
+    /// names (`closure.fix.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FixKind::VtSwap => "vt_swap",
+            FixKind::Sizing => "sizing",
+            FixKind::Buffering => "buffering",
+            FixKind::Ndr => "ndr",
+            FixKind::UsefulSkew => "useful_skew",
+        }
+    }
 }
 
 /// What a fix pass did.

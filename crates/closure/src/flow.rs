@@ -57,6 +57,22 @@ pub struct IterationRecord {
     pub violations_after: usize,
     /// `(fix, edits)` applied this iteration.
     pub fixes: Vec<(FixKind, usize)>,
+    /// Wall-clock time of the iteration, ms.
+    pub elapsed_ms: f64,
+    /// Engine counter deltas over the iteration (e.g. how many
+    /// `sta.arcs_evaluated` this iteration cost), sorted by name. Empty
+    /// when `tc_obs` is disabled.
+    pub counter_deltas: Vec<(String, u64)>,
+}
+
+impl IterationRecord {
+    /// A named counter's delta over this iteration (0 if absent).
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        self.counter_deltas
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
 }
 
 /// The full run's outcome.
@@ -98,10 +114,18 @@ impl<'a> ClosureFlow<'a> {
     ///
     /// Propagates STA failures.
     pub fn run(&mut self, nl: &mut Netlist, cons: Constraints) -> Result<ClosureOutcome> {
+        let _run_span = tc_obs::span("closure.run");
+        let edits_counter = tc_obs::counter("closure.edits");
         let mut cons = cons;
         let mut iterations = Vec::new();
         for it in 1..=self.config.max_iterations {
-            let before = Sta::new(nl, self.lib, self.stack, &cons).run()?;
+            let iter_start = std::time::Instant::now();
+            let counters_before = tc_obs::is_enabled().then(tc_obs::snapshot);
+            let iter_span = tc_obs::span("closure.iteration");
+            let before = {
+                let _sta = tc_obs::span("closure.sta");
+                Sta::new(nl, self.lib, self.stack, &cons).run()?
+            };
             if before.is_clean() {
                 break;
             }
@@ -114,14 +138,21 @@ impl<'a> ClosureFlow<'a> {
                 // timing is the ping-pong effect of §2.3).
                 let snapshot_nl = nl.clone();
                 let snapshot_cons = cons.clone();
-                let outcome = self.apply_fix(kind, nl, &mut cons)?;
+                let outcome = {
+                    let _fix = tc_obs::span(&format!("closure.fix.{}", kind.label()));
+                    self.apply_fix(kind, nl, &mut cons)?
+                };
                 if outcome.edits == 0 {
                     fixes.push((kind, 0));
                     continue;
                 }
-                let check = Sta::new(nl, self.lib, self.stack, &cons).run()?;
+                let check = {
+                    let _sta = tc_obs::span("closure.sta");
+                    Sta::new(nl, self.lib, self.stack, &cons).run()?
+                };
                 if check.wns() >= wns_running {
                     wns_running = check.wns();
+                    edits_counter.add(outcome.edits as u64);
                     fixes.push((kind, outcome.edits));
                 } else {
                     *nl = snapshot_nl;
@@ -129,7 +160,13 @@ impl<'a> ClosureFlow<'a> {
                     fixes.push((kind, 0));
                 }
             }
-            let after = Sta::new(nl, self.lib, self.stack, &cons).run()?;
+            let after = {
+                let _sta = tc_obs::span("closure.sta");
+                Sta::new(nl, self.lib, self.stack, &cons).run()?
+            };
+            drop(iter_span);
+            let counter_deltas = counters_before
+                .map_or_else(Vec::new, |before| tc_obs::snapshot().counter_deltas(&before));
             iterations.push(IterationRecord {
                 iteration: it,
                 wns_before,
@@ -137,6 +174,8 @@ impl<'a> ClosureFlow<'a> {
                 tns_after: after.tns(),
                 violations_after: after.setup_violations(),
                 fixes,
+                elapsed_ms: iter_start.elapsed().as_secs_f64() * 1e3,
+                counter_deltas,
             });
             // Ping-pong guard: a fully unproductive iteration means the
             // remaining violations need different medicine — stop rather
@@ -148,7 +187,10 @@ impl<'a> ClosureFlow<'a> {
                 break;
             }
         }
-        let final_report = Sta::new(nl, self.lib, self.stack, &cons).run()?;
+        let final_report = {
+            let _sta = tc_obs::span("closure.sta");
+            Sta::new(nl, self.lib, self.stack, &cons).run()?
+        };
         let closed = final_report.is_clean();
         let days = iterations.len() as f64 * self.config.days_per_iteration;
         Ok(ClosureOutcome {

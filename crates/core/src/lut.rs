@@ -296,61 +296,69 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Randomized invariants driven by the in-tree deterministic RNG.
 
-    fn sorted_axis(n: usize) -> impl Strategy<Value = Vec<f64>> {
-        proptest::collection::vec(0.01f64..10.0, n).prop_map(|steps| {
-            let mut axis = Vec::with_capacity(steps.len());
-            let mut x = 0.0;
-            for s in steps {
-                x += s;
-                axis.push(x);
-            }
-            axis
-        })
+    use super::*;
+    use crate::rng::Rng;
+
+    fn sorted_axis(rng: &mut Rng, n: usize) -> Vec<f64> {
+        let mut axis = Vec::with_capacity(n);
+        let mut x = 0.0;
+        for _ in 0..n {
+            x += rng.uniform_in(0.01, 10.0);
+            axis.push(x);
+        }
+        axis
     }
 
-    proptest! {
-        #[test]
-        fn lut1_interior_values_are_bounded_by_samples(
-            axis in sorted_axis(6),
-            values in proptest::collection::vec(-100.0f64..100.0, 6),
-            t in 0.0f64..1.0,
-        ) {
-            let lut = Lut1::new(axis.clone(), values.clone()).unwrap();
-            let x = axis[0] + t * (axis[5] - axis[0]);
+    fn values(rng: &mut Rng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| rng.uniform_in(-100.0, 100.0)).collect()
+    }
+
+    #[test]
+    fn lut1_interior_values_are_bounded_by_samples() {
+        let mut rng = Rng::seed_from(0x10701);
+        for _ in 0..128 {
+            let axis = sorted_axis(&mut rng, 6);
+            let vals = values(&mut rng, 6);
+            let lut = Lut1::new(axis.clone(), vals.clone()).unwrap();
+            let x = axis[0] + rng.uniform() * (axis[5] - axis[0]);
             let y = lut.eval(x);
-            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
         }
+    }
 
-        #[test]
-        fn lut1_hits_sample_points(
-            axis in sorted_axis(5),
-            values in proptest::collection::vec(-100.0f64..100.0, 5),
-            idx in 0usize..5,
-        ) {
-            let lut = Lut1::new(axis.clone(), values.clone()).unwrap();
-            prop_assert!((lut.eval(axis[idx]) - values[idx]).abs() < 1e-9);
+    #[test]
+    fn lut1_hits_sample_points() {
+        let mut rng = Rng::seed_from(0x10702);
+        for _ in 0..128 {
+            let axis = sorted_axis(&mut rng, 5);
+            let vals = values(&mut rng, 5);
+            let idx = rng.below(5);
+            let lut = Lut1::new(axis.clone(), vals.clone()).unwrap();
+            assert!((lut.eval(axis[idx]) - vals[idx]).abs() < 1e-9);
         }
+    }
 
-        #[test]
-        fn lut2_reproduces_separable_linear_functions(
-            rows in sorted_axis(4),
-            cols in sorted_axis(4),
-            a in -10.0f64..10.0,
-            b in -10.0f64..10.0,
-            c in -10.0f64..10.0,
-            tx in 0.0f64..1.0,
-            ty in 0.0f64..1.0,
-        ) {
-            let lut = Lut2::from_fn(rows.clone(), cols.clone(), |x, y| a + b * x + c * y).unwrap();
-            let x = rows[0] + tx * (rows[3] - rows[0]);
-            let y = cols[0] + ty * (cols[3] - cols[0]);
+    #[test]
+    fn lut2_reproduces_separable_linear_functions() {
+        let mut rng = Rng::seed_from(0x10703);
+        for _ in 0..128 {
+            let rows = sorted_axis(&mut rng, 4);
+            let cols = sorted_axis(&mut rng, 4);
+            let (a, b, c) = (
+                rng.uniform_in(-10.0, 10.0),
+                rng.uniform_in(-10.0, 10.0),
+                rng.uniform_in(-10.0, 10.0),
+            );
+            let lut =
+                Lut2::from_fn(rows.clone(), cols.clone(), |x, y| a + b * x + c * y).unwrap();
+            let x = rows[0] + rng.uniform() * (rows[3] - rows[0]);
+            let y = cols[0] + rng.uniform() * (cols[3] - cols[0]);
             let want = a + b * x + c * y;
-            prop_assert!((lut.eval(x, y) - want).abs() < 1e-6 * (1.0 + want.abs()));
+            assert!((lut.eval(x, y) - want).abs() < 1e-6 * (1.0 + want.abs()));
         }
     }
 }

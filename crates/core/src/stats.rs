@@ -321,51 +321,65 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Randomized invariants driven by the in-tree deterministic RNG.
 
-    proptest! {
-        #[test]
-        fn quantile_is_bounded_and_monotone(
-            mut xs in proptest::collection::vec(-1e6f64..1e6, 1..60),
-            q1 in 0.0f64..1.0,
-            q2 in 0.0f64..1.0,
-        ) {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random_vec(rng: &mut Rng, lo: f64, hi: f64, max_len: usize) -> Vec<f64> {
+        let n = 1 + rng.below(max_len - 1);
+        (0..n).map(|_| rng.uniform_in(lo, hi)).collect()
+    }
+
+    #[test]
+    fn quantile_is_bounded_and_monotone() {
+        let mut rng = Rng::seed_from(0x5_7a71);
+        for _ in 0..128 {
+            let mut xs = random_vec(&mut rng, -1e6, 1e6, 60);
             xs.iter_mut().for_each(|x| *x = x.trunc());
+            let (q1, q2) = (rng.uniform(), rng.uniform());
             let (lo, hi) = (q1.min(q2), q1.max(q2));
             let v_lo = quantile(&xs, lo);
             let v_hi = quantile(&xs, hi);
-            prop_assert!(v_lo <= v_hi + 1e-9);
+            assert!(v_lo <= v_hi + 1e-9);
             let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
             let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            prop_assert!(v_lo >= min - 1e-9 && v_hi <= max + 1e-9);
+            assert!(v_lo >= min - 1e-9 && v_hi <= max + 1e-9);
         }
+    }
 
-        #[test]
-        fn summary_mean_is_within_extrema(
-            xs in proptest::collection::vec(-1e3f64..1e3, 1..50),
-        ) {
+    #[test]
+    fn summary_mean_is_within_extrema() {
+        let mut rng = Rng::seed_from(0x5_7a72);
+        for _ in 0..128 {
+            let xs = random_vec(&mut rng, -1e3, 1e3, 50);
             let s = Summary::of(&xs);
-            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
-            prop_assert!(s.sigma >= 0.0);
+            assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+            assert!(s.sigma >= 0.0);
         }
+    }
 
-        #[test]
-        fn rss_dominates_components(
-            xs in proptest::collection::vec(0.0f64..1e3, 1..20),
-        ) {
+    #[test]
+    fn rss_dominates_components() {
+        let mut rng = Rng::seed_from(0x5_7a73);
+        for _ in 0..128 {
+            let xs = random_vec(&mut rng, 0.0, 1e3, 20);
             let r = rss(&xs);
             let max = xs.iter().cloned().fold(0.0f64, f64::max);
             let sum: f64 = xs.iter().sum();
-            prop_assert!(r >= max - 1e-9, "rss at least the largest term");
-            prop_assert!(r <= sum + 1e-9, "rss at most the linear sum");
+            assert!(r >= max - 1e-9, "rss at least the largest term");
+            assert!(r <= sum + 1e-9, "rss at most the linear sum");
         }
+    }
 
-        #[test]
-        fn normal_cdf_is_monotone_and_symmetric(z in -6.0f64..6.0) {
-            prop_assert!(normal_cdf(z) >= 0.0 && normal_cdf(z) <= 1.0);
-            prop_assert!(normal_cdf(z + 0.1) >= normal_cdf(z));
-            prop_assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-6);
+    #[test]
+    fn normal_cdf_is_monotone_and_symmetric() {
+        let mut rng = Rng::seed_from(0x5_7a74);
+        for _ in 0..256 {
+            let z = rng.uniform_in(-6.0, 6.0);
+            assert!(normal_cdf(z) >= 0.0 && normal_cdf(z) <= 1.0);
+            assert!(normal_cdf(z + 0.1) >= normal_cdf(z));
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-6);
         }
     }
 }

@@ -121,20 +121,20 @@ impl RcTree {
             r_to[i] = r_to[self.parent[i]] + self.r_up[i].value();
         }
         let mut elmore_all: Vec<f64> = vec![0.0; self.len()];
-        for k in 0..self.len() {
-            elmore_all[k] = self.elmore(k)?.value();
+        for (k, e) in elmore_all.iter_mut().enumerate() {
+            *e = self.elmore(k)?.value();
         }
         let mut on_sink_path = vec![false; self.len()];
         for &n in &self.path_to_root(sink) {
             on_sink_path[n] = true;
         }
         let mut m2 = 0.0;
-        for k in 0..self.len() {
+        for (k, &elm) in elmore_all.iter().enumerate() {
             let mut n = k;
             while !on_sink_path[n] {
                 n = self.parent[n];
             }
-            m2 += self.cap[k].value() * r_to[n] * elmore_all[k];
+            m2 += self.cap[k].value() * r_to[n] * elm;
         }
         Ok((m1, m2))
     }
@@ -189,7 +189,7 @@ impl RcTree {
         if y2.abs() < 1e-15 {
             return (Ff::new(y1), Kohm::ZERO, Ff::ZERO);
         }
-        let c_far = y2 * y2 / y3.max(1e-15) * -1.0;
+        let c_far = -(y2 * y2 / y3.max(1e-15));
         let c_far = if c_far.is_finite() && c_far > 0.0 && c_far < y1 {
             c_far
         } else {
@@ -274,8 +274,9 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Randomized invariants driven by the in-tree deterministic RNG.
+
     use super::*;
-    use proptest::prelude::*;
     use tc_core::rng::Rng;
 
     /// Brute-force Elmore: for each sink, sum over all caps of the shared
@@ -320,39 +321,44 @@ mod proptests {
         t
     }
 
-    proptest! {
-        #[test]
-        fn elmore_matches_brute_force(seed in 0u64..2000, n in 2usize..14) {
+    #[test]
+    fn elmore_matches_brute_force() {
+        for seed in 0..64 {
+            let n = 2 + (seed as usize % 12);
             let t = random_tree(seed, n);
             for sink in 0..t.len() {
                 let fast = t.elmore(sink).unwrap().value();
                 let brute = elmore_brute(&t, sink);
-                prop_assert!(
+                assert!(
                     (fast - brute).abs() < 1e-9 * (1.0 + brute.abs()),
                     "sink {sink}: {fast} vs {brute}"
                 );
             }
         }
+    }
 
-        #[test]
-        fn d2m_bounded_by_elmore_on_random_trees(seed in 0u64..2000, n in 2usize..14) {
+    #[test]
+    fn d2m_bounded_by_elmore_on_random_trees() {
+        for seed in 100..164 {
+            let n = 2 + (seed as usize % 12);
             let t = random_tree(seed, n);
             for sink in 1..t.len() {
                 let e = t.elmore(sink).unwrap().value();
                 let d = t.d2m(sink).unwrap().value();
-                prop_assert!(d <= e + 1e-9, "sink {sink}: d2m {d} > elmore {e}");
-                prop_assert!(d >= 0.0);
+                assert!(d <= e + 1e-9, "sink {sink}: d2m {d} > elmore {e}");
+                assert!(d >= 0.0);
             }
         }
+    }
 
-        #[test]
-        fn pi_model_conserves_total_cap(seed in 0u64..2000, n in 2usize..14) {
+    #[test]
+    fn pi_model_conserves_total_cap() {
+        for seed in 200..264 {
+            let n = 2 + (seed as usize % 12);
             let t = random_tree(seed, n);
             let (c_near, r, c_far) = t.pi_model();
-            prop_assert!(
-                (c_near.value() + c_far.value() - t.total_cap().value()).abs() < 1e-6
-            );
-            prop_assert!(r.value() >= 0.0);
+            assert!((c_near.value() + c_far.value() - t.total_cap().value()).abs() < 1e-6);
+            assert!(r.value() >= 0.0);
         }
     }
 }

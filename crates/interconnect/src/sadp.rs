@@ -84,7 +84,7 @@ impl PatterningSolution {
     /// regular SID scheme: mandrel tracks alternate with gap tracks; line
     /// ends (signalled by `cut_adjacent`) involve the block mask.
     pub fn for_track(track: usize, cut_adjacent: bool) -> Self {
-        match (track % 2 == 0, cut_adjacent) {
+        match (track.is_multiple_of(2), cut_adjacent) {
             (true, false) => PatterningSolution::MandrelMandrel,
             (false, false) => PatterningSolution::SpacerSpacer,
             (true, true) => PatterningSolution::MandrelBlock,

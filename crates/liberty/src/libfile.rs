@@ -309,10 +309,12 @@ mod tests {
     use crate::library::{LibConfig, Library};
 
     fn lib() -> Library {
-        let mut cfg = LibConfig::default();
         // Keep the file small for the test.
-        cfg.comb_drives = vec![1.0, 2.0];
-        cfg.flop_drives = vec![1.0];
+        let cfg = LibConfig {
+            comb_drives: vec![1.0, 2.0],
+            flop_drives: vec![1.0],
+            ..Default::default()
+        };
         Library::generate(&cfg, &PvtCorner::typical())
     }
 

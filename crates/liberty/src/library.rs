@@ -151,9 +151,11 @@ impl Library {
         &'a self,
         template: &'a str,
     ) -> impl Iterator<Item = LibCellId> + 'a {
-        self.cells.iter().enumerate().filter_map(move |(i, c)| {
-            (c.template.name == template).then(|| LibCellId::new(i))
-        })
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.template.name == template)
+            .map(|(i, _)| LibCellId::new(i))
     }
 
     /// Same cell, one Vt step faster, if the library has it.

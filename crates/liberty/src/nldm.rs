@@ -255,54 +255,55 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
-    use tc_core::units::{Celsius, Volt};
-    use crate::corner::ProcessCorner;
+    //! Randomized invariants (formerly proptest; now driven by the
+    //! in-tree deterministic RNG so offline builds need no external
+    //! dependencies).
 
-    proptest! {
-        #[test]
-        fn delay_monotone_in_load_and_slew_everywhere(
-            tmpl_idx in 0usize..6,
-            vt_idx in 0usize..4,
-            drive in 1.0f64..8.0,
-            v in 0.6f64..1.2,
-            t in -40.0f64..125.0,
-            slew in 5.0f64..300.0,
-            load in 0.5f64..30.0,
-        ) {
-            let tech = Technology::planar_28nm();
+    use super::*;
+    use crate::corner::ProcessCorner;
+    use tc_core::rng::Rng;
+    use tc_core::units::{Celsius, Volt};
+
+    #[test]
+    fn delay_monotone_in_load_and_slew_everywhere() {
+        let tech = Technology::planar_28nm();
+        let mut rng = Rng::seed_from(0x11d1);
+        for _ in 0..64 {
             let corner = PvtCorner {
                 process: ProcessCorner::Tt,
-                voltage: Volt::new(v),
-                temperature: Celsius::new(t),
+                voltage: Volt::new(rng.uniform_in(0.6, 1.2)),
+                temperature: Celsius::new(rng.uniform_in(-40.0, 125.0)),
             };
             let m = drive_model(
                 &tech,
-                &CellTemplate::COMB[tmpl_idx],
-                VtClass::ALL[vt_idx],
-                drive,
+                &CellTemplate::COMB[rng.below(6)],
+                VtClass::ALL[rng.below(4)],
+                rng.uniform_in(1.0, 8.0),
                 &corner,
             );
-            prop_assert!(m.delay_at(slew, load) > 0.0);
-            prop_assert!(m.delay_at(slew, load + 1.0) > m.delay_at(slew, load));
-            prop_assert!(m.delay_at(slew + 10.0, load) > m.delay_at(slew, load));
-            prop_assert!(m.slew_at(slew, load + 1.0) > m.slew_at(slew, load));
+            let slew = rng.uniform_in(5.0, 300.0);
+            let load = rng.uniform_in(0.5, 30.0);
+            assert!(m.delay_at(slew, load) > 0.0);
+            assert!(m.delay_at(slew, load + 1.0) > m.delay_at(slew, load));
+            assert!(m.delay_at(slew + 10.0, load) > m.delay_at(slew, load));
+            assert!(m.slew_at(slew, load + 1.0) > m.slew_at(slew, load));
         }
+    }
 
-        #[test]
-        fn upsizing_never_slows_a_cell(
-            vt_idx in 0usize..4,
-            drive in 1.0f64..4.0,
-            slew in 5.0f64..200.0,
-            load in 1.0f64..30.0,
-        ) {
-            let tech = Technology::planar_28nm();
-            let corner = PvtCorner::typical();
-            let tmpl = &CellTemplate::COMB[0];
-            let small = drive_model(&tech, tmpl, VtClass::ALL[vt_idx], drive, &corner);
-            let big = drive_model(&tech, tmpl, VtClass::ALL[vt_idx], drive * 2.0, &corner);
-            prop_assert!(big.delay_at(slew, load) < small.delay_at(slew, load));
+    #[test]
+    fn upsizing_never_slows_a_cell() {
+        let tech = Technology::planar_28nm();
+        let corner = PvtCorner::typical();
+        let tmpl = &CellTemplate::COMB[0];
+        let mut rng = Rng::seed_from(0x512e);
+        for _ in 0..64 {
+            let vt = VtClass::ALL[rng.below(4)];
+            let drive = rng.uniform_in(1.0, 4.0);
+            let slew = rng.uniform_in(5.0, 200.0);
+            let load = rng.uniform_in(1.0, 30.0);
+            let small = drive_model(&tech, tmpl, vt, drive, &corner);
+            let big = drive_model(&tech, tmpl, vt, drive * 2.0, &corner);
+            assert!(big.delay_at(slew, load) < small.delay_at(slew, load));
         }
     }
 }

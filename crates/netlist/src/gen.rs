@@ -159,7 +159,7 @@ fn pick_signal(rng: &mut Rng, pool: &[NetId], window: usize) -> NetId {
 /// Propagates netlist construction errors (which indicate a bug in the
 /// generator rather than bad input).
 pub fn generate(lib: &Library, profile: BenchProfile, seed: u64) -> Result<Netlist> {
-    let mut rng = Rng::seed_from(seed ^ 0x6e65_746c_6973_74);
+    let mut rng = Rng::seed_from(seed ^ 0x6e_6574_6c69_7374);
     let mut nl = Netlist::new(profile.name);
 
     let clk = nl.add_input("clk");

@@ -189,9 +189,11 @@ impl Netlist {
 
     /// Ids of all flop instances.
     pub fn flops<'a>(&'a self, lib: &'a Library) -> impl Iterator<Item = CellId> + 'a {
-        self.cells.iter().enumerate().filter_map(move |(i, c)| {
-            (lib.cell(c.master).kind == CellKind::Flop).then(|| CellId::new(i))
-        })
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| lib.cell(c.master).kind == CellKind::Flop)
+            .map(|(i, _)| CellId::new(i))
     }
 
     /// Annotates a net's estimated wirelength.

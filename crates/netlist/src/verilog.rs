@@ -18,6 +18,9 @@ use tc_liberty::Library;
 
 use crate::graph::Netlist;
 
+/// A parsed instantiation: (master, instance name, port connections).
+type ParsedInstance = (String, String, Vec<(String, String)>);
+
 /// Sanitizes a net name into a Verilog identifier.
 fn ident(name: &str) -> String {
     let mut s: String = name
@@ -96,8 +99,9 @@ pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist> {
     let mut nl = Netlist::new("parsed");
     let mut nets: HashMap<String, NetId> = HashMap::new();
     let mut outputs: Vec<String> = Vec::new();
-    // Instances must be created after all declarations; collect them.
-    let mut instances: Vec<(String, String, Vec<(String, String)>)> = Vec::new();
+    // Instances must be created after all declarations; collect them as
+    // (master, instance, port connections).
+    let mut instances: Vec<ParsedInstance> = Vec::new();
 
     for stmt in body.split(';') {
         let stmt = stmt.trim();

@@ -1,0 +1,148 @@
+//! A minimal JSON document builder — enough for exporters and figure
+//! sidecars without pulling in serde.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree. Object keys keep insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null` (also what non-finite numbers render as).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// String value from anything stringy.
+    pub fn str(s: impl Into<String>) -> JsonValue {
+        JsonValue::Str(s.into())
+    }
+
+    /// Object from `(key, value)` pairs.
+    pub fn obj<'a>(pairs: impl IntoIterator<Item = (&'a str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => {
+                if !x.is_finite() {
+                    out.push_str("null");
+                } else if *x == x.trunc() && x.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Num(x)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(x: u64) -> Self {
+        JsonValue::Num(x as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(x: usize) -> Self {
+        JsonValue::Num(x as f64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(x: i64) -> Self {
+        JsonValue::Num(x as f64)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}

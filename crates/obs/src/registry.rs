@@ -1,0 +1,151 @@
+//! The global metric registry: a process-wide, thread-safe store for
+//! span statistics, counters, and histograms.
+//!
+//! Everything here is std-only. Spans aggregate by *path* (the
+//! `/`-joined chain of enclosing span names), so memory stays bounded
+//! no matter how many times a hot span fires.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::export::{HistogramSnapshot, Snapshot, SpanSnapshot};
+use crate::metrics::{Counter, HistData, Histogram};
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct SpanStat {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: BTreeMap<String, SpanStat>,
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    hists: BTreeMap<String, Arc<Mutex<HistData>>>,
+}
+
+/// The process-wide registry. Use the free functions in this module (or
+/// the crate root) rather than holding one directly.
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+fn global() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        enabled: AtomicBool::new(false),
+        inner: Mutex::new(Inner::default()),
+    })
+}
+
+/// Turns instrumentation on. Until this is called every span is a no-op
+/// guard and every counter add is a single relaxed load plus an untaken
+/// branch.
+pub fn enable() {
+    global().enabled.store(true, Ordering::Relaxed);
+}
+
+/// Turns instrumentation off. Already-issued guards still record.
+pub fn disable() {
+    global().enabled.store(false, Ordering::Relaxed);
+}
+
+/// Whether instrumentation is currently on.
+#[inline]
+pub fn is_enabled() -> bool {
+    global().enabled.load(Ordering::Relaxed)
+}
+
+/// Records one completed span occurrence under `path`.
+pub(crate) fn record_span(path: &str, elapsed: Duration) {
+    let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    let mut inner = global().inner.lock().expect("obs registry poisoned");
+    let stat = inner.spans.entry(path.to_string()).or_default();
+    if stat.count == 0 {
+        stat.min_ns = ns;
+        stat.max_ns = ns;
+    } else {
+        stat.min_ns = stat.min_ns.min(ns);
+        stat.max_ns = stat.max_ns.max(ns);
+    }
+    stat.count += 1;
+    stat.total_ns = stat.total_ns.saturating_add(ns);
+}
+
+/// Fetches (registering on first use) the counter named `name`.
+///
+/// The returned handle is a cheap `Arc` clone; hot loops should fetch it
+/// once and call [`Counter::add`] repeatedly rather than re-looking-up.
+pub fn counter(name: &str) -> Counter {
+    let mut inner = global().inner.lock().expect("obs registry poisoned");
+    let cell = inner
+        .counters
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+        .clone();
+    Counter::new(cell)
+}
+
+/// Fetches (registering on first use) the histogram named `name`.
+pub fn histogram(name: &str) -> Histogram {
+    let mut inner = global().inner.lock().expect("obs registry poisoned");
+    let cell = inner
+        .hists
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(Mutex::new(HistData::default())))
+        .clone();
+    Histogram::new(cell)
+}
+
+/// Clears all span statistics and histograms and zeroes every counter.
+/// Existing [`Counter`]/[`Histogram`] handles remain valid.
+pub fn reset() {
+    let mut inner = global().inner.lock().expect("obs registry poisoned");
+    inner.spans.clear();
+    for c in inner.counters.values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for h in inner.hists.values() {
+        *h.lock().expect("obs histogram poisoned") = HistData::default();
+    }
+}
+
+/// Takes a consistent snapshot of everything recorded so far.
+pub fn snapshot() -> Snapshot {
+    let inner = global().inner.lock().expect("obs registry poisoned");
+    let spans = inner
+        .spans
+        .iter()
+        .map(|(path, s)| SpanSnapshot {
+            path: path.clone(),
+            count: s.count,
+            total_ns: s.total_ns,
+            min_ns: s.min_ns,
+            max_ns: s.max_ns,
+        })
+        .collect();
+    let counters = inner
+        .counters
+        .iter()
+        .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+        .collect();
+    let histograms = inner
+        .hists
+        .iter()
+        .map(|(k, v)| {
+            let d = v.lock().expect("obs histogram poisoned");
+            HistogramSnapshot::from_data(k.clone(), &d)
+        })
+        .collect();
+    Snapshot {
+        spans,
+        counters,
+        histograms,
+    }
+}

@@ -1,0 +1,75 @@
+//! Hierarchical wall-clock spans.
+//!
+//! A span is opened with [`span`] and closed when the returned guard
+//! drops. Nesting is tracked per thread: a span opened while another is
+//! live on the same thread aggregates under the parent's path, joined
+//! with `/` — e.g. `closure.iteration/sta.gba`. Timing uses
+//! [`Instant`], so it is monotonic and immune to wall-clock steps.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::{is_enabled, record_span};
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ActiveSpan {
+    path: String,
+    start: Instant,
+}
+
+/// RAII guard for an open span; records elapsed time on drop.
+///
+/// While instrumentation is disabled this is an empty struct and the
+/// drop is a no-op.
+#[must_use = "a span measures the scope of its guard — bind it with `let _span = ...`"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// The full `/`-joined path this guard records under, if live.
+    pub fn path(&self) -> Option<&str> {
+        self.0.as_ref().map(|a| a.path.as_str())
+    }
+}
+
+/// Opens a span named `name` under the current thread's innermost open
+/// span (if any).
+pub fn span(name: &str) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard(None);
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    SpanGuard(Some(ActiveSpan {
+        path,
+        start: Instant::now(),
+    }))
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let elapsed = active.start.elapsed();
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                // Guards normally drop LIFO; tolerate out-of-order drops
+                // (e.g. guards stored in structs) by removing by value.
+                if stack.last() == Some(&active.path) {
+                    stack.pop();
+                } else if let Some(pos) = stack.iter().rposition(|p| p == &active.path) {
+                    stack.remove(pos);
+                }
+            });
+            record_span(&active.path, elapsed);
+        }
+    }
+}

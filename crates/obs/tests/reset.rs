@@ -1,0 +1,25 @@
+//! `reset()` wipes the whole global registry, so it gets its own test
+//! binary (process) rather than racing the in-crate unit tests.
+
+#[test]
+fn reset_clears_spans_and_zeroes_counters() {
+    tc_obs::enable();
+    let handle = tc_obs::counter("reset.count");
+    handle.add(9);
+    tc_obs::histogram("reset.hist").record(3.0);
+    {
+        let _s = tc_obs::span("reset.span");
+    }
+    assert_eq!(tc_obs::snapshot().counter("reset.count"), 9);
+
+    tc_obs::reset();
+    let snap = tc_obs::snapshot();
+    assert_eq!(snap.counter("reset.count"), 0);
+    assert!(snap.span("reset.span").is_none());
+    let hist = snap.histograms.iter().find(|h| h.name == "reset.hist");
+    assert!(hist.is_none_or(|h| h.count == 0));
+
+    // Handles issued before the reset keep working.
+    handle.add(2);
+    assert_eq!(tc_obs::snapshot().counter("reset.count"), 2);
+}

@@ -36,7 +36,7 @@ impl Placement {
     /// adjacency — the worst case for MinIA).
     pub fn row_fill(nl: &Netlist, lib: &Library, row_sites: usize, seed: u64) -> Placement {
         let mut order: Vec<usize> = (0..nl.cell_count()).collect();
-        let mut rng = Rng::seed_from(seed ^ 0x706c_6163_65);
+        let mut rng = Rng::seed_from(seed ^ 0x70_6c61_6365);
         rng.shuffle(&mut order);
 
         let mut rows: Vec<Vec<PlacedCell>> = vec![Vec::new()];

@@ -1,8 +1,10 @@
 //! Corner enumeration and the "corner super-explosion" (§2.3).
 
-use tc_interconnect::beol::BeolCorner;
+use tc_core::error::Result;
+use tc_interconnect::beol::{BeolCorner, BeolStack};
 use tc_liberty::{ProcessCorner, PvtCorner};
-use tc_sta::mcmm::MergedReport;
+use tc_netlist::Netlist;
+use tc_sta::mcmm::{merge_reports, MergedReport, Scenario};
 
 /// A functional or test mode.
 #[derive(Clone, Debug, PartialEq)]
@@ -154,6 +156,30 @@ impl CornerSpace {
     }
 }
 
+/// Runs a full scenario set and merges the reports, with per-corner
+/// observability: the whole sweep runs under a `signoff.corners` span,
+/// each scenario under a `corner.<name>` child span, and the
+/// `signoff.corners` counter tallies scenarios analyzed — the raw data
+/// behind "how much of signoff is corner runtime" (§2.3).
+///
+/// # Errors
+///
+/// Propagates the first failing scenario run.
+pub fn run_corner_set(
+    nl: &Netlist,
+    stack: &BeolStack,
+    scenarios: &[Scenario],
+) -> Result<MergedReport> {
+    let _span = tc_obs::span("signoff.corners");
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for s in scenarios {
+        let _corner = tc_obs::span(&format!("corner.{}", s.name));
+        reports.push((s.name.clone(), s.run(nl, stack)?));
+    }
+    tc_obs::counter("signoff.corners").add(scenarios.len() as u64);
+    Ok(merge_reports(&reports))
+}
+
 /// Scenario pruning by dominance: keep only scenarios that are the worst
 /// setup or hold corner for at least `min_endpoints` endpoints in a
 /// merged MCMM report (a never-dominant corner adds runtime, not
@@ -214,6 +240,43 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), pts.len());
+    }
+
+    #[test]
+    fn run_corner_set_merges_and_records_per_corner_spans() {
+        let cfg = LibConfig::default();
+        let lib_typ = Library::generate(&cfg, &PvtCorner::typical());
+        let nl = generate(&lib_typ, BenchProfile::tiny(), 8).unwrap();
+        let stack = BeolStack::n20();
+        let scenarios = vec![
+            Scenario {
+                name: "typ".into(),
+                lib: lib_typ.clone(),
+                beol: BeolCorner::Typical,
+                constraints: Constraints::single_clock(900.0),
+            },
+            Scenario {
+                name: "slow".into(),
+                lib: Library::generate(&cfg, &PvtCorner::slow_cold()),
+                beol: BeolCorner::RcWorst,
+                constraints: Constraints::single_clock(900.0),
+            },
+        ];
+        tc_obs::enable();
+        let merged = run_corner_set(&nl, &stack, &scenarios).unwrap();
+        let expected = run_and_merge(&nl, &stack, &scenarios).unwrap();
+        assert_eq!(merged.wns(), expected.wns());
+
+        // Other tests in this process may record concurrently, so assert
+        // presence and lower bounds rather than exact totals.
+        let snap = tc_obs::snapshot();
+        assert!(snap.counter("signoff.corners") >= scenarios.len() as u64);
+        assert!(snap.span("signoff.corners").is_some());
+        for name in ["typ", "slow"] {
+            let path = format!("signoff.corners/corner.{name}");
+            let s = snap.span(&path).unwrap_or_else(|| panic!("missing {path}"));
+            assert!(s.count >= 1);
+        }
     }
 
     #[test]

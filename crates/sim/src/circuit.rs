@@ -277,42 +277,46 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Randomized invariants driven by the in-tree deterministic RNG.
 
-    proptest! {
-        #[test]
-        fn pwl_pulse_is_bounded_and_returns_to_lo(
-            t_rise in 0.0f64..500.0,
-            gap in -60.0f64..300.0,
-            tr in 1.0f64..60.0,
-            hi in 0.5f64..1.2,
-        ) {
+    use super::*;
+    use tc_core::rng::Rng;
+
+    #[test]
+    fn pwl_pulse_is_bounded_and_returns_to_lo() {
+        let mut rng = Rng::seed_from(0x9015e);
+        for _ in 0..128 {
+            let t_rise = rng.uniform_in(0.0, 500.0);
+            let gap = rng.uniform_in(-60.0, 300.0);
+            let tr = rng.uniform_in(1.0, 60.0);
+            let hi = rng.uniform_in(0.5, 1.2);
             let t_fall = t_rise + gap;
             let p = Pwl::pulse(t_rise, t_fall, tr, Volt::ZERO, Volt::new(hi));
             for i in 0..200 {
                 let t = -50.0 + i as f64 * 5.0;
                 let v = p.at(t);
-                prop_assert!(v >= -1e-12 && v <= hi + 1e-12, "v({t}) = {v}");
+                assert!(v >= -1e-12 && v <= hi + 1e-12, "v({t}) = {v}");
             }
             // Long after both edges the pulse is back at lo.
-            prop_assert!(p.at(t_rise + gap.abs() + 10.0 * tr + 1_000.0).abs() < 1e-9);
+            assert!(p.at(t_rise + gap.abs() + 10.0 * tr + 1_000.0).abs() < 1e-9);
             // Before the rise it is lo.
-            prop_assert!(p.at(t_rise - 1.0).abs() < 1e-12);
+            assert!(p.at(t_rise - 1.0).abs() < 1e-12);
         }
+    }
 
-        #[test]
-        fn pwl_ramp_is_monotone(
-            t0 in 0.0f64..500.0,
-            tr in 1.0f64..100.0,
-            v1 in 0.2f64..1.2,
-        ) {
+    #[test]
+    fn pwl_ramp_is_monotone() {
+        let mut rng = Rng::seed_from(0x4a39);
+        for _ in 0..128 {
+            let t0 = rng.uniform_in(0.0, 500.0);
+            let tr = rng.uniform_in(1.0, 100.0);
+            let v1 = rng.uniform_in(0.2, 1.2);
             let p = Pwl::ramp(t0, tr, Volt::ZERO, Volt::new(v1));
             let mut last = -1e-9;
             for i in 0..100 {
                 let t = t0 - 10.0 + i as f64 * (tr + 20.0) / 100.0;
                 let v = p.at(t);
-                prop_assert!(v >= last - 1e-12);
+                assert!(v >= last - 1e-12);
                 last = v;
             }
         }

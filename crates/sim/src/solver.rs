@@ -286,19 +286,19 @@ impl<'a> System<'a> {
     }
 
     /// One backward-Euler step with damped Newton; `v` holds the solution
-    /// on exit.
-    fn step(&self, t_new: f64, dt: f64, v_prev: &[f64], v: &mut [f64]) -> Result<()> {
+    /// on exit. Returns the number of Newton iterations spent.
+    fn step(&self, t_new: f64, dt: f64, v_prev: &[f64], v: &mut [f64]) -> Result<usize> {
         let nf = self.free.len();
         if nf == 0 {
             self.apply_sources(t_new, v);
-            return Ok(());
+            return Ok(0);
         }
         self.apply_sources(t_new, v);
         let mut f = vec![0.0; nf];
         let mut jac = vec![0.0; nf * nf];
         let mut delta = vec![0.0; nf];
 
-        for _iter in 0..MAX_NEWTON {
+        for iter in 0..MAX_NEWTON {
             self.residual(v, v_prev, dt, &mut f, Some(&mut jac));
             let max_f = f.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
             // Solve J·delta = f  (so v_new = v − delta).
@@ -312,7 +312,7 @@ impl<'a> System<'a> {
                 max_dv = max_dv.max(dv.abs());
             }
             if max_dv < NEWTON_TOL_V && max_f < NEWTON_TOL_I {
-                return Ok(());
+                return Ok(iter + 1);
             }
         }
         Err(Error::convergence(format!(
@@ -379,6 +379,10 @@ pub fn transient(circuit: &Circuit, tech: &Technology, opts: &TranOptions) -> Re
     if opts.dt <= 0.0 || opts.t_stop <= 0.0 {
         return Err(Error::invalid_input("dt and t_stop must be positive"));
     }
+    let _span = tc_obs::span("sim.transient");
+    let step_counter = tc_obs::counter("sim.newton.steps");
+    let iter_counter = tc_obs::counter("sim.newton.iters");
+    let iters_hist = tc_obs::histogram("sim.newton.iters_per_step");
     let sys = System::build(circuit, tech, opts)?;
     let n = circuit.node_count();
     let mut v = vec![0.0; n];
@@ -399,7 +403,10 @@ pub fn transient(circuit: &Circuit, tech: &Technology, opts: &TranOptions) -> Re
     let mut t = -opts.settle;
     while t < 0.0 {
         let t_next = (t + settle_dt).min(0.0);
-        sys.step(t_next.min(0.0), t_next - t, &v_prev, &mut v)?;
+        let iters = sys.step(t_next.min(0.0), t_next - t, &v_prev, &mut v)?;
+        step_counter.incr();
+        iter_counter.add(iters as u64);
+        iters_hist.record(iters as f64);
         v_prev.copy_from_slice(&v);
         t = t_next;
     }
@@ -417,7 +424,10 @@ pub fn transient(circuit: &Circuit, tech: &Technology, opts: &TranOptions) -> Re
     let mut t = 0.0;
     for _ in 0..steps {
         let t_next = t + opts.dt;
-        sys.step(t_next, opts.dt, &v_prev, &mut v)?;
+        let iters = sys.step(t_next, opts.dt, &v_prev, &mut v)?;
+        step_counter.incr();
+        iter_counter.add(iters as u64);
+        iters_hist.record(iters as f64);
         v_prev.copy_from_slice(&v);
         t = t_next;
         record(&mut times, &mut volts, t, &v);
@@ -511,8 +521,10 @@ mod tests {
         assert!(transient(&ckt, &tech, &TranOptions::default()).is_err());
 
         let ckt2 = Circuit::new();
-        let mut opts = TranOptions::default();
-        opts.dt = -1.0;
+        let opts = TranOptions {
+            dt: -1.0,
+            ..Default::default()
+        };
         assert!(transient(&ckt2, &tech, &opts).is_err());
     }
 }

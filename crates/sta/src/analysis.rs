@@ -245,6 +245,11 @@ impl<'a> Sta<'a> {
     /// Runs graph-based analysis, returning per-net states plus wire
     /// timings (the raw material for reports and PBA).
     pub(crate) fn propagate(&self) -> Result<(Vec<NetState>, Vec<NetWire>)> {
+        let _span = tc_obs::span("sta.gba");
+        // Accumulated locally and flushed once: one atomic add per
+        // propagation, not per arc.
+        let mut arcs_evaluated = 0u64;
+        let mut nets_propagated = 0u64;
         let lv = levelize(self.nl, self.lib)?;
         let wires = self.wire_timings()?;
         let mut state = vec![NetState::default(); self.nl.net_count()];
@@ -300,6 +305,8 @@ impl<'a> Sta<'a> {
                 let (dl, vl) = self.stage_late(cid, arc, cs, load, 1);
                 let (de, ve) = self.stage_early(cid, arc, cs, load, 1);
                 let slew = arc.out_slew.eval(cs, load);
+                arcs_evaluated += 1;
+                nets_propagated += 1;
                 state[out.index()] = NetState {
                     late: Arr {
                         t: ck_late + dl,
@@ -339,6 +346,7 @@ impl<'a> Sta<'a> {
                 let arc = master
                     .arc_from(pin_name)
                     .ok_or_else(|| Error::internal("missing arc"))?;
+                arcs_evaluated += 1;
 
                 let pin_slew_late = ns.late.slew + 0.25 * wire.value();
                 let (dl, vl) = self.stage_late(cid, arc, pin_slew_late, load, 1);
@@ -377,6 +385,7 @@ impl<'a> Sta<'a> {
                 }
             }
             if let (Some((late, pin)), Some(early)) = (best_late, best_early) {
+                nets_propagated += 1;
                 state[out.index()] = NetState {
                     late,
                     early,
@@ -385,6 +394,8 @@ impl<'a> Sta<'a> {
                 };
             }
         }
+        tc_obs::counter("sta.arcs_evaluated").add(arcs_evaluated);
+        tc_obs::counter("sta.nets_propagated").add(nets_propagated);
         Ok((state, wires))
     }
 

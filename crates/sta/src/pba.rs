@@ -57,8 +57,10 @@ impl PbaEndpoint {
 pub fn pba_worst_endpoints(sta: &Sta<'_>, k: usize) -> Result<Vec<PbaEndpoint>> {
     let report = sta.run()?;
     let (state, wires) = sta.propagate()?;
+    let _span = tc_obs::span("sta.pba");
     let k_sigma = sta.k_sigma();
 
+    let mut stages_total = 0u64;
     let mut out = Vec::new();
     for ep in worst_flop_endpoints(&report, k) {
         let Endpoint::FlopD(fid) = ep.endpoint else {
@@ -66,6 +68,7 @@ pub fn pba_worst_endpoints(sta: &Sta<'_>, k: usize) -> Result<Vec<PbaEndpoint>> 
         };
         let (path, launch_flop) = extract_path(sta, &state, &wires, fid)?;
         let pba_slack = reevaluate(sta, ep, &path, launch_flop, &wires, k_sigma)?;
+        stages_total += path.len() as u64 + 1;
         out.push(PbaEndpoint {
             endpoint: ep.endpoint,
             gba_slack: ep.setup_slack,
@@ -73,6 +76,8 @@ pub fn pba_worst_endpoints(sta: &Sta<'_>, k: usize) -> Result<Vec<PbaEndpoint>> 
             stages: path.len() + 1, // + the launch c2q stage
         });
     }
+    tc_obs::counter("sta.pba.paths").add(out.len() as u64);
+    tc_obs::counter("sta.pba.stages").add(stages_total);
     Ok(out)
 }
 
@@ -123,6 +128,7 @@ fn worst_flop_endpoints(
 pub fn worst_paths(sta: &Sta<'_>, k: usize) -> Result<Vec<CriticalPath>> {
     let report = sta.run()?;
     let (state, wires) = sta.propagate()?;
+    let _span = tc_obs::span("sta.pba");
     let mut out = Vec::new();
     for ep in report.worst_endpoints(k) {
         let start_net = match ep.endpoint {
@@ -151,6 +157,8 @@ pub fn worst_paths(sta: &Sta<'_>, k: usize) -> Result<Vec<CriticalPath>> {
             launch_flop,
         });
     }
+    tc_obs::counter("sta.pba.paths").add(out.len() as u64);
+    tc_obs::counter("sta.pba.stages").add(out.iter().map(|p| p.stages.len() as u64 + 1).sum());
     Ok(out)
 }
 

@@ -274,60 +274,60 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Randomized invariants driven by the in-tree deterministic RNG.
 
-    fn arb_endpoint() -> impl Strategy<Value = EndpointTiming> {
-        (
-            0usize..50,
-            -500.0f64..500.0,
-            -200.0f64..500.0,
-            1usize..40,
-            (0.0f64..400.0, 0.0f64..400.0),
-        )
-            .prop_map(|(id, setup, hold, depth, (gate, wire))| EndpointTiming {
-                endpoint: Endpoint::FlopD(CellId::new(id)),
-                setup_slack: Ps::new(setup),
-                hold_slack: Ps::new(hold),
-                arrival: Ps::new(1000.0 - setup),
-                required: Ps::new(1000.0),
-                depth,
-                gate_ps: gate,
-                wire_ps: wire,
-                data_slew: 30.0,
-            })
+    use super::*;
+    use tc_core::rng::Rng;
+
+    fn random_endpoint(rng: &mut Rng) -> EndpointTiming {
+        let setup = rng.uniform_in(-500.0, 500.0);
+        EndpointTiming {
+            endpoint: Endpoint::FlopD(CellId::new(rng.below(50))),
+            setup_slack: Ps::new(setup),
+            hold_slack: Ps::new(rng.uniform_in(-200.0, 500.0)),
+            arrival: Ps::new(1000.0 - setup),
+            required: Ps::new(1000.0),
+            depth: 1 + rng.below(39),
+            gate_ps: rng.uniform_in(0.0, 400.0),
+            wire_ps: rng.uniform_in(0.0, 400.0),
+            data_slew: 30.0,
+        }
     }
 
-    proptest! {
-        #[test]
-        fn invariants_of_aggregates(eps in proptest::collection::vec(arb_endpoint(), 1..40)) {
+    #[test]
+    fn invariants_of_aggregates() {
+        let mut rng = Rng::seed_from(0x4e9);
+        for _ in 0..64 {
+            let n = 1 + rng.below(39);
+            let eps: Vec<EndpointTiming> =
+                (0..n).map(|_| random_endpoint(&mut rng)).collect();
             let r = TimingReport::from_endpoints(eps.clone(), Ps::new(1000.0));
             // WNS is the min slack; TNS ≤ 0 and ≤ WNS when violating.
-            let min = eps.iter().map(|e| e.setup_slack).fold(Ps::new(f64::INFINITY), Ps::min);
-            prop_assert_eq!(r.wns(), min);
-            prop_assert!(r.tns() <= Ps::ZERO);
+            let min = eps
+                .iter()
+                .map(|e| e.setup_slack)
+                .fold(Ps::new(f64::INFINITY), Ps::min);
+            assert_eq!(r.wns(), min);
+            assert!(r.tns() <= Ps::ZERO);
             if r.wns() < Ps::ZERO {
-                prop_assert!(r.tns() <= r.wns());
-                prop_assert!(r.setup_violations() >= 1);
+                assert!(r.tns() <= r.wns());
+                assert!(r.setup_violations() >= 1);
             } else {
-                prop_assert_eq!(r.tns(), Ps::ZERO);
-                prop_assert_eq!(r.setup_violations(), 0);
+                assert_eq!(r.tns(), Ps::ZERO);
+                assert_eq!(r.setup_violations(), 0);
             }
             // worst_endpoints is sorted and bounded.
             let w = r.worst_endpoints(5);
-            prop_assert!(w.len() <= 5);
+            assert!(w.len() <= 5);
             for pair in w.windows(2) {
-                prop_assert!(pair[0].setup_slack <= pair[1].setup_slack);
+                assert!(pair[0].setup_slack <= pair[1].setup_slack);
             }
             // Breakdown covers exactly the violating endpoints.
             let total: usize = r.failure_breakdown().iter().map(|&(_, n)| n).sum();
-            prop_assert_eq!(total, r.setup_violations());
+            assert_eq!(total, r.setup_violations());
             // Histogram + outliers account for every endpoint.
             let h = r.slack_histogram(-500.0, 500.0, 10);
-            prop_assert_eq!(
-                h.counts().iter().sum::<usize>() + h.outliers(),
-                eps.len()
-            );
+            assert_eq!(h.counts().iter().sum::<usize>() + h.outliers(), eps.len());
         }
     }
 }

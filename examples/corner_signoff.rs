@@ -65,7 +65,7 @@ fn main() -> Result<(), tc_core::Error> {
 
     println!("\ncorner dominance (endpoints for which each corner is worst-setup):");
     let mut dom: Vec<_> = merged.dominance().into_iter().collect();
-    dom.sort_by(|a, b| b.1.cmp(&a.1));
+    dom.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     for (name, n) in &dom {
         println!("  {name:<16} {n}");
     }

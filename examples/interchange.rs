@@ -12,9 +12,11 @@ use timing_closure::netlist::{parse_verilog, write_verilog};
 
 fn main() -> Result<(), tc_core::Error> {
     // A compact library keeps the .lib readable.
-    let mut cfg = LibConfig::default();
-    cfg.comb_drives = vec![1.0, 2.0, 4.0];
-    cfg.flop_drives = vec![1.0];
+    let cfg = LibConfig {
+        comb_drives: vec![1.0, 2.0, 4.0],
+        flop_drives: vec![1.0],
+        ..Default::default()
+    };
     let lib = Library::generate(&cfg, &PvtCorner::typical());
 
     // --- Liberty ---

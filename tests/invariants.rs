@@ -1,11 +1,11 @@
-//! Property-based cross-crate invariants (proptest).
+//! Randomized cross-crate invariants (formerly proptest; now driven by
+//! the in-tree deterministic RNG so offline builds need no external
+//! dependencies).
 //!
 //! These encode the structural guarantees DESIGN.md calls out: PBA never
 //! more pessimistic than GBA, slack moving 1:1 with the clock period,
 //! ECO edits preserving netlist validity, deterministic generation, and
 //! monotone responses to load/length.
-
-use proptest::prelude::*;
 
 use timing_closure::interconnect::beol::BeolStack;
 use timing_closure::interconnect::rctree::RcTree;
@@ -14,6 +14,7 @@ use timing_closure::netlist::gen::{generate, BenchProfile};
 use timing_closure::sta::pba::pba_worst_endpoints;
 use timing_closure::sta::{Constraints, Sta};
 use tc_core::ids::NetId;
+use tc_core::rng::Rng;
 use tc_core::units::{Ff, Kohm};
 
 fn env() -> (Library, BeolStack) {
@@ -23,18 +24,22 @@ fn env() -> (Library, BeolStack) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Cases per randomized invariant (proptest ran 8).
+const CASES: u64 = 8;
 
-    #[test]
-    fn pba_never_below_gba(seed in 0u64..500, depth_sigma in 0.02f64..0.08) {
-        let (lib, stack) = env();
+#[test]
+fn pba_never_below_gba() {
+    let (lib, stack) = env();
+    let mut rng = Rng::seed_from(0x1a01);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 500;
+        let depth_sigma = rng.uniform_in(0.02, 0.08);
         let nl = generate(&lib, BenchProfile::tiny(), seed).unwrap();
         let cons = Constraints::single_clock(900.0)
             .with_derate(DerateModel::Aocv(AocvTable::from_stage_sigma(depth_sigma)));
         let sta = Sta::new(&nl, &lib, &stack, &cons);
         for r in pba_worst_endpoints(&sta, 8).unwrap() {
-            prop_assert!(
+            assert!(
                 r.pba_slack.value() >= r.gba_slack.value() - 0.5,
                 "pba {} < gba {} (seed {seed})",
                 r.pba_slack,
@@ -42,33 +47,47 @@ proptest! {
             );
         }
     }
+}
 
-    #[test]
-    fn slack_shifts_one_to_one_with_period(seed in 0u64..500, delta in 10f64..800.0) {
-        let (lib, stack) = env();
+#[test]
+fn slack_shifts_one_to_one_with_period() {
+    let (lib, stack) = env();
+    let mut rng = Rng::seed_from(0x1a02);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 500;
+        let delta = rng.uniform_in(10.0, 800.0);
         let nl = generate(&lib, BenchProfile::tiny(), seed).unwrap();
         let base = Constraints::single_clock(1_000.0);
         let wide = Constraints::single_clock(1_000.0 + delta);
         let w0 = Sta::new(&nl, &lib, &stack, &base).run().unwrap().wns();
         let w1 = Sta::new(&nl, &lib, &stack, &wide).run().unwrap().wns();
-        prop_assert!(((w1 - w0).value() - delta).abs() < 1e-6);
+        assert!(((w1 - w0).value() - delta).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn generation_is_reproducible(seed in 0u64..1000) {
-        let (lib, _) = env();
+#[test]
+fn generation_is_reproducible() {
+    let (lib, _) = env();
+    let mut rng = Rng::seed_from(0x1a03);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 1000;
         let a = generate(&lib, BenchProfile::tiny(), seed).unwrap();
         let b = generate(&lib, BenchProfile::tiny(), seed).unwrap();
-        prop_assert_eq!(a.cell_count(), b.cell_count());
+        assert_eq!(a.cell_count(), b.cell_count());
         for (ca, cb) in a.cells().iter().zip(b.cells()) {
-            prop_assert_eq!(ca.master, cb.master);
-            prop_assert_eq!(&ca.inputs, &cb.inputs);
+            assert_eq!(ca.master, cb.master);
+            assert_eq!(&ca.inputs, &cb.inputs);
         }
     }
+}
 
-    #[test]
-    fn wire_stretch_never_improves_wns(seed in 0u64..300, stretch in 1.1f64..6.0) {
-        let (lib, stack) = env();
+#[test]
+fn wire_stretch_never_improves_wns() {
+    let (lib, stack) = env();
+    let mut rng = Rng::seed_from(0x1a04);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 300;
+        let stretch = rng.uniform_in(1.1, 6.0);
         let mut nl = generate(&lib, BenchProfile::tiny(), seed).unwrap();
         let cons = Constraints::single_clock(1_000.0);
         let before = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
@@ -77,32 +96,40 @@ proptest! {
             nl.set_wire_length(NetId::new(i), len * stretch);
         }
         let after = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
-        prop_assert!(after <= before + tc_core::units::Ps::new(1e-6));
+        assert!(after <= before + tc_core::units::Ps::new(1e-6));
     }
+}
 
-    #[test]
-    fn elmore_monotone_under_added_cap(r1 in 0.1f64..5.0, r2 in 0.1f64..5.0,
-                                       c1 in 0.5f64..10.0, c2 in 0.5f64..10.0,
-                                       extra in 0.1f64..20.0) {
+#[test]
+fn elmore_monotone_under_added_cap() {
+    let mut rng = Rng::seed_from(0x1a05);
+    for _ in 0..64 {
+        let (r1, r2) = (rng.uniform_in(0.1, 5.0), rng.uniform_in(0.1, 5.0));
+        let (c1, c2) = (rng.uniform_in(0.5, 10.0), rng.uniform_in(0.5, 10.0));
+        let extra = rng.uniform_in(0.1, 20.0);
         let mut t = RcTree::new(Ff::new(0.2));
         let a = t.add_node(0, Kohm::new(r1), Ff::new(c1));
         let b = t.add_node(a, Kohm::new(r2), Ff::new(c2));
         let before = t.elmore(b).unwrap();
         t.add_cap(a, Ff::new(extra));
         let after = t.elmore(b).unwrap();
-        prop_assert!(after > before);
+        assert!(after > before);
         // D2M stays below Elmore.
-        prop_assert!(t.d2m(b).unwrap() <= after);
+        assert!(t.d2m(b).unwrap() <= after);
     }
+}
 
-    #[test]
-    fn mc_seeds_are_deterministic_and_distinct(seed in 0u64..1000) {
+#[test]
+fn mc_seeds_are_deterministic_and_distinct() {
+    let mut rng = Rng::seed_from(0x1a06);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 1000;
         let path = timing_closure::variation::mc::PathModel::uniform(8, 20.0, 0.05, 2.0);
         let a = path.monte_carlo(500, seed);
         let b = path.monte_carlo(500, seed);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(&a, &b);
         let c = path.monte_carlo(500, seed ^ 0xdead_beef);
-        prop_assert_ne!(&a, &c);
+        assert_ne!(&a, &c);
     }
 }
 
@@ -138,7 +165,9 @@ fn eco_edits_preserve_validity_under_stress() {
             .find(|&n| nl.net(n).sinks.len() >= 2 && nl.net(n).driver.is_some());
         if let Some(net) = candidate {
             let sinks = vec![nl.net(net).sinks[0]];
-            let buf = lib.variant("BUF", timing_closure::device::VtClass::Svt, 2.0).unwrap();
+            let buf = lib
+                .variant("BUF", timing_closure::device::VtClass::Svt, 2.0)
+                .unwrap();
             nl.insert_buffer(&lib, net, &sinks, buf).unwrap();
         }
         nl.validate(&lib).unwrap();

@@ -1,0 +1,149 @@
+//! Integration coverage for the tc-obs layer as threaded through the
+//! engines: a closure run must leave behind per-iteration spans, STA
+//! counters, and — via the transistor-level flip-flop characterizer —
+//! solver Newton counters. Runs in its own test binary so the global
+//! registry reset cannot race other tests.
+
+use std::sync::Mutex;
+
+use tc_core::units::Ps;
+use timing_closure::closure::flow::{ClosureConfig, ClosureFlow};
+use timing_closure::interconnect::beol::BeolStack;
+use timing_closure::liberty::{LibConfig, Library, PvtCorner};
+use timing_closure::netlist::gen::{generate, BenchProfile};
+use timing_closure::sta::{Constraints, Sta};
+
+/// The tests flip the process-global enabled flag and reset the shared
+/// registry, so they must not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn closure_run_produces_spans_and_engine_counters() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+    let stack = BeolStack::n20();
+    let mut nl = generate(&lib, BenchProfile::tiny(), 33).unwrap();
+
+    // Constrain 40 ps beyond capability so at least one iteration runs.
+    let probe = Constraints::single_clock(5_000.0);
+    let wns = Sta::new(&nl, &lib, &stack, &probe)
+        .run()
+        .unwrap()
+        .wns()
+        .value();
+    let cons = Constraints::single_clock(5_000.0 - wns - 40.0);
+
+    tc_obs::enable();
+    tc_obs::reset();
+    let cfg = ClosureConfig {
+        max_iterations: 2,
+        ..Default::default()
+    };
+    let mut flow = ClosureFlow::new(&lib, &stack, cfg);
+    let out = flow.run(&mut nl, cons).unwrap();
+    let snap = tc_obs::snapshot();
+    tc_obs::disable();
+
+    assert!(!out.iterations.is_empty(), "must iterate at least once");
+
+    // Per-iteration spans under the run span.
+    let run = snap.span("closure.run").expect("closure.run span");
+    assert_eq!(run.count, 1);
+    let iter = snap
+        .span("closure.run/closure.iteration")
+        .expect("per-iteration span");
+    assert!(iter.count >= out.iterations.len() as u64);
+    assert!(
+        iter.total_ns <= run.total_ns,
+        "children cannot exceed the parent"
+    );
+    // STA ran nested inside the loop.
+    let sta_nested = snap
+        .span("closure.run/closure.iteration/closure.sta/sta.gba")
+        .expect("nested sta.gba span");
+    assert!(sta_nested.count >= 2, "before + after checks per iteration");
+    // At least one fix pass span exists.
+    assert!(
+        snap.spans
+            .iter()
+            .any(|s| s.name().starts_with("closure.fix.")),
+        "no fix-pass spans in {:?}",
+        snap.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+    );
+
+    // Engine counters are live and non-zero.
+    assert!(snap.counter("sta.arcs_evaluated") > 0);
+    assert!(snap.counter("sta.nets_propagated") > 0);
+    assert!(snap.counter("closure.edits") > 0, "fixes commit edits");
+
+    // IterationRecord carries elapsed time and counter deltas, and the
+    // deltas sum to no more than the totals.
+    let mut arcs_delta = 0;
+    for it in &out.iterations {
+        assert!(it.elapsed_ms > 0.0);
+        assert!(it.counter_delta("sta.arcs_evaluated") > 0);
+        arcs_delta += it.counter_delta("sta.arcs_evaluated");
+    }
+    assert!(arcs_delta <= snap.counter("sta.arcs_evaluated"));
+
+    // The exporters accept the real snapshot.
+    let text = snap.render_text();
+    assert!(text.contains("closure.run"));
+    assert!(text.contains("sta.arcs_evaluated"));
+    let json = snap.to_json();
+    assert!(json.contains("\"closure.run\""));
+}
+
+#[test]
+fn transient_solver_records_newton_effort() {
+    use timing_closure::device::Technology;
+    use timing_closure::sim::ff_char::{c2q_at, FfBench};
+
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    tc_obs::enable();
+    let before = tc_obs::snapshot();
+    let bench = FfBench::paper_default();
+    let tech = Technology::planar_28nm();
+    c2q_at(&bench, &tech, Ps::new(60.0), Ps::new(200.0)).unwrap();
+    let after = tc_obs::snapshot();
+    tc_obs::disable();
+
+    let deltas = after.counter_deltas(&before);
+    let delta = |name: &str| {
+        deltas
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let steps = delta("sim.newton.steps");
+    let iters = delta("sim.newton.iters");
+    assert!(steps > 0, "transient must record steps");
+    assert!(iters >= steps, "every step takes at least one iteration");
+
+    let hist = after
+        .histograms
+        .iter()
+        .find(|h| h.name == "sim.newton.iters_per_step")
+        .expect("iters-per-step histogram");
+    assert!(hist.count > 0);
+    assert!(hist.mean() >= 1.0);
+    let span = after.span("sim.transient").expect("sim.transient span");
+    assert!(span.count >= 1);
+}
+
+#[test]
+fn disabled_instrumentation_records_nothing() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    tc_obs::disable();
+    let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+    let stack = BeolStack::n20();
+    let nl = generate(&lib, BenchProfile::tiny(), 5).unwrap();
+    let cons = Constraints::single_clock(900.0);
+    let before = tc_obs::snapshot();
+    Sta::new(&nl, &lib, &stack, &cons).run().unwrap();
+    let after = tc_obs::snapshot();
+    assert!(
+        after.counter_deltas(&before).is_empty(),
+        "disabled counters must not move"
+    );
+}
