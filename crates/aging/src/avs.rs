@@ -219,8 +219,6 @@ mod tests {
         let margin = simulate_lifetime(&s, 0.92, 10.0, 30);
         let tight = simulate_lifetime(&s, 1.0, 10.0, 30);
         assert!(margin.average_voltage() < tight.average_voltage());
-        assert!(
-            margin.average_power(&s, 0.7, 0.3) < tight.average_power(&s, 0.7, 0.3)
-        );
+        assert!(margin.average_power(&s, 0.7, 0.3) < tight.average_power(&s, 0.7, 0.3));
     }
 }

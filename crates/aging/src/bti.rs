@@ -95,10 +95,7 @@ mod tests {
         let t = Celsius::new(105.0);
         let lo = m.delta_vt(5.0, Volt::new(0.8), t);
         let hi = m.delta_vt(5.0, Volt::new(1.0), t);
-        assert!(
-            hi > 2.0 * lo,
-            "±100 mV ≈ e^±0.83 each way: {lo} vs {hi}"
-        );
+        assert!(hi > 2.0 * lo, "±100 mV ≈ e^±0.83 each way: {lo} vs {hi}");
     }
 
     #[test]
@@ -114,9 +111,8 @@ mod tests {
         let v = Volt::new(0.9);
         let t = Celsius::new(105.0);
         let whole = m.delta_vt(8.0, v, t);
-        let pieces = m.increment(0.0, 2.0, v, t)
-            + m.increment(2.0, 5.0, v, t)
-            + m.increment(5.0, 8.0, v, t);
+        let pieces =
+            m.increment(0.0, 2.0, v, t) + m.increment(2.0, 5.0, v, t) + m.increment(5.0, 8.0, v, t);
         assert!((whole - pieces).abs() < 1e-12);
     }
 

@@ -29,10 +29,7 @@ impl RingOscMonitor {
 
     /// A design-dependent RO matched to a path profile.
     pub fn matched(mix: Vec<(VtClass, f64)>, wire_fraction: f64) -> Self {
-        RingOscMonitor {
-            mix,
-            wire_fraction,
-        }
+        RingOscMonitor { mix, wire_fraction }
     }
 
     /// Delay factor at (v, dvt) relative to (v_ref, fresh): the quantity
@@ -107,15 +104,9 @@ mod tests {
         // sensitive than an SVT ring oscillator; a matched DDRO closes
         // that gap.
         let t = tech();
-        let path = RingOscMonitor::matched(
-            vec![(VtClass::Hvt, 0.7), (VtClass::Svt, 0.3)],
-            0.0,
-        );
+        let path = RingOscMonitor::matched(vec![(VtClass::Hvt, 0.7), (VtClass::Svt, 0.3)], 0.0);
         let plain = RingOscMonitor::plain();
-        let matched = RingOscMonitor::matched(
-            vec![(VtClass::Hvt, 0.6), (VtClass::Svt, 0.4)],
-            0.0,
-        );
+        let matched = RingOscMonitor::matched(vec![(VtClass::Hvt, 0.6), (VtClass::Svt, 0.4)], 0.0);
         let sweep: Vec<f64> = (0..8).map(|i| 0.72 + 0.04 * i as f64).collect();
         let e_plain =
             plain.tracking_error(&path, &t, Volt::new(0.9), 0.02, Celsius::new(105.0), &sweep);

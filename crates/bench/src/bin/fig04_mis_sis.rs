@@ -33,7 +33,14 @@ fn main() {
     }
     print_table(
         "Fig 4: NAND2 + FO3, MIS vs SIS arc delay",
-        &["VDD", "input dir", "SIS (ps)", "MIS (ps)", "MIS/SIS", "offset (ps)"],
+        &[
+            "VDD",
+            "input dir",
+            "SIS (ps)",
+            "MIS (ps)",
+            "MIS/SIS",
+            "offset (ps)",
+        ],
         &rows,
     );
 

@@ -10,7 +10,10 @@ use tc_placement::rows::Placement;
 fn main() {
     let (lib, _stack) = standard_env();
     let rule = MinIaRule::n20();
-    println!("rule: implant islands must be ≥ {} sites wide", rule.min_width_sites);
+    println!(
+        "rule: implant islands must be ≥ {} sites wide",
+        rule.min_width_sites
+    );
 
     let mut rows = Vec::new();
     for &inject in &[10usize, 40, 120, 300] {
@@ -30,7 +33,14 @@ fn main() {
     }
     print_table(
         "Fig 6(a): MinIA violations and fix rates (c5315 stand-in)",
-        &["Vt islands injected", "violations", "remaining", "fix rate", "vt swaps", "moves"],
+        &[
+            "Vt islands injected",
+            "violations",
+            "remaining",
+            "fix rate",
+            "vt swaps",
+            "moves",
+        ],
         &rows,
     );
     println!("\n(ref [24] reports up to 100% violation removal vs commercial P&R)");

@@ -28,7 +28,12 @@ fn main() {
     }
     print_table(
         "Fig 6(b): inverter delay vs VDD (transistor-level simulation)",
-        &["VDD (V)", "delay @ -30C (ps)", "delay @ 125C (ps)", "slower corner"],
+        &[
+            "VDD (V)",
+            "delay @ -30C (ps)",
+            "delay @ 125C (ps)",
+            "slower corner",
+        ],
         &rows,
     );
 

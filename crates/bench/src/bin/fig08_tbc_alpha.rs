@@ -22,9 +22,8 @@ fn main() {
         if idx.is_empty() {
             continue;
         }
-        let mean = |v: &dyn Fn(usize) -> f64| {
-            idx.iter().map(|&i| v(i)).sum::<f64>() / idx.len() as f64
-        };
+        let mean =
+            |v: &dyn Fn(usize) -> f64| idx.iter().map(|&i| v(i)).sum::<f64>() / idx.len() as f64;
         rows.push(vec![
             format!("{lo:.2}-{hi:.2}"),
             idx.len().to_string(),
@@ -36,7 +35,14 @@ fn main() {
     }
     print_table(
         "Fig 8(a): mean α and Δd by wire fraction (200 paths, per-layer MC)",
-        &["wire frac", "paths", "α @ Cw", "α @ RCw", "Δd/d @ Cw", "Δd/d @ RCw"],
+        &[
+            "wire frac",
+            "paths",
+            "α @ Cw",
+            "α @ RCw",
+            "Δd/d @ Cw",
+            "Δd/d @ RCw",
+        ],
         &rows,
     );
 
@@ -52,8 +58,10 @@ fn main() {
         covered
     );
     println!("→ both corners must be signed off (the paper's Fig 8(a) point)");
-    println!("median min(α_Cw, α_RCw) = {:.2} (pessimism of the dominating corner)",
-        study.median_min_alpha());
+    println!(
+        "median min(α_Cw, α_RCw) = {:.2} (pessimism of the dominating corner)",
+        study.median_min_alpha()
+    );
 
     // Fig 8(b): TBC eligibility vs thresholds.
     let mut rows = Vec::new();

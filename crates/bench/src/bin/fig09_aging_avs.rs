@@ -79,5 +79,7 @@ fn main() {
             &rows,
         );
     }
-    println!("\n(shape to match the paper: underestimating aging → power ↑; overestimating → area ↑)");
+    println!(
+        "\n(shape to match the paper: underestimating aging → power ↑; overestimating → area ↑)"
+    );
 }

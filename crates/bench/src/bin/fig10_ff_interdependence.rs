@@ -5,9 +5,7 @@
 
 use tc_bench::{fmt, print_table};
 use tc_device::Technology;
-use tc_sim::ff_char::{
-    c2q_vs_hold, c2q_vs_setup, characterize_ff, setup_hold_contour, FfBench,
-};
+use tc_sim::ff_char::{c2q_vs_hold, c2q_vs_setup, characterize_ff, setup_hold_contour, FfBench};
 
 fn main() {
     let bench = FfBench::paper_default();
@@ -49,7 +47,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Fig 10(i): c2q vs setup time", &["setup (ps)", "c2q (ps)"], &rows);
+    print_table(
+        "Fig 10(i): c2q vs setup time",
+        &["setup (ps)", "c2q (ps)"],
+        &rows,
+    );
 
     let holds: Vec<f64> = vec![
         h0 + 60.0,
@@ -75,13 +77,25 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Fig 10(ii): c2q vs hold time", &["hold (ps)", "c2q (ps)"], &rows);
+    print_table(
+        "Fig 10(ii): c2q vs hold time",
+        &["hold (ps)", "c2q (ps)"],
+        &rows,
+    );
 
     let contour = setup_hold_contour(
         &bench,
         &tech,
         1.10,
-        &[s0 + 16.0, s0 + 8.0, s0 + 4.0, s0 + 2.0, s0 + 1.0, s0, s0 - 1.0],
+        &[
+            s0 + 16.0,
+            s0 + 8.0,
+            s0 + 4.0,
+            s0 + 2.0,
+            s0 + 1.0,
+            s0,
+            s0 - 1.0,
+        ],
     )
     .expect("contour");
     let rows: Vec<Vec<String>> = contour
@@ -93,5 +107,7 @@ fn main() {
         &["setup (ps)", "min hold (ps)"],
         &rows,
     );
-    println!("\n(conventional signoff freezes one point of these surfaces; ref [23] recovers the rest)");
+    println!(
+        "\n(conventional signoff freezes one point of these surfaces; ref [23] recovers the rest)"
+    );
 }

@@ -60,7 +60,10 @@ fn main() {
     ];
     let merged = run_and_merge(&nl, &stack, &scenarios).expect("mcmm");
     let kept = prune_by_dominance(&merged, 3);
-    println!("\nMCMM dominance over {} endpoints:", merged.endpoints.len());
+    println!(
+        "\nMCMM dominance over {} endpoints:",
+        merged.endpoints.len()
+    );
     for (name, n) in merged.dominance() {
         println!("  {name}: worst-setup corner for {n} endpoints");
     }

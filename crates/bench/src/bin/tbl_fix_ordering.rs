@@ -65,7 +65,12 @@ fn main() {
     }
     print_table(
         "Fix-ordering ablation (3 seeds, 45 ps overconstraint, equal budget)",
-        &["ordering", "mean WNS gain (ps)", "closed", "mean Δleakage (µW)"],
+        &[
+            "ordering",
+            "mean WNS gain (ps)",
+            "closed",
+            "mean Δleakage (µW)",
+        ],
         &rows,
     );
     println!("\n→ the recommended (Vt-swap-first) order closes at zero footprint/routing");

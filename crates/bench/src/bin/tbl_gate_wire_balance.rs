@@ -52,7 +52,14 @@ fn main() {
         .collect();
     print_table(
         "Gate vs wire delay across supply voltage (100 µm M3 wire)",
-        &["VDD (V)", "gate (ps)", "Δgate vs 0.7V", "wire (ps)", "Δwire", "gate share"],
+        &[
+            "VDD (V)",
+            "gate (ps)",
+            "Δgate vs 0.7V",
+            "wire (ps)",
+            "Δwire",
+            "gate share",
+        ],
         &rows,
     );
     println!("\n→ low V: paths gate-dominated (Cw BEOL corner dominates);");

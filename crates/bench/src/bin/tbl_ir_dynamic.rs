@@ -24,7 +24,14 @@ fn main() {
     }
     print_table(
         "Flat IR margin vs -dynamic analysis",
-        &["design", "worst droop (mV)", "mean droop (mV)", "flat penalty", "dynamic penalty", "recovered"],
+        &[
+            "design",
+            "worst droop (mV)",
+            "mean droop (mV)",
+            "flat penalty",
+            "dynamic penalty",
+            "recovered",
+        ],
         &rows,
     );
 

@@ -43,7 +43,7 @@ fn main() {
     idx.sort_by(|&a, &b| {
         let ga = result.boundaries[a].after - result.boundaries[a].before;
         let gb = result.boundaries[b].after - result.boundaries[b].before;
-        gb.partial_cmp(&ga).unwrap()
+        gb.value().total_cmp(&ga.value())
     });
     let rows: Vec<Vec<String>> = idx
         .iter()
@@ -61,7 +61,13 @@ fn main() {
         .collect();
     print_table(
         "Top boundary recoveries",
-        &["flop", "min slack before", "after", "setup credit", "c2q cost"],
+        &[
+            "flop",
+            "min slack before",
+            "after",
+            "setup credit",
+            "c2q cost",
+        ],
         &rows,
     );
 

@@ -36,7 +36,15 @@ fn main() {
     }
     print_table(
         "Late (+3σ) path-delay prediction error vs Monte Carlo truth",
-        &["path", "stages", "MC +3σ (ps)", "flat OCV", "AOCV", "POCV", "LVF"],
+        &[
+            "path",
+            "stages",
+            "MC +3σ (ps)",
+            "flat OCV",
+            "AOCV",
+            "POCV",
+            "LVF",
+        ],
         &rows,
     );
 

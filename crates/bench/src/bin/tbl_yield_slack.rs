@@ -4,9 +4,9 @@
 //! and the yield the product actually ships with.
 
 use tc_bench::{fmt, print_table, standard_env};
+use tc_core::units::Ps;
 use tc_signoff::margins::{SignoffStrategy, YieldModel};
 use tc_sta::{Constraints, Sta};
-use tc_core::units::Ps;
 
 fn main() {
     let (lib, stack) = standard_env();

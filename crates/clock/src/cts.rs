@@ -84,9 +84,9 @@ impl ClockTree {
                         (lo.min(p.2), hi.max(p.2))
                     });
                 if max_x - min_x >= max_y - min_y {
-                    pts.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+                    pts.sort_by(|a, b| a.1.total_cmp(&b.1));
                 } else {
-                    pts.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+                    pts.sort_by(|a, b| a.2.total_cmp(&b.2));
                 }
                 let mid = pts.len() / 2;
                 next.push(pts[..mid].iter().map(|p| p.0).collect());
@@ -109,10 +109,7 @@ impl ClockTree {
             for &c in cluster {
                 let (x, y) = pl.position(c);
                 let dist = (x.value() - cx).abs() + (y.value() - cy).abs();
-                leaf.insert(
-                    c,
-                    Ps::new(BUFFER_LEVEL_PS + LEAF_WIRE_PS_PER_UM * dist),
-                );
+                leaf.insert(c, Ps::new(BUFFER_LEVEL_PS + LEAF_WIRE_PS_PER_UM * dist));
             }
         }
         ClockTree {

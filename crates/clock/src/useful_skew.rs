@@ -151,8 +151,7 @@ mod tests {
         let period = 600.0 - r.wns().value() - 15.0;
         assert!(period > 0.0, "probe period underflow");
         let cons = Constraints::single_clock(period);
-        let res =
-            optimize_useful_skew(&nl, &lib, &stack, &cons, 8, Ps::new(8.0)).unwrap();
+        let res = optimize_useful_skew(&nl, &lib, &stack, &cons, 8, Ps::new(8.0)).unwrap();
         assert!(
             res.wns_after > res.wns_before,
             "useful skew must improve WNS: {} → {}",
@@ -168,8 +167,7 @@ mod tests {
         let nl = unbalanced(&lib);
         let stack = BeolStack::n20();
         let cons = Constraints::single_clock(2_000.0);
-        let res =
-            optimize_useful_skew(&nl, &lib, &stack, &cons, 5, Ps::new(8.0)).unwrap();
+        let res = optimize_useful_skew(&nl, &lib, &stack, &cons, 5, Ps::new(8.0)).unwrap();
         // Clean timing: the greedy loop may take zero or a few no-harm
         // moves but must never regress.
         assert!(res.wns_after >= res.wns_before);

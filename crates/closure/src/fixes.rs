@@ -4,12 +4,13 @@
 use std::collections::HashSet;
 
 use tc_core::error::Result;
+use tc_core::ids::{CellId, LibCellId, NetId};
 use tc_core::units::Ps;
 use tc_interconnect::BeolStack;
 use tc_liberty::Library;
 use tc_netlist::{Netlist, PinRef};
 use tc_sta::pba::worst_paths;
-use tc_sta::{Constraints, Sta};
+use tc_sta::{Constraints, CriticalPath, Sta};
 
 /// Which fix a transform belongs to (Fig 1's ordering).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -71,13 +72,29 @@ pub fn vt_swap_pass(
     cons: &Constraints,
     k_paths: usize,
     budget: usize,
-    mut veto: impl FnMut(tc_core::ids::CellId) -> bool,
+    veto: impl FnMut(tc_core::ids::CellId) -> bool,
 ) -> Result<FixOutcome> {
     let sta = Sta::new(nl, lib, stack, cons);
     let paths = worst_paths(&sta, k_paths)?;
+    let plan = plan_vt_swaps(nl, lib, &paths, budget, veto);
+    for &(cell, master) in &plan {
+        nl.swap_master(lib, cell, master)?;
+    }
+    Ok(FixOutcome { edits: plan.len() })
+}
+
+/// Plans the Vt-swap pass over already-extracted worst paths — what the
+/// incremental flow calls with the persistent timer's path list.
+pub fn plan_vt_swaps(
+    nl: &Netlist,
+    lib: &Library,
+    paths: &[CriticalPath],
+    budget: usize,
+    mut veto: impl FnMut(tc_core::ids::CellId) -> bool,
+) -> Vec<(CellId, LibCellId)> {
     let mut touched = HashSet::new();
     let mut plan = Vec::new();
-    'outer: for p in &paths {
+    'outer: for p in paths {
         if p.slack >= Ps::ZERO {
             continue;
         }
@@ -95,10 +112,7 @@ pub fn vt_swap_pass(
             }
         }
     }
-    for &(cell, master) in &plan {
-        nl.swap_master(lib, cell, master)?;
-    }
-    Ok(FixOutcome { edits: plan.len() })
+    plan
 }
 
 /// Sizing pass: upsize the slowest stages (largest gate delay) of the
@@ -117,15 +131,29 @@ pub fn sizing_pass(
 ) -> Result<FixOutcome> {
     let sta = Sta::new(nl, lib, stack, cons);
     let paths = worst_paths(&sta, k_paths)?;
+    let plan = plan_sizing(nl, lib, &paths, budget);
+    for &(cell, master) in &plan {
+        nl.swap_master(lib, cell, master)?;
+    }
+    Ok(FixOutcome { edits: plan.len() })
+}
+
+/// Plans the sizing pass over already-extracted worst paths.
+pub fn plan_sizing(
+    nl: &Netlist,
+    lib: &Library,
+    paths: &[CriticalPath],
+    budget: usize,
+) -> Vec<(CellId, LibCellId)> {
     let mut touched = HashSet::new();
     let mut plan = Vec::new();
-    for p in &paths {
+    for p in paths {
         if p.slack >= Ps::ZERO {
             continue;
         }
         // Slowest stage first within each path.
         let mut stages = p.stages.clone();
-        stages.sort_by(|a, b| b.gate_delay.partial_cmp(&a.gate_delay).unwrap());
+        stages.sort_by(|a, b| b.gate_delay.total_cmp(&a.gate_delay));
         for st in stages.iter().take(2) {
             if plan.len() >= budget {
                 break;
@@ -138,10 +166,7 @@ pub fn sizing_pass(
             }
         }
     }
-    for &(cell, master) in &plan {
-        nl.swap_master(lib, cell, master)?;
-    }
-    Ok(FixOutcome { edits: plan.len() })
+    plan
 }
 
 /// Buffering pass: split the longest net of each violating path with a
@@ -158,15 +183,18 @@ pub fn buffering_pass(
     k_paths: usize,
     budget: usize,
 ) -> Result<FixOutcome> {
-    let buf = match lib.variant("BUF", tc_device::VtClass::Svt, 4.0) {
-        Some(b) => b,
-        None => return Ok(FixOutcome::default()),
-    };
     let sta = Sta::new(nl, lib, stack, cons);
     let paths = worst_paths(&sta, k_paths)?;
+    let plan = plan_buffering(nl, &paths, budget);
+    apply_buffering(nl, lib, &plan).map(|edits| FixOutcome { edits })
+}
+
+/// Plans the buffering pass: the longest net (>120 µm) of each violating
+/// path, deduplicated, up to `budget` nets.
+pub fn plan_buffering(nl: &Netlist, paths: &[CriticalPath], budget: usize) -> Vec<NetId> {
     let mut plan = Vec::new();
     let mut used = HashSet::new();
-    for p in &paths {
+    for p in paths {
         if p.slack >= Ps::ZERO || plan.len() >= budget {
             continue;
         }
@@ -178,8 +206,7 @@ pub fn buffering_pass(
             .max_by(|&&a, &&b| {
                 nl.net(a)
                     .wire_length_um
-                    .partial_cmp(&nl.net(b).wire_length_um)
-                    .unwrap()
+                    .total_cmp(&nl.net(b).wire_length_um)
             })
         {
             if used.insert(net) {
@@ -187,8 +214,23 @@ pub fn buffering_pass(
             }
         }
     }
+    plan
+}
+
+/// Applies a buffering plan: splits each net with a strong buffer, both
+/// halves keeping half the original length. Returns the edit count (one
+/// per buffered net; a plan entry contributes three journal entries).
+///
+/// # Errors
+///
+/// Propagates netlist edit failures.
+pub fn apply_buffering(nl: &mut Netlist, lib: &Library, plan: &[NetId]) -> Result<usize> {
+    let buf = match lib.variant("BUF", tc_device::VtClass::Svt, 4.0) {
+        Some(b) => b,
+        None => return Ok(0),
+    };
     let mut edits = 0;
-    for net in plan {
+    for &net in plan {
         let len = nl.net(net).wire_length_um;
         let sinks: Vec<PinRef> = nl.net(net).sinks.clone();
         if sinks.is_empty() {
@@ -200,7 +242,7 @@ pub fn buffering_pass(
         nl.set_wire_length(buf_out, len * 0.5);
         edits += 1;
     }
-    Ok(FixOutcome { edits })
+    Ok(edits)
 }
 
 /// NDR pass: promote the longest nets of violating paths to the
@@ -219,26 +261,34 @@ pub fn ndr_pass(
 ) -> Result<FixOutcome> {
     let sta = Sta::new(nl, lib, stack, cons);
     let paths = worst_paths(&sta, k_paths)?;
-    let mut edits = 0;
+    let plan = plan_ndr(nl, &paths, budget);
+    let edits = plan.len();
+    for net in plan {
+        nl.set_route_class(net, 2);
+    }
+    Ok(FixOutcome { edits })
+}
+
+/// Plans the NDR pass: long (>80 µm) default-rule nets on violating
+/// paths, deduplicated, up to `budget` nets.
+pub fn plan_ndr(nl: &Netlist, paths: &[CriticalPath], budget: usize) -> Vec<NetId> {
+    let mut plan = Vec::new();
     let mut seen = HashSet::new();
-    for p in &paths {
-        if p.slack >= Ps::ZERO || edits >= budget {
+    for p in paths {
+        if p.slack >= Ps::ZERO || plan.len() >= budget {
             continue;
         }
         for &net in &p.nets {
-            if nl.net(net).wire_length_um > 80.0
-                && nl.net(net).route_class == 0
-                && seen.insert(net)
+            if nl.net(net).wire_length_um > 80.0 && nl.net(net).route_class == 0 && seen.insert(net)
             {
-                nl.set_route_class(net, 2);
-                edits += 1;
-                if edits >= budget {
+                plan.push(net);
+                if plan.len() >= budget {
                     break;
                 }
             }
         }
     }
-    Ok(FixOutcome { edits })
+    plan
 }
 
 /// Hold-fix pass: pad hold-violating endpoints with slow delay buffers
@@ -463,8 +513,8 @@ mod hold_noise_tests {
         }
         let mut cons = Constraints::single_clock(2_000.0);
         cons.clock_tree.skew_by(ff1, Ps::new(-60.0)); // capture clock early
-        // Negative leaf latency means the *launch* side is late relative
-        // to capture; flip sign to make capture late instead.
+                                                      // Negative leaf latency means the *launch* side is late relative
+                                                      // to capture; flip sign to make capture late instead.
         cons.clock_tree.skew_by(ff1, Ps::new(120.0)); // net +60 ps late capture
 
         let before = Sta::new(&nl, &lib, &stack, &cons).run().unwrap();

@@ -5,10 +5,11 @@ use tc_core::units::Ps;
 use tc_interconnect::BeolStack;
 use tc_liberty::Library;
 use tc_netlist::Netlist;
-use tc_sta::{Constraints, Sta, TimingReport};
+use tc_sta::{Constraints, Sta, Timer, TimingReport};
 
 use crate::fixes::{
-    buffering_pass, ndr_pass, sizing_pass, vt_swap_pass, FixKind, FixOutcome,
+    apply_buffering, buffering_pass, ndr_pass, plan_buffering, plan_ndr, plan_sizing,
+    plan_vt_swaps, sizing_pass, vt_swap_pass, FixKind, FixOutcome,
 };
 
 /// Loop configuration.
@@ -27,6 +28,12 @@ pub struct ClosureConfig {
     pub skew_step: Ps,
     /// Days charged per iteration in the schedule model.
     pub days_per_iteration: f64,
+    /// Drive the loop from the persistent incremental [`Timer`] (the
+    /// default): fixes are evaluated by re-timing only their dirty cones
+    /// and rejected fixes roll back in O(cone). `false` falls back to
+    /// one full STA run per speculative fix — same results (the two
+    /// engines are bit-identical), much more work.
+    pub use_incremental: bool,
 }
 
 impl Default for ClosureConfig {
@@ -38,6 +45,7 @@ impl Default for ClosureConfig {
             ordering: FixKind::RECOMMENDED.to_vec(),
             skew_step: Ps::new(10.0),
             days_per_iteration: 3.0,
+            use_incremental: true,
         }
     }
 }
@@ -100,11 +108,7 @@ pub struct ClosureFlow<'a> {
 impl<'a> ClosureFlow<'a> {
     /// Creates a flow over a library/stack environment.
     pub fn new(lib: &'a Library, stack: &'a BeolStack, config: ClosureConfig) -> Self {
-        ClosureFlow {
-            lib,
-            stack,
-            config,
-        }
+        ClosureFlow { lib, stack, config }
     }
 
     /// Runs the loop, editing `nl` (and the clock tree inside the
@@ -114,6 +118,165 @@ impl<'a> ClosureFlow<'a> {
     ///
     /// Propagates STA failures.
     pub fn run(&mut self, nl: &mut Netlist, cons: Constraints) -> Result<ClosureOutcome> {
+        if self.config.use_incremental {
+            self.run_incremental(nl, cons)
+        } else {
+            self.run_full(nl, cons)
+        }
+    }
+
+    /// The incremental loop: one persistent [`Timer`] lives across all
+    /// iterations; each speculative fix is applied through the journaled
+    /// ECO mutators, re-timed over its dirty cone, and — if it regressed
+    /// WNS — rolled back on both the netlist and the timer in O(cone).
+    fn run_incremental(&mut self, nl: &mut Netlist, cons: Constraints) -> Result<ClosureOutcome> {
+        let _run_span = tc_obs::span("closure.run");
+        let edits_counter = tc_obs::counter("closure.edits");
+        let mut timer = {
+            let _sta = tc_obs::span("closure.sta");
+            Timer::new(nl, self.lib, self.stack, cons)?
+        };
+        let mut iterations = Vec::new();
+        for it in 1..=self.config.max_iterations {
+            let iter_start = std::time::Instant::now();
+            let counters_before = tc_obs::is_enabled().then(tc_obs::snapshot);
+            let iter_span = tc_obs::span("closure.iteration");
+            let before = timer.report(nl);
+            if before.is_clean() {
+                break;
+            }
+            let wns_before = before.wns();
+            let mut fixes = Vec::new();
+            let mut wns_running = wns_before;
+            for &kind in &self.config.ordering.clone() {
+                // Incremental-timing discipline: checkpoint, apply the
+                // pass, re-time the dirty cone, keep it only if WNS did
+                // not regress (the ping-pong guard of §2.3).
+                let nl_cp = nl.journal_len();
+                let t_cp = timer.checkpoint();
+                let outcome = {
+                    let _fix = tc_obs::span(&format!("closure.fix.{}", kind.label()));
+                    self.apply_fix_incremental(kind, nl, &mut timer)?
+                };
+                if outcome.edits == 0 {
+                    fixes.push((kind, 0));
+                    continue;
+                }
+                let check = {
+                    let _sta = tc_obs::span("closure.sta");
+                    timer.update(nl)?;
+                    timer.report(nl)
+                };
+                if check.wns() >= wns_running {
+                    wns_running = check.wns();
+                    edits_counter.add(outcome.edits as u64);
+                    fixes.push((kind, outcome.edits));
+                } else {
+                    nl.undo_to(nl_cp)?;
+                    timer.rollback_to(t_cp)?;
+                    fixes.push((kind, 0));
+                }
+            }
+            let after = timer.report(nl);
+            drop(iter_span);
+            let counter_deltas = counters_before.map_or_else(Vec::new, |before| {
+                tc_obs::snapshot().counter_deltas(&before)
+            });
+            iterations.push(IterationRecord {
+                iteration: it,
+                wns_before,
+                wns_after: after.wns(),
+                tns_after: after.tns(),
+                violations_after: after.setup_violations(),
+                fixes,
+                elapsed_ms: iter_start.elapsed().as_secs_f64() * 1e3,
+                counter_deltas,
+            });
+            // Ping-pong guard: a fully unproductive iteration means the
+            // remaining violations need different medicine — stop rather
+            // than thrash (§2.3's "without ping-pong effects").
+            if after.wns() <= wns_before + Ps::new(1e-9)
+                && iterations.len() >= 2
+                && fixes_were_empty(&iterations[iterations.len() - 1])
+            {
+                break;
+            }
+        }
+        let final_report = timer.report(nl);
+        let closed = final_report.is_clean();
+        let days = iterations.len() as f64 * self.config.days_per_iteration;
+        Ok(ClosureOutcome {
+            iterations,
+            final_report,
+            constraints: timer.constraints().clone(),
+            closed,
+            days,
+        })
+    }
+
+    /// Plans a fix from the timer's cached worst paths and applies it
+    /// through the journaled ECO mutators — no full STA run anywhere.
+    fn apply_fix_incremental(
+        &self,
+        kind: FixKind,
+        nl: &mut Netlist,
+        timer: &mut Timer<'_>,
+    ) -> Result<FixOutcome> {
+        let (k, b) = (self.config.k_paths, self.config.budget_per_pass);
+        match kind {
+            FixKind::VtSwap => {
+                let paths = timer.worst_paths(nl, k)?;
+                let plan = plan_vt_swaps(nl, self.lib, &paths, b, |_| true);
+                for &(cell, master) in &plan {
+                    nl.swap_master(self.lib, cell, master)?;
+                }
+                Ok(FixOutcome { edits: plan.len() })
+            }
+            FixKind::Sizing => {
+                let paths = timer.worst_paths(nl, k)?;
+                let plan = plan_sizing(nl, self.lib, &paths, b);
+                for &(cell, master) in &plan {
+                    nl.swap_master(self.lib, cell, master)?;
+                }
+                Ok(FixOutcome { edits: plan.len() })
+            }
+            FixKind::Buffering => {
+                let paths = timer.worst_paths(nl, k)?;
+                let plan = plan_buffering(nl, &paths, b / 6);
+                apply_buffering(nl, self.lib, &plan).map(|edits| FixOutcome { edits })
+            }
+            FixKind::Ndr => {
+                let paths = timer.worst_paths(nl, k)?;
+                let plan = plan_ndr(nl, &paths, b / 3);
+                let edits = plan.len();
+                for net in plan {
+                    nl.set_route_class(net, 2);
+                }
+                Ok(FixOutcome { edits })
+            }
+            FixKind::UsefulSkew => {
+                let res = tc_clock::optimize_useful_skew(
+                    nl,
+                    self.lib,
+                    self.stack,
+                    timer.constraints(),
+                    b / 10,
+                    self.config.skew_step,
+                )?;
+                let edits = res.moves.len();
+                if edits > 0 {
+                    // Constraint changes touch every path: the timer
+                    // re-propagates fully, but stays checkpointable.
+                    timer.set_constraints(nl, res.constraints)?;
+                }
+                Ok(FixOutcome { edits })
+            }
+        }
+    }
+
+    /// The legacy loop: a from-scratch STA run per speculative fix and a
+    /// whole-netlist clone per rollback point.
+    fn run_full(&mut self, nl: &mut Netlist, cons: Constraints) -> Result<ClosureOutcome> {
         let _run_span = tc_obs::span("closure.run");
         let edits_counter = tc_obs::counter("closure.edits");
         let mut cons = cons;
@@ -165,8 +328,9 @@ impl<'a> ClosureFlow<'a> {
                 Sta::new(nl, self.lib, self.stack, &cons).run()?
             };
             drop(iter_span);
-            let counter_deltas = counters_before
-                .map_or_else(Vec::new, |before| tc_obs::snapshot().counter_deltas(&before));
+            let counter_deltas = counters_before.map_or_else(Vec::new, |before| {
+                tc_obs::snapshot().counter_deltas(&before)
+            });
             iterations.push(IterationRecord {
                 iteration: it,
                 wns_before,
@@ -293,6 +457,81 @@ mod tests {
         assert!(out.closed);
         assert!(out.iterations.is_empty());
         assert_eq!(out.days, 0.0);
+    }
+
+    #[test]
+    fn incremental_and_full_flows_agree() {
+        // The two engines share evaluation code paths, so the whole loop
+        // — plans, accept/reject decisions, final WNS — must agree.
+        let (lib, stack, nl, cons) = env(-40.0);
+        let run = |use_incremental: bool| {
+            let mut nl2 = nl.clone();
+            let cfg = ClosureConfig {
+                max_iterations: 2,
+                use_incremental,
+                ..Default::default()
+            };
+            let mut flow = ClosureFlow::new(&lib, &stack, cfg);
+            flow.run(&mut nl2, cons.clone()).unwrap()
+        };
+        let inc = run(true);
+        let full = run(false);
+        assert_eq!(inc.final_report.wns(), full.final_report.wns());
+        assert_eq!(inc.final_report.tns(), full.final_report.tns());
+        assert_eq!(inc.closed, full.closed);
+        for (a, b) in inc.iterations.iter().zip(&full.iterations) {
+            assert_eq!(a.fixes, b.fixes, "iteration {} fix records", a.iteration);
+            assert_eq!(a.wns_after, b.wns_after);
+        }
+    }
+
+    #[test]
+    fn rejected_fixes_roll_back_netlist_and_timer_exactly() {
+        use tc_sta::Timer;
+        // Evaluate-and-reject every fix kind against a *clean* design:
+        // each pass plans nothing or the rejection path must restore the
+        // exact pre-fix netlist + timer state (journal length, WNS/TNS).
+        let (lib, stack, mut nl, cons) = env(-40.0);
+        let cfg = ClosureConfig::default();
+        let flow = ClosureFlow::new(&lib, &stack, cfg.clone());
+        let mut timer = Timer::new(&nl, &lib, &stack, cons).unwrap();
+
+        for &kind in &FixKind::RECOMMENDED {
+            let nl_cp = nl.journal_len();
+            let t_cp = timer.checkpoint();
+            let cells_before = nl.cell_count();
+            let report_before = timer.report(&nl);
+            let states_before = timer.states().to_vec();
+
+            let out = flow
+                .apply_fix_incremental(kind, &mut nl, &mut timer)
+                .unwrap();
+            timer.update(&nl).unwrap();
+            // Unconditionally reject, regardless of what the fix did.
+            nl.undo_to(nl_cp).unwrap();
+            timer.rollback_to(t_cp).unwrap();
+
+            assert_eq!(nl.journal_len(), nl_cp, "{kind:?}: journal restored");
+            assert_eq!(nl.cell_count(), cells_before, "{kind:?}: cells restored");
+            assert_eq!(timer.cursor(), nl.journal_len(), "{kind:?}: cursor synced");
+            assert_eq!(
+                timer.states(),
+                &states_before[..],
+                "{kind:?}: net states restored"
+            );
+            let report_after = timer.report(&nl);
+            assert_eq!(report_after.wns(), report_before.wns(), "{kind:?}: WNS");
+            assert_eq!(report_after.tns(), report_before.tns(), "{kind:?}: TNS");
+            assert_eq!(
+                report_after.endpoints, report_before.endpoints,
+                "{kind:?}: endpoints restored"
+            );
+            // The fix kinds must actually exercise the rollback path at
+            // least for the edit-producing passes.
+            if out.edits > 0 {
+                nl.validate(&lib).unwrap();
+            }
+        }
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub fn recover_leakage(
     candidates.sort_by(|&a, &b| {
         let la = lib.cell(nl.cell(a).master).leakage_uw;
         let lb = lib.cell(nl.cell(b).master).leakage_uw;
-        lb.partial_cmp(&la).unwrap()
+        lb.total_cmp(&la)
     });
 
     let mut swaps = 0;
@@ -158,8 +158,7 @@ mod tests {
         let rec_tight = recover_leakage(&mut nl, &lib, &stack, &tight, 20, |_| true).unwrap();
         let mut nl2 = generate(&lib, BenchProfile::tiny(), 44).unwrap();
         let relaxed = Constraints::single_clock(3_000.0);
-        let rec_relaxed =
-            recover_leakage(&mut nl2, &lib, &stack, &relaxed, 20, |_| true).unwrap();
+        let rec_relaxed = recover_leakage(&mut nl2, &lib, &stack, &relaxed, 20, |_| true).unwrap();
         assert!(
             rec_relaxed.saving() > rec_tight.saving(),
             "slack buys leakage: {:.2} vs {:.2}",

@@ -29,7 +29,7 @@ use crate::error::{Error, Result};
 fn bracket(axis: &[f64], x: f64) -> (usize, f64) {
     debug_assert!(axis.len() >= 2);
     let n = axis.len();
-    let mut i = match axis.binary_search_by(|a| a.partial_cmp(&x).unwrap()) {
+    let mut i = match axis.binary_search_by(|a| a.total_cmp(&x)) {
         Ok(i) => i,
         Err(i) => i.saturating_sub(1),
     };
@@ -353,8 +353,7 @@ mod proptests {
                 rng.uniform_in(-10.0, 10.0),
                 rng.uniform_in(-10.0, 10.0),
             );
-            let lut =
-                Lut2::from_fn(rows.clone(), cols.clone(), |x, y| a + b * x + c * y).unwrap();
+            let lut = Lut2::from_fn(rows.clone(), cols.clone(), |x, y| a + b * x + c * y).unwrap();
             let x = rows[0] + rng.uniform() * (rows[3] - rows[0]);
             let y = cols[0] + rng.uniform() * (cols[3] - cols[0]);
             let want = a + b * x + c * y;

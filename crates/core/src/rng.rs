@@ -65,10 +65,7 @@ impl Rng {
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

@@ -88,7 +88,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty sample set");
     assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let i = pos.floor() as usize;
     let t = pos - i as f64;
@@ -274,12 +274,7 @@ mod tests {
         let mut r = crate::rng::Rng::seed_from(11);
         let xs: Vec<f64> = (0..60_000).map(|_| r.skew_normal(5.0)).collect();
         let t = tail_sigmas(&xs);
-        assert!(
-            t.late > t.early * 1.1,
-            "late {} early {}",
-            t.late,
-            t.early
-        );
+        assert!(t.late > t.early * 1.1, "late {} early {}", t.late, t.early);
     }
 
     #[test]

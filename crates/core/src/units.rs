@@ -338,10 +338,7 @@ mod tests {
 
     #[test]
     fn clamp_and_abs() {
-        assert_eq!(
-            Ps::new(5.0).clamp(Ps::ZERO, Ps::new(3.0)),
-            Ps::new(3.0)
-        );
+        assert_eq!(Ps::new(5.0).clamp(Ps::ZERO, Ps::new(3.0)), Ps::new(3.0));
         assert_eq!(Ps::new(-2.0).abs(), Ps::new(2.0));
     }
 }

@@ -288,9 +288,7 @@ mod tests {
             last = i;
         }
         let wide = MosDevice::new(MosKind::Nmos, VtClass::Svt, 2.0);
-        assert!(
-            wide.idsat(&tech, Volt::new(0.9), t) > 1.9 * d.idsat(&tech, Volt::new(0.9), t)
-        );
+        assert!(wide.idsat(&tech, Volt::new(0.9), t) > 1.9 * d.idsat(&tech, Volt::new(0.9), t));
     }
 
     #[test]
@@ -372,10 +370,13 @@ mod tests {
         let vdd = Volt::new(0.9);
         let d = svt_n();
         assert!(
-            d.leakage(&tech, vdd, Celsius::new(125.0)) > 5.0 * d.leakage(&tech, vdd, Celsius::new(25.0))
+            d.leakage(&tech, vdd, Celsius::new(125.0))
+                > 5.0 * d.leakage(&tech, vdd, Celsius::new(25.0))
         );
         let lvt = MosDevice::new(MosKind::Nmos, VtClass::Lvt, 1.0);
-        assert!(lvt.leakage(&tech, vdd, Celsius::new(25.0)) > d.leakage(&tech, vdd, Celsius::new(25.0)));
+        assert!(
+            lvt.leakage(&tech, vdd, Celsius::new(25.0)) > d.leakage(&tech, vdd, Celsius::new(25.0))
+        );
     }
 
     #[test]

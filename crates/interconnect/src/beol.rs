@@ -252,8 +252,7 @@ mod tests {
         assert!(s.layer(0).r_per_um > 10.0 * s.layer(8).r_per_um);
         // Unit delay improves going up the stack.
         assert!(
-            s.layer(1).unit_delay(BeolCorner::Typical)
-                > s.layer(6).unit_delay(BeolCorner::Typical)
+            s.layer(1).unit_delay(BeolCorner::Typical) > s.layer(6).unit_delay(BeolCorner::Typical)
         );
     }
 

@@ -167,11 +167,7 @@ impl RcTree {
         }
         // Post-order accumulation of (y1, y2, y3) at each node, where the
         // node's own R-up then transforms them.
-        fn acc(
-            tree: &RcTree,
-            children: &[Vec<usize>],
-            node: usize,
-        ) -> (f64, f64, f64) {
+        fn acc(tree: &RcTree, children: &[Vec<usize>], node: usize) -> (f64, f64, f64) {
             let mut y1 = tree.cap[node].value();
             let mut y2 = 0.0;
             let mut y3 = 0.0;
@@ -250,9 +246,7 @@ mod tests {
     fn pi_model_conserves_capacitance() {
         let t = line();
         let (c_near, r, c_far) = t.pi_model();
-        assert!(
-            (c_near.value() + c_far.value() - t.total_cap().value()).abs() < 1e-9
-        );
+        assert!((c_near.value() + c_far.value() - t.total_cap().value()).abs() < 1e-9);
         assert!(r.value() > 0.0);
     }
 

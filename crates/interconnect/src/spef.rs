@@ -52,8 +52,7 @@ impl NetParasitics {
         let layer = stack.layer(wm.layer);
         let (fr, fcg, fcc) = wm.ndr.factors();
         let r_total = layer.r_per_um * fr * wm.length_um;
-        let c_total =
-            (layer.cg_per_um * fcg + layer.cc_per_um * fcc) * wm.length_um;
+        let c_total = (layer.cg_per_um * fcg + layer.cc_per_um * fcc) * wm.length_um;
         let mut r_sens = HashMap::new();
         let mut c_sens = HashMap::new();
         r_sens.insert(wm.layer, 1.0);
@@ -195,14 +194,18 @@ mod tests {
     }
 
     fn sample_nets(stack: &BeolStack) -> Vec<NetParasitics> {
-        [(20.0, NdrClass::Default), (150.0, NdrClass::Default), (400.0, NdrClass::DoubleWidthSpacing)]
-            .iter()
-            .enumerate()
-            .map(|(i, &(len, ndr))| {
-                let wm = WireModel::from_length(len).with_ndr(ndr);
-                NetParasitics::extract(format!("n{i}"), &wm, stack)
-            })
-            .collect()
+        [
+            (20.0, NdrClass::Default),
+            (150.0, NdrClass::Default),
+            (400.0, NdrClass::DoubleWidthSpacing),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(len, ndr))| {
+            let wm = WireModel::from_length(len).with_ndr(ndr);
+            NetParasitics::extract(format!("n{i}"), &wm, stack)
+        })
+        .collect()
     }
 
     #[test]
@@ -253,11 +256,7 @@ mod tests {
     #[test]
     fn ndr_nets_carry_their_rule_in_the_totals() {
         let stack = stack();
-        let base = NetParasitics::extract(
-            "a",
-            &WireModel::from_length(400.0),
-            &stack,
-        );
+        let base = NetParasitics::extract("a", &WireModel::from_length(400.0), &stack);
         let ndr = NetParasitics::extract(
             "b",
             &WireModel::from_length(400.0).with_ndr(NdrClass::DoubleWidthSpacing),

@@ -212,9 +212,7 @@ mod tests {
             temperature: Celsius::new(125.0),
             ..base
         };
-        assert!(
-            base.delay_factor(&tech, VtClass::Svt) > hot.delay_factor(&tech, VtClass::Svt)
-        );
+        assert!(base.delay_factor(&tech, VtClass::Svt) > hot.delay_factor(&tech, VtClass::Svt));
         // And the relation flips at high voltage.
         let base_hv = PvtCorner {
             voltage: Volt::new(1.15),

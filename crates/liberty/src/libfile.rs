@@ -23,10 +23,7 @@ use crate::library::Library;
 /// Serializes a library to Liberty text.
 pub fn write_liberty(lib: &Library) -> String {
     let mut out = String::new();
-    let name = format!(
-        "tc_synth_{}",
-        lib.corner.label().replace(['.', '-'], "p")
-    );
+    let name = format!("tc_synth_{}", lib.corner.label().replace(['.', '-'], "p"));
     let _ = writeln!(out, "library ({name}) {{");
     let _ = writeln!(out, "  time_unit : \"1ps\";");
     let _ = writeln!(out, "  capacitive_load_unit (1, ff);");
@@ -45,11 +42,7 @@ pub fn write_liberty(lib: &Library) -> String {
         for pin in cell.input_pins() {
             let _ = writeln!(out, "    pin ({pin}) {{");
             let _ = writeln!(out, "      direction : input;");
-            let _ = writeln!(
-                out,
-                "      capacitance : {:.4};",
-                cell.input_cap.value()
-            );
+            let _ = writeln!(out, "      capacitance : {:.4};", cell.input_cap.value());
             let _ = writeln!(out, "    }}");
         }
         let _ = writeln!(out, "    pin (Y) {{");
@@ -79,7 +72,12 @@ fn write_table(out: &mut String, kind: &str, lut: &Lut2) {
             .collect::<Vec<_>>()
             .join(", ")
     };
-    let _ = writeln!(out, "        {kind} (tbl_{}x{}) {{", lut.row_axis().len(), lut.col_axis().len());
+    let _ = writeln!(
+        out,
+        "        {kind} (tbl_{}x{}) {{",
+        lut.row_axis().len(),
+        lut.col_axis().len()
+    );
     let _ = writeln!(out, "          index_1 (\"{}\");", fmt_axis(lut.row_axis()));
     let _ = writeln!(out, "          index_2 (\"{}\");", fmt_axis(lut.col_axis()));
     let rows: Vec<String> = lut
@@ -94,7 +92,11 @@ fn write_table(out: &mut String, kind: &str, lut: &Lut2) {
         })
         .map(|row| format!("\"{row}\""))
         .collect();
-    let _ = writeln!(out, "          values ({});", rows.join(", \\\n                  "));
+    let _ = writeln!(
+        out,
+        "          values ({});",
+        rows.join(", \\\n                  ")
+    );
     let _ = writeln!(out, "        }}");
 }
 
@@ -198,7 +200,11 @@ pub fn parse_liberty(text: &str) -> Result<ParsedLibrary> {
                 .to_string();
             depth += 1;
         } else if l.starts_with("cell (") {
-            let name = l.trim_start_matches("cell (").split(')').next().unwrap_or("");
+            let name = l
+                .trim_start_matches("cell (")
+                .split(')')
+                .next()
+                .unwrap_or("");
             cur_cell = Some(ParsedCell {
                 name: name.to_string(),
                 ..Default::default()
@@ -361,9 +367,12 @@ mod tests {
 
     #[test]
     fn parser_rejects_unbalanced_input() {
-        assert!(parse_liberty("library (x) {
+        assert!(parse_liberty(
+            "library (x) {
   cell (a) {
-}").is_err());
+}"
+        )
+        .is_err());
     }
 
     #[test]

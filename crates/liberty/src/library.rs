@@ -147,10 +147,7 @@ impl Library {
     }
 
     /// All drive/Vt variants of a template.
-    pub fn variants_of<'a>(
-        &'a self,
-        template: &'a str,
-    ) -> impl Iterator<Item = LibCellId> + 'a {
+    pub fn variants_of<'a>(&'a self, template: &'a str) -> impl Iterator<Item = LibCellId> + 'a {
         self.cells
             .iter()
             .enumerate()
@@ -179,7 +176,7 @@ impl Library {
             .variants_of(c.template.name)
             .map(|i| self.cell(i).drive)
             .collect();
-        drives.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        drives.sort_by(|a, b| a.total_cmp(b));
         drives.dedup();
         let next = drives.into_iter().find(|&d| d > c.drive)?;
         self.variant(c.template.name, c.vt, next)
@@ -192,7 +189,7 @@ impl Library {
             .variants_of(c.template.name)
             .map(|i| self.cell(i).drive)
             .collect();
-        drives.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        drives.sort_by(|a, b| b.total_cmp(a));
         drives.dedup();
         let next = drives.into_iter().find(|&d| d < c.drive)?;
         self.variant(c.template.name, c.vt, next)
@@ -217,7 +214,9 @@ fn leakage_uw(
 ) -> f64 {
     // Half the devices leak at a time, crudely.
     let width = template.unit_width_um * drive * 0.5;
-    let i_off = config.tech.ioff_per_um * width * vt.leakage_factor()
+    let i_off = config.tech.ioff_per_um
+        * width
+        * vt.leakage_factor()
         * corner.process.leakage_factor()
         * (((corner.temperature.value() - 25.0) / 45.0).exp());
     // mA·V = mW → µW.
@@ -380,9 +379,7 @@ mod tests {
         let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
         let svt = lib.cell_named("INV_X2_SVT").unwrap();
         let lvt = lib.cell_named("INV_X2_LVT").unwrap();
-        assert!(
-            lvt.arcs[0].delay_at(20.0, 4.0) < svt.arcs[0].delay_at(20.0, 4.0)
-        );
+        assert!(lvt.arcs[0].delay_at(20.0, 4.0) < svt.arcs[0].delay_at(20.0, 4.0));
         assert!(lvt.leakage_uw > svt.leakage_uw);
     }
 
@@ -406,8 +403,20 @@ mod tests {
         let d_a = aged.cell_named("INV_X1_SVT").unwrap().arcs[0].delay_at(20.0, 4.0);
         assert!(d_a > d_f * 1.02, "aged {d_a} vs fresh {d_f}");
         // Aged flop also needs more setup.
-        let s_f = fresh.cell_named("DFF_X1_SVT").unwrap().flop.as_ref().unwrap().setup_at(20.0, 20.0);
-        let s_a = aged.cell_named("DFF_X1_SVT").unwrap().flop.as_ref().unwrap().setup_at(20.0, 20.0);
+        let s_f = fresh
+            .cell_named("DFF_X1_SVT")
+            .unwrap()
+            .flop
+            .as_ref()
+            .unwrap()
+            .setup_at(20.0, 20.0);
+        let s_a = aged
+            .cell_named("DFF_X1_SVT")
+            .unwrap()
+            .flop
+            .as_ref()
+            .unwrap()
+            .setup_at(20.0, 20.0);
         assert!(s_a > s_f);
     }
 

@@ -140,14 +140,13 @@ pub fn drive_model(
 ) -> DriveModel {
     let dev = MosDevice::new(MosKind::Nmos, vt, 1.0);
     let r_unit = dev.eff_resistance(tech, corner.voltage, corner.temperature);
-    let r = Kohm::new(
-        r_unit.value() * corner.process.drive_factor() / drive,
-    );
+    let r = Kohm::new(r_unit.value() * corner.process.drive_factor() / drive);
     // Unit inverter input cap ≈ (wn + wp)·cg = 2.8·cg; scale by g & drive.
     let cin_unit = 2.8 * tech.cgate_per_um;
     let c_in = Ff::new(cin_unit * template.logical_effort * drive);
-    let c_par = Ff::new(0.5 * cin_unit * template.parasitic * drive * tech.cdiff_per_um
-        / tech.cgate_per_um);
+    let c_par = Ff::new(
+        0.5 * cin_unit * template.parasitic * drive * tech.cdiff_per_um / tech.cgate_per_um,
+    );
     DriveModel {
         resistance: r,
         c_par,
@@ -230,8 +229,20 @@ mod tests {
     fn nand_has_higher_input_cap_than_inv() {
         let tech = Technology::planar_28nm();
         let c = PvtCorner::typical();
-        let inv = drive_model(&tech, CellTemplate::by_name("INV").unwrap(), VtClass::Svt, 1.0, &c);
-        let nand = drive_model(&tech, CellTemplate::by_name("NAND2").unwrap(), VtClass::Svt, 1.0, &c);
+        let inv = drive_model(
+            &tech,
+            CellTemplate::by_name("INV").unwrap(),
+            VtClass::Svt,
+            1.0,
+            &c,
+        );
+        let nand = drive_model(
+            &tech,
+            CellTemplate::by_name("NAND2").unwrap(),
+            VtClass::Svt,
+            1.0,
+            &c,
+        );
         assert!(nand.c_in > inv.c_in);
     }
 

@@ -202,10 +202,7 @@ pub fn generate(lib: &Library, profile: BenchProfile, seed: u64) -> Result<Netli
     let recent = profile.window.min(pool.len());
     for &ff in &flops {
         let d_net = pool[pool.len() - 1 - rng.below(recent)];
-        nl.rewire_input(
-            crate::graph::PinRef { cell: ff, pin: 0 },
-            d_net,
-        );
+        nl.rewire_input(crate::graph::PinRef { cell: ff, pin: 0 }, d_net);
     }
 
     // Primary outputs from the deepest signals.
@@ -298,8 +295,16 @@ mod tests {
     fn wirelengths_have_a_long_tail() {
         let lib = lib();
         let nl = generate(&lib, BenchProfile::c5315(), 42).unwrap();
-        let long = nl.nets().iter().filter(|n| n.wire_length_um > 150.0).count();
-        let short = nl.nets().iter().filter(|n| n.wire_length_um <= 80.0).count();
+        let long = nl
+            .nets()
+            .iter()
+            .filter(|n| n.wire_length_um > 150.0)
+            .count();
+        let short = nl
+            .nets()
+            .iter()
+            .filter(|n| n.wire_length_um <= 80.0)
+            .count();
         assert!(long > 0 && short > 10 * long);
     }
 }

@@ -6,6 +6,8 @@ use tc_core::error::{Error, Result};
 use tc_core::ids::{CellId, LibCellId, NetId};
 use tc_liberty::{CellKind, Library};
 
+use crate::journal::NetlistEdit;
+
 /// A (cell, input-pin-index) sink reference.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PinRef {
@@ -16,7 +18,7 @@ pub struct PinRef {
 }
 
 /// One cell instance.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Cell {
     /// Instance name.
     pub name: String,
@@ -29,7 +31,7 @@ pub struct Cell {
 }
 
 /// One net.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Net {
     /// Net name.
     pub name: String,
@@ -61,6 +63,7 @@ pub struct Netlist {
     nets: Vec<Net>,
     inputs: Vec<NetId>,
     by_cell_name: HashMap<String, CellId>,
+    journal: Vec<NetlistEdit>,
 }
 
 impl Netlist {
@@ -118,10 +121,9 @@ impl Netlist {
             ..Default::default()
         });
         for (pin, &net) in inputs.iter().enumerate() {
-            self.nets[net.index()].sinks.push(PinRef {
-                cell: cell_id,
-                pin,
-            });
+            self.nets[net.index()]
+                .sinks
+                .push(PinRef { cell: cell_id, pin });
         }
         self.by_cell_name.insert(name.clone(), cell_id);
         self.cells.push(Cell {
@@ -196,14 +198,27 @@ impl Netlist {
             .map(|(i, _)| CellId::new(i))
     }
 
-    /// Annotates a net's estimated wirelength.
+    /// Annotates a net's estimated wirelength (journaled: closure fixes
+    /// re-annotate split nets, and the incremental timer must see it).
     pub fn set_wire_length(&mut self, net: NetId, um: f64) {
+        let old_um = self.nets[net.index()].wire_length_um;
         self.nets[net.index()].wire_length_um = um;
+        self.journal.push(NetlistEdit::SetWireLength {
+            net,
+            old_um,
+            new_um: um,
+        });
     }
 
     /// **ECO: routing rule.** Sets a net's route class (NDR application).
     pub fn set_route_class(&mut self, net: NetId, class: u8) {
+        let old_class = self.nets[net.index()].route_class;
         self.nets[net.index()].route_class = class;
+        self.journal.push(NetlistEdit::SetRouteClass {
+            net,
+            old_class,
+            new_class: class,
+        });
     }
 
     /// **ECO: master swap.** Rebinds a cell to a different master with the
@@ -213,7 +228,12 @@ impl Netlist {
     ///
     /// Returns [`Error::InvalidInput`] if the new master's pin count
     /// differs.
-    pub fn swap_master(&mut self, lib: &Library, cell: CellId, new_master: LibCellId) -> Result<()> {
+    pub fn swap_master(
+        &mut self,
+        lib: &Library,
+        cell: CellId,
+        new_master: LibCellId,
+    ) -> Result<()> {
         let want = self.cells[cell.index()].inputs.len();
         let got = lib.cell(new_master).input_pins().len();
         if want != got {
@@ -222,7 +242,13 @@ impl Netlist {
                 self.cells[cell.index()].name
             )));
         }
+        let old_master = self.cells[cell.index()].master;
         self.cells[cell.index()].master = new_master;
+        self.journal.push(NetlistEdit::SwapMaster {
+            cell,
+            old_master,
+            new_master,
+        });
         Ok(())
     }
 
@@ -255,6 +281,15 @@ impl Netlist {
         }
         let buf_name = format!("eco_buf_{}", self.cells.len());
         let (buf_id, buf_out) = self.add_cell(buf_name, lib, buf_master, &[net])?;
+        // Record each moved sink's original position so undo can restore
+        // the exact sink order (per-sink wire delays align with it).
+        let moved_with_index: Vec<(PinRef, usize)> = self.nets[net.index()]
+            .sinks
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| moved_sinks.contains(s))
+            .map(|(i, &s)| (s, i))
+            .collect();
         // Detach the moved sinks from the original net and re-home them.
         self.nets[net.index()]
             .sinks
@@ -263,6 +298,12 @@ impl Netlist {
             self.cells[s.cell.index()].inputs[s.pin] = buf_out;
             self.nets[buf_out.index()].sinks.push(s);
         }
+        self.journal.push(NetlistEdit::InsertBuffer {
+            buffer: buf_id,
+            buffer_out: buf_out,
+            src_net: net,
+            moved_sinks: moved_with_index,
+        });
         Ok(buf_id)
     }
 
@@ -270,9 +311,114 @@ impl Netlist {
     /// net, maintaining both nets' sink lists.
     pub fn rewire_input(&mut self, sink: PinRef, new_net: NetId) {
         let old = self.cells[sink.cell.index()].inputs[sink.pin];
+        let old_index = self.nets[old.index()]
+            .sinks
+            .iter()
+            .position(|s| *s == sink)
+            .expect("sink must be on its recorded net");
         self.nets[old.index()].sinks.retain(|s| *s != sink);
         self.cells[sink.cell.index()].inputs[sink.pin] = new_net;
         self.nets[new_net.index()].sinks.push(sink);
+        self.journal.push(NetlistEdit::RewireInput {
+            sink,
+            old_net: old,
+            new_net,
+            old_index,
+        });
+    }
+
+    /// The full edit journal (construction edits excluded — see
+    /// [`NetlistEdit`]).
+    pub fn journal(&self) -> &[NetlistEdit] {
+        &self.journal
+    }
+
+    /// The current journal length — the checkpoint token for
+    /// [`Netlist::undo_to`] and the incremental timer's cursor.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Rolls the netlist back to a checkpoint taken with
+    /// [`Netlist::journal_len`], applying the inverse of every journaled
+    /// edit since, newest first, and truncating the journal. Cost is
+    /// O(edits undone), not O(design).
+    ///
+    /// Identifiers remain stable: undoing a buffer insertion removes the
+    /// *last* cell and net, so every id allocated before the checkpoint
+    /// still names the same object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] if `checkpoint` is beyond the
+    /// journal, and [`Error::Internal`] if un-journaled structural
+    /// mutations (direct `add_cell` calls) interleaved with the edits
+    /// being undone.
+    pub fn undo_to(&mut self, checkpoint: usize) -> Result<()> {
+        if checkpoint > self.journal.len() {
+            return Err(Error::invalid_input(format!(
+                "undo checkpoint {checkpoint} beyond journal length {}",
+                self.journal.len()
+            )));
+        }
+        while self.journal.len() > checkpoint {
+            let edit = self.journal.pop().expect("length checked");
+            match edit {
+                NetlistEdit::SwapMaster {
+                    cell, old_master, ..
+                } => {
+                    self.cells[cell.index()].master = old_master;
+                }
+                NetlistEdit::SetWireLength { net, old_um, .. } => {
+                    self.nets[net.index()].wire_length_um = old_um;
+                }
+                NetlistEdit::SetRouteClass { net, old_class, .. } => {
+                    self.nets[net.index()].route_class = old_class;
+                }
+                NetlistEdit::RewireInput {
+                    sink,
+                    old_net,
+                    new_net,
+                    old_index,
+                } => {
+                    self.nets[new_net.index()].sinks.retain(|s| *s != sink);
+                    self.cells[sink.cell.index()].inputs[sink.pin] = old_net;
+                    self.nets[old_net.index()].sinks.insert(old_index, sink);
+                }
+                NetlistEdit::InsertBuffer {
+                    buffer,
+                    buffer_out,
+                    src_net,
+                    moved_sinks,
+                } => {
+                    if buffer.index() + 1 != self.cells.len()
+                        || buffer_out.index() + 1 != self.nets.len()
+                    {
+                        return Err(Error::internal(
+                            "undo of buffer insertion: cells/nets were added \
+                             outside the journal since the edit",
+                        ));
+                    }
+                    // Detach the buffer from the split net, restore the
+                    // moved sinks at their original positions (ascending
+                    // order keeps later indices valid), and drop the
+                    // appended cell + net.
+                    let tap = PinRef {
+                        cell: buffer,
+                        pin: 0,
+                    };
+                    self.nets[src_net.index()].sinks.retain(|s| *s != tap);
+                    for &(s, i) in &moved_sinks {
+                        self.cells[s.cell.index()].inputs[s.pin] = src_net;
+                        self.nets[src_net.index()].sinks.insert(i, s);
+                    }
+                    let cell = self.cells.pop().expect("buffer cell present");
+                    self.by_cell_name.remove(&cell.name);
+                    self.nets.pop();
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Total placement-site area of the design.
@@ -417,5 +563,135 @@ mod tests {
         let nl = tiny(&lib);
         assert!(nl.total_area(&lib) > 0.0);
         assert!(nl.total_leakage_uw(&lib) > 0.0);
+    }
+
+    /// Structural snapshot for undo round-trip checks: everything an
+    /// undo must restore bit-identically.
+    fn snapshot(nl: &Netlist) -> (Vec<Cell>, Vec<Net>, usize) {
+        (nl.cells().to_vec(), nl.nets().to_vec(), nl.journal_len())
+    }
+
+    #[test]
+    fn journal_records_eco_edits() {
+        let lib = lib();
+        let mut nl = tiny(&lib);
+        assert_eq!(nl.journal_len(), 0, "construction is not journaled");
+        let u1 = nl.cell_named("u1").unwrap();
+        let n1 = nl.cell(u1).output;
+        let lvt = lib.variant("NAND2", VtClass::Lvt, 1.0).unwrap();
+        nl.swap_master(&lib, u1, lvt).unwrap();
+        nl.set_wire_length(n1, 33.0);
+        nl.set_route_class(n1, 2);
+        assert_eq!(nl.journal_len(), 3);
+        assert!(matches!(
+            nl.journal()[0],
+            NetlistEdit::SwapMaster { cell, .. } if cell == u1
+        ));
+        assert!(!nl.journal()[1].is_structural());
+        // Failed edits are not journaled.
+        let inv = lib.variant("INV", VtClass::Svt, 1.0).unwrap();
+        assert!(nl.swap_master(&lib, u1, inv).is_err());
+        assert_eq!(nl.journal_len(), 3);
+    }
+
+    #[test]
+    fn undo_restores_value_edits() {
+        let lib = lib();
+        let mut nl = tiny(&lib);
+        let u1 = nl.cell_named("u1").unwrap();
+        let n1 = nl.cell(u1).output;
+        let before = snapshot(&nl);
+        let lvt = lib.variant("NAND2", VtClass::Lvt, 1.0).unwrap();
+        nl.swap_master(&lib, u1, lvt).unwrap();
+        nl.set_wire_length(n1, 33.0);
+        nl.set_route_class(n1, 2);
+        nl.undo_to(before.2).unwrap();
+        assert_eq!(snapshot(&nl), before);
+        nl.validate(&lib).unwrap();
+    }
+
+    #[test]
+    fn undo_restores_buffer_insertion() {
+        let lib = lib();
+        let mut nl = tiny(&lib);
+        let u2 = nl.cell_named("u2").unwrap();
+        let n1 = nl.cell(nl.cell_named("u1").unwrap()).output;
+        let before = snapshot(&nl);
+        let buf = lib.variant("BUF", VtClass::Svt, 2.0).unwrap();
+        nl.insert_buffer(&lib, n1, &[PinRef { cell: u2, pin: 0 }], buf)
+            .unwrap();
+        assert_eq!(nl.journal_len(), 1);
+        assert!(nl.journal()[0].is_structural());
+        nl.undo_to(before.2).unwrap();
+        assert_eq!(snapshot(&nl), before);
+        assert!(nl.cell_named("u2").is_some());
+        nl.validate(&lib).unwrap();
+        // The buffer's name is free again.
+        let redo = nl.insert_buffer(&lib, n1, &[PinRef { cell: u2, pin: 0 }], buf);
+        assert!(redo.is_ok());
+    }
+
+    #[test]
+    fn undo_restores_rewire_and_sink_order() {
+        let lib = lib();
+        // a → INV u1; a → INV u2; b → NAND(u1.out, u2.out) — then rewire
+        // u2's input from a to b and undo.
+        let mut nl = Netlist::new("rewire");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let inv = lib.variant("INV", VtClass::Svt, 1.0).unwrap();
+        let nand = lib.variant("NAND2", VtClass::Svt, 1.0).unwrap();
+        let (u1, o1) = nl.add_cell("u1", &lib, inv, &[a]).unwrap();
+        let (u2, o2) = nl.add_cell("u2", &lib, inv, &[a]).unwrap();
+        let (_, o3) = nl.add_cell("u3", &lib, nand, &[o1, o2]).unwrap();
+        nl.mark_output(o3);
+        let _ = u1;
+        let before = snapshot(&nl);
+        nl.rewire_input(PinRef { cell: u2, pin: 0 }, b);
+        assert_eq!(nl.cell(u2).inputs[0], b);
+        nl.undo_to(before.2).unwrap();
+        assert_eq!(snapshot(&nl), before);
+        nl.validate(&lib).unwrap();
+    }
+
+    #[test]
+    fn undo_interleaved_sequence_lifo() {
+        let lib = lib();
+        let mut nl = tiny(&lib);
+        let u1 = nl.cell_named("u1").unwrap();
+        let u2 = nl.cell_named("u2").unwrap();
+        let n1 = nl.cell(u1).output;
+        let before = snapshot(&nl);
+        let lvt = lib.variant("NAND2", VtClass::Lvt, 1.0).unwrap();
+        let buf = lib.variant("BUF", VtClass::Svt, 2.0).unwrap();
+        nl.swap_master(&lib, u1, lvt).unwrap();
+        nl.insert_buffer(&lib, n1, &[PinRef { cell: u2, pin: 0 }], buf)
+            .unwrap();
+        nl.set_wire_length(n1, 12.5);
+        let mid = nl.journal_len();
+        let mid_snap = snapshot(&nl);
+        nl.insert_buffer(
+            &lib,
+            n1,
+            &[nl.net(n1).sinks[0]],
+            lib.variant("BUF", VtClass::Svt, 1.0).unwrap(),
+        )
+        .unwrap();
+        nl.set_route_class(n1, 3);
+        // Partial undo back to the mid checkpoint…
+        nl.undo_to(mid).unwrap();
+        assert_eq!(snapshot(&nl), mid_snap);
+        // …then all the way back to time zero.
+        nl.undo_to(before.2).unwrap();
+        assert_eq!(snapshot(&nl), before);
+        nl.validate(&lib).unwrap();
+    }
+
+    #[test]
+    fn undo_rejects_bad_checkpoint() {
+        let lib = lib();
+        let mut nl = tiny(&lib);
+        assert!(nl.undo_to(5).is_err());
+        assert!(nl.undo_to(0).is_ok());
     }
 }

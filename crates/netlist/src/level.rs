@@ -56,14 +56,22 @@ pub fn levelize(nl: &Netlist, lib: &Library) -> Result<Levelization> {
     let mut order: Vec<CellId> = Vec::with_capacity(n);
     let mut depth = vec![0usize; n];
     let mut queue: Vec<CellId> = Vec::new();
+    // Flops are seeded ahead of every combinational cell so that a cell's
+    // position in `order` is strictly greater than that of *all* cells
+    // driving its inputs — including flop drivers. Incremental timing
+    // relies on this total-order invariant to evaluate dirty cells in a
+    // single monotone worklist sweep.
+    for (i, &flop) in is_flop.iter().enumerate() {
+        if flop {
+            queue.push(CellId::new(i));
+        }
+    }
     for i in 0..n {
-        if indeg[i] == 0 {
+        if indeg[i] == 0 && !is_flop[i] {
             queue.push(CellId::new(i));
             // A gate whose fan-in is all PIs/flops sits one level in;
             // flops themselves are level-0 start points.
-            if !is_flop[i] {
-                depth[i] = 1;
-            }
+            depth[i] = 1;
         }
     }
     let mut head = 0;
@@ -149,6 +157,35 @@ mod tests {
         // Flop output is depth 0; the inverter is depth 1.
         let g = nl.cell_named("g").unwrap();
         assert_eq!(lv.depth[g.index()], 1);
+    }
+
+    #[test]
+    fn order_places_every_comb_cell_after_all_its_drivers() {
+        // The invariant incremental timing builds on: a combinational
+        // cell's order position strictly exceeds that of every cell
+        // driving one of its inputs (flop or comb).
+        let lib = lib();
+        let nl = crate::gen::generate(&lib, crate::gen::BenchProfile::tiny(), 7).unwrap();
+        let lv = levelize(&nl, &lib).unwrap();
+        let mut pos = vec![0usize; nl.cell_count()];
+        for (p, &c) in lv.order.iter().enumerate() {
+            pos[c.index()] = p;
+        }
+        for (i, cell) in nl.cells().iter().enumerate() {
+            if lib.cell(cell.master).kind == CellKind::Flop {
+                continue;
+            }
+            for &input in &cell.inputs {
+                if let Some(drv) = nl.net(input).driver {
+                    assert!(
+                        pos[drv.index()] < pos[i],
+                        "driver {} not before sink {}",
+                        drv.index(),
+                        i
+                    );
+                }
+            }
+        }
     }
 
     #[test]

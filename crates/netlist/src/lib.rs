@@ -31,9 +31,11 @@
 
 pub mod gen;
 pub mod graph;
+pub mod journal;
 pub mod level;
 pub mod verilog;
 
 pub use graph::{Cell, Net, Netlist, PinRef};
+pub use journal::NetlistEdit;
 pub use level::Levelization;
 pub use verilog::{parse_verilog, write_verilog};

@@ -25,7 +25,13 @@ type ParsedInstance = (String, String, Vec<(String, String)>);
 fn ident(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.chars().next().unwrap().is_ascii_digit() {
         s.insert(0, 'n');
@@ -221,7 +227,10 @@ mod tests {
         let parsed = parse_verilog(&text, &lib).unwrap();
         parsed.validate(&lib).unwrap();
         assert_eq!(parsed.cell_count(), orig.cell_count());
-        assert_eq!(parsed.primary_outputs().count(), orig.primary_outputs().count());
+        assert_eq!(
+            parsed.primary_outputs().count(),
+            orig.primary_outputs().count()
+        );
 
         // Per-instance master binding survives.
         for cell in orig.cells() {

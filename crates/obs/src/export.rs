@@ -178,7 +178,11 @@ impl Snapshot {
             for h in &self.histograms {
                 out.push_str(&format!(
                     "  {:<34} n={} mean={:.2} min={:.2} max={:.2}\n",
-                    h.name, h.count, h.mean(), h.min, h.max
+                    h.name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
                 ));
                 for &(lo, hi, n) in &h.buckets {
                     out.push_str(&format!("    [{lo:>8.0}, {hi:>8.0})  {n}\n"));

@@ -40,6 +40,10 @@
 //! | `sta.arcs_evaluated` | counter | timing arcs evaluated in GBA |
 //! | `sta.nets_propagated` | counter | nets levelized + propagated |
 //! | `sta.pba.paths` / `sta.pba.stages` | counter | PBA path/stage volume |
+//! | `sta.incremental` | span | one [`Timer::update`] dirty-cone pass |
+//! | `sta.dirty_cone_size` | histogram | cells re-evaluated per update |
+//! | `sta.arcs_recomputed` | counter | arcs inside dirty cones |
+//! | `sta.arcs_reused` | counter | cached arcs an update skipped |
 //! | `signoff.corners` | span | one multi-corner signoff run |
 //! | `signoff.corners/corner.*` | span | one corner's STA |
 //! | `sim.transient` | span | one transient circuit simulation |
@@ -49,6 +53,7 @@
 //!
 //! [`ClosureFlow::run`]: ../tc_closure/flow/struct.ClosureFlow.html
 //! [`Sta::run`]: ../tc_sta/struct.Sta.html
+//! [`Timer::update`]: ../tc_sta/timer/struct.Timer.html
 //!
 //! # Examples
 //!
@@ -153,7 +158,10 @@ mod tests {
         c.add(7);
         counter("t_delta.other").incr();
         let after = snapshot();
-        assert_eq!(after.counter("t_delta.count"), before.counter("t_delta.count") + 7);
+        assert_eq!(
+            after.counter("t_delta.count"),
+            before.counter("t_delta.count") + 7
+        );
         let deltas = after.counter_deltas(&before);
         assert!(deltas.contains(&("t_delta.count".to_string(), 7)));
         assert!(deltas.contains(&("t_delta.other".to_string(), 1)));
@@ -269,5 +277,4 @@ mod tests {
             .expect("histogram");
         assert_eq!(hs.count, 80);
     }
-
 }

@@ -35,4 +35,4 @@ pub mod minia;
 pub mod rows;
 
 pub use minia::{MinIaRule, MiniaFixReport};
-pub use rows::{Placement, PlacedCell};
+pub use rows::{PlacedCell, Placement};

@@ -138,8 +138,8 @@ pub fn fix_violations(
         let Some(isl) = viol else { break };
         let row_cells = pl.row(isl.row).to_vec();
         // Candidate target Vt: the wider neighbouring island's Vt.
-        let left_vt = (isl.start > 0)
-            .then(|| lib.cell(nl.cell(row_cells[isl.start - 1].cell).master).vt);
+        let left_vt =
+            (isl.start > 0).then(|| lib.cell(nl.cell(row_cells[isl.start - 1].cell).master).vt);
         let right_vt = (isl.end < row_cells.len())
             .then(|| lib.cell(nl.cell(row_cells[isl.end].cell).master).vt);
         let targets: Vec<VtClass> = [left_vt, right_vt].into_iter().flatten().collect();
@@ -216,12 +216,7 @@ pub fn fix_violations(
 /// `count` isolated cells to a different Vt (the paper's scenario where
 /// post-route Vt-swap fixes create narrow islands). Returns how many
 /// swaps were applied.
-pub fn inject_vt_islands(
-    nl: &mut Netlist,
-    lib: &Library,
-    count: usize,
-    seed: u64,
-) -> usize {
+pub fn inject_vt_islands(nl: &mut Netlist, lib: &Library, count: usize, seed: u64) -> usize {
     let mut rng = tc_core::rng::Rng::seed_from(seed ^ 0x696e_6a65_6374);
     let n = nl.cell_count();
     let mut injected = 0;

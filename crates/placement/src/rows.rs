@@ -44,23 +44,17 @@ impl Placement {
         let mut x = 0usize;
         for idx in order {
             let cell = CellId::new(idx);
-            let w = lib
-                .cell(nl.cell(cell).master)
-                .area_sites
-                .ceil()
-                .max(1.0) as usize;
+            let w = lib.cell(nl.cell(cell).master).area_sites.ceil().max(1.0) as usize;
             if x + w > row_sites && x > 0 {
                 rows.push(Vec::new());
                 x = 0;
             }
             let row = rows.len() - 1;
-            rows.last_mut()
-                .expect("at least one row")
-                .push(PlacedCell {
-                    cell,
-                    x_site: x,
-                    width_sites: w,
-                });
+            rows.last_mut().expect("at least one row").push(PlacedCell {
+                cell,
+                x_site: x,
+                width_sites: w,
+            });
             row_of[idx] = row;
             x += w;
         }

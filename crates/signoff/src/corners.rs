@@ -80,11 +80,7 @@ impl CornerSpace {
                 PvtCorner::slow_cold(),
                 PvtCorner::fast_cold(),
             ],
-            beol: vec![
-                BeolCorner::Typical,
-                BeolCorner::CWorst,
-                BeolCorner::CBest,
-            ],
+            beol: vec![BeolCorner::Typical, BeolCorner::CWorst, BeolCorner::CBest],
             aging_points: 1,
             voltage_domains: 1,
         }
@@ -162,6 +158,10 @@ impl CornerSpace {
 /// `signoff.corners` counter tallies scenarios analyzed — the raw data
 /// behind "how much of signoff is corner runtime" (§2.3).
 ///
+/// All corners share one timing-graph structure (levelization and
+/// sink-index maps are corner-invariant), so the per-corner cost is pure
+/// propagation — see `tc_sta::mcmm::run_scenarios_shared`.
+///
 /// # Errors
 ///
 /// Propagates the first failing scenario run.
@@ -171,11 +171,7 @@ pub fn run_corner_set(
     scenarios: &[Scenario],
 ) -> Result<MergedReport> {
     let _span = tc_obs::span("signoff.corners");
-    let mut reports = Vec::with_capacity(scenarios.len());
-    for s in scenarios {
-        let _corner = tc_obs::span(&format!("corner.{}", s.name));
-        reports.push((s.name.clone(), s.run(nl, stack)?));
-    }
+    let reports = tc_sta::mcmm::run_scenarios_shared(nl, stack, scenarios)?;
     tc_obs::counter("signoff.corners").add(scenarios.len() as u64);
     Ok(merge_reports(&reports))
 }

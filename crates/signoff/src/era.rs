@@ -18,28 +18,116 @@ pub struct CareAbout {
 /// earlier era).
 pub fn care_abouts() -> Vec<CareAbout> {
     vec![
-        CareAbout { name: "Noise/SI", first_node_nm: 90, note: "coupling delta delay and glitch" },
-        CareAbout { name: "MCMM", first_node_nm: 90, note: "multi-corner multi-mode analysis" },
-        CareAbout { name: "Max transition", first_node_nm: 90, note: "slew limits as electrical DRC" },
-        CareAbout { name: "EM", first_node_nm: 90, note: "electromigration limits on signal/clock" },
-        CareAbout { name: "BTI aging", first_node_nm: 65, note: "NBTI/PBTI Vt drift over lifetime" },
-        CareAbout { name: "Temperature inversion", first_node_nm: 65, note: "slower cold at low VDD" },
-        CareAbout { name: "AOCV", first_node_nm: 40, note: "stage/distance-based derates" },
-        CareAbout { name: "PBA", first_node_nm: 40, note: "path-based pessimism reduction" },
-        CareAbout { name: "Fixed-margin spec", first_node_nm: 40, note: "flat margins defined per corner" },
-        CareAbout { name: "Multi-patterning", first_node_nm: 20, note: "LELE/SADP corner proliferation" },
-        CareAbout { name: "MOL/BEOL resistance", first_node_nm: 20, note: "middle/back-end R dominance" },
-        CareAbout { name: "Dynamic IR in timing", first_node_nm: 20, note: "-dynamic analysis options" },
-        CareAbout { name: "Cell-based POCV", first_node_nm: 20, note: "per-cell sigma models" },
-        CareAbout { name: "Min implant area", first_node_nm: 20, note: "Vt-swap/placement interference" },
-        CareAbout { name: "Fill effects", first_node_nm: 16, note: "metal fill capacitance in timing" },
-        CareAbout { name: "BEOL/MOL variation", first_node_nm: 16, note: "per-layer corners and TBCs" },
-        CareAbout { name: "Signoff with AVS", first_node_nm: 16, note: "typical-corner setup closure" },
-        CareAbout { name: "LVF", first_node_nm: 16, note: "per-(slew,load) sigma tables" },
-        CareAbout { name: "MIS", first_node_nm: 16, note: "multi-input switching margins" },
-        CareAbout { name: "Physically-aware ECO", first_node_nm: 16, note: "legal-location timing fixes" },
-        CareAbout { name: "Self-heating", first_node_nm: 10, note: "FinFET thermal/reliability coupling" },
-        CareAbout { name: "SAQP variation", first_node_nm: 10, note: "quadruple-patterning CD classes" },
+        CareAbout {
+            name: "Noise/SI",
+            first_node_nm: 90,
+            note: "coupling delta delay and glitch",
+        },
+        CareAbout {
+            name: "MCMM",
+            first_node_nm: 90,
+            note: "multi-corner multi-mode analysis",
+        },
+        CareAbout {
+            name: "Max transition",
+            first_node_nm: 90,
+            note: "slew limits as electrical DRC",
+        },
+        CareAbout {
+            name: "EM",
+            first_node_nm: 90,
+            note: "electromigration limits on signal/clock",
+        },
+        CareAbout {
+            name: "BTI aging",
+            first_node_nm: 65,
+            note: "NBTI/PBTI Vt drift over lifetime",
+        },
+        CareAbout {
+            name: "Temperature inversion",
+            first_node_nm: 65,
+            note: "slower cold at low VDD",
+        },
+        CareAbout {
+            name: "AOCV",
+            first_node_nm: 40,
+            note: "stage/distance-based derates",
+        },
+        CareAbout {
+            name: "PBA",
+            first_node_nm: 40,
+            note: "path-based pessimism reduction",
+        },
+        CareAbout {
+            name: "Fixed-margin spec",
+            first_node_nm: 40,
+            note: "flat margins defined per corner",
+        },
+        CareAbout {
+            name: "Multi-patterning",
+            first_node_nm: 20,
+            note: "LELE/SADP corner proliferation",
+        },
+        CareAbout {
+            name: "MOL/BEOL resistance",
+            first_node_nm: 20,
+            note: "middle/back-end R dominance",
+        },
+        CareAbout {
+            name: "Dynamic IR in timing",
+            first_node_nm: 20,
+            note: "-dynamic analysis options",
+        },
+        CareAbout {
+            name: "Cell-based POCV",
+            first_node_nm: 20,
+            note: "per-cell sigma models",
+        },
+        CareAbout {
+            name: "Min implant area",
+            first_node_nm: 20,
+            note: "Vt-swap/placement interference",
+        },
+        CareAbout {
+            name: "Fill effects",
+            first_node_nm: 16,
+            note: "metal fill capacitance in timing",
+        },
+        CareAbout {
+            name: "BEOL/MOL variation",
+            first_node_nm: 16,
+            note: "per-layer corners and TBCs",
+        },
+        CareAbout {
+            name: "Signoff with AVS",
+            first_node_nm: 16,
+            note: "typical-corner setup closure",
+        },
+        CareAbout {
+            name: "LVF",
+            first_node_nm: 16,
+            note: "per-(slew,load) sigma tables",
+        },
+        CareAbout {
+            name: "MIS",
+            first_node_nm: 16,
+            note: "multi-input switching margins",
+        },
+        CareAbout {
+            name: "Physically-aware ECO",
+            first_node_nm: 16,
+            note: "legal-location timing fixes",
+        },
+        CareAbout {
+            name: "Self-heating",
+            first_node_nm: 10,
+            note: "FinFET thermal/reliability coupling",
+        },
+        CareAbout {
+            name: "SAQP variation",
+            first_node_nm: 10,
+            note: "quadruple-patterning CD classes",
+        },
     ]
 }
 
@@ -71,15 +159,51 @@ impl fmt::Display for EraRow {
 /// Fig 2's old-vs-new sketch as a table.
 pub fn old_vs_new() -> Vec<EraRow> {
     vec![
-        EraRow { aspect: "Modes", old: "1 functional mode", new: "MCMM: hundreds of scenarios" },
-        EraRow { aspect: "Checks", old: "setup/hold + SI", new: "+ noise closure, aging, dynamic IR" },
-        EraRow { aspect: "Delay model", old: "NLDM", new: "cell-POCV / LVF sigma tables" },
-        EraRow { aspect: "BEOL corners", old: "Cw only", new: "exploding corners, cross-corners, TBC reduction" },
-        EraRow { aspect: "Margins", old: "single flat margin", new: "flat margin selection per corner; AVS credit" },
-        EraRow { aspect: "Supply", old: "fixed VDD", new: "wide-range AVS (0.46-1.25 V), overdrive signoff" },
-        EraRow { aspect: "Optimization", old: "post-route Vt swap is free", new: "place/opt interference (MinIA), mask-aware" },
-        EraRow { aspect: "Patterning", old: "single exposure", new: "multi-patterning color/overlay corners" },
-        EraRow { aspect: "Analysis style", old: "graph-based (gba)", new: "path-based (pba) with noise, earlier in flow" },
+        EraRow {
+            aspect: "Modes",
+            old: "1 functional mode",
+            new: "MCMM: hundreds of scenarios",
+        },
+        EraRow {
+            aspect: "Checks",
+            old: "setup/hold + SI",
+            new: "+ noise closure, aging, dynamic IR",
+        },
+        EraRow {
+            aspect: "Delay model",
+            old: "NLDM",
+            new: "cell-POCV / LVF sigma tables",
+        },
+        EraRow {
+            aspect: "BEOL corners",
+            old: "Cw only",
+            new: "exploding corners, cross-corners, TBC reduction",
+        },
+        EraRow {
+            aspect: "Margins",
+            old: "single flat margin",
+            new: "flat margin selection per corner; AVS credit",
+        },
+        EraRow {
+            aspect: "Supply",
+            old: "fixed VDD",
+            new: "wide-range AVS (0.46-1.25 V), overdrive signoff",
+        },
+        EraRow {
+            aspect: "Optimization",
+            old: "post-route Vt swap is free",
+            new: "place/opt interference (MinIA), mask-aware",
+        },
+        EraRow {
+            aspect: "Patterning",
+            old: "single exposure",
+            new: "multi-patterning color/overlay corners",
+        },
+        EraRow {
+            aspect: "Analysis style",
+            old: "graph-based (gba)",
+            new: "path-based (pba) with noise, earlier in flow",
+        },
     ]
 }
 

@@ -66,10 +66,7 @@ impl RecoveryResult {
 /// boundary's min slack.
 fn optimize_boundary(b: &FlopBoundary) -> BoundaryResult {
     let s_char = b.interdep.setup_at_pushout(b.char_pushout);
-    let c2q_char = b
-        .interdep
-        .c2q_at(s_char, Ps::new(500.0))
-        .value();
+    let c2q_char = b.interdep.c2q_at(s_char, Ps::new(500.0)).value();
     let before = b.slack_in.min(b.slack_out);
 
     let mut best = BoundaryResult {

@@ -56,7 +56,12 @@ pub fn nand2(
     let mid = ckt.node("nand_mid");
     // Pull-down stack: output → (gate b) → mid → (gate a) → ground.
     ckt.mosfet(MosDevice::new(MosKind::Nmos, vt, wn), output, b, mid);
-    ckt.mosfet(MosDevice::new(MosKind::Nmos, vt, wn), mid, a, NodeId::GROUND);
+    ckt.mosfet(
+        MosDevice::new(MosKind::Nmos, vt, wn),
+        mid,
+        a,
+        NodeId::GROUND,
+    );
     // Parallel pull-ups.
     ckt.mosfet(MosDevice::new(MosKind::Pmos, vt, wp), output, a, vdd);
     ckt.mosfet(MosDevice::new(MosKind::Pmos, vt, wp), output, b, vdd);
@@ -81,8 +86,18 @@ pub fn nor2(
     ckt.mosfet(MosDevice::new(MosKind::Pmos, vt, wp), mid, a, vdd);
     ckt.mosfet(MosDevice::new(MosKind::Pmos, vt, wp), output, b, mid);
     // Parallel pull-downs.
-    ckt.mosfet(MosDevice::new(MosKind::Nmos, vt, wn), output, a, NodeId::GROUND);
-    ckt.mosfet(MosDevice::new(MosKind::Nmos, vt, wn), output, b, NodeId::GROUND);
+    ckt.mosfet(
+        MosDevice::new(MosKind::Nmos, vt, wn),
+        output,
+        a,
+        NodeId::GROUND,
+    );
+    ckt.mosfet(
+        MosDevice::new(MosKind::Nmos, vt, wn),
+        output,
+        b,
+        NodeId::GROUND,
+    );
     ckt.cap_to_ground(output, Ff::new(0.55 * (2.0 * wn + wp) * 0.4));
     ckt.cap_to_ground(mid, Ff::new(0.55 * wp * 0.5));
 }
@@ -99,7 +114,12 @@ pub fn transmission_gate(
     strength: f64,
 ) {
     ckt.mosfet(MosDevice::new(MosKind::Nmos, vt, strength), a, ctrl, b);
-    ckt.mosfet(MosDevice::new(MosKind::Pmos, vt, BETA * strength), a, ctrl_b, b);
+    ckt.mosfet(
+        MosDevice::new(MosKind::Pmos, vt, BETA * strength),
+        a,
+        ctrl_b,
+        b,
+    );
 }
 
 /// Node handles of a built flip-flop.
@@ -180,9 +200,8 @@ pub fn inverter_chain_delay(
     let res = transient(&ckt, tech, &opts)?;
     let w_in = res.waveform(n1);
     let w_out = res.waveform(n2);
-    delay_between(&w_in, Edge::Fall, &w_out, Edge::Rise, vdd_v.value(), 0.0).ok_or_else(|| {
-        tc_core::Error::internal("inverter chain produced no output transition")
-    })
+    delay_between(&w_in, Edge::Fall, &w_out, Edge::Rise, vdd_v.value(), 0.0)
+        .ok_or_else(|| tc_core::Error::internal("inverter chain produced no output transition"))
 }
 
 #[cfg(test)]
@@ -210,13 +229,8 @@ mod tests {
     #[test]
     fn chain_delay_is_positive_and_sane() {
         let tech = Technology::planar_28nm();
-        let d = inverter_chain_delay(
-            &tech,
-            VtClass::Svt,
-            Volt::new(0.9),
-            Celsius::new(25.0),
-        )
-        .unwrap();
+        let d =
+            inverter_chain_delay(&tech, VtClass::Svt, Volt::new(0.9), Celsius::new(25.0)).unwrap();
         assert!(d.value() > 1.0 && d.value() < 100.0, "stage delay {d}");
     }
 
@@ -227,10 +241,7 @@ mod tests {
         let v = Volt::new(0.9);
         let d_lvt = inverter_chain_delay(&tech, VtClass::Lvt, v, t).unwrap();
         let d_hvt = inverter_chain_delay(&tech, VtClass::Hvt, v, t).unwrap();
-        assert!(
-            d_lvt < d_hvt,
-            "lvt {d_lvt} must beat hvt {d_hvt}"
-        );
+        assert!(d_lvt < d_hvt, "lvt {d_lvt} must beat hvt {d_hvt}");
     }
 
     #[test]
@@ -282,10 +293,7 @@ mod tests {
         // D rises well before the clock edge at t=400; Q should go high
         // shortly after the edge and stay high.
         ckt.source(ff.d, Pwl::ramp(100.0, 20.0, Volt::ZERO, vdd_v));
-        ckt.source(
-            ff.ck,
-            Pwl::pulse(400.0, 700.0, 20.0, Volt::ZERO, vdd_v),
-        );
+        ckt.source(ff.ck, Pwl::pulse(400.0, 700.0, 20.0, Volt::ZERO, vdd_v));
         let opts = TranOptions {
             t_stop: 1000.0,
             dt: 0.5,

@@ -60,11 +60,7 @@ pub struct ArcSample {
     pub out_slew: f64,
 }
 
-fn build_cell(
-    kind: CellKind,
-    cond: &CharConditions,
-    ckt: &mut Circuit,
-) -> (NodeId, NodeId) {
+fn build_cell(kind: CellKind, cond: &CharConditions, ckt: &mut Circuit) -> (NodeId, NodeId) {
     let vdd = ckt.rail("vdd", cond.vdd);
     let input = ckt.node("in");
     let out = ckt.node("out");
@@ -169,7 +165,12 @@ mod tests {
         let cond = CharConditions::nominal_28nm();
         let light = measure_arc(CellKind::Inv, &cond, 20.0, Ff::new(1.0), Edge::Rise).unwrap();
         let heavy = measure_arc(CellKind::Inv, &cond, 20.0, Ff::new(8.0), Edge::Rise).unwrap();
-        assert!(heavy.delay > light.delay, "{} !> {}", heavy.delay, light.delay);
+        assert!(
+            heavy.delay > light.delay,
+            "{} !> {}",
+            heavy.delay,
+            light.delay
+        );
         assert!(heavy.out_slew > light.out_slew);
     }
 
@@ -193,14 +194,8 @@ mod tests {
     #[test]
     fn characterized_grid_interpolates_sanely() {
         let cond = CharConditions::nominal_28nm();
-        let tbl = characterize(
-            CellKind::Inv,
-            &cond,
-            &[10.0, 40.0],
-            &[1.0, 6.0],
-            Edge::Rise,
-        )
-        .unwrap();
+        let tbl =
+            characterize(CellKind::Inv, &cond, &[10.0, 40.0], &[1.0, 6.0], Edge::Rise).unwrap();
         let mid = tbl.delay.eval(25.0, 3.5);
         let lo = tbl.delay.eval(10.0, 1.0);
         let hi = tbl.delay.eval(40.0, 6.0);

@@ -78,10 +78,7 @@ pub fn c2q_at(bench: &FfBench, tech: &Technology, setup: Ps, hold: Ps) -> Result
         ff.d,
         Pwl::pulse(d_rise, d_fall, bench.slew, Volt::ZERO, bench.vdd),
     );
-    ckt.source(
-        ff.ck,
-        Pwl::ramp(T_CK, bench.slew, Volt::ZERO, bench.vdd),
-    );
+    ckt.source(ff.ck, Pwl::ramp(T_CK, bench.slew, Volt::ZERO, bench.vdd));
 
     let opts = TranOptions {
         t_stop: T_STOP,
@@ -123,11 +120,7 @@ pub struct C2qPoint {
 /// # Errors
 ///
 /// Propagates simulator failures.
-pub fn c2q_vs_setup(
-    bench: &FfBench,
-    tech: &Technology,
-    setups: &[f64],
-) -> Result<Vec<C2qPoint>> {
+pub fn c2q_vs_setup(bench: &FfBench, tech: &Technology, setups: &[f64]) -> Result<Vec<C2qPoint>> {
     setups
         .iter()
         .map(|&s| {
@@ -201,19 +194,13 @@ pub fn characterize_ff(bench: &FfBench, tech: &Technology, pushout: f64) -> Resu
     let limit = c2q_nominal * pushout;
 
     let setup = bisect_min_constraint(
-        |s| {
-            Ok(c2q_at(bench, tech, Ps::new(s), Ps::new(300.0))?
-                .is_some_and(|d| d <= limit))
-        },
+        |s| Ok(c2q_at(bench, tech, Ps::new(s), Ps::new(300.0))?.is_some_and(|d| d <= limit)),
         -20.0,
         200.0,
         14,
     )?;
     let hold = bisect_min_constraint(
-        |h| {
-            Ok(c2q_at(bench, tech, Ps::new(150.0), Ps::new(h))?
-                .is_some_and(|d| d <= limit))
-        },
+        |h| Ok(c2q_at(bench, tech, Ps::new(150.0), Ps::new(h))?.is_some_and(|d| d <= limit)),
         -20.0,
         300.0,
         14,
@@ -244,10 +231,7 @@ pub fn setup_hold_contour(
     let mut out = Vec::new();
     for &s in setups {
         let r = bisect_min_constraint(
-            |h| {
-                Ok(c2q_at(bench, tech, Ps::new(s), Ps::new(h))?
-                    .is_some_and(|d| d <= limit))
-            },
+            |h| Ok(c2q_at(bench, tech, Ps::new(s), Ps::new(h))?.is_some_and(|d| d <= limit)),
             -20.0,
             300.0,
             12,

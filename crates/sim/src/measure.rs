@@ -55,10 +55,7 @@ impl Waveform {
         if t >= *self.times.last().unwrap() {
             return *self.values.last().unwrap();
         }
-        let idx = self
-            .times
-            .partition_point(|&x| x < t)
-            .max(1);
+        let idx = self.times.partition_point(|&x| x < t).max(1);
         let (t0, t1) = (self.times[idx - 1], self.times[idx]);
         let (v0, v1) = (self.values[idx - 1], self.values[idx]);
         if t1 <= t0 {
@@ -146,10 +143,7 @@ mod tests {
 
     fn ramp_wave() -> Waveform {
         // 0 V until t=10, linear to 1 V at t=30, flat after.
-        Waveform::new(
-            vec![0.0, 10.0, 30.0, 50.0],
-            vec![0.0, 0.0, 1.0, 1.0],
-        )
+        Waveform::new(vec![0.0, 10.0, 30.0, 50.0], vec![0.0, 0.0, 1.0, 1.0])
     }
 
     #[test]

@@ -193,12 +193,12 @@ pub fn run_mis_study(tech: &Technology, study: &MisStudy, dir: InputDir) -> Resu
         InputDir::Falling => sweep
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.value().total_cmp(&b.1.value()))
             .expect("non-empty sweep"),
         InputDir::Rising => sweep
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.value().total_cmp(&b.1.value()))
             .expect("non-empty sweep"),
     };
     Ok(MisResult {

@@ -152,20 +152,10 @@ impl<'a> System<'a> {
         match dev.kind {
             MosKind::Nmos => {
                 if vd >= vs {
-                    dev.drain_current(
-                        self.tech,
-                        Volt::new(vg - vs),
-                        Volt::new(vd - vs),
-                        self.temp,
-                    )
+                    dev.drain_current(self.tech, Volt::new(vg - vs), Volt::new(vd - vs), self.temp)
                 } else {
                     // Source/drain swap: conduction is symmetric.
-                    -dev.drain_current(
-                        self.tech,
-                        Volt::new(vg - vd),
-                        Volt::new(vs - vd),
-                        self.temp,
-                    )
+                    -dev.drain_current(self.tech, Volt::new(vg - vd), Volt::new(vs - vd), self.temp)
                 }
             }
             MosKind::Pmos => {
@@ -173,19 +163,9 @@ impl<'a> System<'a> {
                     // Channel conducts source→drain: current *exits* the
                     // device at the drain, so the into-drain current is
                     // negative.
-                    -dev.drain_current(
-                        self.tech,
-                        Volt::new(vs - vg),
-                        Volt::new(vs - vd),
-                        self.temp,
-                    )
+                    -dev.drain_current(self.tech, Volt::new(vs - vg), Volt::new(vs - vd), self.temp)
                 } else {
-                    dev.drain_current(
-                        self.tech,
-                        Volt::new(vd - vg),
-                        Volt::new(vd - vs),
-                        self.temp,
-                    )
+                    dev.drain_current(self.tech, Volt::new(vd - vg), Volt::new(vd - vs), self.temp)
                 }
             }
         }
@@ -205,14 +185,13 @@ impl<'a> System<'a> {
             }
         }
 
-        let stamp =
-            |jac: &mut Option<&mut [f64]>, row_node: usize, col_node: usize, g: f64| {
-                if let (Some(r), Some(c)) = (self.free_index[row_node], self.free_index[col_node]) {
-                    if let Some(j) = jac.as_deref_mut() {
-                        j[r * nf + c] += g;
-                    }
+        let stamp = |jac: &mut Option<&mut [f64]>, row_node: usize, col_node: usize, g: f64| {
+            if let (Some(r), Some(c)) = (self.free_index[row_node], self.free_index[col_node]) {
+                if let Some(j) = jac.as_deref_mut() {
+                    j[r * nf + c] += g;
                 }
-            };
+            }
+        };
 
         // gmin + cmin to ground on every free node.
         for (fi, &node) in self.free.iter().enumerate() {

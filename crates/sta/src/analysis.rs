@@ -6,24 +6,22 @@
 //! the slack distribution", §1.3 footnote). AOCV in GBA uses the
 //! conservative depth bound of 1 stage — the pessimism PBA then recovers.
 
-use std::collections::HashMap;
-
 use tc_core::error::{Error, Result};
-use tc_core::ids::CellId;
+use tc_core::ids::{CellId, NetId};
 use tc_core::units::{Ff, Ps};
 use tc_interconnect::beol::{BeolCorner, BeolSample, BeolStack};
 use tc_interconnect::estimate::{NdrClass, WireModel};
 use tc_liberty::{CellKind, DerateModel, Library, TimingArc};
-use tc_netlist::level::levelize;
-use tc_netlist::Netlist;
+use tc_netlist::{Net, Netlist};
 
 use crate::constraints::Constraints;
 use crate::report::{Endpoint, EndpointTiming, TimingReport};
 use crate::si::coupling_delta;
+use crate::timer::TimingGraph;
 
 /// One propagated arrival bound (late or early).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
-pub(crate) struct Arr {
+pub struct Arr {
     /// Mean arrival, ps.
     pub t: f64,
     /// Accumulated delay variance, ps².
@@ -49,9 +47,15 @@ impl Arr {
 }
 
 /// Per-net propagation state.
-#[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct NetState {
+///
+/// Full propagation and the incremental [`Timer`](crate::Timer) write
+/// these through the *same* per-cell evaluation code path, which is what
+/// makes incremental results bit-identical to a from-scratch run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct NetState {
+    /// Late (max-delay) arrival bound at the net.
     pub late: Arr,
+    /// Early (min-delay) arrival bound at the net.
     pub early: Arr,
     /// `(driver input pin index)` that produced the late arrival — the
     /// breadcrumb PBA backtracking follows.
@@ -72,8 +76,9 @@ pub struct Sta<'a> {
 }
 
 /// Wire timing cached per net.
-#[derive(Clone, Debug, Default)]
-pub(crate) struct NetWire {
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetWire {
+    /// Total load seen by the driver, fF.
     pub driver_load: Ff,
     /// Per-sink wire delay, aligned with the net's sink list.
     pub sink_delays: Vec<Ps>,
@@ -185,37 +190,48 @@ impl<'a> Sta<'a> {
                 let s = 0.05 * w;
                 (w, s * s, w, s * s)
             }
-            _ => (w * self.cons.wire_derate.0, 0.0, w * self.cons.wire_derate.1, 0.0),
+            _ => (
+                w * self.cons.wire_derate.0,
+                0.0,
+                w * self.cons.wire_derate.1,
+                0.0,
+            ),
         }
+    }
+
+    /// Computes one net's wire timing (load, sink delays, SI delta).
+    /// The single code path shared by full runs and incremental updates.
+    pub(crate) fn net_wire(&self, net: &Net) -> Result<NetWire> {
+        let sink_caps: Vec<Ff> = net
+            .sinks
+            .iter()
+            .map(|s| self.lib.cell(self.nl.cell(s.cell).master).input_cap)
+            .collect();
+        let ndr = match net.route_class {
+            0 => NdrClass::Default,
+            1 => NdrClass::DoubleWidth,
+            _ => NdrClass::DoubleWidthSpacing,
+        };
+        let wm = WireModel::from_length(net.wire_length_um.max(1.0)).with_ndr(ndr);
+        let t = wm.timing(self.stack, self.beol_corner, self.beol_sample, &sink_caps)?;
+        let si_delta = if self.cons.si_enabled {
+            let layer = self.stack.layer(wm.layer);
+            coupling_delta(layer, self.beol_corner, ndr, &t)
+        } else {
+            0.0
+        };
+        Ok(NetWire {
+            driver_load: t.driver_load,
+            sink_delays: t.sink_delays,
+            si_delta,
+        })
     }
 
     /// Computes per-net wire timings (loads, sink delays, SI deltas).
     pub(crate) fn wire_timings(&self) -> Result<Vec<NetWire>> {
         let mut out = Vec::with_capacity(self.nl.net_count());
         for net in self.nl.nets() {
-            let sink_caps: Vec<Ff> = net
-                .sinks
-                .iter()
-                .map(|s| self.lib.cell(self.nl.cell(s.cell).master).input_cap)
-                .collect();
-            let ndr = match net.route_class {
-                0 => NdrClass::Default,
-                1 => NdrClass::DoubleWidth,
-                _ => NdrClass::DoubleWidthSpacing,
-            };
-            let wm = WireModel::from_length(net.wire_length_um.max(1.0)).with_ndr(ndr);
-            let t = wm.timing(self.stack, self.beol_corner, self.beol_sample, &sink_caps)?;
-            let si_delta = if self.cons.si_enabled {
-                let layer = self.stack.layer(wm.layer);
-                coupling_delta(layer, self.beol_corner, ndr, &t)
-            } else {
-                0.0
-            };
-            out.push(NetWire {
-                driver_load: t.driver_load,
-                sink_delays: t.sink_delays,
-                si_delta,
-            });
+            out.push(self.net_wire(net)?);
         }
         Ok(out)
     }
@@ -242,30 +258,9 @@ impl<'a> Sta<'a> {
         }
     }
 
-    /// Runs graph-based analysis, returning per-net states plus wire
-    /// timings (the raw material for reports and PBA).
-    pub(crate) fn propagate(&self) -> Result<(Vec<NetState>, Vec<NetWire>)> {
-        let _span = tc_obs::span("sta.gba");
-        // Accumulated locally and flushed once: one atomic add per
-        // propagation, not per arc.
-        let mut arcs_evaluated = 0u64;
-        let mut nets_propagated = 0u64;
-        let lv = levelize(self.nl, self.lib)?;
-        let wires = self.wire_timings()?;
-        let mut state = vec![NetState::default(); self.nl.net_count()];
-
-        // Map each (cell, pin) to its index in the driving net's sink
-        // list, to look up per-sink wire delay.
-        let mut sink_index: HashMap<(CellId, usize), usize> = HashMap::new();
-        for (ni, net) in self.nl.nets().iter().enumerate() {
-            let _ = ni;
-            for (si, s) in net.sinks.iter().enumerate() {
-                sink_index.insert((s.cell, s.pin), si);
-            }
-        }
-
-        // Primary inputs (data): known arrival & slew. Clock roots are
-        // excluded from data propagation.
+    /// Seeds primary-input arrivals. Clock roots are excluded from data
+    /// propagation.
+    pub(crate) fn seed_primary_inputs(&self, state: &mut [NetState]) {
         let clock_names: Vec<&str> = self.cons.clocks.iter().map(|c| c.name.as_str()).collect();
         for &pi in self.nl.primary_inputs() {
             let net = self.nl.net(pi);
@@ -287,27 +282,39 @@ impl<'a> Sta<'a> {
                 reached: true,
             };
         }
+    }
 
+    /// Evaluates one cell's output-net state from its inputs' current
+    /// states — the single evaluation code path shared by full
+    /// propagation and the incremental worklist (bit-identity between
+    /// the two engines follows from this sharing). Returns the new state
+    /// (default/unreached if no arrival reaches the cell) and the arc
+    /// count evaluated.
+    pub(crate) fn eval_cell(
+        &self,
+        cid: CellId,
+        graph: &TimingGraph,
+        wires: &[NetWire],
+        state: &[NetState],
+    ) -> Result<(NetState, u64)> {
+        let cell = self.nl.cell(cid);
+        let master = self.lib.cell(cell.master);
+        let out = cell.output;
+        let load = wires[out.index()].driver_load.value();
         let k = self.k_sigma();
-        for &cid in &lv.order {
-            let cell = self.nl.cell(cid);
-            let master = self.lib.cell(cell.master);
-            let out = cell.output;
-            let load = wires[out.index()].driver_load.value();
 
-            if master.kind == CellKind::Flop {
-                // Q launches from the clock.
-                let (ck_late, ck_early) = self.clock_arrivals(cid);
-                let arc = master
-                    .arc_from("CK")
-                    .ok_or_else(|| Error::internal("flop without CK arc"))?;
-                let cs = self.cons.clock_tree.clock_slew;
-                let (dl, vl) = self.stage_late(cid, arc, cs, load, 1);
-                let (de, ve) = self.stage_early(cid, arc, cs, load, 1);
-                let slew = arc.out_slew.eval(cs, load);
-                arcs_evaluated += 1;
-                nets_propagated += 1;
-                state[out.index()] = NetState {
+        if master.kind == CellKind::Flop {
+            // Q launches from the clock.
+            let (ck_late, ck_early) = self.clock_arrivals(cid);
+            let arc = master
+                .arc_from("CK")
+                .ok_or_else(|| Error::internal("flop without CK arc"))?;
+            let cs = self.cons.clock_tree.clock_slew;
+            let (dl, vl) = self.stage_late(cid, arc, cs, load, 1);
+            let (de, ve) = self.stage_early(cid, arc, cs, load, 1);
+            let slew = arc.out_slew.eval(cs, load);
+            return Ok((
+                NetState {
                     late: Arr {
                         t: ck_late + dl,
                         var: vl,
@@ -326,77 +333,241 @@ impl<'a> Sta<'a> {
                     },
                     late_pred_pin: None,
                     reached: true,
-                };
+                },
+                1,
+            ));
+        }
+
+        // Combinational: evaluate every input arc.
+        let mut arcs_evaluated = 0u64;
+        let mut best_late: Option<(Arr, usize)> = None;
+        let mut best_early: Option<Arr> = None;
+        for (pin, &in_net) in cell.inputs.iter().enumerate() {
+            let ns = state[in_net.index()];
+            if !ns.reached {
                 continue;
             }
+            let si = graph.sink_index[&(cid, pin)];
+            let wire = wires[in_net.index()].sink_delays[si];
+            let si_delta = wires[in_net.index()].si_delta;
+            let (wl, wvl, we, wve) = self.wire_terms(wire);
+            let pin_name = master.input_pins()[pin];
+            let arc = master
+                .arc_from(pin_name)
+                .ok_or_else(|| Error::internal("missing arc"))?;
+            arcs_evaluated += 1;
 
-            // Combinational: evaluate every input arc.
-            let mut best_late: Option<(Arr, usize)> = None;
-            let mut best_early: Option<Arr> = None;
-            for (pin, &in_net) in cell.inputs.iter().enumerate() {
-                let ns = state[in_net.index()];
-                if !ns.reached {
-                    continue;
-                }
-                let si = sink_index[&(cid, pin)];
-                let wire = wires[in_net.index()].sink_delays[si];
-                let si_delta = wires[in_net.index()].si_delta;
-                let (wl, wvl, we, wve) = self.wire_terms(wire);
-                let pin_name = master.input_pins()[pin];
-                let arc = master
-                    .arc_from(pin_name)
-                    .ok_or_else(|| Error::internal("missing arc"))?;
-                arcs_evaluated += 1;
-
-                let pin_slew_late = ns.late.slew + 0.25 * wire.value();
-                let (dl, vl) = self.stage_late(cid, arc, pin_slew_late, load, 1);
-                let cand_late = Arr {
-                    t: ns.late.t + wl + si_delta + dl,
-                    var: ns.late.var + wvl + vl,
-                    slew: arc.out_slew.eval(pin_slew_late, load),
-                    depth: ns.late.depth + 1,
-                    gate_ps: ns.late.gate_ps + dl,
-                    wire_ps: ns.late.wire_ps + wl + si_delta,
-                };
-                let better = match &best_late {
-                    None => true,
-                    Some((b, _)) => cand_late.late_criterion(k) > b.late_criterion(k),
-                };
-                if better {
-                    best_late = Some((cand_late, pin));
-                }
-
-                let pin_slew_early = ns.early.slew + 0.25 * wire.value();
-                let (de, ve) = self.stage_early(cid, arc, pin_slew_early, load, 1);
-                let cand_early = Arr {
-                    t: ns.early.t + we - si_delta + de,
-                    var: ns.early.var + wve + ve,
-                    slew: arc.out_slew.eval(pin_slew_early, load),
-                    depth: ns.early.depth + 1,
-                    gate_ps: ns.early.gate_ps + de,
-                    wire_ps: ns.early.wire_ps + we - si_delta,
-                };
-                let better = match &best_early {
-                    None => true,
-                    Some(b) => cand_early.early_criterion(k) < b.early_criterion(k),
-                };
-                if better {
-                    best_early = Some(cand_early);
-                }
+            let pin_slew_late = ns.late.slew + 0.25 * wire.value();
+            let (dl, vl) = self.stage_late(cid, arc, pin_slew_late, load, 1);
+            let cand_late = Arr {
+                t: ns.late.t + wl + si_delta + dl,
+                var: ns.late.var + wvl + vl,
+                slew: arc.out_slew.eval(pin_slew_late, load),
+                depth: ns.late.depth + 1,
+                gate_ps: ns.late.gate_ps + dl,
+                wire_ps: ns.late.wire_ps + wl + si_delta,
+            };
+            let better = match &best_late {
+                None => true,
+                Some((b, _)) => cand_late.late_criterion(k) > b.late_criterion(k),
+            };
+            if better {
+                best_late = Some((cand_late, pin));
             }
-            if let (Some((late, pin)), Some(early)) = (best_late, best_early) {
+
+            let pin_slew_early = ns.early.slew + 0.25 * wire.value();
+            let (de, ve) = self.stage_early(cid, arc, pin_slew_early, load, 1);
+            let cand_early = Arr {
+                t: ns.early.t + we - si_delta + de,
+                var: ns.early.var + wve + ve,
+                slew: arc.out_slew.eval(pin_slew_early, load),
+                depth: ns.early.depth + 1,
+                gate_ps: ns.early.gate_ps + de,
+                wire_ps: ns.early.wire_ps + we - si_delta,
+            };
+            let better = match &best_early {
+                None => true,
+                Some(b) => cand_early.early_criterion(k) < b.early_criterion(k),
+            };
+            if better {
+                best_early = Some(cand_early);
+            }
+        }
+        let ns = match (best_late, best_early) {
+            (Some((late, pin)), Some(early)) => NetState {
+                late,
+                early,
+                late_pred_pin: Some(pin),
+                reached: true,
+            },
+            _ => NetState::default(),
+        };
+        Ok((ns, arcs_evaluated))
+    }
+
+    /// Runs graph-based analysis, returning per-net states plus wire
+    /// timings (the raw material for reports and PBA).
+    ///
+    /// # Errors
+    ///
+    /// Propagates levelization failures (combinational loops) and
+    /// interconnect estimation errors.
+    pub fn propagate(&self) -> Result<(Vec<NetState>, Vec<NetWire>)> {
+        let graph = TimingGraph::build(self.nl, self.lib)?;
+        self.propagate_with(&graph)
+    }
+
+    /// Runs graph-based analysis over a prebuilt [`TimingGraph`] (the
+    /// persistent timer and shared-structure MCMM runs skip the
+    /// per-call rebuild).
+    pub(crate) fn propagate_with(
+        &self,
+        graph: &TimingGraph,
+    ) -> Result<(Vec<NetState>, Vec<NetWire>)> {
+        let _span = tc_obs::span("sta.gba");
+        // Accumulated locally and flushed once: one atomic add per
+        // propagation, not per arc.
+        let mut arcs_evaluated = 0u64;
+        let mut nets_propagated = 0u64;
+        let wires = self.wire_timings()?;
+        let mut state = vec![NetState::default(); self.nl.net_count()];
+        self.seed_primary_inputs(&mut state);
+
+        for &cid in &graph.order {
+            let (ns, arcs) = self.eval_cell(cid, graph, &wires, &state)?;
+            arcs_evaluated += arcs;
+            if ns.reached {
                 nets_propagated += 1;
-                state[out.index()] = NetState {
-                    late,
-                    early,
-                    late_pred_pin: Some(pin),
-                    reached: true,
-                };
+                state[self.nl.cell(cid).output.index()] = ns;
             }
         }
         tc_obs::counter("sta.arcs_evaluated").add(arcs_evaluated);
         tc_obs::counter("sta.nets_propagated").add(nets_propagated);
         Ok((state, wires))
+    }
+
+    /// Computes the setup/hold check at one flop's D pin from propagated
+    /// states — shared by full report assembly and incremental endpoint
+    /// refresh. `None` for false-path flops and unreached D pins.
+    pub(crate) fn flop_endpoint(
+        &self,
+        fid: CellId,
+        state: &[NetState],
+        wires: &[NetWire],
+    ) -> Result<Option<EndpointTiming>> {
+        if self.cons.exceptions.is_false_path(fid) {
+            return Ok(None); // set_false_path: checks waived
+        }
+        let k = self.k_sigma();
+        let clk = self.cons.default_clock();
+        let period = clk.period.value();
+        let cell = self.nl.cell(fid);
+        let master = self.lib.cell(cell.master);
+        let flop_t = master.flop.as_ref().expect("flop has constraint data");
+        let d_net = cell.inputs[0];
+        let ns = state[d_net.index()];
+        if !ns.reached {
+            return Ok(None);
+        }
+        let si = self
+            .nl
+            .net(d_net)
+            .sinks
+            .iter()
+            .position(|s| s.cell == fid && s.pin == 0)
+            .ok_or_else(|| Error::internal("flop D not a sink of its net"))?;
+        let wire = wires[d_net.index()].sink_delays[si];
+        let si_delta = wires[d_net.index()].si_delta;
+        let (wl, wvl, we, wve) = self.wire_terms(wire);
+
+        let data_late = Arr {
+            t: ns.late.t + wl + si_delta,
+            var: ns.late.var + wvl,
+            wire_ps: ns.late.wire_ps + wl + si_delta,
+            ..ns.late
+        };
+        let data_early = Arr {
+            t: ns.early.t + we - si_delta,
+            var: ns.early.var + wve,
+            wire_ps: ns.early.wire_ps + we - si_delta,
+            ..ns.early
+        };
+        let data_slew = ns.late.slew + 0.25 * wire.value();
+        let cs = self.cons.clock_tree.clock_slew;
+        let setup_req = flop_t.setup_at(data_slew, cs).value();
+        let hold_req = flop_t.hold_at(data_slew, cs).value();
+        let (ck_late, ck_early) = self.clock_arrivals(fid);
+
+        // set_multicycle_path: the capture edge moves out by n−1
+        // periods for setup; hold stays single-cycle (SDC default).
+        let cycles = self.cons.exceptions.setup_cycles(fid) as f64;
+        let setup_slack = (cycles * period + ck_early)
+            - clk.uncertainty.value()
+            - setup_req
+            - data_late.late_criterion(k);
+        let hold_slack =
+            data_early.early_criterion(k) - ck_late - hold_req - clk.hold_uncertainty.value();
+
+        Ok(Some(EndpointTiming {
+            endpoint: Endpoint::FlopD(fid),
+            setup_slack: Ps::new(setup_slack),
+            hold_slack: Ps::new(hold_slack),
+            arrival: Ps::new(data_late.t),
+            required: Ps::new(cycles * period + ck_early - clk.uncertainty.value() - setup_req),
+            depth: data_late.depth,
+            gate_ps: data_late.gate_ps,
+            wire_ps: data_late.wire_ps,
+            data_slew,
+        }))
+    }
+
+    /// Computes the setup-style check at a primary output; `None` if no
+    /// arrival reaches it.
+    pub(crate) fn po_endpoint(&self, po: NetId, state: &[NetState]) -> Option<EndpointTiming> {
+        let ns = state[po.index()];
+        if !ns.reached {
+            return None;
+        }
+        let k = self.k_sigma();
+        let period = self.cons.default_clock().period.value();
+        let required = period - self.cons.output_delay.value();
+        let setup_slack = required - ns.late.late_criterion(k);
+        Some(EndpointTiming {
+            endpoint: Endpoint::Output(po),
+            setup_slack: Ps::new(setup_slack),
+            hold_slack: Ps::new(f64::INFINITY),
+            arrival: Ps::new(ns.late.t),
+            required: Ps::new(required),
+            depth: ns.late.depth,
+            gate_ps: ns.late.gate_ps,
+            wire_ps: ns.late.wire_ps,
+            data_slew: ns.late.slew,
+        })
+    }
+
+    /// Assembles the timing report from propagated states: flop D
+    /// endpoints in cell-id order, then primary outputs in net-id order
+    /// (the incremental timer reproduces this exact order).
+    pub(crate) fn report_from(
+        &self,
+        state: &[NetState],
+        wires: &[NetWire],
+    ) -> Result<TimingReport> {
+        let mut endpoints = Vec::new();
+        for fid in self.nl.flops(self.lib) {
+            if let Some(ep) = self.flop_endpoint(fid, state, wires)? {
+                endpoints.push(ep);
+            }
+        }
+        for po in self.nl.primary_outputs() {
+            if let Some(ep) = self.po_endpoint(po, state) {
+                endpoints.push(ep);
+            }
+        }
+        Ok(TimingReport::from_endpoints(
+            endpoints,
+            self.cons.default_clock().period,
+        ))
     }
 
     /// Runs the full analysis and builds the timing report.
@@ -407,102 +578,7 @@ impl<'a> Sta<'a> {
     /// interconnect estimation errors.
     pub fn run(&self) -> Result<TimingReport> {
         let (state, wires) = self.propagate()?;
-        let k = self.k_sigma();
-        let clk = self.cons.default_clock();
-        let period = clk.period.value();
-        let mut endpoints = Vec::new();
-
-        // Flop D endpoints: setup & hold checks.
-        for fid in self.nl.flops(self.lib) {
-            if self.cons.exceptions.is_false_path(fid) {
-                continue; // set_false_path: checks waived
-            }
-            let cell = self.nl.cell(fid);
-            let master = self.lib.cell(cell.master);
-            let flop_t = master.flop.as_ref().expect("flop has constraint data");
-            let d_net = cell.inputs[0];
-            let ns = state[d_net.index()];
-            if !ns.reached {
-                continue;
-            }
-            let si = self
-                .nl
-                .net(d_net)
-                .sinks
-                .iter()
-                .position(|s| s.cell == fid && s.pin == 0)
-                .ok_or_else(|| Error::internal("flop D not a sink of its net"))?;
-            let wire = wires[d_net.index()].sink_delays[si];
-            let si_delta = wires[d_net.index()].si_delta;
-            let (wl, wvl, we, wve) = self.wire_terms(wire);
-
-            let data_late = Arr {
-                t: ns.late.t + wl + si_delta,
-                var: ns.late.var + wvl,
-                wire_ps: ns.late.wire_ps + wl + si_delta,
-                ..ns.late
-            };
-            let data_early = Arr {
-                t: ns.early.t + we - si_delta,
-                var: ns.early.var + wve,
-                wire_ps: ns.early.wire_ps + we - si_delta,
-                ..ns.early
-            };
-            let data_slew = ns.late.slew + 0.25 * wire.value();
-            let cs = self.cons.clock_tree.clock_slew;
-            let setup_req = flop_t.setup_at(data_slew, cs).value();
-            let hold_req = flop_t.hold_at(data_slew, cs).value();
-            let (ck_late, ck_early) = self.clock_arrivals(fid);
-
-            // set_multicycle_path: the capture edge moves out by n−1
-            // periods for setup; hold stays single-cycle (SDC default).
-            let cycles = self.cons.exceptions.setup_cycles(fid) as f64;
-            let setup_slack = (cycles * period + ck_early)
-                - clk.uncertainty.value()
-                - setup_req
-                - data_late.late_criterion(k);
-            let hold_slack = data_early.early_criterion(k)
-                - ck_late
-                - hold_req
-                - clk.hold_uncertainty.value();
-
-            endpoints.push(EndpointTiming {
-                endpoint: Endpoint::FlopD(fid),
-                setup_slack: Ps::new(setup_slack),
-                hold_slack: Ps::new(hold_slack),
-                arrival: Ps::new(data_late.t),
-                required: Ps::new(
-                    cycles * period + ck_early - clk.uncertainty.value() - setup_req,
-                ),
-                depth: data_late.depth,
-                gate_ps: data_late.gate_ps,
-                wire_ps: data_late.wire_ps,
-                data_slew,
-            });
-        }
-
-        // Primary-output endpoints: setup-style only.
-        for po in self.nl.primary_outputs() {
-            let ns = state[po.index()];
-            if !ns.reached {
-                continue;
-            }
-            let required = period - self.cons.output_delay.value();
-            let setup_slack = required - ns.late.late_criterion(k);
-            endpoints.push(EndpointTiming {
-                endpoint: Endpoint::Output(po),
-                setup_slack: Ps::new(setup_slack),
-                hold_slack: Ps::new(f64::INFINITY),
-                arrival: Ps::new(ns.late.t),
-                required: Ps::new(required),
-                depth: ns.late.depth,
-                gate_ps: ns.late.gate_ps,
-                wire_ps: ns.late.wire_ps,
-                data_slew: ns.late.slew,
-            });
-        }
-
-        Ok(TimingReport::from_endpoints(endpoints, clk.period))
+        self.report_from(&state, &wires)
     }
 }
 
@@ -586,7 +662,11 @@ mod tests {
         let base = Constraints::single_clock(1_000.0);
         let wns = |derate: DerateModel| {
             let cons = base.clone().with_derate(derate);
-            Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns().value()
+            Sta::new(&nl, &lib, &stack, &cons)
+                .run()
+                .unwrap()
+                .wns()
+                .value()
         };
         let none = wns(DerateModel::None);
         let flat = wns(DerateModel::classic_flat());
@@ -660,7 +740,11 @@ mod tests {
         let ff1 = nl.cell_named("ff1").unwrap();
         // A period that violates.
         let probe = Constraints::single_clock(5_000.0);
-        let wns = Sta::new(&nl, &lib, &stack, &probe).run().unwrap().wns().value();
+        let wns = Sta::new(&nl, &lib, &stack, &probe)
+            .run()
+            .unwrap()
+            .wns()
+            .value();
         let mut cons = Constraints::single_clock(5_000.0 - wns - 50.0);
         let base = Sta::new(&nl, &lib, &stack, &cons).run().unwrap();
         assert!(base.wns().value() < 0.0);
@@ -711,6 +795,10 @@ mod tests {
             .collect();
         assert!(!holds.is_empty());
         let ok = holds.iter().filter(|&&h| h > 0.0).count();
-        assert!(ok * 10 >= holds.len() * 9, "{ok}/{} hold-clean", holds.len());
+        assert!(
+            ok * 10 >= holds.len() * 9,
+            "{ok}/{} hold-clean",
+            holds.len()
+        );
     }
 }

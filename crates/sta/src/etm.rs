@@ -115,12 +115,7 @@ impl Etm {
         if let Some(req) = worst_req {
             for &pi in sta.nl.primary_inputs() {
                 let net = sta.nl.net(pi);
-                if sta
-                    .cons
-                    .clocks
-                    .iter()
-                    .any(|c| c.name == net.name)
-                {
+                if sta.cons.clocks.iter().any(|c| c.name == net.name) {
                     continue;
                 }
                 inputs.insert(pi, req);

@@ -24,7 +24,13 @@
 //!   late arrivals and deflates early ones.
 //! * [`mcmm`] — multi-corner multi-mode scenario management (§2.3):
 //!   run many (library corner × BEOL corner × mode) scenarios, merge
-//!   worst slacks per endpoint.
+//!   worst slacks per endpoint; shared-graph runs derive the design's
+//!   timing structure once across all corners.
+//! * [`timer`] — the persistent incremental timer: a long-lived
+//!   [`TimingGraph`](timer::TimingGraph) plus dirty-cone re-propagation
+//!   driven by the netlist's ECO edit journal, with O(cone)
+//!   checkpoint/rollback for speculative fixes. Bit-identical to a
+//!   from-scratch run.
 //!
 //! # Examples
 //!
@@ -51,11 +57,13 @@ pub mod noise;
 pub mod pba;
 pub mod report;
 pub mod si;
+pub mod timer;
 
 pub use analysis::Sta;
-pub use etm::Etm;
 pub use constraints::{Clock, ClockTreeModel, Constraints, Exceptions};
+pub use etm::Etm;
 pub use mcmm::{merge_reports, Scenario};
 pub use noise::{noise_check, NoiseConfig, NoiseViolation};
 pub use pba::{pba_worst_endpoints, worst_paths, CriticalPath, PathStage, PbaEndpoint};
 pub use report::{Endpoint, EndpointTiming, FailureClass, TimingReport};
+pub use timer::{Timer, TimerCheckpoint, TimingGraph};

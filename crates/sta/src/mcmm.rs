@@ -7,6 +7,7 @@
 //! of them — the number signoff actually gates on.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use tc_core::error::Result;
 use tc_core::units::Ps;
@@ -17,6 +18,7 @@ use tc_netlist::Netlist;
 use crate::analysis::Sta;
 use crate::constraints::Constraints;
 use crate::report::{Endpoint, TimingReport};
+use crate::timer::{Timer, TimingGraph};
 
 /// One analysis scenario: a mode's constraints at a PVT corner (baked
 /// into the library) and a BEOL extraction corner.
@@ -117,6 +119,55 @@ pub fn run_and_merge(
     Ok(merge_reports(&reports))
 }
 
+/// Runs every scenario over one shared [`TimingGraph`]: the design's
+/// connectivity does not vary across corners, so the levelization and
+/// sink-index map are derived once instead of once per corner — the
+/// fix for the corner super-explosion's *analysis* cost (§2.3). Each
+/// corner runs under a `corner.<name>` tracing span.
+///
+/// # Errors
+///
+/// Propagates the first failing scenario run.
+pub fn run_scenarios_shared(
+    nl: &Netlist,
+    stack: &BeolStack,
+    scenarios: &[Scenario],
+) -> Result<Vec<(String, TimingReport)>> {
+    let Some(first) = scenarios.first() else {
+        return Ok(Vec::new());
+    };
+    // Levelization depends only on which masters are flops, which is
+    // identical across PVT-recharacterized libraries of one design.
+    let graph = Arc::new(TimingGraph::build(nl, &first.lib)?);
+    let mut reports = Vec::with_capacity(scenarios.len());
+    for s in scenarios {
+        let _span = tc_obs::span(&format!("corner.{}", s.name));
+        let timer = Timer::with_structure(
+            nl,
+            &s.lib,
+            stack,
+            s.constraints.clone(),
+            s.beol,
+            Arc::clone(&graph),
+        )?;
+        reports.push((s.name.clone(), timer.report(nl)));
+    }
+    Ok(reports)
+}
+
+/// [`run_and_merge`] over one shared timing graph.
+///
+/// # Errors
+///
+/// Propagates the first failing scenario run.
+pub fn run_and_merge_shared(
+    nl: &Netlist,
+    stack: &BeolStack,
+    scenarios: &[Scenario],
+) -> Result<MergedReport> {
+    Ok(merge_reports(&run_scenarios_shared(nl, stack, scenarios)?))
+}
+
 /// Folds per-endpoint worst slacks across named reports.
 pub fn merge_reports(reports: &[(String, TimingReport)]) -> MergedReport {
     let mut map: HashMap<Endpoint, MergedEndpoint> = HashMap::new();
@@ -136,7 +187,7 @@ pub fn merge_reports(reports: &[(String, TimingReport)]) -> MergedReport {
         }
     }
     let mut endpoints: Vec<MergedEndpoint> = map.into_values().collect();
-    endpoints.sort_by(|a, b| a.setup.0.partial_cmp(&b.setup.0).unwrap());
+    endpoints.sort_by(|a, b| a.setup.0.value().total_cmp(&b.setup.0.value()));
     MergedReport { endpoints }
 }
 
@@ -201,7 +252,6 @@ mod more_tests {
     use super::*;
     use tc_core::ids::CellId;
     use tc_core::units::Ps;
-
 
     fn ep(id: usize, setup: f64, hold: f64) -> crate::report::EndpointTiming {
         crate::report::EndpointTiming {

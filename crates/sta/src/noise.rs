@@ -108,7 +108,7 @@ pub fn noise_check(
             })
         })
         .collect();
-    out.sort_by(|a, b| b.glitch_frac.partial_cmp(&a.glitch_frac).unwrap());
+    out.sort_by(|a, b| b.glitch_frac.total_cmp(&a.glitch_frac));
     out
 }
 
@@ -186,7 +186,10 @@ mod tests {
         };
         let typ = noise_check(&nl, &lib, &stack, BeolCorner::Typical, &cfg).len();
         let ccw = noise_check(&nl, &lib, &stack, BeolCorner::CcWorst, &cfg).len();
-        assert!(ccw >= typ, "Ccw is the noise-signoff corner: {ccw} vs {typ}");
+        assert!(
+            ccw >= typ,
+            "Ccw is the noise-signoff corner: {ccw} vs {typ}"
+        );
         assert!(ccw > 0, "a 300 µm everything design must have noise issues");
     }
 

@@ -55,8 +55,8 @@ impl PbaEndpoint {
 /// Propagates propagation failures; errors if path backtracking hits an
 /// inconsistent predecessor chain (an internal bug).
 pub fn pba_worst_endpoints(sta: &Sta<'_>, k: usize) -> Result<Vec<PbaEndpoint>> {
-    let report = sta.run()?;
     let (state, wires) = sta.propagate()?;
+    let report = sta.report_from(&state, &wires)?;
     let _span = tc_obs::span("sta.pba");
     let k_sigma = sta.k_sigma();
 
@@ -105,16 +105,13 @@ pub struct CriticalPath {
 /// Propagates propagation failures.
 /// The `k` worst *flop* endpoints (primary outputs have no sequential
 /// endpoint to backtrack from and are excluded).
-fn worst_flop_endpoints(
-    report: &crate::report::TimingReport,
-    k: usize,
-) -> Vec<&EndpointTiming> {
+fn worst_flop_endpoints(report: &crate::report::TimingReport, k: usize) -> Vec<&EndpointTiming> {
     let mut v: Vec<&EndpointTiming> = report
         .endpoints
         .iter()
         .filter(|e| matches!(e.endpoint, Endpoint::FlopD(_)))
         .collect();
-    v.sort_by(|a, b| a.setup_slack.partial_cmp(&b.setup_slack).unwrap());
+    v.sort_by(|a, b| a.setup_slack.value().total_cmp(&b.setup_slack.value()));
     v.truncate(k);
     v
 }
@@ -126,8 +123,24 @@ fn worst_flop_endpoints(
 ///
 /// Propagates propagation failures.
 pub fn worst_paths(sta: &Sta<'_>, k: usize) -> Result<Vec<CriticalPath>> {
-    let report = sta.run()?;
     let (state, wires) = sta.propagate()?;
+    let report = sta.report_from(&state, &wires)?;
+    worst_paths_from(sta, &report, &state, &wires, k)
+}
+
+/// [`worst_paths`] over already-propagated state — how the persistent
+/// timer extracts paths without re-running STA.
+///
+/// # Errors
+///
+/// Errors if backtracking hits an inconsistent predecessor chain.
+pub(crate) fn worst_paths_from(
+    sta: &Sta<'_>,
+    report: &crate::report::TimingReport,
+    state: &[crate::analysis::NetState],
+    wires: &[crate::analysis::NetWire],
+    k: usize,
+) -> Result<Vec<CriticalPath>> {
     let _span = tc_obs::span("sta.pba");
     let mut out = Vec::new();
     for ep in report.worst_endpoints(k) {
@@ -135,7 +148,7 @@ pub fn worst_paths(sta: &Sta<'_>, k: usize) -> Result<Vec<CriticalPath>> {
             Endpoint::FlopD(fid) => sta.nl.cell(fid).inputs[0],
             Endpoint::Output(net) => net,
         };
-        let (stages, launch_flop) = extract_path_from_net(sta, &state, &wires, start_net)?;
+        let (stages, launch_flop) = extract_path_from_net(sta, state, wires, start_net)?;
         // Reconstruct the net list by replaying the same backtrack: each
         // stage's cell drives the current net through its recorded
         // predecessor pin.

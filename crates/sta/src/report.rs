@@ -15,7 +15,7 @@ pub enum Endpoint {
 }
 
 /// Per-endpoint timing results.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EndpointTiming {
     /// Which endpoint.
     pub endpoint: Endpoint,
@@ -135,7 +135,7 @@ impl TimingReport {
     /// The `k` worst setup endpoints, most critical first.
     pub fn worst_endpoints(&self, k: usize) -> Vec<&EndpointTiming> {
         let mut v: Vec<&EndpointTiming> = self.endpoints.iter().collect();
-        v.sort_by(|a, b| a.setup_slack.partial_cmp(&b.setup_slack).unwrap());
+        v.sort_by(|a, b| a.setup_slack.value().total_cmp(&b.setup_slack.value()));
         v.truncate(k);
         v
     }
@@ -236,7 +236,7 @@ mod tests {
     fn classification_by_cause() {
         let r = TimingReport::from_endpoints(
             vec![
-                ep(-50.0, 10.0, 10, 300.0, 50.0),  // deep (max depth)
+                ep(-50.0, 10.0, 10, 300.0, 50.0), // deep (max depth)
                 ep(-10.0, 10.0, 4, 100.0, 200.0), // wire-dominated
                 ep(-5.0, 10.0, 3, 200.0, 20.0),   // shallow, gate-dominated
             ],
@@ -252,10 +252,7 @@ mod tests {
 
     #[test]
     fn clean_report() {
-        let r = TimingReport::from_endpoints(
-            vec![ep(5.0, 5.0, 3, 100.0, 10.0)],
-            Ps::new(1000.0),
-        );
+        let r = TimingReport::from_endpoints(vec![ep(5.0, 5.0, 3, 100.0, 10.0)], Ps::new(1000.0));
         assert!(r.is_clean());
         assert_eq!(r.tns(), Ps::ZERO);
         assert!(r.summary().contains("WNS 5.0"));
@@ -299,8 +296,7 @@ mod proptests {
         let mut rng = Rng::seed_from(0x4e9);
         for _ in 0..64 {
             let n = 1 + rng.below(39);
-            let eps: Vec<EndpointTiming> =
-                (0..n).map(|_| random_endpoint(&mut rng)).collect();
+            let eps: Vec<EndpointTiming> = (0..n).map(|_| random_endpoint(&mut rng)).collect();
             let r = TimingReport::from_endpoints(eps.clone(), Ps::new(1000.0));
             // WNS is the min slack; TNS ≤ 0 and ≤ WNS when violating.
             let min = eps

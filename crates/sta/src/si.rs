@@ -93,7 +93,10 @@ mod tests {
             NdrClass::DoubleWidthSpacing,
             &t,
         );
-        assert!(spaced < base, "spacing must reduce coupling: {spaced} vs {base}");
+        assert!(
+            spaced < base,
+            "spacing must reduce coupling: {spaced} vs {base}"
+        );
     }
 
     #[test]

@@ -1,0 +1,852 @@
+//! The persistent incremental timing engine.
+//!
+//! A [`Timer`] owns a long-lived [`TimingGraph`] plus the full propagated
+//! state of the design (per-net arrivals, per-net wire timings, per-
+//! endpoint checks). Instead of re-timing the whole design after every
+//! ECO edit — the dominant cost of the paper's Fig 1 closure loop — it
+//! consumes the netlist's typed edit journal ([`NetlistEdit`]) and
+//! re-propagates only the *dirty cones*: the fanout of each touched cell
+//! and net, walked in levelized order until arrivals stop changing.
+//!
+//! Results are **bit-identical** to a from-scratch [`Sta`] run: both
+//! engines share the same per-cell evaluation, wire-timing and endpoint
+//! code paths, and the dirty-cone worklist visits cells in the same
+//! topological order full propagation uses (see the invariants note in
+//! `DESIGN.md`).
+//!
+//! The timer also supports O(cone) speculative editing: take a
+//! [`TimerCheckpoint`], apply + evaluate a candidate fix, and
+//! [`Timer::rollback_to`] the checkpoint if the fix is rejected. Every
+//! state write during an update pushes its previous value onto an undo
+//! log, so rollback restores exactly the bytes the update overwrote —
+//! pairing with [`Netlist::undo_to`] on the netlist side.
+//!
+//! [`Netlist::undo_to`]: tc_netlist::Netlist::undo_to
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::mem;
+use std::sync::Arc;
+
+use tc_core::error::{Error, Result};
+use tc_core::ids::{CellId, NetId};
+use tc_interconnect::beol::{BeolCorner, BeolStack};
+use tc_liberty::{CellKind, Library};
+use tc_netlist::level::levelize;
+use tc_netlist::{Netlist, NetlistEdit};
+
+use crate::analysis::{NetState, NetWire, Sta};
+use crate::constraints::Constraints;
+use crate::pba::{self, CriticalPath};
+use crate::report::{EndpointTiming, TimingReport};
+
+/// The static structure STA needs about a netlist, derived once and
+/// reused across runs: the levelized evaluation order and the position
+/// of every sink pin in its net's sink list.
+///
+/// Structure only changes on *structural* edits (buffer insertion,
+/// rewiring); value edits (Vt-swap, resize, wirelength, NDR) reuse it
+/// as-is. MCMM corner timers share one graph via `Arc` — corners differ
+/// in libraries and constraints, not connectivity.
+#[derive(Clone, Debug)]
+pub struct TimingGraph {
+    /// Cells in levelized evaluation order (flops first, then
+    /// combinational cells, every cell strictly after all its drivers).
+    pub(crate) order: Vec<CellId>,
+    /// Inverse of `order`: position of each cell, indexed by cell id.
+    pub(crate) order_pos: Vec<usize>,
+    /// `(cell, input pin) -> index in the driving net's sink list` —
+    /// the lookup arrival evaluation needs to pick the right per-sink
+    /// wire delay.
+    pub(crate) sink_index: HashMap<(CellId, usize), usize>,
+    /// Total timing-arc count of the design (1 per flop, 1 per
+    /// combinational input pin) — the denominator of arc-reuse metrics.
+    pub(crate) arc_count: u64,
+}
+
+impl TimingGraph {
+    /// Derives the timing structure of a netlist.
+    ///
+    /// # Errors
+    ///
+    /// Fails on combinational loops (levelization is impossible).
+    pub fn build(nl: &Netlist, lib: &Library) -> Result<Self> {
+        let lv = levelize(nl, lib)?;
+        let mut order_pos = vec![0usize; nl.cell_count()];
+        for (p, &c) in lv.order.iter().enumerate() {
+            order_pos[c.index()] = p;
+        }
+        let mut sink_index = HashMap::new();
+        for net in nl.nets() {
+            for (i, s) in net.sinks.iter().enumerate() {
+                sink_index.insert((s.cell, s.pin), i);
+            }
+        }
+        let mut arc_count = 0u64;
+        for cell in nl.cells() {
+            arc_count += if lib.cell(cell.master).kind == CellKind::Flop {
+                1
+            } else {
+                cell.inputs.len() as u64
+            };
+        }
+        Ok(TimingGraph {
+            order: lv.order,
+            order_pos,
+            sink_index,
+            arc_count,
+        })
+    }
+
+    /// Number of cells in the evaluation order.
+    pub fn cell_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Total timing-arc count of the design.
+    pub fn arc_count(&self) -> u64 {
+        self.arc_count
+    }
+}
+
+/// A point in a timer's history that [`Timer::rollback_to`] can restore.
+///
+/// Pair it with the netlist-side checkpoint (`Netlist::journal_len`)
+/// taken at the same moment: rolling back the netlist without rolling
+/// back the timer (or vice versa) desynchronizes the two.
+#[derive(Clone, Copy, Debug)]
+pub struct TimerCheckpoint {
+    cursor: usize,
+    undo_len: usize,
+}
+
+/// One reversible write the incremental update performed. Pushed in
+/// execution order; [`Timer::rollback_to`] pops in reverse.
+enum UndoOp {
+    /// A per-net arrival state was overwritten.
+    NetState { net: usize, prev: NetState },
+    /// A per-net wire timing was overwritten.
+    NetWire { net: usize, prev: NetWire },
+    /// A flop endpoint check was overwritten.
+    FlopEp {
+        cell: usize,
+        prev: Option<EndpointTiming>,
+    },
+    /// A primary-output endpoint check was overwritten.
+    PoEp {
+        net: usize,
+        prev: Option<EndpointTiming>,
+    },
+    /// A structural edit replaced the timing graph.
+    Structure { prev: Arc<TimingGraph> },
+    /// A structural edit grew the per-net/per-cell vectors; restore the
+    /// old lengths. Pushed *before* the value ops of the same update, so
+    /// popping restores values first and truncates last.
+    Lens { cells: usize, nets: usize },
+    /// A constraint change forced a full re-propagation; restore the
+    /// complete prior state.
+    Full(Box<FullSnapshot>),
+}
+
+struct FullSnapshot {
+    cons: Constraints,
+    state: Vec<NetState>,
+    wires: Vec<NetWire>,
+    flop_ep: Vec<Option<EndpointTiming>>,
+    po_ep: Vec<Option<EndpointTiming>>,
+}
+
+/// The persistent incremental timer.
+///
+/// Build one with [`Timer::new`], edit the netlist through its journaled
+/// ECO mutators, then call [`Timer::update`] to re-time just the dirty
+/// cones. [`Timer::report`] and [`Timer::worst_paths`] read the cached
+/// results without re-propagating anything.
+///
+/// # Examples
+///
+/// ```
+/// use tc_interconnect::BeolStack;
+/// use tc_liberty::{LibConfig, Library, PvtCorner};
+/// use tc_netlist::gen::{generate, BenchProfile};
+/// use tc_sta::{Constraints, Timer};
+///
+/// let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+/// let mut nl = generate(&lib, BenchProfile::tiny(), 42)?;
+/// let stack = BeolStack::n20();
+/// let cons = Constraints::single_clock(900.0);
+///
+/// let mut timer = Timer::new(&nl, &lib, &stack, cons)?;
+/// let before = timer.report(&nl).wns();
+///
+/// // Speculative fix: lengthen one net, re-time just its cone, reject.
+/// let nl_cp = nl.journal_len();
+/// let t_cp = timer.checkpoint();
+/// nl.set_wire_length(tc_core::ids::NetId::new(0), 250.0);
+/// timer.update(&nl)?;
+/// let after = timer.report(&nl).wns();
+/// nl.undo_to(nl_cp)?;
+/// timer.rollback_to(t_cp)?;
+/// assert_eq!(timer.report(&nl).wns(), before);
+/// # let _ = after;
+/// # Ok::<(), tc_core::Error>(())
+/// ```
+pub struct Timer<'a> {
+    lib: &'a Library,
+    stack: &'a BeolStack,
+    cons: Constraints,
+    beol_corner: BeolCorner,
+    structure: Arc<TimingGraph>,
+    state: Vec<NetState>,
+    wires: Vec<NetWire>,
+    flop_ep: Vec<Option<EndpointTiming>>,
+    po_ep: Vec<Option<EndpointTiming>>,
+    /// How many journal entries have been consumed.
+    cursor: usize,
+    undo: Vec<UndoOp>,
+}
+
+fn enqueue(
+    heap: &mut BinaryHeap<Reverse<(usize, usize)>>,
+    queued: &mut [bool],
+    order_pos: &[usize],
+    cell: usize,
+) {
+    if !queued[cell] {
+        queued[cell] = true;
+        heap.push(Reverse((order_pos[cell], cell)));
+    }
+}
+
+impl<'a> Timer<'a> {
+    /// Builds the graph and runs the initial full propagation at the
+    /// typical BEOL corner.
+    ///
+    /// # Errors
+    ///
+    /// Fails on combinational loops or interconnect estimation errors.
+    pub fn new(
+        nl: &Netlist,
+        lib: &'a Library,
+        stack: &'a BeolStack,
+        cons: Constraints,
+    ) -> Result<Self> {
+        Self::with_corner(nl, lib, stack, cons, BeolCorner::Typical)
+    }
+
+    /// Like [`Timer::new`] with an explicit BEOL extraction corner.
+    ///
+    /// # Errors
+    ///
+    /// Fails on combinational loops or interconnect estimation errors.
+    pub fn with_corner(
+        nl: &Netlist,
+        lib: &'a Library,
+        stack: &'a BeolStack,
+        cons: Constraints,
+        corner: BeolCorner,
+    ) -> Result<Self> {
+        let structure = Arc::new(TimingGraph::build(nl, lib)?);
+        Self::with_structure(nl, lib, stack, cons, corner, structure)
+    }
+
+    /// Builds a timer over an existing shared graph — how MCMM corner
+    /// timers avoid re-levelizing per corner.
+    pub(crate) fn with_structure(
+        nl: &Netlist,
+        lib: &'a Library,
+        stack: &'a BeolStack,
+        cons: Constraints,
+        corner: BeolCorner,
+        structure: Arc<TimingGraph>,
+    ) -> Result<Self> {
+        let mut t = Timer {
+            lib,
+            stack,
+            cons,
+            beol_corner: corner,
+            structure,
+            state: Vec::new(),
+            wires: Vec::new(),
+            flop_ep: Vec::new(),
+            po_ep: Vec::new(),
+            cursor: 0,
+            undo: Vec::new(),
+        };
+        t.refresh_all(nl)?;
+        Ok(t)
+    }
+
+    fn sta<'b>(&'b self, nl: &'b Netlist) -> Sta<'b> {
+        Sta {
+            nl,
+            lib: self.lib,
+            stack: self.stack,
+            cons: &self.cons,
+            beol_corner: self.beol_corner,
+            beol_sample: None,
+        }
+    }
+
+    /// Full propagation into the cached vectors (initial build and
+    /// constraint changes; edits go through the incremental path).
+    fn refresh_all(&mut self, nl: &Netlist) -> Result<()> {
+        let graph = Arc::clone(&self.structure);
+        let sta = Sta {
+            nl,
+            lib: self.lib,
+            stack: self.stack,
+            cons: &self.cons,
+            beol_corner: self.beol_corner,
+            beol_sample: None,
+        };
+        let (state, wires) = sta.propagate_with(&graph)?;
+        self.state = state;
+        self.wires = wires;
+        self.flop_ep = vec![None; nl.cell_count()];
+        self.po_ep = vec![None; nl.net_count()];
+        for fid in nl.flops(self.lib) {
+            self.flop_ep[fid.index()] = sta.flop_endpoint(fid, &self.state, &self.wires)?;
+        }
+        for po in nl.primary_outputs() {
+            self.po_ep[po.index()] = sta.po_endpoint(po, &self.state);
+        }
+        self.cursor = nl.journal_len();
+        Ok(())
+    }
+
+    /// Consumes journal entries past the cursor and re-propagates the
+    /// dirty cones. No-op when the timer is already current.
+    ///
+    /// Results are bit-identical to a from-scratch run over the edited
+    /// netlist: same evaluation code path, same topological visit order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist was rolled back *past* the timer's cursor
+    /// (use [`Timer::rollback_to`] with the paired checkpoint instead),
+    /// on combinational loops after structural edits, and on
+    /// interconnect estimation errors.
+    pub fn update(&mut self, nl: &Netlist) -> Result<()> {
+        let journal_len = nl.journal_len();
+        if self.cursor > journal_len {
+            return Err(Error::invalid_input(format!(
+                "timer cursor {} is past journal length {journal_len}: the netlist was rolled \
+                 back — roll the timer back with the paired checkpoint instead",
+                self.cursor
+            )));
+        }
+        if self.cursor == journal_len {
+            return Ok(());
+        }
+        let _span = tc_obs::span("sta.incremental");
+
+        // Phase 1: scan the unconsumed journal suffix into dirty sets.
+        let mut dirty_nets: HashSet<usize> = HashSet::new();
+        let mut seed_cells: HashSet<usize> = HashSet::new();
+        let mut dirty_flop_eps: HashSet<usize> = HashSet::new();
+        let mut structural = false;
+        for edit in &nl.journal()[self.cursor..] {
+            match edit {
+                NetlistEdit::SwapMaster {
+                    cell,
+                    old_master,
+                    new_master,
+                } => {
+                    // Arc tables changed: re-evaluate the cell. Pin caps
+                    // changed: every input net's wire timing is stale.
+                    seed_cells.insert(cell.index());
+                    for &input in &nl.cell(*cell).inputs {
+                        dirty_nets.insert(input.index());
+                    }
+                    let old_kind = self.lib.cell(*old_master).kind;
+                    let new_kind = self.lib.cell(*new_master).kind;
+                    if old_kind != new_kind {
+                        // Flop <-> comb swaps change levelization.
+                        structural = true;
+                    }
+                    if old_kind == CellKind::Flop || new_kind == CellKind::Flop {
+                        // Setup/hold tables live on the master.
+                        dirty_flop_eps.insert(cell.index());
+                    }
+                }
+                NetlistEdit::SetWireLength { net, .. } | NetlistEdit::SetRouteClass { net, .. } => {
+                    dirty_nets.insert(net.index());
+                }
+                NetlistEdit::InsertBuffer {
+                    buffer,
+                    buffer_out,
+                    src_net,
+                    moved_sinks,
+                } => {
+                    structural = true;
+                    dirty_nets.insert(src_net.index());
+                    dirty_nets.insert(buffer_out.index());
+                    seed_cells.insert(buffer.index());
+                    for (s, _) in moved_sinks {
+                        self.mark_sink_dirty(nl, *s, &mut seed_cells, &mut dirty_flop_eps);
+                    }
+                }
+                NetlistEdit::RewireInput {
+                    sink,
+                    old_net,
+                    new_net,
+                    ..
+                } => {
+                    structural = true;
+                    dirty_nets.insert(old_net.index());
+                    dirty_nets.insert(new_net.index());
+                    self.mark_sink_dirty(nl, *sink, &mut seed_cells, &mut dirty_flop_eps);
+                }
+            }
+        }
+
+        // Phase 2: structural edits invalidate the levelization and the
+        // sink-index map; rebuild once for the whole batch and grow the
+        // per-net/per-cell vectors (ids are append-only).
+        if structural {
+            self.undo.push(UndoOp::Lens {
+                cells: self.flop_ep.len(),
+                nets: self.state.len(),
+            });
+            self.undo.push(UndoOp::Structure {
+                prev: Arc::clone(&self.structure),
+            });
+            self.state.resize(nl.net_count(), NetState::default());
+            self.wires.resize(nl.net_count(), NetWire::default());
+            self.po_ep.resize(nl.net_count(), None);
+            self.flop_ep.resize(nl.cell_count(), None);
+            self.structure = Arc::new(TimingGraph::build(nl, self.lib)?);
+        }
+
+        let graph = Arc::clone(&self.structure);
+        let sta = Sta {
+            nl,
+            lib: self.lib,
+            stack: self.stack,
+            cons: &self.cons,
+            beol_corner: self.beol_corner,
+            beol_sample: None,
+        };
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+        let mut queued = vec![false; nl.cell_count()];
+        let mut dirty_po_eps: HashSet<usize> = HashSet::new();
+
+        // Sets iterate in randomized order; sort so update order (and
+        // thus the undo log and any accumulated float state) is
+        // deterministic.
+        let mut seeds: Vec<usize> = seed_cells.into_iter().collect();
+        seeds.sort_unstable();
+        for c in seeds {
+            enqueue(&mut heap, &mut queued, &graph.order_pos, c);
+        }
+
+        // Phase 3: recompute dirty wire timings. A changed wire dirties
+        // its driver (load changed) and every sink (arrival changed).
+        let mut dirty: Vec<usize> = dirty_nets.into_iter().collect();
+        dirty.sort_unstable();
+        for n in dirty {
+            let new_wire = sta.net_wire(nl.net(NetId::new(n)))?;
+            if new_wire == self.wires[n] {
+                continue;
+            }
+            let prev = mem::replace(&mut self.wires[n], new_wire);
+            self.undo.push(UndoOp::NetWire { net: n, prev });
+            let net = nl.net(NetId::new(n));
+            if let Some(drv) = net.driver {
+                enqueue(&mut heap, &mut queued, &graph.order_pos, drv.index());
+            }
+            for s in &net.sinks {
+                if self.lib.cell(nl.cell(s.cell).master).kind == CellKind::Flop {
+                    if s.pin == 0 {
+                        // The D-pin wire feeds the setup/hold check
+                        // directly; CK pins follow the ideal clock model.
+                        dirty_flop_eps.insert(s.cell.index());
+                    }
+                } else {
+                    enqueue(&mut heap, &mut queued, &graph.order_pos, s.cell.index());
+                }
+            }
+        }
+
+        // Phase 4: levelized worklist sweep. Flops order before all comb
+        // cells and every comb cell after its drivers, so popping in
+        // order position evaluates each cell at most once, after all its
+        // inputs have settled — exactly what full propagation would have
+        // computed. Propagation stops where arrivals stop changing.
+        let mut cells_evaluated = 0u64;
+        let mut arcs_recomputed = 0u64;
+        while let Some(Reverse((_, c))) = heap.pop() {
+            let cid = CellId::new(c);
+            let (ns, arcs) = sta.eval_cell(cid, &graph, &self.wires, &self.state)?;
+            cells_evaluated += 1;
+            arcs_recomputed += arcs;
+            let out = nl.cell(cid).output;
+            if ns == self.state[out.index()] {
+                continue; // cone boundary: downstream is already exact
+            }
+            let prev = mem::replace(&mut self.state[out.index()], ns);
+            self.undo.push(UndoOp::NetState {
+                net: out.index(),
+                prev,
+            });
+            let net = nl.net(out);
+            if net.is_output {
+                dirty_po_eps.insert(out.index());
+            }
+            for s in &net.sinks {
+                if self.lib.cell(nl.cell(s.cell).master).kind == CellKind::Flop {
+                    if s.pin == 0 {
+                        dirty_flop_eps.insert(s.cell.index());
+                    }
+                } else {
+                    enqueue(&mut heap, &mut queued, &graph.order_pos, s.cell.index());
+                }
+            }
+        }
+
+        // Phase 5: refresh dirty endpoint checks.
+        let mut flops: Vec<usize> = dirty_flop_eps.into_iter().collect();
+        flops.sort_unstable();
+        for c in flops {
+            let cid = CellId::new(c);
+            let new_ep = if self.lib.cell(nl.cell(cid).master).kind == CellKind::Flop {
+                sta.flop_endpoint(cid, &self.state, &self.wires)?
+            } else {
+                None // swapped away from a flop master
+            };
+            if new_ep != self.flop_ep[c] {
+                let prev = mem::replace(&mut self.flop_ep[c], new_ep);
+                self.undo.push(UndoOp::FlopEp { cell: c, prev });
+            }
+        }
+        let mut pos: Vec<usize> = dirty_po_eps.into_iter().collect();
+        pos.sort_unstable();
+        for n in pos {
+            let new_ep = sta.po_endpoint(NetId::new(n), &self.state);
+            if new_ep != self.po_ep[n] {
+                let prev = mem::replace(&mut self.po_ep[n], new_ep);
+                self.undo.push(UndoOp::PoEp { net: n, prev });
+            }
+        }
+
+        self.cursor = journal_len;
+        tc_obs::histogram("sta.dirty_cone_size").record(cells_evaluated as f64);
+        tc_obs::counter("sta.arcs_recomputed").add(arcs_recomputed);
+        tc_obs::counter("sta.arcs_reused")
+            .add(self.structure.arc_count.saturating_sub(arcs_recomputed));
+        Ok(())
+    }
+
+    fn mark_sink_dirty(
+        &self,
+        nl: &Netlist,
+        s: tc_netlist::PinRef,
+        seed_cells: &mut HashSet<usize>,
+        dirty_flop_eps: &mut HashSet<usize>,
+    ) {
+        if self.lib.cell(nl.cell(s.cell).master).kind == CellKind::Flop {
+            if s.pin == 0 {
+                dirty_flop_eps.insert(s.cell.index());
+            }
+        } else {
+            seed_cells.insert(s.cell.index());
+        }
+    }
+
+    /// Marks the current state for later [`Timer::rollback_to`]. Cheap
+    /// (two integers); take one together with `Netlist::journal_len`.
+    pub fn checkpoint(&self) -> TimerCheckpoint {
+        TimerCheckpoint {
+            cursor: self.cursor,
+            undo_len: self.undo.len(),
+        }
+    }
+
+    /// Restores the exact timer state at `cp` by replaying the undo log
+    /// in reverse — O(writes since the checkpoint), not O(design).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `cp` is newer than the timer's current state (rollback
+    /// only goes backwards).
+    pub fn rollback_to(&mut self, cp: TimerCheckpoint) -> Result<()> {
+        if cp.undo_len > self.undo.len() || cp.cursor > self.cursor {
+            return Err(Error::invalid_input(
+                "checkpoint is newer than the timer state",
+            ));
+        }
+        while self.undo.len() > cp.undo_len {
+            match self.undo.pop().expect("length checked") {
+                UndoOp::NetState { net, prev } => self.state[net] = prev,
+                UndoOp::NetWire { net, prev } => self.wires[net] = prev,
+                UndoOp::FlopEp { cell, prev } => self.flop_ep[cell] = prev,
+                UndoOp::PoEp { net, prev } => self.po_ep[net] = prev,
+                UndoOp::Structure { prev } => self.structure = prev,
+                UndoOp::Lens { cells, nets } => {
+                    self.state.truncate(nets);
+                    self.wires.truncate(nets);
+                    self.po_ep.truncate(nets);
+                    self.flop_ep.truncate(cells);
+                }
+                UndoOp::Full(snap) => {
+                    self.cons = snap.cons;
+                    self.state = snap.state;
+                    self.wires = snap.wires;
+                    self.flop_ep = snap.flop_ep;
+                    self.po_ep = snap.po_ep;
+                }
+            }
+        }
+        self.cursor = cp.cursor;
+        Ok(())
+    }
+
+    /// Replaces the constraint set (e.g. after useful-skew moved clock
+    /// arrivals) and re-propagates everything — constraints touch every
+    /// path, so there is no cone to exploit. The change is still
+    /// checkpointable: rollback restores the old constraints and state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the timer is stale (call [`Timer::update`] first) or on
+    /// propagation errors.
+    pub fn set_constraints(&mut self, nl: &Netlist, cons: Constraints) -> Result<()> {
+        if self.cursor != nl.journal_len() {
+            return Err(Error::invalid_input(
+                "set_constraints requires an up-to-date timer: call update first",
+            ));
+        }
+        let snap = FullSnapshot {
+            cons: mem::replace(&mut self.cons, cons),
+            state: self.state.clone(),
+            wires: self.wires.clone(),
+            flop_ep: self.flop_ep.clone(),
+            po_ep: self.po_ep.clone(),
+        };
+        self.undo.push(UndoOp::Full(Box::new(snap)));
+        self.refresh_all(nl)
+    }
+
+    /// Assembles the timing report from the cached endpoint checks —
+    /// same endpoint order as [`Sta::run`] (flops in cell-id order, then
+    /// primary outputs in net-id order), no propagation.
+    pub fn report(&self, nl: &Netlist) -> TimingReport {
+        let mut endpoints = Vec::new();
+        for fid in nl.flops(self.lib) {
+            if let Some(ep) = &self.flop_ep[fid.index()] {
+                endpoints.push(ep.clone());
+            }
+        }
+        for po in nl.primary_outputs() {
+            if let Some(ep) = &self.po_ep[po.index()] {
+                endpoints.push(ep.clone());
+            }
+        }
+        TimingReport::from_endpoints(endpoints, self.cons.default_clock().period)
+    }
+
+    /// Extracts the worst paths from the cached propagation state (the
+    /// closure fix engine's work list) without re-running STA.
+    ///
+    /// # Errors
+    ///
+    /// Propagates path-backtracking failures.
+    pub fn worst_paths(&self, nl: &Netlist, k: usize) -> Result<Vec<CriticalPath>> {
+        let sta = self.sta(nl);
+        let report = self.report(nl);
+        pba::worst_paths_from(&sta, &report, &self.state, &self.wires, k)
+    }
+
+    /// The active constraint set.
+    pub fn constraints(&self) -> &Constraints {
+        &self.cons
+    }
+
+    /// Cached per-net propagation states (net-id indexed).
+    pub fn states(&self) -> &[NetState] {
+        &self.state
+    }
+
+    /// Cached per-net wire timings (net-id indexed).
+    pub fn wires(&self) -> &[NetWire] {
+        &self.wires
+    }
+
+    /// How many journal entries the timer has consumed.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The shared timing structure.
+    pub fn graph(&self) -> &TimingGraph {
+        &self.structure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::units::Ps;
+    use tc_device::VtClass;
+    use tc_liberty::{LibConfig, PvtCorner};
+    use tc_netlist::gen::{generate, BenchProfile};
+
+    fn env() -> (Library, BeolStack) {
+        (
+            Library::generate(&LibConfig::default(), &PvtCorner::typical()),
+            BeolStack::n20(),
+        )
+    }
+
+    /// Full-STA ground truth for the current netlist.
+    fn full(nl: &Netlist, lib: &Library, stack: &BeolStack, cons: &Constraints) -> TimingReport {
+        Sta::new(nl, lib, stack, cons).run().unwrap()
+    }
+
+    fn assert_matches_full(timer: &Timer<'_>, nl: &Netlist, lib: &Library, stack: &BeolStack) {
+        let sta = Sta::new(nl, lib, stack, timer.constraints());
+        let (state, wires) = sta.propagate().unwrap();
+        assert_eq!(timer.states(), &state[..], "net states diverged");
+        assert_eq!(timer.wires(), &wires[..], "wire timings diverged");
+        let fresh = sta.report_from(&state, &wires).unwrap();
+        assert_eq!(
+            timer.report(nl).endpoints,
+            fresh.endpoints,
+            "reports diverged"
+        );
+    }
+
+    #[test]
+    fn fresh_timer_matches_full_sta() {
+        let (lib, stack) = env();
+        let nl = generate(&lib, BenchProfile::tiny(), 3).unwrap();
+        let cons = Constraints::single_clock(900.0);
+        let timer = Timer::new(&nl, &lib, &stack, cons.clone()).unwrap();
+        let fresh = full(&nl, &lib, &stack, &cons);
+        assert_eq!(timer.report(&nl).endpoints, fresh.endpoints);
+        assert_eq!(timer.report(&nl).wns(), fresh.wns());
+    }
+
+    #[test]
+    fn value_edits_retime_incrementally_and_exactly() {
+        let (lib, stack) = env();
+        let mut nl = generate(&lib, BenchProfile::tiny(), 3).unwrap();
+        let cons = Constraints::single_clock(900.0);
+        let mut timer = Timer::new(&nl, &lib, &stack, cons).unwrap();
+
+        // Wirelength, NDR, and a Vt swap on some mid-design objects.
+        nl.set_wire_length(NetId::new(nl.net_count() / 2), 300.0);
+        nl.set_route_class(NetId::new(nl.net_count() / 3), 2);
+        let victim = nl
+            .cells()
+            .iter()
+            .position(|c| lib.cell(c.master).kind != CellKind::Flop)
+            .unwrap();
+        let m = lib.cell(nl.cell(CellId::new(victim)).master);
+        if let Some(alt) = lib.variant(m.template.name, VtClass::Lvt, m.drive) {
+            nl.swap_master(&lib, CellId::new(victim), alt).unwrap();
+        }
+        timer.update(&nl).unwrap();
+        assert_matches_full(&timer, &nl, &lib, &stack);
+    }
+
+    #[test]
+    fn structural_edit_rebuilds_and_matches() {
+        let (lib, stack) = env();
+        let mut nl = generate(&lib, BenchProfile::tiny(), 3).unwrap();
+        let cons = Constraints::single_clock(900.0);
+        let mut timer = Timer::new(&nl, &lib, &stack, cons).unwrap();
+
+        // Buffer the widest-fanout net.
+        let fat = (0..nl.net_count())
+            .filter(|&n| nl.net(NetId::new(n)).driver.is_some())
+            .max_by_key(|&n| nl.net(NetId::new(n)).sinks.len())
+            .unwrap();
+        let buf = lib.variant("BUF", VtClass::Svt, 2.0).unwrap();
+        let sinks = nl.net(NetId::new(fat)).sinks.clone();
+        nl.insert_buffer(&lib, NetId::new(fat), &sinks, buf)
+            .unwrap();
+        timer.update(&nl).unwrap();
+        assert_matches_full(&timer, &nl, &lib, &stack);
+    }
+
+    #[test]
+    fn rollback_restores_exact_state() {
+        let (lib, stack) = env();
+        let mut nl = generate(&lib, BenchProfile::tiny(), 9).unwrap();
+        let cons = Constraints::single_clock(900.0);
+        let mut timer = Timer::new(&nl, &lib, &stack, cons).unwrap();
+        let before_states = timer.states().to_vec();
+        let before_report = timer.report(&nl);
+
+        let nl_cp = nl.journal_len();
+        let t_cp = timer.checkpoint();
+        // A structural + a value edit, then reject both.
+        let buf = lib.variant("BUF", VtClass::Svt, 2.0).unwrap();
+        let fat = (0..nl.net_count())
+            .filter(|&n| nl.net(NetId::new(n)).driver.is_some())
+            .max_by_key(|&n| nl.net(NetId::new(n)).sinks.len())
+            .unwrap();
+        let sinks = nl.net(NetId::new(fat)).sinks.clone();
+        nl.insert_buffer(&lib, NetId::new(fat), &sinks, buf)
+            .unwrap();
+        nl.set_wire_length(NetId::new(1), 400.0);
+        timer.update(&nl).unwrap();
+        assert_ne!(timer.states().len(), before_states.len());
+
+        nl.undo_to(nl_cp).unwrap();
+        timer.rollback_to(t_cp).unwrap();
+        assert_eq!(timer.states(), &before_states[..]);
+        assert_eq!(timer.report(&nl).endpoints, before_report.endpoints);
+        assert_eq!(timer.cursor(), nl.journal_len());
+        // And the rolled-back timer still updates correctly afterwards.
+        nl.set_wire_length(NetId::new(2), 150.0);
+        timer.update(&nl).unwrap();
+        assert_matches_full(&timer, &nl, &lib, &stack);
+    }
+
+    #[test]
+    fn set_constraints_repropagates_and_rolls_back() {
+        let (lib, stack) = env();
+        let nl = generate(&lib, BenchProfile::tiny(), 3).unwrap();
+        let mut timer = Timer::new(&nl, &lib, &stack, Constraints::single_clock(900.0)).unwrap();
+        let before = timer.report(&nl);
+        let cp = timer.checkpoint();
+
+        timer
+            .set_constraints(&nl, Constraints::single_clock(500.0))
+            .unwrap();
+        assert_eq!(timer.constraints().default_clock().period, Ps::new(500.0));
+        assert!(timer.report(&nl).wns() < before.wns());
+        assert_matches_full(&timer, &nl, &lib, &stack);
+
+        timer.rollback_to(cp).unwrap();
+        assert_eq!(timer.constraints().default_clock().period, Ps::new(900.0));
+        assert_eq!(timer.report(&nl).endpoints, before.endpoints);
+    }
+
+    #[test]
+    fn update_rejects_netlist_rolled_back_past_cursor() {
+        let (lib, stack) = env();
+        let mut nl = generate(&lib, BenchProfile::tiny(), 3).unwrap();
+        let mut timer = Timer::new(&nl, &lib, &stack, Constraints::single_clock(900.0)).unwrap();
+        let cp = nl.journal_len();
+        nl.set_wire_length(NetId::new(0), 99.0);
+        timer.update(&nl).unwrap();
+        nl.undo_to(cp).unwrap();
+        assert!(timer.update(&nl).is_err());
+    }
+
+    #[test]
+    fn no_op_update_touches_nothing() {
+        let (lib, stack) = env();
+        let nl = generate(&lib, BenchProfile::tiny(), 3).unwrap();
+        let mut timer = Timer::new(&nl, &lib, &stack, Constraints::single_clock(900.0)).unwrap();
+        let cp = timer.checkpoint();
+        timer.update(&nl).unwrap();
+        let cp2 = timer.checkpoint();
+        assert_eq!(cp.undo_len, cp2.undo_len);
+        assert_eq!(cp.cursor, cp2.cursor);
+    }
+}

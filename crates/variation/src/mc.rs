@@ -169,6 +169,10 @@ mod tests {
         let wns = beol_monte_carlo_wns(&nl, &lib, &stack, &cons, 20, 7).unwrap();
         let vals: Vec<f64> = wns.iter().map(|p| p.value()).collect();
         let s = Summary::of(&vals);
-        assert!(s.sigma > 0.1, "BEOL variation must move WNS, σ = {}", s.sigma);
+        assert!(
+            s.sigma > 0.1,
+            "BEOL variation must move WNS, σ = {}",
+            s.sigma
+        );
     }
 }

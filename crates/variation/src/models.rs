@@ -47,12 +47,7 @@ impl AccuracyRow {
     /// `(flat, aocv, pocv, lvf)`.
     pub fn errors_pct(&self) -> (f64, f64, f64, f64) {
         let e = |m: f64| 100.0 * (m - self.mc_late) / self.mc_late;
-        (
-            e(self.flat),
-            e(self.aocv),
-            e(self.pocv),
-            e(self.lvf_late),
-        )
+        (e(self.flat), e(self.aocv), e(self.pocv), e(self.lvf_late))
     }
 }
 
@@ -92,9 +87,7 @@ pub fn model_accuracy(
     let (lvf_late_var, lvf_early_var) = path.stages.iter().fold((0.0, 0.0), |(l, e), s| {
         // Per-stage split sigmas measured from the stage's own
         // distribution (what an LVF characterization run does).
-        let one = PathModel {
-            stages: vec![*s],
-        };
+        let one = PathModel { stages: vec![*s] };
         let t = one.tail_sigmas(4_000, seed ^ 0x5f5f);
         (l + t.late * t.late, e + t.early * t.early)
     });

@@ -77,7 +77,6 @@ impl PathBeolProfile {
     }
 }
 
-
 /// α and Δd of one path at one corner.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AlphaPoint {

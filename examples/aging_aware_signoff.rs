@@ -7,12 +7,12 @@
 //! cargo run --release --example aging_aware_signoff
 //! ```
 
+use tc_core::units::{Celsius, Volt};
 use timing_closure::aging::avs::{simulate_lifetime, AvsSystem};
 use timing_closure::aging::bti::BtiModel;
 use timing_closure::aging::monitor::RingOscMonitor;
 use timing_closure::aging::signoff::{aging_signoff_sweep, fig9_corners, PowerProfile};
 use timing_closure::device::{Technology, VtClass};
-use tc_core::units::{Celsius, Volt};
 
 fn main() {
     let sys = AvsSystem::nominal_28nm();
@@ -41,9 +41,7 @@ fn main() {
     println!("\nsignoff-corner sweep (dynamic share 60%):");
     let outcomes = aging_signoff_sweep(
         &sys,
-        PowerProfile {
-            dynamic_share: 0.6,
-        },
+        PowerProfile { dynamic_share: 0.6 },
         &fig9_corners(),
         10.0,
     );
@@ -64,9 +62,22 @@ fn main() {
     let plain = RingOscMonitor::plain();
     let matched = RingOscMonitor::matched(vec![(VtClass::Hvt, 0.6), (VtClass::Svt, 0.4)], 0.05);
     let sweep: Vec<f64> = (0..10).map(|i| 0.72 + 0.036 * i as f64).collect();
-    let e_plain = plain.tracking_error(&path, &tech, Volt::new(0.9), 0.03, Celsius::new(105.0), &sweep);
-    let e_matched =
-        matched.tracking_error(&path, &tech, Volt::new(0.9), 0.03, Celsius::new(105.0), &sweep);
+    let e_plain = plain.tracking_error(
+        &path,
+        &tech,
+        Volt::new(0.9),
+        0.03,
+        Celsius::new(105.0),
+        &sweep,
+    );
+    let e_matched = matched.tracking_error(
+        &path,
+        &tech,
+        Volt::new(0.9),
+        0.03,
+        Celsius::new(105.0),
+        &sweep,
+    );
     println!(
         "\nmonitor tracking error vs an HVT-heavy critical path: plain RO {:.2}% | design-dependent RO {:.2}%",
         100.0 * e_plain,

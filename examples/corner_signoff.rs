@@ -36,7 +36,10 @@ fn main() -> Result<(), tc_core::Error> {
         .with_beol_corner(BeolCorner::RcWorst)
         .run()?;
     let period = 8_000.0 - base.wns().value() + 120.0;
-    println!("design {} cells | signoff period {period:.0} ps", nl.cell_count());
+    println!(
+        "design {} cells | signoff period {period:.0} ps",
+        nl.cell_count()
+    );
 
     let mk = |name: &str, pvt: PvtCorner, beol: BeolCorner| Scenario {
         name: name.to_string(),

@@ -8,6 +8,7 @@
 //! cargo run --release --example tapeout_march
 //! ```
 
+use tc_core::ids::NetId;
 use timing_closure::closure::fixes::{hold_fix_pass, noise_fix_pass};
 use timing_closure::closure::flow::{ClosureConfig, ClosureFlow};
 use timing_closure::closure::power::recover_leakage;
@@ -17,7 +18,6 @@ use timing_closure::netlist::gen::{generate, BenchProfile};
 use timing_closure::placement::minia::{fix_violations, violation_count, MinIaRule};
 use timing_closure::placement::rows::Placement;
 use timing_closure::sta::{noise_check, Constraints, NoiseConfig, Sta};
-use tc_core::ids::NetId;
 
 fn main() -> Result<(), tc_core::Error> {
     let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
@@ -113,7 +113,11 @@ fn main() -> Result<(), tc_core::Error> {
         nl.total_area(&lib),
         nl.total_leakage_uw(&lib),
         ndr_nets,
-        if final_report.is_clean() { "GO" } else { "NO-GO" }
+        if final_report.is_clean() {
+            "GO"
+        } else {
+            "NO-GO"
+        }
     );
     nl.validate(&lib)?;
     Ok(())

@@ -6,10 +6,10 @@
 //! cargo run --release --example variation_models
 //! ```
 
+use tc_core::stats::tail_sigmas;
 use timing_closure::liberty::{AocvTable, PocvSigma};
 use timing_closure::variation::mc::PathModel;
 use timing_closure::variation::models::model_accuracy;
-use tc_core::stats::tail_sigmas;
 
 fn main() {
     let aocv = AocvTable::from_stage_sigma(0.05);
@@ -23,10 +23,22 @@ fn main() {
     println!("MC truth, early −3σ:  {:>8.1} ps", row.mc_early);
     println!();
     let (e_flat, e_aocv, e_pocv, e_lvf) = row.errors_pct();
-    println!("flat OCV predicts:    {:>8.1} ps  ({e_flat:+.2}%)", row.flat);
-    println!("AOCV predicts:        {:>8.1} ps  ({e_aocv:+.2}%)", row.aocv);
-    println!("POCV predicts:        {:>8.1} ps  ({e_pocv:+.2}%)", row.pocv);
-    println!("LVF predicts:         {:>8.1} ps  ({e_lvf:+.2}%)", row.lvf_late);
+    println!(
+        "flat OCV predicts:    {:>8.1} ps  ({e_flat:+.2}%)",
+        row.flat
+    );
+    println!(
+        "AOCV predicts:        {:>8.1} ps  ({e_aocv:+.2}%)",
+        row.aocv
+    );
+    println!(
+        "POCV predicts:        {:>8.1} ps  ({e_pocv:+.2}%)",
+        row.pocv
+    );
+    println!(
+        "LVF predicts:         {:>8.1} ps  ({e_lvf:+.2}%)",
+        row.lvf_late
+    );
     println!(
         "LVF early side:       {:>8.1} ps  (MC {:.1} ps)",
         row.lvf_early, row.mc_early

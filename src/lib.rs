@@ -48,8 +48,8 @@ pub use tc_interconnect as interconnect;
 pub use tc_liberty as liberty;
 pub use tc_netlist as netlist;
 pub use tc_placement as placement;
-pub use tc_sim as sim;
 pub use tc_signoff as signoff;
+pub use tc_sim as sim;
 pub use tc_sta as sta;
 pub use tc_variation as variation;
 

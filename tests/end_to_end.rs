@@ -62,7 +62,11 @@ fn closure_then_minia_fix_keeps_timing_and_drc_clean() {
     let mut nl = generate(&lib, BenchProfile::tiny(), 13).unwrap();
     let stack = BeolStack::n20();
     let probe = Constraints::single_clock(5_000.0);
-    let wns = Sta::new(&nl, &lib, &stack, &probe).run().unwrap().wns().value();
+    let wns = Sta::new(&nl, &lib, &stack, &probe)
+        .run()
+        .unwrap()
+        .wns()
+        .value();
     let cons = Constraints::single_clock(5_000.0 - wns - 30.0);
 
     let mut flow = ClosureFlow::new(&lib, &stack, ClosureConfig::default());

@@ -1,0 +1,200 @@
+//! Equivalence property test for the incremental timing engine.
+//!
+//! The contract of `tc_sta::Timer` is *bit-identity*: after any journaled
+//! ECO sequence, `Timer::update` must leave the cached net states, wire
+//! timings, and endpoint reports exactly equal — every `f64` bit — to a
+//! from-scratch `Sta` run on the edited netlist. This test drives that
+//! contract with seeded random edit sequences (master swaps up/down the
+//! size and Vt ladders, wirelength and route-class changes, buffer
+//! insertions, pin rewires) on three benchmark profiles, interleaving
+//! checkpoint/rollback cycles so the undo log is exercised under the same
+//! randomness.
+
+use timing_closure::core::ids::{CellId, NetId};
+use timing_closure::core::rng::Rng;
+use timing_closure::device::VtClass;
+use timing_closure::interconnect::beol::BeolStack;
+use timing_closure::liberty::{CellKind, LibConfig, Library, PvtCorner};
+use timing_closure::netlist::gen::{generate, BenchProfile};
+use timing_closure::netlist::{Netlist, PinRef};
+use timing_closure::sta::{Constraints, Sta, Timer};
+
+/// Asserts the timer's cached world is bit-identical to a fresh full STA.
+fn assert_matches_full(timer: &Timer<'_>, nl: &Netlist, lib: &Library, stack: &BeolStack) {
+    let sta = Sta::new(nl, lib, stack, timer.constraints());
+    let (state, wires) = sta.propagate().unwrap();
+    assert_eq!(
+        timer.states(),
+        &state[..],
+        "net states diverged from full STA"
+    );
+    assert_eq!(
+        timer.wires(),
+        &wires[..],
+        "wire timings diverged from full STA"
+    );
+    let fresh = sta.run().unwrap();
+    let incr = timer.report(nl);
+    assert_eq!(incr.endpoints, fresh.endpoints, "endpoint reports diverged");
+    assert_eq!(incr.wns(), fresh.wns());
+    assert_eq!(incr.tns(), fresh.tns());
+}
+
+/// Nets that can always absorb a rewired sink without creating a
+/// combinational cycle: primary inputs and flop-driven nets.
+fn acyclic_safe_nets(nl: &Netlist, lib: &Library) -> Vec<NetId> {
+    let mut safe: Vec<NetId> = nl.primary_inputs().to_vec();
+    for (i, net) in nl.nets().iter().enumerate() {
+        if let Some(driver) = net.driver {
+            if lib.cell(nl.cell(driver).master).kind == CellKind::Flop {
+                safe.push(NetId::new(i));
+            }
+        }
+    }
+    safe
+}
+
+/// Applies one random journaled ECO edit. Returns `false` if the drawn
+/// edit was inapplicable (e.g. no sized-up variant exists) so the caller
+/// can redraw.
+fn random_edit(rng: &mut Rng, nl: &mut Netlist, lib: &Library) -> bool {
+    match rng.below(6) {
+        0 => {
+            // Wirelength change on a random net.
+            let net = NetId::new(rng.below(nl.net_count()));
+            nl.set_wire_length(net, rng.uniform_in(5.0, 400.0));
+            true
+        }
+        1 => {
+            // Route-class (NDR) change.
+            let net = NetId::new(rng.below(nl.net_count()));
+            nl.set_route_class(net, rng.below(3) as u8);
+            true
+        }
+        2 | 3 => {
+            // Master swap along a random ladder direction.
+            let cell = CellId::new(rng.below(nl.cell_count()));
+            let cur = nl.cell(cell).master;
+            let alt = match rng.below(4) {
+                0 => lib.vt_faster(cur),
+                1 => lib.vt_slower(cur),
+                2 => lib.upsize(cur),
+                _ => lib.downsize(cur),
+            };
+            match alt {
+                Some(m) => {
+                    nl.swap_master(lib, cell, m).unwrap();
+                    true
+                }
+                None => false,
+            }
+        }
+        4 => {
+            // Buffer a random subset of a driven net's sinks.
+            let Some(buf) = lib.variant("BUF", VtClass::Svt, 2.0) else {
+                return false;
+            };
+            let candidates: Vec<NetId> = (0..nl.net_count())
+                .map(NetId::new)
+                .filter(|&n| nl.net(n).driver.is_some() && !nl.net(n).sinks.is_empty())
+                .collect();
+            if candidates.is_empty() {
+                return false;
+            }
+            let net = *rng.choose(&candidates);
+            let sinks = nl.net(net).sinks.clone();
+            let mut moved: Vec<PinRef> =
+                sinks.iter().copied().filter(|_| rng.chance(0.5)).collect();
+            if moved.is_empty() {
+                moved.push(sinks[0]);
+            }
+            nl.insert_buffer(lib, net, &moved, buf).unwrap();
+            true
+        }
+        _ => {
+            // Rewire a random sink onto a cycle-safe net.
+            let safe = acyclic_safe_nets(nl, lib);
+            let candidates: Vec<PinRef> = nl
+                .nets()
+                .iter()
+                .flat_map(|n| n.sinks.iter().copied())
+                .collect();
+            if safe.is_empty() || candidates.is_empty() {
+                return false;
+            }
+            let sink = *rng.choose(&candidates);
+            let target = *rng.choose(&safe);
+            nl.rewire_input(sink, target);
+            true
+        }
+    }
+}
+
+/// Draws edits until one applies (bounded redraws keep the stream moving).
+fn apply_edit(rng: &mut Rng, nl: &mut Netlist, lib: &Library) {
+    for _ in 0..32 {
+        if random_edit(rng, nl, lib) {
+            return;
+        }
+    }
+    panic!("no applicable ECO edit after 32 draws");
+}
+
+fn run_sequence(profile: BenchProfile, gen_seed: u64, edit_seed: u64, edits: usize) {
+    let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+    let stack = BeolStack::n20();
+    let mut nl = generate(&lib, profile, gen_seed).unwrap();
+    let mut rng = Rng::seed_from(edit_seed);
+    let cons = Constraints::single_clock(1_100.0);
+    let mut timer = Timer::new(&nl, &lib, &stack, cons).unwrap();
+    assert_matches_full(&timer, &nl, &lib, &stack);
+
+    for i in 0..edits {
+        apply_edit(&mut rng, &mut nl, &lib);
+        timer.update(&nl).unwrap();
+        assert_matches_full(&timer, &nl, &lib, &stack);
+
+        // Every few edits, speculate a couple of extra edits behind a
+        // checkpoint and reject them, verifying the rollback restores the
+        // exact pre-speculation world.
+        if i % 5 == 4 {
+            let states_before = timer.states().to_vec();
+            let wires_before = timer.wires().to_vec();
+            let report_before = timer.report(&nl);
+            let nl_cp = nl.journal_len();
+            let t_cp = timer.checkpoint();
+            apply_edit(&mut rng, &mut nl, &lib);
+            apply_edit(&mut rng, &mut nl, &lib);
+            timer.update(&nl).unwrap();
+            nl.undo_to(nl_cp).unwrap();
+            timer.rollback_to(t_cp).unwrap();
+            assert_eq!(
+                timer.states(),
+                &states_before[..],
+                "rollback lost net state"
+            );
+            assert_eq!(timer.wires(), &wires_before[..], "rollback lost wire state");
+            assert_eq!(
+                timer.report(&nl).endpoints,
+                report_before.endpoints,
+                "rollback lost endpoints"
+            );
+            assert_matches_full(&timer, &nl, &lib, &stack);
+        }
+    }
+}
+
+#[test]
+fn incremental_matches_full_on_tiny_random_ecos() {
+    run_sequence(BenchProfile::tiny(), 17, 0xDAC_2015, 25);
+}
+
+#[test]
+fn incremental_matches_full_on_c5315_random_ecos() {
+    run_sequence(BenchProfile::c5315(), 21, 0xC5315, 12);
+}
+
+#[test]
+fn incremental_matches_full_on_c7552_random_ecos() {
+    run_sequence(BenchProfile::c7552(), 23, 0xC7552, 10);
+}

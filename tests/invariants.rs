@@ -7,15 +7,15 @@
 //! ECO edits preserving netlist validity, deterministic generation, and
 //! monotone responses to load/length.
 
+use tc_core::ids::NetId;
+use tc_core::rng::Rng;
+use tc_core::units::{Ff, Kohm};
 use timing_closure::interconnect::beol::BeolStack;
 use timing_closure::interconnect::rctree::RcTree;
 use timing_closure::liberty::{AocvTable, DerateModel, LibConfig, Library, PvtCorner};
 use timing_closure::netlist::gen::{generate, BenchProfile};
 use timing_closure::sta::pba::pba_worst_endpoints;
 use timing_closure::sta::{Constraints, Sta};
-use tc_core::ids::NetId;
-use tc_core::rng::Rng;
-use tc_core::units::{Ff, Kohm};
 
 fn env() -> (Library, BeolStack) {
     (

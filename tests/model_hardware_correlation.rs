@@ -7,11 +7,11 @@
 //! stack's own correlation — trend agreement between `tc-liberty` and
 //! `tc-sim` — the way a foundry test-chip program would.
 
+use tc_core::stats::correlation;
+use tc_core::units::Ff;
 use timing_closure::liberty::{LibConfig, Library, PvtCorner};
 use timing_closure::sim::char_cell::{measure_arc, CellKind, CharConditions};
 use timing_closure::sim::measure::Edge;
-use tc_core::stats::correlation;
-use tc_core::units::Ff;
 
 /// The library's INV delay trend across load must correlate with the
 /// simulated transistor-level trend (r > 0.97), even though absolute
@@ -36,7 +36,10 @@ fn inverter_delay_trend_correlates_across_load() {
         })
         .collect();
     let r = correlation(&model, &silicon);
-    assert!(r > 0.97, "load-trend correlation r = {r}\nmodel {model:?}\nsilicon {silicon:?}");
+    assert!(
+        r > 0.97,
+        "load-trend correlation r = {r}\nmodel {model:?}\nsilicon {silicon:?}"
+    );
 }
 
 /// Same for the input-slew trend.

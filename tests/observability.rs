@@ -57,11 +57,23 @@ fn closure_run_produces_spans_and_engine_counters() {
         iter.total_ns <= run.total_ns,
         "children cannot exceed the parent"
     );
-    // STA ran nested inside the loop.
-    let sta_nested = snap
-        .span("closure.run/closure.iteration/closure.sta/sta.gba")
-        .expect("nested sta.gba span");
-    assert!(sta_nested.count >= 2, "before + after checks per iteration");
+    // STA ran nested inside the loop: the persistent timer's initial
+    // full propagation under the run span, then incremental dirty-cone
+    // updates under each iteration's speculative fix checks.
+    let sta_full = snap
+        .span("closure.run/closure.sta/sta.gba")
+        .expect("initial full propagation span");
+    assert!(sta_full.count >= 1);
+    let sta_incr = snap
+        .span("closure.run/closure.iteration/closure.sta/sta.incremental")
+        .expect("nested incremental update span");
+    assert!(sta_incr.count >= 1, "fix checks re-time incrementally");
+    let cone = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "sta.dirty_cone_size")
+        .expect("dirty-cone histogram");
+    assert!(cone.count >= sta_incr.count);
     // At least one fix pass span exists.
     assert!(
         snap.spans
@@ -74,6 +86,8 @@ fn closure_run_produces_spans_and_engine_counters() {
     // Engine counters are live and non-zero.
     assert!(snap.counter("sta.arcs_evaluated") > 0);
     assert!(snap.counter("sta.nets_propagated") > 0);
+    assert!(snap.counter("sta.arcs_recomputed") > 0, "updates did work");
+    assert!(snap.counter("sta.arcs_reused") > 0, "cones stayed local");
     assert!(snap.counter("closure.edits") > 0, "fixes commit edits");
 
     // IterationRecord carries elapsed time and counter deltas, and the
@@ -81,10 +95,13 @@ fn closure_run_produces_spans_and_engine_counters() {
     let mut arcs_delta = 0;
     for it in &out.iterations {
         assert!(it.elapsed_ms > 0.0);
-        assert!(it.counter_delta("sta.arcs_evaluated") > 0);
-        arcs_delta += it.counter_delta("sta.arcs_evaluated");
+        let engine_work = it.counter_delta("sta.arcs_recomputed")
+            + it.counter_delta("sta.arcs_evaluated")
+            + it.counter_delta("sta.pba.stages");
+        assert!(engine_work > 0, "iteration must do engine work");
+        arcs_delta += it.counter_delta("sta.arcs_recomputed");
     }
-    assert!(arcs_delta <= snap.counter("sta.arcs_evaluated"));
+    assert!(arcs_delta <= snap.counter("sta.arcs_recomputed"));
 
     // The exporters accept the real snapshot.
     let text = snap.render_text();

@@ -4,6 +4,7 @@
 //! regression that breaks a figure's story fails CI — each test names
 //! the paper section it guards.
 
+use tc_core::units::{Celsius, Volt};
 use timing_closure::aging::avs::AvsSystem;
 use timing_closure::aging::signoff::{aging_signoff_sweep, fig9_corners, PowerProfile};
 use timing_closure::device::mosfet::temperature_reversal_point;
@@ -15,7 +16,6 @@ use timing_closure::signoff::corners::CornerSpace;
 use timing_closure::variation::mc::PathModel;
 use timing_closure::variation::models::model_accuracy;
 use timing_closure::variation::tbc::TbcStudy;
-use tc_core::units::{Celsius, Volt};
 
 /// §2.1 / Fig 4: MIS rise arc well under SIS; MIS fall arc >10% over.
 /// (The full simulated version lives in the fig04 harness; here we keep
@@ -108,9 +108,7 @@ fn fig8_tbc_structure() {
         .count();
     assert!(covered * 10 >= under.len() * 6);
     // TBC eligibility grows with looser thresholds.
-    assert!(
-        study.tbc_eligible(0.06, 0.08).len() >= study.tbc_eligible(0.03, 0.04).len()
-    );
+    assert!(study.tbc_eligible(0.06, 0.08).len() >= study.tbc_eligible(0.03, 0.04).len());
 }
 
 /// §3.3 / Fig 9: underestimating the aging corner costs lifetime power;
@@ -119,9 +117,7 @@ fn fig8_tbc_structure() {
 fn fig9_aging_tradeoff_shape() {
     let outcomes = aging_signoff_sweep(
         &AvsSystem::nominal_28nm(),
-        PowerProfile {
-            dynamic_share: 0.6,
-        },
+        PowerProfile { dynamic_share: 0.6 },
         &fig9_corners(),
         10.0,
     );
@@ -140,8 +136,7 @@ fn fig9_aging_tradeoff_shape() {
 /// larger than the 65 nm one.
 #[test]
 fn corner_super_explosion_ratio() {
-    let ratio =
-        CornerSpace::n16_soc().count() as f64 / CornerSpace::n65_classic().count() as f64;
+    let ratio = CornerSpace::n16_soc().count() as f64 / CornerSpace::n65_classic().count() as f64;
     assert!(ratio > 10.0, "explosion ratio {ratio}");
 }
 
