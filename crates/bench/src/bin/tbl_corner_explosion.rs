@@ -64,7 +64,9 @@ fn main() {
         "\nMCMM dominance over {} endpoints:",
         merged.endpoints.len()
     );
-    for (name, n) in merged.dominance() {
+    let mut dominance: Vec<(String, usize)> = merged.dominance().into_iter().collect();
+    dominance.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    for (name, n) in dominance {
         println!("  {name}: worst-setup corner for {n} endpoints");
     }
     println!("retained after pruning (≥3 endpoints dominated): {kept:?}");

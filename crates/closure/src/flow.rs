@@ -34,6 +34,12 @@ pub struct ClosureConfig {
     /// one full STA run per speculative fix — same results (the two
     /// engines are bit-identical), much more work.
     pub use_incremental: bool,
+    /// Run full-STA passes with level-synchronous parallel propagation
+    /// on a `TC_PAR_THREADS`-sized pool. Results are bit-identical to
+    /// the sequential path (see `tc_par`); only the full-propagation
+    /// flow uses it — the incremental timer's dirty-cone worklist is
+    /// inherently ordered and stays sequential.
+    pub parallel_sta: bool,
 }
 
 impl Default for ClosureConfig {
@@ -46,6 +52,7 @@ impl Default for ClosureConfig {
             skew_step: Ps::new(10.0),
             days_per_iteration: 3.0,
             use_incremental: true,
+            parallel_sta: false,
         }
     }
 }
@@ -109,6 +116,19 @@ impl<'a> ClosureFlow<'a> {
     /// Creates a flow over a library/stack environment.
     pub fn new(lib: &'a Library, stack: &'a BeolStack, config: ClosureConfig) -> Self {
         ClosureFlow { lib, stack, config }
+    }
+
+    /// A full-propagation STA engine honoring [`ClosureConfig::parallel_sta`].
+    fn sta<'n>(&self, nl: &'n Netlist, cons: &'n Constraints) -> Sta<'n>
+    where
+        'a: 'n,
+    {
+        let sta = Sta::new(nl, self.lib, self.stack, cons);
+        if self.config.parallel_sta {
+            sta.with_parallel(tc_par::Pool::from_env())
+        } else {
+            sta
+        }
     }
 
     /// Runs the loop, editing `nl` (and the clock tree inside the
@@ -287,7 +307,7 @@ impl<'a> ClosureFlow<'a> {
             let iter_span = tc_obs::span("closure.iteration");
             let before = {
                 let _sta = tc_obs::span("closure.sta");
-                Sta::new(nl, self.lib, self.stack, &cons).run()?
+                self.sta(nl, &cons).run()?
             };
             if before.is_clean() {
                 break;
@@ -311,7 +331,7 @@ impl<'a> ClosureFlow<'a> {
                 }
                 let check = {
                     let _sta = tc_obs::span("closure.sta");
-                    Sta::new(nl, self.lib, self.stack, &cons).run()?
+                    self.sta(nl, &cons).run()?
                 };
                 if check.wns() >= wns_running {
                     wns_running = check.wns();
@@ -325,7 +345,7 @@ impl<'a> ClosureFlow<'a> {
             }
             let after = {
                 let _sta = tc_obs::span("closure.sta");
-                Sta::new(nl, self.lib, self.stack, &cons).run()?
+                self.sta(nl, &cons).run()?
             };
             drop(iter_span);
             let counter_deltas = counters_before.map_or_else(Vec::new, |before| {
@@ -353,7 +373,7 @@ impl<'a> ClosureFlow<'a> {
         }
         let final_report = {
             let _sta = tc_obs::span("closure.sta");
-            Sta::new(nl, self.lib, self.stack, &cons).run()?
+            self.sta(nl, &cons).run()?
         };
         let closed = final_report.is_clean();
         let days = iterations.len() as f64 * self.config.days_per_iteration;

@@ -26,20 +26,30 @@ use crate::error::{Error, Result};
 /// Locates `x` in the monotone axis `axis`, returning the index pair
 /// `(i, i+1)` bracketing it and the interpolation fraction. Out-of-range
 /// inputs clamp to the first/last segment, yielding linear extrapolation.
+///
+/// Queries exactly on a breakpoint return an exact fraction (`0.0`, or
+/// `1.0` for the final breakpoint, which selects the last segment rather
+/// than extrapolating past it) so interpolation reproduces the stored
+/// sample bit-for-bit — no `(x - x0) / (x1 - x0)` rounding.
 fn bracket(axis: &[f64], x: f64) -> (usize, f64) {
     debug_assert!(axis.len() >= 2);
     let n = axis.len();
-    let mut i = match axis.binary_search_by(|a| a.total_cmp(&x)) {
-        Ok(i) => i,
-        Err(i) => i.saturating_sub(1),
+    let i = match axis.binary_search_by(|a| a.total_cmp(&x)) {
+        Ok(i) if i == n - 1 => return (n - 2, 1.0),
+        Ok(i) => return (i, 0.0),
+        Err(i) => i.saturating_sub(1).min(n - 2),
     };
-    if i >= n - 1 {
-        i = n - 2;
-    }
     let x0 = axis[i];
     let x1 = axis[i + 1];
     let t = (x - x0) / (x1 - x0);
     (i, t)
+}
+
+/// Endpoint-exact linear interpolation: `t == 0.0` returns `v0` and
+/// `t == 1.0` returns `v1` bit-for-bit (the `v0 + t·(v1 − v0)` form
+/// does not — its round trip through the difference rounds).
+fn lerp(v0: f64, v1: f64, t: f64) -> f64 {
+    (1.0 - t) * v0 + t * v1
 }
 
 fn validate_axis(name: &str, axis: &[f64]) -> Result<()> {
@@ -87,10 +97,11 @@ impl Lut1 {
     }
 
     /// Evaluates the table at `x` with linear interpolation and linear
-    /// extrapolation beyond the sampled range.
+    /// extrapolation beyond the sampled range. Queries exactly on an
+    /// axis breakpoint return the stored sample bit-for-bit.
     pub fn eval(&self, x: f64) -> f64 {
         let (i, t) = bracket(&self.axis, x);
-        self.values[i] + t * (self.values[i + 1] - self.values[i])
+        lerp(self.values[i], self.values[i + 1], t)
     }
 
     /// The sampled axis.
@@ -166,17 +177,14 @@ impl Lut2 {
     }
 
     /// Evaluates the table at `(row, col)` with bilinear interpolation and
-    /// linear extrapolation beyond the sampled range.
+    /// linear extrapolation beyond the sampled range. Queries exactly on
+    /// a grid point return the stored sample bit-for-bit.
     pub fn eval(&self, row: f64, col: f64) -> f64 {
         let (i, ti) = bracket(&self.rows, row);
         let (j, tj) = bracket(&self.cols, col);
-        let v00 = self.values[i][j];
-        let v01 = self.values[i][j + 1];
-        let v10 = self.values[i + 1][j];
-        let v11 = self.values[i + 1][j + 1];
-        let top = v00 + tj * (v01 - v00);
-        let bot = v10 + tj * (v11 - v10);
-        top + ti * (bot - top)
+        let top = lerp(self.values[i][j], self.values[i][j + 1], tj);
+        let bot = lerp(self.values[i + 1][j], self.values[i + 1][j + 1], tj);
+        lerp(top, bot, ti)
     }
 
     /// The row (slew) axis.
@@ -339,6 +347,106 @@ mod proptests {
             let idx = rng.below(5);
             let lut = Lut1::new(axis.clone(), vals.clone()).unwrap();
             assert!((lut.eval(axis[idx]) - vals[idx]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lut1_on_knot_queries_return_stored_samples_bit_exactly() {
+        // Every breakpoint — including the LAST one, which used to go
+        // through `v0 + 1.0·(v1 − v0)` and pick up rounding — must
+        // reproduce its sample exactly.
+        let mut rng = Rng::seed_from(0x10704);
+        for _ in 0..256 {
+            let n = 2 + rng.below(7);
+            let axis = sorted_axis(&mut rng, n);
+            let vals = values(&mut rng, n);
+            let lut = Lut1::new(axis.clone(), vals.clone()).unwrap();
+            for (i, &x) in axis.iter().enumerate() {
+                assert_eq!(
+                    lut.eval(x).to_bits(),
+                    vals[i].to_bits(),
+                    "knot {i} of {n}: eval({x}) = {} want {}",
+                    lut.eval(x),
+                    vals[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut1_below_min_and_above_max_extrapolate_linearly() {
+        let mut rng = Rng::seed_from(0x10705);
+        for _ in 0..128 {
+            let axis = sorted_axis(&mut rng, 4);
+            let vals = values(&mut rng, 4);
+            let lut = Lut1::new(axis.clone(), vals.clone()).unwrap();
+            // Below min: slope of the first segment.
+            let x = axis[0] - rng.uniform_in(0.1, 5.0);
+            let slope0 = (vals[1] - vals[0]) / (axis[1] - axis[0]);
+            let want = vals[0] + slope0 * (x - axis[0]);
+            assert!((lut.eval(x) - want).abs() < 1e-9 * (1.0 + want.abs()));
+            // Above max: slope of the last segment.
+            let x = axis[3] + rng.uniform_in(0.1, 5.0);
+            let slope1 = (vals[3] - vals[2]) / (axis[3] - axis[2]);
+            let want = vals[3] + slope1 * (x - axis[3]);
+            assert!((lut.eval(x) - want).abs() < 1e-9 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn lut2_on_knot_queries_return_stored_samples_bit_exactly() {
+        let mut rng = Rng::seed_from(0x10706);
+        for _ in 0..128 {
+            let nr = 2 + rng.below(4);
+            let nc = 2 + rng.below(4);
+            let rows = sorted_axis(&mut rng, nr);
+            let cols = sorted_axis(&mut rng, nc);
+            let grid: Vec<Vec<f64>> = (0..nr).map(|_| values(&mut rng, nc)).collect();
+            let lut = Lut2::new(rows.clone(), cols.clone(), grid.clone()).unwrap();
+            for (i, &r) in rows.iter().enumerate() {
+                for (j, &c) in cols.iter().enumerate() {
+                    assert_eq!(
+                        lut.eval(r, c).to_bits(),
+                        grid[i][j].to_bits(),
+                        "grid point ({i},{j}): eval({r},{c}) = {} want {}",
+                        lut.eval(r, c),
+                        grid[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lut2_out_of_range_queries_extrapolate_from_edge_segments() {
+        // A bilinear (no xy term) surface extrapolates exactly, on all
+        // four sides and corners.
+        let mut rng = Rng::seed_from(0x10707);
+        for _ in 0..128 {
+            let rows = sorted_axis(&mut rng, 3);
+            let cols = sorted_axis(&mut rng, 3);
+            let (a, b, c) = (
+                rng.uniform_in(-10.0, 10.0),
+                rng.uniform_in(-10.0, 10.0),
+                rng.uniform_in(-10.0, 10.0),
+            );
+            let lut = Lut2::from_fn(rows.clone(), cols.clone(), |x, y| a + b * x + c * y).unwrap();
+            for &(dx, dy) in &[
+                (-3.0, 0.0),
+                (5.0, 0.0),
+                (0.0, -2.0),
+                (0.0, 4.0),
+                (-3.0, 6.0),
+            ] {
+                let x = if dx < 0.0 { rows[0] + dx } else { rows[2] + dx };
+                let y = if dy < 0.0 { cols[0] + dy } else { cols[2] + dy };
+                let want = a + b * x + c * y;
+                assert!(
+                    (lut.eval(x, y) - want).abs() < 1e-6 * (1.0 + want.abs()),
+                    "eval({x},{y}) = {} want {want}",
+                    lut.eval(x, y)
+                );
+            }
         }
     }
 

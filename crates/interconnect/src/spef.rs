@@ -141,9 +141,21 @@ pub fn parse_spef(text: &str, stack: &BeolStack) -> Result<Vec<NetParasitics>> {
                 name: tok[0].to_string(),
                 r_total: parse(tok[2])?,
                 c_total: parse(tok[4])?,
-                layer: tok[6]
-                    .parse()
-                    .map_err(|e| Error::invalid_input(format!("bad layer index: {e}")))?,
+                layer: {
+                    // Validate against the stack here: an out-of-range
+                    // index would otherwise surface later as an indexing
+                    // panic in `at_sample` or `write_spef`.
+                    let layer: usize = tok[6]
+                        .parse()
+                        .map_err(|e| Error::invalid_input(format!("bad layer index: {e}")))?;
+                    if layer >= stack.layers().len() {
+                        return Err(Error::invalid_input(format!(
+                            "layer index {layer} out of range for a {}-layer stack: {l}",
+                            stack.layers().len()
+                        )));
+                    }
+                    layer
+                },
                 r_sens: HashMap::new(),
                 c_sens: HashMap::new(),
             });
@@ -251,6 +263,41 @@ mod tests {
         assert!(parse_spef("*SENS R M1 1.0", &stack).is_err());
         assert!(parse_spef("*D_NET n R 1 C 1 LAYER 1\n*SENS R M99 1.0\n*END", &stack).is_err());
         assert!(parse_spef("*D_NET n R 1 C 1 LAYER 1\n", &stack).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_out_of_range_layer_index() {
+        // A syntactically valid LAYER with an index past the stack must
+        // fail at parse time, not as a later indexing panic when the
+        // parasitics are re-evaluated at a sample.
+        let stack = stack();
+        let bad = "*D_NET n R 1 C 1 LAYER 99\n*END";
+        let err = parse_spef(bad, &stack).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // The first in-range index and the last one parse fine.
+        let last = stack.layers().len() - 1;
+        let good = format!("*D_NET n R 1 C 1 LAYER {last}\n*END");
+        assert_eq!(parse_spef(&good, &stack).unwrap()[0].layer, last);
+    }
+
+    #[test]
+    fn parser_rejects_truncated_input() {
+        // Truncation mid-block (e.g. an interrupted write) is an error,
+        // and truncation mid-record never panics.
+        let stack = stack();
+        let nets = sample_nets(&stack);
+        let text = write_spef(&nets, &stack);
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            // Every prefix must either parse (clean block boundary) or
+            // error — the parser must not panic on any of them.
+            let _ = parse_spef(&text[..cut], &stack);
+        }
+        // A prefix ending inside a block is specifically an error.
+        let inside = text.find("*SENS").unwrap() + 3;
+        assert!(parse_spef(&text[..inside], &stack).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use tc_core::error::{Error, Result};
 use tc_core::ids::LibCellId;
 use tc_core::lut::Lut2;
 use tc_core::units::Ff;
@@ -68,7 +69,23 @@ pub struct Library {
 
 impl Library {
     /// Generates a synthetic library at the given corner.
+    ///
+    /// Characterization is infallible for the built-in templates (every
+    /// table is sampled on the static NLDM axes); this is
+    /// [`try_generate`](Self::try_generate) with that invariant asserted
+    /// once, here, instead of at dozens of interior call sites.
     pub fn generate(config: &LibConfig, corner: &PvtCorner) -> Library {
+        Library::try_generate(config, corner).expect("static NLDM axes characterize cleanly")
+    }
+
+    /// Generates a synthetic library, surfacing characterization
+    /// failures as errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first table-construction failure, naming the cell
+    /// being characterized.
+    pub fn try_generate(config: &LibConfig, corner: &PvtCorner) -> Result<Library> {
         let mut cells = Vec::new();
 
         // Aging slows every cell by the idsat ratio fresh/aged at the
@@ -93,13 +110,13 @@ impl Library {
                         vt,
                         drive,
                         aging_factor,
-                    ));
+                    )?);
                 }
             }
         }
         for &vt in &config.vts {
             for &drive in &config.flop_drives {
-                cells.push(build_flop_cell(config, corner, vt, drive, aging_factor));
+                cells.push(build_flop_cell(config, corner, vt, drive, aging_factor)?);
             }
         }
 
@@ -108,12 +125,12 @@ impl Library {
             .enumerate()
             .map(|(i, c)| (c.name.clone(), LibCellId::new(i)))
             .collect();
-        Library {
+        Ok(Library {
             corner: *corner,
             tech: config.tech.clone(),
             cells,
             by_name,
-        }
+        })
     }
 
     /// All cells.
@@ -236,31 +253,42 @@ fn build_comb_cell(
     vt: VtClass,
     drive: f64,
     aging_factor: f64,
-) -> LibCell {
+) -> Result<LibCell> {
+    let name = cell_name(template.name, vt, drive);
+    let in_cell = |e: Error| Error::internal(format!("characterizing {name}: {e}"));
     let model = drive_model(&config.tech, template, vt, drive, corner);
-    let base_delay = model.delay_table().map(|d| d * aging_factor);
-    let base_slew = model.slew_table().map(|s| s * aging_factor);
+    let base_delay = model
+        .delay_table()
+        .map_err(in_cell)?
+        .map(|d| d * aging_factor);
+    let base_slew = model
+        .slew_table()
+        .map_err(in_cell)?
+        .map(|s| s * aging_factor);
 
-    let arcs = (0..template.inputs)
-        .map(|i| {
-            // Later inputs of a stack are slightly slower (the `B` input of
-            // a NAND2 drives the top of the series stack).
-            let skew = 1.0 + 0.06 * i as f64;
-            let delay = base_delay.map(|d| d * skew);
-            let lvf = config.with_lvf.then(|| {
+    let mut arcs = Vec::with_capacity(template.inputs);
+    for i in 0..template.inputs {
+        // Later inputs of a stack are slightly slower (the `B` input of
+        // a NAND2 drives the top of the series stack).
+        let skew = 1.0 + 0.06 * i as f64;
+        let delay = base_delay.map(|d| d * skew);
+        let lvf = match config.with_lvf {
+            true => Some(
                 LvfTable::from_delay_surface(&delay, config.local_sigma, config.sigma_asymmetry)
-            });
-            TimingArc {
-                input: ["A", "B", "C", "D"][i].to_string(),
-                delay,
-                out_slew: base_slew.clone(),
-                lvf,
-            }
-        })
-        .collect();
+                    .map_err(in_cell)?,
+            ),
+            false => None,
+        };
+        arcs.push(TimingArc {
+            input: ["A", "B", "C", "D"][i].to_string(),
+            delay,
+            out_slew: base_slew.clone(),
+            lvf,
+        });
+    }
 
-    LibCell {
-        name: cell_name(template.name, vt, drive),
+    Ok(LibCell {
+        name,
         template,
         kind: CellKind::Comb,
         vt,
@@ -275,7 +303,7 @@ fn build_comb_cell(
             late: config.local_sigma * config.sigma_asymmetry,
             early: config.local_sigma,
         },
-    }
+    })
 }
 
 fn build_flop_cell(
@@ -284,14 +312,26 @@ fn build_flop_cell(
     vt: VtClass,
     drive: f64,
     aging_factor: f64,
-) -> LibCell {
+) -> Result<LibCell> {
     let template = &CellTemplate::DFF;
+    let name = cell_name("DFF", vt, drive);
+    let in_cell = |e: Error| Error::internal(format!("characterizing {name}: {e}"));
     let model = drive_model(&config.tech, template, vt, drive, corner);
-    let c2q_delay = model.delay_table().map(|d| (d + 25.0) * aging_factor);
-    let c2q_slew = model.slew_table().map(|s| s * aging_factor);
-    let lvf = config.with_lvf.then(|| {
-        LvfTable::from_delay_surface(&c2q_delay, config.local_sigma, config.sigma_asymmetry)
-    });
+    let c2q_delay = model
+        .delay_table()
+        .map_err(in_cell)?
+        .map(|d| (d + 25.0) * aging_factor);
+    let c2q_slew = model
+        .slew_table()
+        .map_err(in_cell)?
+        .map(|s| s * aging_factor);
+    let lvf = match config.with_lvf {
+        true => Some(
+            LvfTable::from_delay_surface(&c2q_delay, config.local_sigma, config.sigma_asymmetry)
+                .map_err(in_cell)?,
+        ),
+        false => None,
+    };
 
     // Constraint tables vs (data slew, clock slew); they scale with the
     // same corner factor as delay (slower silicon needs more setup).
@@ -300,11 +340,11 @@ fn build_flop_cell(
     let setup = Lut2::from_fn(axes.clone(), axes.clone(), |ds, cs| {
         (18.0 + 0.35 * ds + 0.10 * cs) * k
     })
-    .expect("static axes");
+    .map_err(|e| Error::internal(format!("characterizing {name}: setup grid: {e}")))?;
     let hold = Lut2::from_fn(axes.clone(), axes.clone(), |ds, cs| {
         (4.0 - 0.10 * ds + 0.22 * cs) * k
     })
-    .expect("static axes");
+    .map_err(|e| Error::internal(format!("characterizing {name}: hold grid: {e}")))?;
 
     let interdep = InterdepModel {
         c2q0: c2q_delay.eval(20.0, 4.0),
@@ -315,8 +355,8 @@ fn build_flop_cell(
         ..InterdepModel::typical_65nm()
     };
 
-    LibCell {
-        name: cell_name("DFF", vt, drive),
+    Ok(LibCell {
+        name,
         template,
         kind: CellKind::Flop,
         vt,
@@ -340,7 +380,7 @@ fn build_flop_cell(
             late: config.local_sigma * config.sigma_asymmetry,
             early: config.local_sigma,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -355,6 +395,18 @@ mod tests {
         assert!(lib.cell_named("INV_X8_ULVT").is_some());
         assert!(lib.cell_named("DFF_X2_HVT").is_some());
         assert!(lib.cell_named("INV_X3_SVT").is_none());
+    }
+
+    #[test]
+    fn try_generate_matches_generate() {
+        let cfg = LibConfig::default();
+        let corner = PvtCorner::typical();
+        let fallible = Library::try_generate(&cfg, &corner).unwrap();
+        let infallible = Library::generate(&cfg, &corner);
+        assert_eq!(fallible.cells().len(), infallible.cells().len());
+        for (a, b) in fallible.cells().iter().zip(infallible.cells()) {
+            assert_eq!(a.name, b.name);
+        }
     }
 
     #[test]

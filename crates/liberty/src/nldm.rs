@@ -14,6 +14,7 @@
 //! parameters (`g`, `p`) capture gate topology. Output slew is modeled as
 //! `2.2·R/drive·(load + C_par)/0.8 · k + k2·slew`.
 
+use tc_core::error::{Error, Result};
 use tc_core::lut::Lut2;
 use tc_core::units::{Ff, Kohm};
 use tc_device::{MosDevice, MosKind, Technology, VtClass};
@@ -173,19 +174,30 @@ impl DriveModel {
     }
 
     /// Samples the delay model onto the default NLDM grid.
-    pub fn delay_table(&self) -> Lut2 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures (invalid axes) with the
+    /// grid named — callers characterizing thousands of arcs need to
+    /// know *which* table was rejected, not a panic.
+    pub fn delay_table(&self) -> Result<Lut2> {
         Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
             self.delay_at(s, l)
         })
-        .expect("static axes are valid")
+        .map_err(|e| Error::internal(format!("NLDM delay grid: {e}")))
     }
 
     /// Samples the output-slew model onto the default NLDM grid.
-    pub fn slew_table(&self) -> Lut2 {
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures (invalid axes) with the
+    /// grid named.
+    pub fn slew_table(&self) -> Result<Lut2> {
         Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
             self.slew_at(s, l)
         })
-        .expect("static axes are valid")
+        .map_err(|e| Error::internal(format!("NLDM slew grid: {e}")))
     }
 }
 
@@ -249,10 +261,10 @@ mod tests {
     #[test]
     fn tables_are_monotone() {
         let m = model(VtClass::Svt, 2.0, &PvtCorner::typical());
-        let d = m.delay_table();
+        let d = m.delay_table().unwrap();
         assert!(d.eval(20.0, 16.0) > d.eval(20.0, 1.0));
         assert!(d.eval(160.0, 4.0) > d.eval(10.0, 4.0));
-        let s = m.slew_table();
+        let s = m.slew_table().unwrap();
         assert!(s.eval(20.0, 16.0) > s.eval(20.0, 1.0));
     }
 

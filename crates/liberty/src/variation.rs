@@ -15,6 +15,7 @@
 //! `tc-sta` consumes these through [`DerateModel`]; `tc-variation`
 //! cross-validates them against Monte Carlo.
 
+use tc_core::error::{Error, Result};
 use tc_core::lut::Lut2;
 
 use crate::nldm::{LOAD_AXIS, SLEW_AXIS};
@@ -112,7 +113,12 @@ impl LvfTable {
     /// is relatively larger for lightly-loaded, fast-input arcs (where
     /// the transistor's own variation dominates) and the late sigma
     /// carries the long-tail excess over the early sigma (Fig 7).
-    pub fn from_delay_surface(delay: &Lut2, base_sigma: f64, asymmetry: f64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates table-construction failures (invalid axes) with the
+    /// sigma surface named.
+    pub fn from_delay_surface(delay: &Lut2, base_sigma: f64, asymmetry: f64) -> Result<Self> {
         let rel = |s: f64, l: f64, d: f64| -> f64 {
             // Relative sigma shrinks slowly with load and slew.
             let shape = 1.0 + 0.5 / (1.0 + l / 4.0) + 0.3 / (1.0 + s / 40.0);
@@ -121,15 +127,15 @@ impl LvfTable {
         let sigma_late = Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
             rel(s, l, delay.eval(s, l)) * asymmetry
         })
-        .expect("static axes");
+        .map_err(|e| Error::internal(format!("LVF late-sigma grid: {e}")))?;
         let sigma_early = Lut2::from_fn(SLEW_AXIS.to_vec(), LOAD_AXIS.to_vec(), |s, l| {
             rel(s, l, delay.eval(s, l))
         })
-        .expect("static axes");
-        LvfTable {
+        .map_err(|e| Error::internal(format!("LVF early-sigma grid: {e}")))?;
+        Ok(LvfTable {
             sigma_late,
             sigma_early,
-        }
+        })
     }
 }
 
@@ -210,7 +216,7 @@ mod tests {
             5.0 + 0.2 * s + 1.5 * l
         })
         .unwrap();
-        let lvf = LvfTable::from_delay_surface(&delay, 0.05, 1.3);
+        let lvf = LvfTable::from_delay_surface(&delay, 0.05, 1.3).unwrap();
         // Late sigma exceeds early sigma everywhere (setup long tail).
         for &s in &[10.0, 80.0] {
             for &l in &[1.0, 16.0] {

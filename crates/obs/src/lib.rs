@@ -46,6 +46,10 @@
 //! | `sta.arcs_reused` | counter | cached arcs an update skipped |
 //! | `signoff.corners` | span | one multi-corner signoff run |
 //! | `signoff.corners/corner.*` | span | one corner's STA |
+//! | `mcmm.empty_reports` | counter | corners merged with zero endpoints |
+//! | `mcmm.nonfinite_slacks` | counter | endpoint checks skipped (NaN slack) |
+//! | `par.tasks` | counter | work items executed on `tc-par` pools |
+//! | `par.steal_idle_ms` | counter | summed worker idle ms per pool scope |
 //! | `sim.transient` | span | one transient circuit simulation |
 //! | `sim.newton.steps` | counter | accepted backward-Euler steps |
 //! | `sim.newton.iters` | counter | Newton iterations across steps |
@@ -80,7 +84,7 @@ pub use export::{HistogramSnapshot, Snapshot, SpanSnapshot};
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram};
 pub use registry::{counter, disable, enable, histogram, is_enabled, reset, snapshot};
-pub use span::{span, SpanGuard};
+pub use span::{current_span_path, span, span_parent, SpanGuard, SpanParentGuard};
 
 #[cfg(test)]
 mod tests {

@@ -73,3 +73,51 @@ impl Drop for SpanGuard {
         }
     }
 }
+
+/// The current thread's innermost open span path, if any.
+///
+/// Worker pools capture this on the submitting thread and install it on
+/// each worker via [`span_parent`], so spans opened on workers keep
+/// nesting under the caller's span tree instead of starting a fresh
+/// root per thread.
+pub fn current_span_path() -> Option<String> {
+    if !is_enabled() {
+        return None;
+    }
+    SPAN_STACK.with(|stack| stack.borrow().last().cloned())
+}
+
+/// RAII guard installing an ambient parent span path on this thread.
+///
+/// Unlike [`SpanGuard`] this records nothing on drop — it only provides
+/// the nesting context (the submitting thread's span records the wall
+/// clock; workers record their own child spans under it).
+#[must_use = "the parent context lasts for the scope of its guard"]
+pub struct SpanParentGuard(Option<String>);
+
+/// Installs `path` (a full `/`-joined span path, typically from
+/// [`current_span_path`] on another thread) as this thread's ambient
+/// parent span until the returned guard drops. A `None` path — or
+/// disabled instrumentation — makes this a no-op.
+pub fn span_parent(path: Option<&str>) -> SpanParentGuard {
+    match path {
+        Some(p) if is_enabled() => {
+            SPAN_STACK.with(|stack| stack.borrow_mut().push(p.to_string()));
+            SpanParentGuard(Some(p.to_string()))
+        }
+        _ => SpanParentGuard(None),
+    }
+}
+
+impl Drop for SpanParentGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.0.take() {
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|p| p == &path) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+}

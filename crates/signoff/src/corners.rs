@@ -170,8 +170,25 @@ pub fn run_corner_set(
     stack: &BeolStack,
     scenarios: &[Scenario],
 ) -> Result<MergedReport> {
+    run_corner_set_on(tc_par::Pool::from_env(), nl, stack, scenarios)
+}
+
+/// [`run_corner_set`] on an explicit worker pool (tests pin the worker
+/// count this way instead of mutating `TC_PAR_THREADS`). Per-corner
+/// `corner.<name>` spans keep their `signoff.corners` parent even when
+/// the corner runs on a pool worker.
+///
+/// # Errors
+///
+/// Propagates the first failing scenario run.
+pub fn run_corner_set_on(
+    pool: tc_par::Pool,
+    nl: &Netlist,
+    stack: &BeolStack,
+    scenarios: &[Scenario],
+) -> Result<MergedReport> {
     let _span = tc_obs::span("signoff.corners");
-    let reports = tc_sta::mcmm::run_scenarios_shared(nl, stack, scenarios)?;
+    let reports = tc_sta::mcmm::run_scenarios_shared_on(pool, nl, stack, scenarios)?;
     tc_obs::counter("signoff.corners").add(scenarios.len() as u64);
     Ok(merge_reports(&reports))
 }
@@ -273,6 +290,54 @@ mod tests {
             let s = snap.span(&path).unwrap_or_else(|| panic!("missing {path}"));
             assert!(s.count >= 1);
         }
+    }
+
+    #[test]
+    fn degenerate_corner_does_not_poison_merged_wns() {
+        use tc_core::ids::NetId;
+
+        let cfg = LibConfig::default();
+        let lib = Library::generate(&cfg, &PvtCorner::typical());
+        // A design with no primary outputs: false-pathing every flop
+        // leaves a corner with zero endpoints.
+        let mut nl = tc_netlist::Netlist::new("no_po");
+        let clk = nl.add_input("clk");
+        let d0 = nl.add_input("d0");
+        let dff = lib.variant("DFF", tc_device::VtClass::Svt, 1.0).unwrap();
+        let inv = lib.variant("INV", tc_device::VtClass::Svt, 2.0).unwrap();
+        let (_, q) = nl.add_cell("ff0", &lib, dff, &[d0, clk]).unwrap();
+        let (_, x) = nl.add_cell("i0", &lib, inv, &[q]).unwrap();
+        let (_, _q1) = nl.add_cell("ff1", &lib, dff, &[x, clk]).unwrap();
+        for i in 0..nl.net_count() {
+            nl.set_wire_length(NetId::new(i), 10.0);
+        }
+
+        let mut waived = Constraints::single_clock(900.0);
+        for fid in nl.flops(&lib) {
+            waived.exceptions.false_path_to(fid);
+        }
+        let scenarios = vec![
+            Scenario {
+                name: "ok".into(),
+                lib: lib.clone(),
+                beol: BeolCorner::Typical,
+                constraints: Constraints::single_clock(900.0),
+            },
+            Scenario {
+                name: "degenerate".into(),
+                lib: lib.clone(),
+                beol: BeolCorner::Typical,
+                constraints: waived,
+            },
+        ];
+        tc_obs::enable();
+        let before = tc_obs::snapshot().counter("mcmm.empty_reports");
+        let merged = run_corner_set(&nl, &BeolStack::n20(), &scenarios).unwrap();
+        // The healthy corner's slacks survive untouched; the degenerate
+        // corner contributes nothing and is counted, not propagated.
+        assert!(merged.wns().value().is_finite());
+        assert!(merged.endpoints.iter().all(|e| e.setup.1 == "ok"));
+        assert!(tc_obs::snapshot().counter("mcmm.empty_reports") > before);
     }
 
     #[test]

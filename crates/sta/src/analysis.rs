@@ -73,7 +73,21 @@ pub struct Sta<'a> {
     pub(crate) cons: &'a Constraints,
     pub(crate) beol_corner: BeolCorner,
     pub(crate) beol_sample: Option<&'a BeolSample>,
+    /// Level-synchronous parallel propagation pool; `None` (the
+    /// default) keeps GBA on the sequential reference path. The
+    /// incremental [`Timer`](crate::Timer) never sets this — dirty-cone
+    /// worklists are inherently ordered.
+    pub(crate) par: Option<tc_par::Pool>,
 }
+
+/// Ranks smaller than this run inline even when a parallel pool is
+/// configured: spawning a scope costs more than evaluating a handful of
+/// cells.
+const PAR_RANK_MIN: usize = 64;
+
+/// Per-task net count for parallel wire-timing extraction (one atomic
+/// claim per chunk, not per net).
+const PAR_WIRE_CHUNK: usize = 256;
 
 /// Wire timing cached per net.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -102,6 +116,7 @@ impl<'a> Sta<'a> {
             cons,
             beol_corner: BeolCorner::Typical,
             beol_sample: None,
+            par: None,
         }
     }
 
@@ -114,6 +129,16 @@ impl<'a> Sta<'a> {
     /// Applies a Monte Carlo per-layer BEOL variation sample.
     pub fn with_beol_sample(mut self, sample: &'a BeolSample) -> Self {
         self.beol_sample = Some(sample);
+        self
+    }
+
+    /// Enables level-synchronous parallel propagation on the given
+    /// pool: cells within one levelization rank are evaluated
+    /// concurrently, ranks form barriers, and per-rank results are
+    /// applied in order — bit-identical to the sequential path at any
+    /// worker count (see `tc_par`'s determinism contract).
+    pub fn with_parallel(mut self, pool: tc_par::Pool) -> Self {
+        self.par = Some(pool);
         self
     }
 
@@ -228,9 +253,26 @@ impl<'a> Sta<'a> {
     }
 
     /// Computes per-net wire timings (loads, sink delays, SI deltas).
+    /// With a parallel pool the nets are extracted in fixed chunks and
+    /// reassembled in net order (each net's timing depends only on that
+    /// net, so any schedule produces identical bytes).
     pub(crate) fn wire_timings(&self) -> Result<Vec<NetWire>> {
-        let mut out = Vec::with_capacity(self.nl.net_count());
-        for net in self.nl.nets() {
+        let nets = self.nl.nets();
+        if let Some(pool) = self.par.filter(|p| p.workers() > 1) {
+            let chunks = pool.chunked_map(nets.len(), PAR_WIRE_CHUNK, |_, r| {
+                nets[r]
+                    .iter()
+                    .map(|n| self.net_wire(n))
+                    .collect::<Result<Vec<_>>>()
+            });
+            let mut out = Vec::with_capacity(nets.len());
+            for c in chunks {
+                out.extend(c?);
+            }
+            return Ok(out);
+        }
+        let mut out = Vec::with_capacity(nets.len());
+        for net in nets {
             out.push(self.net_wire(net)?);
         }
         Ok(out)
@@ -433,12 +475,48 @@ impl<'a> Sta<'a> {
         let mut state = vec![NetState::default(); self.nl.net_count()];
         self.seed_primary_inputs(&mut state);
 
-        for &cid in &graph.order {
-            let (ns, arcs) = self.eval_cell(cid, graph, &wires, &state)?;
-            arcs_evaluated += arcs;
-            if ns.reached {
-                nets_propagated += 1;
-                state[self.nl.cell(cid).output.index()] = ns;
+        match self.par.filter(|p| p.workers() > 1) {
+            Some(pool) => {
+                // Level-synchronous parallel propagation: cells within a
+                // levelization rank are mutually independent (an arc a→b
+                // forces depth(b) > depth(a)), so each rank's evaluations
+                // read only lower-rank state. Results are applied in
+                // rank-internal index order, making the written bytes
+                // identical to the sequential path at any worker count.
+                for rank in &graph.ranks {
+                    let cells = &graph.order[rank.clone()];
+                    if cells.len() < PAR_RANK_MIN {
+                        for &cid in cells {
+                            let (ns, arcs) = self.eval_cell(cid, graph, &wires, &state)?;
+                            arcs_evaluated += arcs;
+                            if ns.reached {
+                                nets_propagated += 1;
+                                state[self.nl.cell(cid).output.index()] = ns;
+                            }
+                        }
+                        continue;
+                    }
+                    let results =
+                        pool.scope_map(cells, |_, &cid| self.eval_cell(cid, graph, &wires, &state));
+                    for (i, res) in results.into_iter().enumerate() {
+                        let (ns, arcs) = res?;
+                        arcs_evaluated += arcs;
+                        if ns.reached {
+                            nets_propagated += 1;
+                            state[self.nl.cell(cells[i]).output.index()] = ns;
+                        }
+                    }
+                }
+            }
+            None => {
+                for &cid in &graph.order {
+                    let (ns, arcs) = self.eval_cell(cid, graph, &wires, &state)?;
+                    arcs_evaluated += arcs;
+                    if ns.reached {
+                        nets_propagated += 1;
+                        state[self.nl.cell(cid).output.index()] = ns;
+                    }
+                }
             }
         }
         tc_obs::counter("sta.arcs_evaluated").add(arcs_evaluated);

@@ -92,10 +92,15 @@ impl MergedReport {
 
     /// How many endpoints each scenario dominates (is the worst for) —
     /// the data behind corner-pruning decisions: a scenario that
-    /// dominates nothing is a candidate to drop (§2.3).
+    /// dominates nothing is a candidate to drop (§2.3). Endpoints whose
+    /// setup check was skipped in every scenario (no finite slack) carry
+    /// no attribution and are not counted.
     pub fn dominance(&self) -> HashMap<String, usize> {
         let mut m = HashMap::new();
         for e in &self.endpoints {
+            if e.setup.1.is_empty() {
+                continue;
+            }
             *m.entry(e.setup.1.clone()).or_insert(0) += 1;
         }
         m
@@ -133,14 +138,31 @@ pub fn run_scenarios_shared(
     stack: &BeolStack,
     scenarios: &[Scenario],
 ) -> Result<Vec<(String, TimingReport)>> {
+    run_scenarios_shared_on(tc_par::Pool::from_env(), nl, stack, scenarios)
+}
+
+/// [`run_scenarios_shared`] on an explicit worker pool: corners are
+/// independent given the shared structure, so each runs as one pool
+/// task. Results come back in scenario order regardless of completion
+/// order, and the first failing corner (in scenario order) wins error
+/// reporting — identical behavior to the sequential loop.
+///
+/// # Errors
+///
+/// Propagates the first failing scenario run.
+pub fn run_scenarios_shared_on(
+    pool: tc_par::Pool,
+    nl: &Netlist,
+    stack: &BeolStack,
+    scenarios: &[Scenario],
+) -> Result<Vec<(String, TimingReport)>> {
     let Some(first) = scenarios.first() else {
         return Ok(Vec::new());
     };
     // Levelization depends only on which masters are flops, which is
     // identical across PVT-recharacterized libraries of one design.
     let graph = Arc::new(TimingGraph::build(nl, &first.lib)?);
-    let mut reports = Vec::with_capacity(scenarios.len());
-    for s in scenarios {
+    pool.scope_map(scenarios, |_, s| {
         let _span = tc_obs::span(&format!("corner.{}", s.name));
         let timer = Timer::with_structure(
             nl,
@@ -150,9 +172,10 @@ pub fn run_scenarios_shared(
             s.beol,
             Arc::clone(&graph),
         )?;
-        reports.push((s.name.clone(), timer.report(nl)));
-    }
-    Ok(reports)
+        Ok((s.name.clone(), timer.report(nl)))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// [`run_and_merge`] over one shared timing graph.
@@ -168,26 +191,64 @@ pub fn run_and_merge_shared(
     Ok(merge_reports(&run_scenarios_shared(nl, stack, scenarios)?))
 }
 
+/// A total order on endpoints (kind, then id) used as the merge-sort
+/// tiebreak so equal-slack endpoints always report in the same order.
+fn endpoint_key(e: &Endpoint) -> (u8, usize) {
+    match e {
+        Endpoint::FlopD(c) => (0, c.index()),
+        Endpoint::Output(n) => (1, n.index()),
+    }
+}
+
 /// Folds per-endpoint worst slacks across named reports.
+///
+/// Degenerate corners do not poison the merge: a report with zero
+/// endpoints contributes nothing (counted on `mcmm.empty_reports`), and
+/// a NaN setup or hold slack is skipped for that check (counted on
+/// `mcmm.nonfinite_slacks`) rather than propagating into the merged
+/// WNS/TNS. Non-NaN infinities are kept — `+inf` hold slack is the
+/// legitimate "no hold check" marker at primary outputs.
 pub fn merge_reports(reports: &[(String, TimingReport)]) -> MergedReport {
+    let mut empty_reports = 0u64;
+    let mut nonfinite = 0u64;
     let mut map: HashMap<Endpoint, MergedEndpoint> = HashMap::new();
     for (name, rep) in reports {
+        if rep.endpoints.is_empty() {
+            empty_reports += 1;
+            continue;
+        }
         for ep in &rep.endpoints {
             let entry = map.entry(ep.endpoint).or_insert_with(|| MergedEndpoint {
                 endpoint: ep.endpoint,
                 setup: (Ps::new(f64::INFINITY), String::new()),
                 hold: (Ps::new(f64::INFINITY), String::new()),
             });
-            if ep.setup_slack < entry.setup.0 {
+            if ep.setup_slack.value().is_nan() {
+                nonfinite += 1;
+            } else if ep.setup_slack < entry.setup.0 {
                 entry.setup = (ep.setup_slack, name.clone());
             }
-            if ep.hold_slack < entry.hold.0 {
+            if ep.hold_slack.value().is_nan() {
+                nonfinite += 1;
+            } else if ep.hold_slack < entry.hold.0 {
                 entry.hold = (ep.hold_slack, name.clone());
             }
         }
     }
+    if empty_reports > 0 {
+        tc_obs::counter("mcmm.empty_reports").add(empty_reports);
+    }
+    if nonfinite > 0 {
+        tc_obs::counter("mcmm.nonfinite_slacks").add(nonfinite);
+    }
     let mut endpoints: Vec<MergedEndpoint> = map.into_values().collect();
-    endpoints.sort_by(|a, b| a.setup.0.value().total_cmp(&b.setup.0.value()));
+    endpoints.sort_by(|a, b| {
+        a.setup
+            .0
+            .value()
+            .total_cmp(&b.setup.0.value())
+            .then_with(|| endpoint_key(&a.endpoint).cmp(&endpoint_key(&b.endpoint)))
+    });
     MergedReport { endpoints }
 }
 
@@ -296,6 +357,52 @@ mod more_tests {
         assert_eq!(merged.wns(), Ps::new(-8.0));
         // Sorted worst-first.
         assert!(merged.endpoints[0].setup.0 <= merged.endpoints[1].setup.0);
+    }
+
+    #[test]
+    fn degenerate_reports_do_not_poison_merge() {
+        // A zero-endpoint corner and a NaN-slack corner ride along with a
+        // healthy one; the merged WNS/TNS must come from the healthy one.
+        let healthy = report(vec![ep(0, -3.0, 4.0)]);
+        let empty = report(vec![]);
+        let nan = report(vec![ep(0, f64::NAN, f64::NAN)]);
+        let merged = merge_reports(&[
+            ("ok".into(), healthy),
+            ("empty".into(), empty),
+            ("nan".into(), nan),
+        ]);
+        assert_eq!(merged.endpoints.len(), 1);
+        assert_eq!(merged.wns(), Ps::new(-3.0));
+        assert_eq!(merged.hold_wns(), Ps::new(4.0));
+        assert_eq!(merged.endpoints[0].setup.1, "ok");
+        assert!(!merged.dominance().contains_key("nan"));
+    }
+
+    #[test]
+    fn endpoints_with_only_nan_slacks_carry_no_attribution() {
+        let nan_only = report(vec![ep(7, f64::NAN, f64::NAN)]);
+        let merged = merge_reports(&[("nan".into(), nan_only)]);
+        assert_eq!(merged.endpoints.len(), 1);
+        assert!(merged.endpoints[0].setup.1.is_empty());
+        // Unattributed endpoints are excluded from dominance counts.
+        assert!(merged.dominance().is_empty());
+    }
+
+    #[test]
+    fn merge_order_is_deterministic_under_slack_ties() {
+        // Equal slacks everywhere: order must fall back to endpoint ids,
+        // not HashMap iteration order.
+        let a = report(vec![ep(2, 1.0, 5.0), ep(0, 1.0, 5.0), ep(1, 1.0, 5.0)]);
+        let merged = merge_reports(&[("a".into(), a)]);
+        let ids: Vec<Endpoint> = merged.endpoints.iter().map(|e| e.endpoint).collect();
+        assert_eq!(
+            ids,
+            vec![
+                Endpoint::FlopD(CellId::new(0)),
+                Endpoint::FlopD(CellId::new(1)),
+                Endpoint::FlopD(CellId::new(2)),
+            ]
+        );
     }
 
     #[test]

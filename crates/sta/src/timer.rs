@@ -62,6 +62,12 @@ pub struct TimingGraph {
     /// Total timing-arc count of the design (1 per flop, 1 per
     /// combinational input pin) — the denominator of arc-reuse metrics.
     pub(crate) arc_count: u64,
+    /// Levelization ranks: contiguous index ranges of `order` holding
+    /// cells of equal logic depth. Cells within a rank are mutually
+    /// independent (an arc from `a` to `b` forces
+    /// `depth(b) ≥ depth(a) + 1`), so a rank may be evaluated in any
+    /// order — including in parallel — with bit-identical results.
+    pub(crate) ranks: Vec<std::ops::Range<usize>>,
 }
 
 impl TimingGraph {
@@ -90,11 +96,30 @@ impl TimingGraph {
                 cell.inputs.len() as u64
             };
         }
+        // Group the order into equal-depth ranks. Levelization's FIFO
+        // sweep enqueues depth-k cells only while processing depth-k−1
+        // cells, so `order` is depth-sorted and ranks are contiguous.
+        let mut ranks = Vec::new();
+        let mut start = 0usize;
+        for p in 1..=lv.order.len() {
+            if p == lv.order.len()
+                || lv.depth[lv.order[p].index()] != lv.depth[lv.order[start].index()]
+            {
+                debug_assert!(
+                    p == lv.order.len()
+                        || lv.depth[lv.order[p].index()] > lv.depth[lv.order[start].index()],
+                    "levelized order must be depth-sorted"
+                );
+                ranks.push(start..p);
+                start = p;
+            }
+        }
         Ok(TimingGraph {
             order: lv.order,
             order_pos,
             sink_index,
             arc_count,
+            ranks,
         })
     }
 
@@ -285,6 +310,7 @@ impl<'a> Timer<'a> {
             cons: &self.cons,
             beol_corner: self.beol_corner,
             beol_sample: None,
+            par: None,
         }
     }
 
@@ -299,6 +325,7 @@ impl<'a> Timer<'a> {
             cons: &self.cons,
             beol_corner: self.beol_corner,
             beol_sample: None,
+            par: None,
         };
         let (state, wires) = sta.propagate_with(&graph)?;
         self.state = state;
@@ -427,6 +454,7 @@ impl<'a> Timer<'a> {
             cons: &self.cons,
             beol_corner: self.beol_corner,
             beol_sample: None,
+            par: None,
         };
         let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
         let mut queued = vec![false; nl.cell_count()];

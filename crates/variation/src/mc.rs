@@ -10,6 +10,11 @@ use tc_liberty::Library;
 use tc_netlist::Netlist;
 use tc_sta::{Constraints, Sta};
 
+/// Samples per RNG stream in chunked Monte Carlo. Fixed (not derived
+/// from the worker count) so the drawn sequence is a pure function of
+/// `(n, seed)`.
+const MC_CHUNK: usize = 256;
+
 /// Local-variation model of one path stage.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct StageModel {
@@ -66,9 +71,29 @@ impl PathModel {
     }
 
     /// Runs `n` samples with the given seed.
+    ///
+    /// Samples are drawn in fixed-size chunks, each from its own
+    /// `(seed, chunk_index)` RNG stream, so the result is a pure
+    /// function of `(n, seed)` — bit-identical at any worker count
+    /// (including 1). The seeded stream therefore differs from the
+    /// historical single-`Rng` sequence, a one-time break recorded in
+    /// `EXPERIMENTS.md`.
     pub fn monte_carlo(&self, n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = Rng::seed_from(seed);
-        (0..n).map(|_| self.sample(&mut rng)).collect()
+        self.monte_carlo_on(tc_par::Pool::from_env(), n, seed)
+    }
+
+    /// [`monte_carlo`](Self::monte_carlo) on an explicit worker pool
+    /// (tests pin the worker count this way instead of mutating
+    /// `TC_PAR_THREADS`).
+    pub fn monte_carlo_on(&self, pool: tc_par::Pool, n: usize, seed: u64) -> Vec<f64> {
+        let mut out = vec![0.0f64; n];
+        pool.chunked_for_each(&mut out, MC_CHUNK, |chunk_index, slot| {
+            let mut rng = Rng::stream_from(seed, chunk_index as u64);
+            for s in slot.iter_mut() {
+                *s = self.sample(&mut rng);
+            }
+        });
+        out
     }
 
     /// Convenience: MC then split-tail sigma extraction (the LVF
@@ -82,9 +107,13 @@ impl PathModel {
 /// Carlo: each trial draws one per-layer variation sample and re-runs
 /// STA. Returns the WNS of each trial.
 ///
+/// Each trial draws its BEOL sample from its own `(seed, trial)` RNG
+/// stream, so the trial sequence is a pure function of `(trials, seed)`
+/// and the sweep parallelizes without reordering results.
+///
 /// # Errors
 ///
-/// Propagates STA failures.
+/// Propagates STA failures (first failing trial in trial order).
 pub fn beol_monte_carlo_wns(
     nl: &Netlist,
     lib: &Library,
@@ -93,16 +122,34 @@ pub fn beol_monte_carlo_wns(
     trials: usize,
     seed: u64,
 ) -> Result<Vec<Ps>> {
-    let mut rng = Rng::seed_from(seed);
-    let mut out = Vec::with_capacity(trials);
-    for _ in 0..trials {
+    beol_monte_carlo_wns_on(tc_par::Pool::from_env(), nl, lib, stack, cons, trials, seed)
+}
+
+/// [`beol_monte_carlo_wns`] on an explicit worker pool.
+///
+/// # Errors
+///
+/// Propagates STA failures (first failing trial in trial order).
+pub fn beol_monte_carlo_wns_on(
+    pool: tc_par::Pool,
+    nl: &Netlist,
+    lib: &Library,
+    stack: &BeolStack,
+    cons: &Constraints,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<Ps>> {
+    let trial_ids: Vec<u64> = (0..trials as u64).collect();
+    pool.scope_map(&trial_ids, |_, &trial| {
+        let mut rng = Rng::stream_from(seed, trial);
         let sample = stack.sample(&mut rng);
         let report = Sta::new(nl, lib, stack, cons)
             .with_beol_sample(&sample)
             .run()?;
-        out.push(report.wns());
-    }
-    Ok(out)
+        Ok(report.wns())
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

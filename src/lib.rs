@@ -47,6 +47,7 @@ pub use tc_device as device;
 pub use tc_interconnect as interconnect;
 pub use tc_liberty as liberty;
 pub use tc_netlist as netlist;
+pub use tc_par as par;
 pub use tc_placement as placement;
 pub use tc_signoff as signoff;
 pub use tc_sim as sim;
