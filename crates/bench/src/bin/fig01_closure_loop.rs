@@ -4,18 +4,24 @@
 //!
 //! Reproduces: per-iteration WNS/TNS/violation counts and the fix mix
 //! (Vt-swap first, then sizing, buffering, NDR, useful skew), plus the
-//! schedule model (three-day iterations). Runs under tc-obs: the
-//! per-phase timing report is printed after the table and the whole run
-//! (iterations + observability snapshot) lands in a JSON sidecar
-//! (`fig01_closure_loop.json`, directory `$TC_BENCH_OUT` or `.`).
+//! schedule model (three-day iterations). Runs under tc-obs with the
+//! flight recorder armed: the per-phase timing report is printed after
+//! the table, the whole run lands in a JSON sidecar
+//! (`fig01_closure_loop.json`), a schema-versioned run artifact in
+//! `RUN_fig01_closure_loop.json`, and the per-event trace in
+//! `fig01_closure_loop.trace.json` / `.folded` (directory
+//! `$TC_BENCH_OUT` or `.`).
 
-use tc_bench::{fmt, print_table, standard_env, write_json_sidecar};
+use tc_bench::{
+    fmt, print_table, standard_env, write_json_sidecar, write_run_artifact, write_trace_sidecars,
+};
 use tc_closure::flow::{ClosureConfig, ClosureFlow};
 use tc_obs::JsonValue;
 use tc_sta::{Constraints, Sta};
 
 fn main() {
     tc_obs::enable();
+    tc_obs::enable_trace(tc_obs::DEFAULT_TRACE_CAPACITY);
     let (lib, stack) = standard_env();
     let mut nl = tc_bench::bench_netlist(&lib, "soc_block", 2015);
 
@@ -86,6 +92,22 @@ fn main() {
     );
     println!("final: {}", out.final_report.summary());
 
+    // Signoff cross-check: a from-scratch full STA on the pool must
+    // agree with the incremental timer bit for bit. Doubles as the
+    // multi-thread section of the trace when TC_PAR_THREADS > 1.
+    let signoff = {
+        let _span = tc_obs::span("signoff.sta");
+        Sta::new(&nl, &lib, &stack, &out.constraints)
+            .with_parallel(tc_par::Pool::from_env())
+            .run()
+            .expect("signoff sta")
+    };
+    assert_eq!(
+        signoff.wns(),
+        out.final_report.wns(),
+        "parallel signoff STA disagrees with the incremental timer"
+    );
+
     let snapshot = tc_obs::snapshot();
     println!("\n{}", snapshot.render_text());
 
@@ -133,5 +155,18 @@ fn main() {
     match write_json_sidecar("fig01_closure_loop", &doc.render()) {
         Ok(path) => println!("sidecar: {}", path.display()),
         Err(e) => eprintln!("sidecar write failed: {e}"),
+    }
+
+    let artifact = flow
+        .run_artifact("fig01_closure_loop soc_block", &out)
+        .extra("final_cells", JsonValue::from(nl.cell_count()));
+    match write_run_artifact("fig01_closure_loop", &artifact) {
+        Ok(path) => println!("run artifact: {}", path.display()),
+        Err(e) => eprintln!("run artifact write failed: {e}"),
+    }
+    match write_trace_sidecars("fig01_closure_loop") {
+        Ok(Some(path)) => println!("trace: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("trace write failed: {e}"),
     }
 }

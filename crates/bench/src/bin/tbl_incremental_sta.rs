@@ -9,12 +9,16 @@
 //! wirelength changes) on the Fig 1 workload (`soc_block`, constrained
 //! 500 ps beyond natural Fmax) and times both answers per edit,
 //! asserting they agree bit-for-bit on WNS/TNS at every step. Results
-//! land in a `BENCH_incremental_sta.json` sidecar
-//! (directory `$TC_BENCH_OUT` or `.`).
+//! land in a `BENCH_incremental_sta.json` sidecar, a
+//! `RUN_tbl_incremental_sta.json` run artifact, and — with the flight
+//! recorder armed — `tbl_incremental_sta.trace.json` / `.folded` trace
+//! exports (directory `$TC_BENCH_OUT` or `.`).
 
 use std::time::Instant;
 
-use tc_bench::{fmt, print_table, standard_env, write_json_sidecar};
+use tc_bench::{
+    fmt, print_table, standard_env, write_json_sidecar, write_run_artifact, write_trace_sidecars,
+};
 use tc_core::ids::{CellId, NetId};
 use tc_core::rng::Rng;
 use tc_liberty::CellKind;
@@ -89,6 +93,9 @@ struct KindStats {
 }
 
 fn main() {
+    let run_start = Instant::now();
+    tc_obs::enable();
+    tc_obs::enable_trace(tc_obs::DEFAULT_TRACE_CAPACITY);
     let (lib, stack) = standard_env();
     let mut nl = tc_bench::bench_netlist(&lib, "soc_block", 2015);
 
@@ -104,7 +111,6 @@ fn main() {
         period
     );
 
-    tc_obs::enable();
     let mut timer = Timer::new(&nl, &lib, &stack, cons.clone()).expect("timer");
 
     const EDITS: usize = 40;
@@ -233,5 +239,37 @@ fn main() {
     match write_json_sidecar("BENCH_incremental_sta", &doc.render()) {
         Ok(path) => println!("sidecar: {}", path.display()),
         Err(e) => eprintln!("sidecar write failed: {e}"),
+    }
+
+    let mut artifact = tc_obs::RunArtifact::new("tbl_incremental_sta soc_block ECO replay")
+        .knob("ecos", EDITS)
+        .wall_ms(run_start.elapsed().as_secs_f64() * 1e3)
+        .extra("speedup", JsonValue::from(speedup))
+        .extra("arcs_recomputed", JsonValue::from(recomputed))
+        .extra("arcs_reused", JsonValue::from(reused))
+        .extra("period_ps", JsonValue::from(period))
+        .metrics(tc_obs::snapshot());
+    for k in kinds.iter().filter(|k| k.count > 0) {
+        artifact = artifact.iteration(JsonValue::obj([
+            ("fix", JsonValue::str(k.label)),
+            ("edits", JsonValue::from(k.count)),
+            (
+                "mean_full_us",
+                JsonValue::from(k.full_ns / k.count as f64 / 1_000.0),
+            ),
+            (
+                "mean_incremental_us",
+                JsonValue::from(k.incr_ns / k.count as f64 / 1_000.0),
+            ),
+        ]));
+    }
+    match write_run_artifact("tbl_incremental_sta", &artifact) {
+        Ok(path) => println!("run artifact: {}", path.display()),
+        Err(e) => eprintln!("run artifact write failed: {e}"),
+    }
+    match write_trace_sidecars("tbl_incremental_sta") {
+        Ok(Some(path)) => println!("trace: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("trace write failed: {e}"),
     }
 }

@@ -7,8 +7,10 @@
 //! (`soc_block`, constrained 500 ps beyond natural Fmax) at
 //! {1, 2, 4, 8} pool workers, asserts the merged report is
 //! bit-identical at every width, and records the wall clock per width.
-//! Results land in a `BENCH_parallel_corners.json` sidecar (directory
-//! `$TC_BENCH_OUT` or `.`).
+//! Results land in a `BENCH_parallel_corners.json` sidecar, a
+//! `RUN_tbl_parallel_corners.json` run artifact, and — with the flight
+//! recorder armed — `tbl_parallel_corners.trace.json` / `.folded`
+//! trace exports (directory `$TC_BENCH_OUT` or `.`).
 //!
 //! Speedup is only meaningful when the host exposes real parallelism;
 //! the sidecar records `host_threads` so a single-core CI runner's
@@ -17,7 +19,9 @@
 
 use std::time::Instant;
 
-use tc_bench::{fmt, print_table, standard_env, write_json_sidecar};
+use tc_bench::{
+    fmt, print_table, standard_env, write_json_sidecar, write_run_artifact, write_trace_sidecars,
+};
 use tc_interconnect::beol::BeolCorner;
 use tc_liberty::{LibConfig, Library, PvtCorner};
 use tc_obs::JsonValue;
@@ -87,6 +91,9 @@ fn scenarios(period_ps: f64) -> Vec<Scenario> {
 }
 
 fn main() {
+    let run_start = Instant::now();
+    tc_obs::enable();
+    tc_obs::enable_trace(tc_obs::DEFAULT_TRACE_CAPACITY);
     let (lib, stack) = standard_env();
     let nl = tc_bench::bench_netlist(&lib, "soc_block", 2015);
 
@@ -197,5 +204,29 @@ fn main() {
     match write_json_sidecar("BENCH_parallel_corners", &doc.render()) {
         Ok(path) => println!("sidecar: {}", path.display()),
         Err(e) => eprintln!("sidecar write failed: {e}"),
+    }
+
+    let mut artifact = tc_obs::RunArtifact::new("tbl_parallel_corners soc_block 8-corner MCMM")
+        .knob("reps", REPS)
+        .wall_ms(run_start.elapsed().as_secs_f64() * 1e3)
+        .extra("merged_fingerprint", JsonValue::str(format!("{hash:016x}")))
+        .extra("corners", JsonValue::from(scenarios.len()))
+        .extra("period_ps", JsonValue::from(period))
+        .metrics(tc_obs::snapshot());
+    for (&w, &ms) in WORKER_COUNTS.iter().zip(&wall_ms) {
+        artifact = artifact.iteration(JsonValue::obj([
+            ("workers", JsonValue::from(w)),
+            ("wall_ms", JsonValue::from(ms)),
+            ("speedup_vs_1", JsonValue::from(wall_ms[0] / ms)),
+        ]));
+    }
+    match write_run_artifact("tbl_parallel_corners", &artifact) {
+        Ok(path) => println!("run artifact: {}", path.display()),
+        Err(e) => eprintln!("run artifact write failed: {e}"),
+    }
+    match write_trace_sidecars("tbl_parallel_corners") {
+        Ok(Some(path)) => println!("trace: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("trace write failed: {e}"),
     }
 }

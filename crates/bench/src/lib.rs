@@ -182,6 +182,38 @@ pub fn write_json_sidecar(name: &str, json: &str) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
+/// Writes the current flight-recorder contents as two sidecars next to
+/// the figure output: `<name>.trace.json` (Chrome `trace_event` — load
+/// in `chrome://tracing` or Perfetto) and `<name>.folded` (folded
+/// stacks for `flamegraph.pl`). No-op returning `None` when tracing is
+/// off or nothing was recorded.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_trace_sidecars(name: &str) -> std::io::Result<Option<PathBuf>> {
+    let snap = tc_obs::trace_snapshot();
+    if snap.events.is_empty() {
+        return Ok(None);
+    }
+    let dir = std::env::var_os("TC_BENCH_OUT").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    std::fs::create_dir_all(&dir)?;
+    let trace = dir.join(format!("{name}.trace.json"));
+    std::fs::write(&trace, snap.to_chrome_trace())?;
+    std::fs::write(dir.join(format!("{name}.folded")), snap.to_folded())?;
+    Ok(Some(trace))
+}
+
+/// Writes a [`tc_obs::RunArtifact`] as `RUN_<name>.json` in
+/// `$TC_BENCH_OUT` (default: current directory), for `tcdiff` gating.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_run_artifact(name: &str, artifact: &tc_obs::RunArtifact) -> std::io::Result<PathBuf> {
+    write_json_sidecar(&format!("RUN_{name}"), &artifact.render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

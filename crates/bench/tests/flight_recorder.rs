@@ -1,0 +1,100 @@
+//! End-to-end flight-recorder check over a real engine run: an MCMM
+//! corner sweep on a pinned 2-worker pool must leave a valid,
+//! B/E-balanced Chrome trace with events from at least two threads.
+//! (Worker count is pinned here — CI runs the test suite with
+//! `TC_PAR_THREADS=1`, which must not flatten this trace.)
+
+use tc_interconnect::beol::BeolCorner;
+use tc_interconnect::BeolStack;
+use tc_liberty::{LibConfig, Library, PvtCorner};
+use tc_obs::JsonValue;
+use tc_par::Pool;
+use tc_signoff::corners::run_corner_set_on;
+use tc_sta::mcmm::Scenario;
+use tc_sta::Constraints;
+
+#[test]
+fn corner_sweep_on_two_workers_records_a_two_thread_trace() {
+    tc_obs::enable();
+    tc_obs::clear_trace();
+    tc_obs::enable_trace(tc_obs::DEFAULT_TRACE_CAPACITY);
+
+    let cfg = LibConfig::default();
+    let lib = Library::generate(&cfg, &PvtCorner::typical());
+    let nl = tc_bench::bench_netlist(&lib, "tiny", 7);
+    let stack = BeolStack::n20();
+    let scenarios: Vec<Scenario> = [
+        ("typ", PvtCorner::typical(), BeolCorner::Typical),
+        ("slow", PvtCorner::slow_cold(), BeolCorner::RcWorst),
+        ("fast", PvtCorner::fast_cold(), BeolCorner::CBest),
+        ("hot", PvtCorner::slow_hot(), BeolCorner::CWorst),
+    ]
+    .into_iter()
+    .map(|(name, pvt, beol)| Scenario {
+        name: name.to_string(),
+        lib: Library::generate(&cfg, &pvt),
+        beol,
+        constraints: Constraints::single_clock(4_000.0),
+    })
+    .collect();
+
+    run_corner_set_on(Pool::new(2), &nl, &stack, &scenarios).expect("corner sweep");
+
+    let snap = tc_obs::trace_snapshot();
+    tc_obs::disable_trace();
+    assert_eq!(snap.dropped, 0);
+    assert!(
+        snap.thread_ids().len() >= 2,
+        "a 2-worker sweep of 4 corners must emit from >=2 threads, got {:?}",
+        snap.thread_ids()
+    );
+    assert!(
+        snap.events
+            .iter()
+            .filter(|e| &*e.name == "par.task")
+            .count()
+            >= 4,
+        "every claimed corner emits a par.task scope"
+    );
+
+    let text = snap.to_chrome_trace();
+    let doc = JsonValue::parse(&text).expect("chrome trace is valid JSON");
+    let JsonValue::Obj(pairs) = &doc else {
+        panic!("trace document is not an object");
+    };
+    let Some((_, JsonValue::Arr(events))) = pairs.iter().find(|(k, _)| k == "traceEvents") else {
+        panic!("no traceEvents array");
+    };
+    let mut depth = std::collections::BTreeMap::new();
+    let mut last_ts = std::collections::BTreeMap::new();
+    for ev in events {
+        let JsonValue::Obj(fields) = ev else {
+            panic!("event is not an object")
+        };
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let Some(JsonValue::Str(ph)) = get("ph") else {
+            panic!("event without ph")
+        };
+        let Some(JsonValue::Num(ts)) = get("ts") else {
+            panic!("event without ts")
+        };
+        let Some(JsonValue::Num(tid)) = get("tid") else {
+            panic!("event without tid")
+        };
+        let tid = *tid as u64;
+        if let Some(prev) = last_ts.insert(tid, *ts) {
+            assert!(*ts >= prev, "ts regressed on tid {tid}");
+        }
+        let d = depth.entry(tid).or_insert(0i64);
+        match ph.as_str() {
+            "B" => *d += 1,
+            "E" => {
+                *d -= 1;
+                assert!(*d >= 0, "unmatched E on tid {tid}");
+            }
+            _ => {}
+        }
+    }
+    assert!(depth.len() >= 2, "exported trace spans >=2 tids");
+    assert!(depth.values().all(|&d| d == 0), "unbalanced B/E: {depth:?}");
+}

@@ -386,6 +386,77 @@ impl<'a> ClosureFlow<'a> {
         })
     }
 
+    /// Packages a finished run as a schema-versioned [`tc_obs::RunArtifact`]:
+    /// the config knobs that shaped the loop, one JSON record per
+    /// iteration (WNS/TNS trajectory, fix edits, wall clock, engine
+    /// counter deltas), the closure verdict, and — when `tc_obs` is
+    /// enabled — the full metrics snapshot. Harnesses write this next to
+    /// their figure sidecars so `tcdiff` can gate any two runs.
+    pub fn run_artifact(&self, workload: &str, out: &ClosureOutcome) -> tc_obs::RunArtifact {
+        use tc_obs::JsonValue;
+        let wall_ms: f64 = out.iterations.iter().map(|r| r.elapsed_ms).sum();
+        let mut artifact = tc_obs::RunArtifact::new(workload)
+            .knob("use_incremental", self.config.use_incremental)
+            .knob("parallel_sta", self.config.parallel_sta)
+            .knob("max_iterations", self.config.max_iterations)
+            .knob("k_paths", self.config.k_paths)
+            .knob("budget_per_pass", self.config.budget_per_pass)
+            .wall_ms(wall_ms)
+            .extra("closed", JsonValue::from(out.closed))
+            .extra("days", JsonValue::from(out.days))
+            .extra(
+                "final_wns_ps",
+                JsonValue::from(out.final_report.wns().value()),
+            )
+            .extra(
+                "final_tns_ps",
+                JsonValue::from(out.final_report.tns().value()),
+            );
+        for rec in &out.iterations {
+            let fixes = rec
+                .fixes
+                .iter()
+                .map(|(kind, edits)| {
+                    JsonValue::Obj(vec![
+                        ("fix".to_string(), JsonValue::str(kind.label())),
+                        ("edits".to_string(), JsonValue::from(*edits)),
+                    ])
+                })
+                .collect();
+            let counters = rec
+                .counter_deltas
+                .iter()
+                .map(|(name, v)| (name.clone(), JsonValue::from(*v)))
+                .collect();
+            artifact = artifact.iteration(JsonValue::Obj(vec![
+                ("iteration".to_string(), JsonValue::from(rec.iteration)),
+                (
+                    "wns_before_ps".to_string(),
+                    JsonValue::from(rec.wns_before.value()),
+                ),
+                (
+                    "wns_after_ps".to_string(),
+                    JsonValue::from(rec.wns_after.value()),
+                ),
+                (
+                    "tns_after_ps".to_string(),
+                    JsonValue::from(rec.tns_after.value()),
+                ),
+                (
+                    "violations_after".to_string(),
+                    JsonValue::from(rec.violations_after),
+                ),
+                ("fixes".to_string(), JsonValue::Arr(fixes)),
+                ("elapsed_ms".to_string(), JsonValue::from(rec.elapsed_ms)),
+                ("counter_deltas".to_string(), JsonValue::Obj(counters)),
+            ]));
+        }
+        if tc_obs::is_enabled() {
+            artifact = artifact.metrics(tc_obs::snapshot());
+        }
+        artifact
+    }
+
     fn apply_fix(
         &self,
         kind: FixKind,
@@ -552,6 +623,58 @@ mod tests {
                 nl.validate(&lib).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn run_artifact_captures_knobs_trajectory_and_verdict() {
+        let (lib, stack, mut nl, cons) = env(-40.0);
+        let cfg = ClosureConfig {
+            max_iterations: 2,
+            ..Default::default()
+        };
+        let mut flow = ClosureFlow::new(&lib, &stack, cfg);
+        let out = flow.run(&mut nl, cons).unwrap();
+        let artifact = flow.run_artifact("flow_test tiny", &out);
+        let text = artifact.render();
+        let doc = tc_obs::JsonValue::parse(&text).expect("artifact renders valid JSON");
+        let tc_obs::JsonValue::Obj(fields) = &doc else {
+            panic!("artifact is not an object");
+        };
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        assert_eq!(
+            get("schema_version"),
+            Some(&tc_obs::JsonValue::from(
+                tc_obs::RUN_ARTIFACT_SCHEMA_VERSION
+            ))
+        );
+        assert_eq!(
+            get("kind"),
+            Some(&tc_obs::JsonValue::str(tc_obs::RUN_ARTIFACT_KIND))
+        );
+        let Some(tc_obs::JsonValue::Obj(knobs)) = get("knobs") else {
+            panic!("artifact has no knobs object");
+        };
+        for knob in [
+            "use_incremental",
+            "parallel_sta",
+            "max_iterations",
+            "TC_PAR_THREADS",
+        ] {
+            assert!(knobs.iter().any(|(k, _)| k == knob), "missing knob {knob}");
+        }
+        let Some(tc_obs::JsonValue::Arr(iters)) = get("iterations") else {
+            panic!("artifact has no iterations array");
+        };
+        assert_eq!(iters.len(), out.iterations.len());
+        assert_eq!(
+            get("closed"),
+            Some(&tc_obs::JsonValue::from(out.closed)),
+            "closure verdict is recorded"
+        );
+        assert_eq!(
+            get("final_wns_ps"),
+            Some(&tc_obs::JsonValue::from(out.final_report.wns().value()))
+        );
     }
 
     #[test]

@@ -94,6 +94,51 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the log₂ bucket holding the target rank, clamped to the
+    /// exact observed `[min, max]`. Returns 0 when empty.
+    ///
+    /// Bucket resolution bounds the error: within a bucket the samples
+    /// are assumed uniform, so the estimate is exact at bucket edges
+    /// and at worst off by one bucket width.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0.0;
+        for &(lo, hi, n) in &self.buckets {
+            let next = cum + n as f64;
+            if next >= target {
+                let frac = if n == 0 {
+                    0.0
+                } else {
+                    ((target - cum) / n as f64).clamp(0.0, 1.0)
+                };
+                let est = lo + (hi - lo) * frac;
+                return est.clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// A consistent point-in-time view of all recorded metrics.
@@ -177,11 +222,14 @@ impl Snapshot {
             out.push_str("histograms\n");
             for h in &self.histograms {
                 out.push_str(&format!(
-                    "  {:<34} n={} mean={:.2} min={:.2} max={:.2}\n",
+                    "  {:<34} n={} mean={:.2} min={:.2} p50={:.2} p90={:.2} p99={:.2} max={:.2}\n",
                     h.name,
                     h.count,
                     h.mean(),
                     h.min,
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
                     h.max
                 ));
                 for &(lo, hi, n) in &h.buckets {
@@ -236,6 +284,9 @@ impl Snapshot {
                     ("count", JsonValue::from(h.count)),
                     ("sum", JsonValue::from(h.sum)),
                     ("min", JsonValue::from(h.min)),
+                    ("p50", JsonValue::from(h.p50())),
+                    ("p90", JsonValue::from(h.p90())),
+                    ("p99", JsonValue::from(h.p99())),
                     ("max", JsonValue::from(h.max)),
                     ("buckets", JsonValue::Arr(buckets)),
                 ])
@@ -290,6 +341,9 @@ impl Snapshot {
                     ("count", JsonValue::from(h.count)),
                     ("sum", JsonValue::from(h.sum)),
                     ("min", JsonValue::from(h.min)),
+                    ("p50", JsonValue::from(h.p50())),
+                    ("p90", JsonValue::from(h.p90())),
+                    ("p99", JsonValue::from(h.p99())),
                     ("max", JsonValue::from(h.max)),
                 ])
                 .render(),

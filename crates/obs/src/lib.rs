@@ -18,13 +18,27 @@
 //!   pass, corners per signoff run.
 //! * **Exporters** — a flame-style text report and JSON / JSONL
 //!   ([`Snapshot::render_text`], [`Snapshot::to_json`],
-//!   [`Snapshot::to_jsonl`]), plus the tiny [`json`] builder the figure
-//!   harnesses use for their sidecar files.
+//!   [`Snapshot::to_jsonl`]), plus the tiny [`json`] builder (and
+//!   parser, [`JsonValue::parse`]) the figure harnesses and `tcdiff`
+//!   use for their sidecar files.
+//! * **The flight recorder** ([`trace`]) — opt-in per-event tracing on
+//!   bounded per-thread rings ([`enable_trace`]): every span open/close
+//!   and counter add becomes a timestamped [`TraceEvent`], exportable
+//!   as Chrome `trace_event` JSON ([`TraceSnapshot::to_chrome_trace`],
+//!   loads in `chrome://tracing` / Perfetto) or folded flamegraph text
+//!   ([`TraceSnapshot::to_folded`]).
+//! * **Run artifacts** ([`RunArtifact`]) — one schema-versioned JSON
+//!   document per harness/closure run (workload, knobs, metrics,
+//!   per-iteration records, wall clock) that the `tcdiff` binary diffs
+//!   to gate performance regressions.
 //!
 //! Everything is std-only (`Instant`, `Mutex`, atomics) so offline
 //! builds keep working, and the whole layer is **off by default**:
 //! until [`enable`] is called a span is a no-op guard and a counter add
-//! is one relaxed atomic load plus an untaken branch.
+//! is one relaxed atomic load plus an untaken branch. The flight
+//! recorder adds a second gate: even with the base layer on, trace
+//! emission costs one more relaxed load until [`enable_trace`] turns
+//! it on.
 //!
 //! # Span / counter taxonomy
 //!
@@ -54,6 +68,8 @@
 //! | `sim.newton.steps` | counter | accepted backward-Euler steps |
 //! | `sim.newton.iters` | counter | Newton iterations across steps |
 //! | `sim.newton.iters_per_step` | histogram | convergence profile |
+//! | `par.task` | trace scope | one pool work item (timeline only, no span path) |
+//! | `obs.trace.dropped` | counter | trace events lost to full rings |
 //!
 //! [`ClosureFlow::run`]: ../tc_closure/flow/struct.ClosureFlow.html
 //! [`Sta::run`]: ../tc_sta/struct.Sta.html
@@ -74,17 +90,24 @@
 //! println!("{}", snap.render_text());
 //! ```
 
+pub mod artifact;
 pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
+pub use artifact::{RunArtifact, RUN_ARTIFACT_KIND, RUN_ARTIFACT_SCHEMA_VERSION};
 pub use export::{HistogramSnapshot, Snapshot, SpanSnapshot};
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram};
 pub use registry::{counter, disable, enable, histogram, is_enabled, reset, snapshot};
 pub use span::{current_span_path, span, span_parent, SpanGuard, SpanParentGuard};
+pub use trace::{
+    clear_trace, disable_trace, enable_trace, trace_enabled, trace_scope, trace_snapshot,
+    TraceBuffer, TraceEvent, TraceEventKind, TraceScope, TraceSnapshot, DEFAULT_TRACE_CAPACITY,
+};
 
 #[cfg(test)]
 mod tests {

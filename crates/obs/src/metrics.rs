@@ -7,21 +7,31 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::registry::is_enabled;
+use crate::trace;
 
 /// A monotonically-increasing event counter.
 #[derive(Clone)]
-pub struct Counter(Arc<AtomicU64>);
+pub struct Counter {
+    name: Arc<str>,
+    cell: Arc<AtomicU64>,
+}
 
 impl Counter {
-    pub(crate) fn new(cell: Arc<AtomicU64>) -> Self {
-        Counter(cell)
+    pub(crate) fn new(name: &str, cell: Arc<AtomicU64>) -> Self {
+        Counter {
+            name: Arc::from(name),
+            cell,
+        }
     }
 
-    /// Adds `n` events. A no-op (one relaxed load) while disabled.
+    /// Adds `n` events. A no-op (one relaxed load) while disabled; with
+    /// the flight recorder on, also appends a counter-delta trace event
+    /// to the calling thread's ring.
     #[inline]
     pub fn add(&self, n: u64) {
         if is_enabled() {
-            self.0.fetch_add(n, Ordering::Relaxed);
+            self.cell.fetch_add(n, Ordering::Relaxed);
+            trace::counter_delta(&self.name, n);
         }
     }
 
@@ -31,9 +41,17 @@ impl Counter {
         self.add(1);
     }
 
+    /// Adds `n` without the enabled check or trace emission. The trace
+    /// layer's own bookkeeping (`obs.trace.dropped`) uses this to avoid
+    /// re-entering a full ring.
+    #[inline]
+    pub(crate) fn add_raw(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.cell.load(Ordering::Relaxed)
     }
 }
 

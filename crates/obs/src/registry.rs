@@ -33,6 +33,9 @@ struct Inner {
 /// the crate root) rather than holding one directly.
 pub struct Registry {
     enabled: AtomicBool,
+    /// Bumped by [`reset`]: span guards opened before a reset refuse to
+    /// record into the registry that replaced theirs.
+    epoch: AtomicU64,
     inner: Mutex<Inner>,
 }
 
@@ -40,8 +43,15 @@ fn global() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(|| Registry {
         enabled: AtomicBool::new(false),
+        epoch: AtomicU64::new(0),
         inner: Mutex::new(Inner::default()),
     })
+}
+
+/// The current reset generation (see [`reset`]).
+#[inline]
+pub(crate) fn reset_epoch() -> u64 {
+    global().epoch.load(Ordering::Relaxed)
 }
 
 /// Turns instrumentation on. Until this is called every span is a no-op
@@ -89,7 +99,7 @@ pub fn counter(name: &str) -> Counter {
         .entry(name.to_string())
         .or_insert_with(|| Arc::new(AtomicU64::new(0)))
         .clone();
-    Counter::new(cell)
+    Counter::new(name, cell)
 }
 
 /// Fetches (registering on first use) the histogram named `name`.
@@ -103,9 +113,13 @@ pub fn histogram(name: &str) -> Histogram {
     Histogram::new(cell)
 }
 
-/// Clears all span statistics and histograms and zeroes every counter.
-/// Existing [`Counter`]/[`Histogram`] handles remain valid.
+/// Clears all span statistics and histograms, zeroes every counter, and
+/// drains the flight recorder's trace rings. Existing
+/// [`Counter`]/[`Histogram`] handles remain valid. A [`crate::SpanGuard`]
+/// open across the reset stays harmless: it keeps the thread-local path
+/// stack consistent but records nothing into the fresh registry.
 pub fn reset() {
+    global().epoch.fetch_add(1, Ordering::Relaxed);
     let mut inner = global().inner.lock().expect("obs registry poisoned");
     inner.spans.clear();
     for c in inner.counters.values() {
@@ -114,6 +128,8 @@ pub fn reset() {
     for h in inner.hists.values() {
         *h.lock().expect("obs histogram poisoned") = HistData::default();
     }
+    drop(inner);
+    crate::trace::clear_trace();
 }
 
 /// Takes a consistent snapshot of everything recorded so far.

@@ -9,7 +9,8 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
-use crate::registry::{is_enabled, record_span};
+use crate::registry::{is_enabled, record_span, reset_epoch};
+use crate::trace;
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
@@ -18,6 +19,13 @@ thread_local! {
 struct ActiveSpan {
     path: String,
     start: Instant,
+    /// [`reset_epoch`] at open time: a guard that outlives a
+    /// [`crate::reset`] must not record a stale duration into the
+    /// fresh registry.
+    epoch: u64,
+    /// Whether a trace Begin event was emitted (so the End stays
+    /// paired even if tracing is toggled mid-span).
+    traced: bool,
 }
 
 /// RAII guard for an open span; records elapsed time on drop.
@@ -49,9 +57,12 @@ pub fn span(name: &str) -> SpanGuard {
         stack.push(path.clone());
         path
     });
+    let traced = trace::span_begin(name);
     SpanGuard(Some(ActiveSpan {
         path,
         start: Instant::now(),
+        epoch: reset_epoch(),
+        traced,
     }))
 }
 
@@ -69,7 +80,15 @@ impl Drop for SpanGuard {
                     stack.remove(pos);
                 }
             });
-            record_span(&active.path, elapsed);
+            if active.traced {
+                let name = active.path.rsplit('/').next().unwrap_or(&active.path);
+                trace::span_end(name);
+            }
+            // A reset() between open and close means this duration
+            // belongs to the wiped registry, not the fresh one.
+            if active.epoch == reset_epoch() {
+                record_span(&active.path, elapsed);
+            }
         }
     }
 }

@@ -1,0 +1,415 @@
+//! The flight recorder: a bounded per-thread trace-event ring under the
+//! aggregate span/counter layer.
+//!
+//! Aggregation by path ([`crate::registry`]) answers "where did the
+//! wall clock go *in total*", but the closure loop's schedule questions
+//! — does the parallel corner sweep actually overlap? which iteration's
+//! fix pass stalled? — need the *timeline*. When tracing is enabled
+//! ([`enable_trace`]), every span open/close and counter add also
+//! appends one [`TraceEvent`] (thread id, monotonic timestamp) to the
+//! calling thread's ring.
+//!
+//! Design constraints, in order:
+//!
+//! * **Near-zero cost when off.** Emission starts with one relaxed
+//!   atomic load; tracing off means nothing else runs. Tracing is
+//!   independent of the base layer's [`crate::enable`] flag only in the
+//!   sense that [`enable_trace`] turns both on.
+//! * **Bounded memory.** Each thread's ring holds at most the capacity
+//!   passed to [`enable_trace`]. A full ring drops the new event and
+//!   increments the ring's drop count (surfaced as the
+//!   `obs.trace.dropped` counter) — it never reallocates and never
+//!   panics.
+//! * **Per-thread, contention-free.** A thread only ever locks its own
+//!   ring; the global registry of rings is locked on first use per
+//!   thread and at snapshot time.
+//!
+//! [`trace_snapshot`] collects every thread's events (sorted by thread
+//! id, then timestamp) into a [`TraceSnapshot`], which exports to the
+//! Chrome `trace_event` JSON format (`chrome://tracing` / Perfetto) and
+//! to folded-stack text for flamegraph tooling.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::JsonValue;
+
+/// What one trace event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span opened (Chrome `ph:"B"`).
+    Begin,
+    /// A span closed (Chrome `ph:"E"`).
+    End,
+    /// A counter moved by `delta` (Chrome `ph:"C"`).
+    Counter,
+}
+
+/// One recorded event: span begin/end or counter delta.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event kind.
+    pub kind: TraceEventKind,
+    /// Span name (leaf, not full path) or counter name.
+    pub name: Arc<str>,
+    /// Flight-recorder thread id (small dense integers assigned in
+    /// first-emission order; not the OS tid).
+    pub tid: u64,
+    /// Nanoseconds since the recorder's epoch (first enable), from a
+    /// monotonic clock.
+    pub ts_ns: u64,
+    /// Counter delta (`0` for span events).
+    pub delta: u64,
+}
+
+/// One thread's bounded event buffer.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    fn push(&mut self, ev: TraceEvent, capacity: usize) -> bool {
+        if self.events.len() >= capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.events.push(ev);
+            true
+        }
+    }
+}
+
+struct TraceState {
+    enabled: AtomicBool,
+    capacity: AtomicUsize,
+    epoch: OnceLock<Instant>,
+    next_tid: AtomicU64,
+    rings: Mutex<Vec<Arc<Mutex<TraceBuffer>>>>,
+    /// Events dropped by rings that were drained by `clear_trace` (so
+    /// the total survives a registry reset of the counter mirror).
+    dropped_total: AtomicU64,
+}
+
+fn state() -> &'static TraceState {
+    static STATE: OnceLock<TraceState> = OnceLock::new();
+    STATE.get_or_init(|| TraceState {
+        enabled: AtomicBool::new(false),
+        capacity: AtomicUsize::new(0),
+        epoch: OnceLock::new(),
+        next_tid: AtomicU64::new(0),
+        rings: Mutex::new(Vec::new()),
+        dropped_total: AtomicU64::new(0),
+    })
+}
+
+thread_local! {
+    static RING: RefCell<Option<(u64, Arc<Mutex<TraceBuffer>>)>> = const { RefCell::new(None) };
+}
+
+/// Default per-thread ring capacity (events) when none is given.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// Turns the flight recorder on with the given per-thread ring capacity
+/// (events). Also calls [`crate::enable`] — the recorder listens to the
+/// span/counter emission points, so the base layer must be live.
+///
+/// Calling it again updates the capacity; existing ring contents are
+/// kept (rings never shrink below their current length).
+pub fn enable_trace(capacity: usize) {
+    let s = state();
+    s.capacity.store(capacity.max(1), Ordering::Relaxed);
+    let _ = s.epoch.set(Instant::now());
+    s.enabled.store(true, Ordering::Relaxed);
+    crate::registry::enable();
+}
+
+/// Turns the flight recorder off. Ring contents stay collectable via
+/// [`trace_snapshot`] until [`clear_trace`] (or [`crate::reset`]).
+pub fn disable_trace() {
+    state().enabled.store(false, Ordering::Relaxed);
+}
+
+/// Whether the flight recorder is currently on.
+#[inline]
+pub fn trace_enabled() -> bool {
+    state().enabled.load(Ordering::Relaxed)
+}
+
+/// Drains every thread's ring and forgets recorded events. Drop totals
+/// are preserved (they are cumulative for the process).
+pub fn clear_trace() {
+    let s = state();
+    let rings = s.rings.lock().expect("obs trace rings poisoned");
+    for ring in rings.iter() {
+        let mut ring = ring.lock().expect("obs trace ring poisoned");
+        s.dropped_total.fetch_add(ring.dropped, Ordering::Relaxed);
+        ring.dropped = 0;
+        ring.events.clear();
+    }
+}
+
+fn now_ns() -> u64 {
+    let epoch = state().epoch.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Appends one event to the calling thread's ring. Caller has already
+/// checked [`trace_enabled`].
+fn emit(kind: TraceEventKind, name: &str, delta: u64) {
+    let capacity = state().capacity.load(Ordering::Relaxed);
+    let ts_ns = now_ns();
+    RING.with(|cell| {
+        let mut cell = cell.borrow_mut();
+        let (tid, ring) = cell.get_or_insert_with(|| {
+            let s = state();
+            let tid = s.next_tid.fetch_add(1, Ordering::Relaxed);
+            let ring = Arc::new(Mutex::new(TraceBuffer::default()));
+            s.rings
+                .lock()
+                .expect("obs trace rings poisoned")
+                .push(ring.clone());
+            (tid, ring)
+        });
+        let ev = TraceEvent {
+            kind,
+            name: Arc::from(name),
+            tid: *tid,
+            ts_ns,
+            delta,
+        };
+        if !ring
+            .lock()
+            .expect("obs trace ring poisoned")
+            .push(ev, capacity)
+        {
+            // Mirror drops into the aggregate layer so a snapshot taken
+            // without the trace shows the loss too. `add_raw` bypasses
+            // trace emission — re-entering the full ring here would
+            // recurse.
+            crate::registry::counter("obs.trace.dropped").add_raw(1);
+        }
+    });
+}
+
+/// Records a span-begin event (called from [`crate::span`]).
+#[inline]
+pub(crate) fn span_begin(name: &str) -> bool {
+    if !trace_enabled() {
+        return false;
+    }
+    emit(TraceEventKind::Begin, name, 0);
+    true
+}
+
+/// Records a span-end event. Paired with a `span_begin` that returned
+/// `true`, so B/E stay balanced even if tracing was toggled mid-span.
+#[inline]
+pub(crate) fn span_end(name: &str) {
+    emit(TraceEventKind::End, name, 0);
+}
+
+/// Records a counter-delta event (called from [`crate::Counter::add`]).
+#[inline]
+pub(crate) fn counter_delta(name: &str, delta: u64) {
+    if trace_enabled() {
+        emit(TraceEventKind::Counter, name, delta);
+    }
+}
+
+/// A trace-only scope: emits a begin event now and the matching end
+/// event on drop, without touching the aggregate span registry. Worker
+/// pools wrap each claimed task in one so timelines show per-task
+/// parallelism without registering a span path per item.
+#[must_use = "the trace scope closes when its guard drops"]
+pub struct TraceScope(Option<&'static str>);
+
+/// Opens a trace-only scope named `name`. A no-op unless the recorder
+/// is enabled.
+pub fn trace_scope(name: &'static str) -> TraceScope {
+    if span_begin(name) {
+        TraceScope(Some(name))
+    } else {
+        TraceScope(None)
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if let Some(name) = self.0.take() {
+            span_end(name);
+        }
+    }
+}
+
+/// Every thread's recorded events, collected at one point in time.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSnapshot {
+    /// Events sorted by `(tid, ts_ns)`.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to full rings, process-cumulative.
+    pub dropped: u64,
+}
+
+/// Collects every thread's ring into one [`TraceSnapshot`]. Rings are
+/// left intact (snapshotting is read-only).
+pub fn trace_snapshot() -> TraceSnapshot {
+    let s = state();
+    let rings = s.rings.lock().expect("obs trace rings poisoned");
+    let mut events = Vec::new();
+    let mut dropped = s.dropped_total.load(Ordering::Relaxed);
+    for ring in rings.iter() {
+        let ring = ring.lock().expect("obs trace ring poisoned");
+        events.extend(ring.events.iter().cloned());
+        dropped += ring.dropped;
+    }
+    drop(rings);
+    events.sort_by_key(|a| (a.tid, a.ts_ns));
+    TraceSnapshot { events, dropped }
+}
+
+impl TraceSnapshot {
+    /// Thread ids present, ascending.
+    pub fn thread_ids(&self) -> Vec<u64> {
+        let mut tids: Vec<u64> = self.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids
+    }
+
+    /// Renders the Chrome `trace_event` JSON document: an object with a
+    /// `traceEvents` array of `B`/`E`/`C` events (timestamps in µs),
+    /// loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+    ///
+    /// Counter events carry a process-wide running total per counter
+    /// name (computed in timestamp order), so the counter track plots
+    /// the cumulative value, not the raw delta.
+    pub fn to_chrome_trace(&self) -> String {
+        // Running totals must accumulate in time order even though
+        // events are stored sorted by (tid, ts).
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| self.events[i].ts_ns);
+        let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut running = vec![0u64; self.events.len()];
+        for &i in &order {
+            let e = &self.events[i];
+            if e.kind == TraceEventKind::Counter {
+                let t = totals.entry(&e.name).or_insert(0);
+                *t += e.delta;
+                running[i] = *t;
+            }
+        }
+        let trace_events: Vec<JsonValue> = self
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let ph = match e.kind {
+                    TraceEventKind::Begin => "B",
+                    TraceEventKind::End => "E",
+                    TraceEventKind::Counter => "C",
+                };
+                let mut fields = vec![
+                    ("name", JsonValue::str(e.name.as_ref())),
+                    ("cat", JsonValue::str("tc")),
+                    ("ph", JsonValue::str(ph)),
+                    ("ts", JsonValue::from(e.ts_ns as f64 / 1e3)),
+                    ("pid", JsonValue::from(1u64)),
+                    ("tid", JsonValue::from(e.tid)),
+                ];
+                if e.kind == TraceEventKind::Counter {
+                    fields.push((
+                        "args",
+                        JsonValue::obj([
+                            ("value", JsonValue::from(running[i])),
+                            ("delta", JsonValue::from(e.delta)),
+                        ]),
+                    ));
+                }
+                JsonValue::obj(fields)
+            })
+            .collect();
+        JsonValue::obj([
+            ("traceEvents", JsonValue::Arr(trace_events)),
+            ("displayTimeUnit", JsonValue::str("ms")),
+            (
+                "otherData",
+                JsonValue::obj([("dropped_events", JsonValue::from(self.dropped))]),
+            ),
+        ])
+        .render()
+    }
+
+    /// Renders folded-stack text (`a;b;c <µs>` per line, sorted), the
+    /// input format of Brendan Gregg's `flamegraph.pl` and compatible
+    /// viewers. Values are *exclusive* microseconds: each stack is
+    /// charged its own time minus its children's.
+    ///
+    /// Counter events are ignored; unbalanced events (from ring
+    /// overflow) are tolerated — an `End` with no open frame is
+    /// dropped, and frames still open at the last timestamp are closed
+    /// there.
+    pub fn to_folded(&self) -> String {
+        #[derive(Debug)]
+        struct Frame {
+            name: Arc<str>,
+            start_ns: u64,
+            child_ns: u64,
+        }
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        let mut per_tid: BTreeMap<u64, Vec<Frame>> = BTreeMap::new();
+        let last_ts = self.events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+        let close = |stack: &mut Vec<Frame>, end_ns: u64, folded: &mut BTreeMap<String, u64>| {
+            let frame = stack.pop().expect("caller checked non-empty");
+            let total = end_ns.saturating_sub(frame.start_ns);
+            let exclusive = total.saturating_sub(frame.child_ns);
+            let path: String = stack
+                .iter()
+                .map(|f| f.name.as_ref())
+                .chain(std::iter::once(frame.name.as_ref()))
+                .collect::<Vec<_>>()
+                .join(";");
+            *folded.entry(path).or_insert(0) += exclusive;
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += total;
+            }
+        };
+        for e in &self.events {
+            let stack = per_tid.entry(e.tid).or_default();
+            match e.kind {
+                TraceEventKind::Begin => stack.push(Frame {
+                    name: e.name.clone(),
+                    start_ns: e.ts_ns,
+                    child_ns: 0,
+                }),
+                TraceEventKind::End => {
+                    // Tolerate overflow-induced imbalance: drop an End
+                    // with no matching open frame; otherwise close
+                    // intermediates down to (and including) the match.
+                    if stack.iter().any(|f| f.name == e.name) {
+                        while stack.last().is_some_and(|f| f.name != e.name) {
+                            close(stack, e.ts_ns, &mut folded);
+                        }
+                        close(stack, e.ts_ns, &mut folded);
+                    }
+                }
+                TraceEventKind::Counter => {}
+            }
+        }
+        for (_, mut stack) in per_tid {
+            while !stack.is_empty() {
+                close(&mut stack, last_ts, &mut folded);
+            }
+        }
+        let mut out = String::new();
+        for (path, ns) in folded {
+            let _ = writeln!(out, "{path} {}", ns / 1_000);
+        }
+        out
+    }
+}

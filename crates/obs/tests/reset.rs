@@ -1,8 +1,15 @@
 //! `reset()` wipes the whole global registry, so it gets its own test
-//! binary (process) rather than racing the in-crate unit tests.
+//! binary (process) rather than racing the in-crate unit tests. The
+//! tests here still share that global state with each other, so they
+//! serialize on a lock.
+
+use std::sync::Mutex;
+
+static RESET_LOCK: Mutex<()> = Mutex::new(());
 
 #[test]
 fn reset_clears_spans_and_zeroes_counters() {
+    let _guard = RESET_LOCK.lock().unwrap();
     tc_obs::enable();
     let handle = tc_obs::counter("reset.count");
     handle.add(9);
@@ -22,4 +29,42 @@ fn reset_clears_spans_and_zeroes_counters() {
     // Handles issued before the reset keep working.
     handle.add(2);
     assert_eq!(tc_obs::snapshot().counter("reset.count"), 2);
+}
+
+#[test]
+fn reset_under_an_open_span_neither_corrupts_the_stack_nor_records_garbage() {
+    let _guard = RESET_LOCK.lock().unwrap();
+    tc_obs::enable();
+
+    // A span open across the reset: its guard must not deposit a
+    // pre-reset duration into the fresh registry when it drops.
+    let stale = tc_obs::span("reset.stale_outer");
+    {
+        let _inner = tc_obs::span("reset.stale_inner");
+        tc_obs::reset();
+    } // inner drops post-reset: stale epoch, must not record
+    drop(stale);
+
+    let snap = tc_obs::snapshot();
+    assert!(
+        snap.span("reset.stale_outer").is_none(),
+        "span opened before reset() leaked into the fresh registry"
+    );
+    assert!(snap
+        .spans
+        .iter()
+        .all(|s| !s.path.contains("reset.stale_inner")));
+
+    // The thread-local stack is still consistent: fresh spans open at
+    // the root and record exactly once.
+    {
+        let _s = tc_obs::span("reset.fresh");
+    }
+    let snap = tc_obs::snapshot();
+    let fresh = snap.span("reset.fresh").expect("fresh span records");
+    assert_eq!(fresh.count, 1);
+    assert!(
+        snap.span("reset.stale_outer/reset.fresh").is_none(),
+        "stale parent still on the span stack after reset()"
+    );
 }

@@ -21,7 +21,12 @@
 //! Observability: each pool scope tallies `par.tasks` (items executed)
 //! and `par.steal_idle_ms` (summed worker idle time), and workers
 //! inherit the submitting thread's open span path so `tc_obs` spans
-//! opened inside tasks keep nesting under the caller's tree.
+//! opened inside tasks keep nesting under the caller's tree. When the
+//! flight recorder is armed ([`tc_obs::enable_trace`]), every claimed
+//! item (and every chunk in [`Pool::chunked_for_each`]) emits a
+//! `par.task` begin/end pair into the per-thread trace ring, so a
+//! Chrome-trace export shows exactly how work interleaved across
+//! workers — at a cost of one relaxed atomic load when tracing is off.
 //!
 //! # Examples
 //!
@@ -123,6 +128,7 @@ impl Pool {
                 if i >= n {
                     break;
                 }
+                let _task = tc_obs::trace_scope("par.task");
                 local.push((i, f(i, &items[i])));
             }
             local
@@ -191,6 +197,7 @@ impl Pool {
                         let _ctx = tc_obs::span_parent(parent);
                         let start = Instant::now();
                         for (i, c) in work {
+                            let _task = tc_obs::trace_scope("par.task");
                             f(i, c);
                         }
                         start.elapsed()

@@ -1,0 +1,622 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # tcdiff — the regression gate for run artifacts and BENCH sidecars
+//!
+//! The workspace's harnesses commit `BENCH_*.json` sidecars and emit
+//! [`tc_obs::RunArtifact`] documents, but a sidecar nobody diffs is
+//! write-only telemetry: a perf or determinism regression ships
+//! silently. This crate compares two such JSON documents field by
+//! field and exits nonzero on regression, with two field classes:
+//!
+//! * **Exact fields** — everything that must be bit-stable across
+//!   machines and worker counts: fingerprints, WNS/TNS and other
+//!   picosecond results, workload dimensions, edit counts, booleans,
+//!   strings. Any difference is a regression.
+//! * **Timing fields** — wall-clock measurements (`*_ms`, `*_us`,
+//!   `*_ns`, `wall*`, `speedup*`, `elapsed*`, `idle*`): compared under
+//!   a configurable relative tolerance, and downgradeable to
+//!   informational (`--timing-informational`) for shared CI runners
+//!   whose wall clock proves nothing.
+//!
+//! The unit suffix carries the distinction: `ms`/`us`/`ns` name *wall
+//! clock* (host-dependent), while `ps` names *simulated time* — a
+//! deterministic engine result that must match exactly.
+//!
+//! Fields that describe the machine rather than the run
+//! (`host_threads`, the `knobs.*` block) are informational: shown in
+//! the table, never gating.
+//!
+//! [`check_trace`] additionally validates a Chrome `trace_event`
+//! export: well-formed JSON, per-thread monotonic timestamps, balanced
+//! B/E events, and a minimum thread count.
+
+use tc_obs::JsonValue;
+
+/// How a flattened field participates in the comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldClass {
+    /// Must match bitwise (numbers compared exactly).
+    Exact,
+    /// Wall-clock measurement: tolerance-gated (or informational).
+    Timing,
+    /// Machine description: never gates.
+    Info,
+}
+
+/// One field's comparison outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowStatus {
+    /// Values agree (exact fields) or are within tolerance (timing).
+    Match,
+    /// Timing field moved beyond tolerance but timing is informational.
+    Drift,
+    /// Exact mismatch, out-of-tolerance timing, or structural
+    /// difference — the gate fails.
+    Regression,
+    /// Informational field; never gates.
+    Info,
+}
+
+/// One row of the delta table.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Flattened field path, e.g. `grid[2].wall_ms`.
+    pub path: String,
+    /// Field class the path was assigned.
+    pub class: FieldClass,
+    /// Baseline value (rendered), or `—` if absent.
+    pub baseline: String,
+    /// Candidate value (rendered), or `—` if absent.
+    pub candidate: String,
+    /// Relative delta in percent for numeric pairs.
+    pub delta_pct: Option<f64>,
+    /// Outcome.
+    pub status: RowStatus,
+}
+
+/// Options controlling [`diff`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Relative tolerance for timing fields (fraction, not percent).
+    pub tol: f64,
+    /// Downgrade out-of-tolerance timing fields from regression to
+    /// drift (for shared CI runners).
+    pub timing_informational: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            tol: 0.25,
+            timing_informational: true,
+        }
+    }
+}
+
+/// The full comparison result.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Every compared field, in path order.
+    pub rows: Vec<DiffRow>,
+    /// Number of gating failures.
+    pub regressions: usize,
+    /// Number of informational timing drifts.
+    pub drifts: usize,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions == 0
+    }
+
+    /// Renders the per-metric delta table (only non-matching rows plus
+    /// a summary unless `verbose`).
+    pub fn render(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        let shown: Vec<&DiffRow> = self
+            .rows
+            .iter()
+            .filter(|r| verbose || r.status != RowStatus::Match)
+            .collect();
+        if !shown.is_empty() {
+            let wp = shown.iter().map(|r| r.path.len()).max().unwrap_or(4).max(5);
+            let wa = shown
+                .iter()
+                .map(|r| r.baseline.len())
+                .max()
+                .unwrap_or(8)
+                .max(8);
+            let wb = shown
+                .iter()
+                .map(|r| r.candidate.len())
+                .max()
+                .unwrap_or(9)
+                .max(9);
+            out.push_str(&format!(
+                "{:<wp$}  {:<6}  {:>wa$}  {:>wb$}  {:>8}  status\n",
+                "field", "class", "baseline", "candidate", "delta"
+            ));
+            for r in shown {
+                let class = match r.class {
+                    FieldClass::Exact => "exact",
+                    FieldClass::Timing => "timing",
+                    FieldClass::Info => "info",
+                };
+                let delta = r
+                    .delta_pct
+                    .map_or_else(|| "—".to_string(), |d| format!("{d:+.1}%"));
+                let status = match r.status {
+                    RowStatus::Match => "ok",
+                    RowStatus::Drift => "DRIFT (informational)",
+                    RowStatus::Regression => "REGRESSION",
+                    RowStatus::Info => "info",
+                };
+                out.push_str(&format!(
+                    "{:<wp$}  {:<6}  {:>wa$}  {:>wb$}  {:>8}  {}\n",
+                    r.path, class, r.baseline, r.candidate, delta, status
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{} field(s) compared: {} regression(s), {} timing drift(s)\n",
+            self.rows.len(),
+            self.regressions,
+            self.drifts
+        ));
+        out
+    }
+}
+
+/// A scalar leaf of a flattened JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Flat {
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Flat {
+    fn render(&self) -> String {
+        match self {
+            Flat::Num(x) => {
+                if *x == x.trunc() && x.abs() < 9.0e15 {
+                    format!("{}", *x as i64)
+                } else {
+                    format!("{x:.6}")
+                }
+            }
+            Flat::Str(s) => s.clone(),
+            Flat::Bool(b) => b.to_string(),
+            Flat::Null => "null".to_string(),
+        }
+    }
+}
+
+/// Flattens a JSON tree into `(path, leaf)` pairs:
+/// `{"a":{"b":[1]}}` → `[("a.b[0]", Num(1))]`.
+pub fn flatten(v: &JsonValue) -> Vec<(String, Flat)> {
+    let mut out = Vec::new();
+    flatten_into(v, String::new(), &mut out);
+    out
+}
+
+fn flatten_into(v: &JsonValue, path: String, out: &mut Vec<(String, Flat)>) {
+    match v {
+        JsonValue::Null => out.push((path, Flat::Null)),
+        JsonValue::Bool(b) => out.push((path, Flat::Bool(*b))),
+        JsonValue::Num(x) => out.push((path, Flat::Num(*x))),
+        JsonValue::Str(s) => out.push((path, Flat::Str(s.clone()))),
+        JsonValue::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                flatten_into(item, format!("{path}[{i}]"), out);
+            }
+            if items.is_empty() {
+                out.push((format!("{path}[]"), Flat::Null));
+            }
+        }
+        JsonValue::Obj(pairs) => {
+            for (k, item) in pairs {
+                let child = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                flatten_into(item, child, out);
+            }
+        }
+    }
+}
+
+/// Wall-clock unit/word tokens that mark a field as timing.
+const TIMING_TOKENS: [&str; 7] = ["ms", "us", "ns", "wall", "speedup", "elapsed", "idle"];
+
+/// Classifies a flattened path. The *leaf* segment decides: its
+/// `_`-separated tokens are matched against the wall-clock vocabulary.
+/// `host_threads` and everything under `knobs.` is machine description
+/// (informational).
+pub fn classify(path: &str) -> FieldClass {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    let leaf = leaf.split('[').next().unwrap_or(leaf);
+    if leaf == "host_threads" || path.starts_with("knobs.") || path.contains(".knobs.") {
+        return FieldClass::Info;
+    }
+    if leaf
+        .split('_')
+        .any(|tok| TIMING_TOKENS.contains(&tok.to_ascii_lowercase().as_str()))
+    {
+        return FieldClass::Timing;
+    }
+    FieldClass::Exact
+}
+
+/// Schema guard: if both documents declare `schema_version`, the
+/// versions must match — comparing across schema revisions produces
+/// nonsense deltas.
+///
+/// # Errors
+///
+/// Returns the two versions on mismatch.
+pub fn check_schema(a: &JsonValue, b: &JsonValue) -> Result<(), (f64, f64)> {
+    let version = |v: &JsonValue| match v {
+        JsonValue::Obj(pairs) => pairs.iter().find_map(|(k, v)| match (k.as_str(), v) {
+            ("schema_version", JsonValue::Num(x)) => Some(*x),
+            _ => None,
+        }),
+        _ => None,
+    };
+    match (version(a), version(b)) {
+        (Some(va), Some(vb)) if va != vb => Err((va, vb)),
+        _ => Ok(()),
+    }
+}
+
+/// Compares two parsed documents. `a` is the baseline, `b` the
+/// candidate.
+pub fn diff(a: &JsonValue, b: &JsonValue, opts: &DiffOptions) -> DiffReport {
+    let fa = flatten(a);
+    let fb = flatten(b);
+    let mut report = DiffReport::default();
+    let index_b: std::collections::BTreeMap<&str, &Flat> =
+        fb.iter().map(|(p, v)| (p.as_str(), v)).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for (path, va) in &fa {
+        seen.insert(path.as_str());
+        let class = classify(path);
+        let row = match index_b.get(path.as_str()) {
+            None => DiffRow {
+                path: path.clone(),
+                class,
+                baseline: va.render(),
+                candidate: "—".to_string(),
+                delta_pct: None,
+                status: if class == FieldClass::Info {
+                    RowStatus::Info
+                } else {
+                    RowStatus::Regression
+                },
+            },
+            Some(vb) => compare(path, class, va, vb, opts),
+        };
+        tally(&mut report, row);
+    }
+    for (path, vb) in &fb {
+        if seen.contains(path.as_str()) {
+            continue;
+        }
+        let class = classify(path);
+        tally(
+            &mut report,
+            DiffRow {
+                path: path.clone(),
+                class,
+                baseline: "—".to_string(),
+                candidate: vb.render(),
+                delta_pct: None,
+                status: if class == FieldClass::Info {
+                    RowStatus::Info
+                } else {
+                    RowStatus::Regression
+                },
+            },
+        );
+    }
+    report
+}
+
+fn tally(report: &mut DiffReport, row: DiffRow) {
+    match row.status {
+        RowStatus::Regression => report.regressions += 1,
+        RowStatus::Drift => report.drifts += 1,
+        _ => {}
+    }
+    report.rows.push(row);
+}
+
+fn compare(path: &str, class: FieldClass, va: &Flat, vb: &Flat, opts: &DiffOptions) -> DiffRow {
+    let delta_pct = match (va, vb) {
+        (Flat::Num(a), Flat::Num(b)) => {
+            let denom = a.abs().max(b.abs());
+            (denom > 0.0).then(|| 100.0 * (b - a) / denom)
+        }
+        _ => None,
+    };
+    let status = match class {
+        FieldClass::Info => RowStatus::Info,
+        FieldClass::Exact => {
+            let equal = match (va, vb) {
+                // Exact numbers compare by bit pattern of the parsed
+                // f64 (so -0.0 vs 0.0 and NaN-as-null stay visible).
+                (Flat::Num(a), Flat::Num(b)) => a.to_bits() == b.to_bits(),
+                (a, b) => a == b,
+            };
+            if equal {
+                RowStatus::Match
+            } else {
+                RowStatus::Regression
+            }
+        }
+        FieldClass::Timing => {
+            let within = match (va, vb) {
+                (Flat::Num(a), Flat::Num(b)) => {
+                    let denom = a.abs().max(b.abs());
+                    denom == 0.0 || ((b - a).abs() / denom) <= opts.tol
+                }
+                (a, b) => a == b,
+            };
+            if within {
+                RowStatus::Match
+            } else if opts.timing_informational {
+                RowStatus::Drift
+            } else {
+                RowStatus::Regression
+            }
+        }
+    };
+    DiffRow {
+        path: path.to_string(),
+        class,
+        baseline: va.render(),
+        candidate: vb.render(),
+        delta_pct,
+        status,
+    }
+}
+
+/// Summary statistics of a validated Chrome trace.
+#[derive(Clone, Debug)]
+pub struct TraceCheck {
+    /// Total events.
+    pub events: usize,
+    /// Distinct thread ids.
+    pub threads: usize,
+    /// Deepest B-nesting seen on any thread.
+    pub max_depth: usize,
+    /// `otherData.dropped_events`, if present.
+    pub dropped: u64,
+}
+
+/// Validates a Chrome `trace_event` JSON document: parseable, every
+/// event carries `ph`/`ts`/`tid`, per-thread timestamps are monotonic
+/// (non-decreasing), and B/E events balance per thread. Ring-overflow
+/// traces (`dropped_events > 0`) skip the balance requirement — drops
+/// legitimately orphan events.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn check_trace(text: &str, min_threads: usize) -> Result<TraceCheck, String> {
+    let doc = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let JsonValue::Obj(pairs) = &doc else {
+        return Err("trace document is not an object".to_string());
+    };
+    let events = pairs
+        .iter()
+        .find_map(|(k, v)| match (k.as_str(), v) {
+            ("traceEvents", JsonValue::Arr(items)) => Some(items),
+            _ => None,
+        })
+        .ok_or("no traceEvents array")?;
+    let dropped = pairs
+        .iter()
+        .find_map(|(k, v)| match (k.as_str(), v) {
+            ("otherData", JsonValue::Obj(inner)) => {
+                inner.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                    ("dropped_events", JsonValue::Num(x)) => Some(*x as u64),
+                    _ => None,
+                })
+            }
+            _ => None,
+        })
+        .unwrap_or(0);
+    let field = |ev: &JsonValue, name: &str| -> Option<JsonValue> {
+        match ev {
+            JsonValue::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone()),
+            _ => None,
+        }
+    };
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    let mut depth: std::collections::BTreeMap<u64, i64> = std::collections::BTreeMap::new();
+    let mut max_depth = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match field(ev, "ph") {
+            Some(JsonValue::Str(s)) => s,
+            _ => return Err(format!("event {i}: missing ph")),
+        };
+        let ts = match field(ev, "ts") {
+            Some(JsonValue::Num(x)) if x.is_finite() && x >= 0.0 => x,
+            _ => return Err(format!("event {i}: missing/invalid ts")),
+        };
+        let tid = match field(ev, "tid") {
+            Some(JsonValue::Num(x)) if x >= 0.0 => x as u64,
+            _ => return Err(format!("event {i}: missing/invalid tid")),
+        };
+        if field(ev, "name").is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "event {i}: timestamp {ts} regresses below {prev} on tid {tid}"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        let d = depth.entry(tid).or_insert(0);
+        match ph.as_str() {
+            "B" => {
+                *d += 1;
+                max_depth = max_depth.max(*d as usize);
+            }
+            "E" => {
+                *d -= 1;
+                if *d < 0 && dropped == 0 {
+                    return Err(format!("event {i}: unmatched E on tid {tid}"));
+                }
+            }
+            "C" => {}
+            other => return Err(format!("event {i}: unexpected ph `{other}`")),
+        }
+    }
+    if dropped == 0 {
+        for (tid, d) in &depth {
+            if *d != 0 {
+                return Err(format!("tid {tid}: {d} unbalanced B event(s)"));
+            }
+        }
+    }
+    let threads = last_ts.len();
+    if threads < min_threads {
+        return Err(format!(
+            "trace has {threads} thread(s), expected >= {min_threads}"
+        ));
+    }
+    Ok(TraceCheck {
+        events: events.len(),
+        threads,
+        max_depth,
+        dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> JsonValue {
+        JsonValue::parse(s).expect("test doc parses")
+    }
+
+    #[test]
+    fn classification_separates_wall_clock_from_results() {
+        assert_eq!(classify("total_full_ms"), FieldClass::Timing);
+        assert_eq!(classify("grid[2].wall_ms"), FieldClass::Timing);
+        assert_eq!(classify("grid[2].speedup_vs_1"), FieldClass::Timing);
+        assert_eq!(classify("per_fix_kind[0].mean_full_us"), FieldClass::Timing);
+        assert_eq!(classify("metrics.spans[0].total_ns"), FieldClass::Timing);
+        assert_eq!(classify("iterations[0].elapsed_ms"), FieldClass::Timing);
+        // Picoseconds are simulated time — engine results, exact.
+        assert_eq!(classify("period_ps"), FieldClass::Exact);
+        assert_eq!(classify("iterations[0].wns_after_ps"), FieldClass::Exact);
+        assert_eq!(classify("merged_fingerprint"), FieldClass::Exact);
+        assert_eq!(classify("arcs_recomputed"), FieldClass::Exact);
+        assert_eq!(classify("host_threads"), FieldClass::Info);
+        assert_eq!(classify("knobs.TC_PAR_THREADS"), FieldClass::Info);
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let doc = parse(r#"{"fingerprint":"abc","wall_ms":12.5,"cells":100}"#);
+        let report = diff(&doc, &doc, &DiffOptions::default());
+        assert!(report.ok());
+        assert_eq!(report.regressions, 0);
+        assert!(report.rows.iter().all(|r| r.status == RowStatus::Match));
+    }
+
+    #[test]
+    fn fingerprint_perturbation_is_a_regression() {
+        let a = parse(r#"{"merged_fingerprint":"9dd7ec5240","wall_ms":10.0}"#);
+        let b = parse(r#"{"merged_fingerprint":"deadbeef00","wall_ms":10.0}"#);
+        let report = diff(&a, &b, &DiffOptions::default());
+        assert!(!report.ok());
+        assert_eq!(report.regressions, 1);
+    }
+
+    #[test]
+    fn timing_moves_gate_by_tolerance_and_mode() {
+        let a = parse(r#"{"wall_ms":100.0}"#);
+        let b = parse(r#"{"wall_ms":200.0}"#);
+        let strict = DiffOptions {
+            tol: 0.25,
+            timing_informational: false,
+        };
+        assert!(!diff(&a, &b, &strict).ok(), "2x slower fails strict gate");
+        let informational = DiffOptions {
+            tol: 0.25,
+            timing_informational: true,
+        };
+        let rep = diff(&a, &b, &informational);
+        assert!(rep.ok(), "informational mode never gates on timing");
+        assert_eq!(rep.drifts, 1);
+        let c = parse(r#"{"wall_ms":110.0}"#);
+        assert!(diff(&a, &c, &strict).ok(), "10% is inside 25% tolerance");
+    }
+
+    #[test]
+    fn missing_and_extra_fields_are_regressions() {
+        let a = parse(r#"{"cells":100,"nets":200}"#);
+        let b = parse(r#"{"cells":100,"extra":1}"#);
+        let report = diff(&a, &b, &DiffOptions::default());
+        assert_eq!(report.regressions, 2, "one missing + one extra");
+    }
+
+    #[test]
+    fn schema_versions_must_match() {
+        let a = parse(r#"{"schema_version":1,"x":1}"#);
+        let b = parse(r#"{"schema_version":2,"x":1}"#);
+        assert_eq!(check_schema(&a, &b), Err((1.0, 2.0)));
+        assert_eq!(check_schema(&a, &a), Ok(()));
+        // Documents without a version (BENCH sidecars) are accepted.
+        let c = parse(r#"{"x":1}"#);
+        assert_eq!(check_schema(&a, &c), Ok(()));
+    }
+
+    #[test]
+    fn trace_check_validates_balance_and_monotonicity() {
+        let good = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":0},
+            {"name":"b","ph":"B","ts":2.0,"pid":1,"tid":0},
+            {"name":"b","ph":"E","ts":3.0,"pid":1,"tid":0},
+            {"name":"a","ph":"E","ts":4.0,"pid":1,"tid":0},
+            {"name":"t","ph":"B","ts":1.5,"pid":1,"tid":1},
+            {"name":"c","ph":"C","ts":2.0,"pid":1,"tid":1,"args":{"value":3}},
+            {"name":"t","ph":"E","ts":2.5,"pid":1,"tid":1}
+        ],"otherData":{"dropped_events":0}}"#;
+        let check = check_trace(good, 2).expect("valid trace");
+        assert_eq!(check.threads, 2);
+        assert_eq!(check.max_depth, 2);
+        assert_eq!(check.events, 7);
+
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":0}
+        ]}"#;
+        assert!(check_trace(unbalanced, 1).is_err());
+
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5.0,"pid":1,"tid":0},
+            {"name":"a","ph":"E","ts":1.0,"pid":1,"tid":0}
+        ]}"#;
+        assert!(check_trace(backwards, 1).is_err());
+
+        assert!(check_trace("not json", 1).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end exit-code contract for the `tcdiff` binary, exercised
+//! against the committed `BENCH_*.json` sidecars: self-compare must be
+//! clean (exit 0), a perturbed fingerprint must gate (exit 1), and
+//! broken input must be a usage error (exit 2).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bench_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tcdiff"))
+        .args(args)
+        .output()
+        .expect("spawn tcdiff")
+}
+
+fn tmp_file(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("tcdiff_test_{}_{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp fixture");
+    path
+}
+
+#[test]
+fn self_compare_of_committed_bench_passes() {
+    for bench in ["BENCH_parallel_corners.json", "BENCH_incremental_sta.json"] {
+        let p = bench_path(bench);
+        let p = p.to_str().unwrap();
+        let out = run(&[p, p]);
+        assert!(
+            out.status.success(),
+            "{bench} vs itself should exit 0; stdout:\n{}\nstderr:\n{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("PASS"), "stdout reports PASS: {stdout}");
+    }
+}
+
+#[test]
+fn perturbed_fingerprint_fails_the_gate() {
+    let baseline = bench_path("BENCH_parallel_corners.json");
+    let text = std::fs::read_to_string(&baseline).expect("read committed bench");
+    assert!(
+        text.contains("9dd7ec524030f9c4"),
+        "committed bench carries the merged fingerprint this test perturbs"
+    );
+    let perturbed = text.replace("9dd7ec524030f9c4", "0000000000000000");
+    let candidate = tmp_file("perturbed.json", &perturbed);
+
+    let out = run(&[
+        baseline.to_str().unwrap(),
+        candidate.to_str().unwrap(),
+        "--timing-informational",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "fingerprint mismatch must exit 1; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "stdout reports FAIL: {stdout}");
+    assert!(
+        stdout.contains("merged_fingerprint"),
+        "delta table names the offending field: {stdout}"
+    );
+    std::fs::remove_file(candidate).ok();
+}
+
+#[test]
+fn timing_drift_is_informational_by_default_and_gated_when_strict() {
+    let a = tmp_file("timing_a.json", r#"{"fp":"same","wall_ms":100.0}"#);
+    let b = tmp_file("timing_b.json", r#"{"fp":"same","wall_ms":300.0}"#);
+    let (pa, pb) = (a.to_str().unwrap(), b.to_str().unwrap());
+
+    let out = run(&[pa, pb]);
+    assert!(out.status.success(), "timing drift alone passes by default");
+
+    let out = run(&[pa, pb, "--timing-strict"]);
+    assert_eq!(out.status.code(), Some(1), "3x drift fails --timing-strict");
+
+    let out = run(&[pa, pb, "--timing-strict", "--tol", "5.0"]);
+    assert!(out.status.success(), "generous tolerance admits the drift");
+
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn bad_inputs_are_usage_errors() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2), "no args is a usage error");
+
+    let out = run(&["/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(out.status.code(), Some(2), "missing files are I/O errors");
+
+    let garbage = tmp_file("garbage.json", "not json at all");
+    let p = garbage.to_str().unwrap();
+    let out = run(&[p, p]);
+    assert_eq!(out.status.code(), Some(2), "unparseable input exits 2");
+    std::fs::remove_file(garbage).ok();
+
+    let v1 = tmp_file("schema_v1.json", r#"{"schema_version":1,"x":1}"#);
+    let v2 = tmp_file("schema_v2.json", r#"{"schema_version":2,"x":1}"#);
+    let out = run(&[v1.to_str().unwrap(), v2.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "schema mismatch refuses to diff"
+    );
+    std::fs::remove_file(v1).ok();
+    std::fs::remove_file(v2).ok();
+}
+
+#[test]
+fn check_trace_mode_validates_and_gates() {
+    let good = tmp_file(
+        "trace_good.json",
+        r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":0},
+            {"name":"a","ph":"E","ts":2.0,"pid":1,"tid":0},
+            {"name":"b","ph":"B","ts":1.0,"pid":1,"tid":1},
+            {"name":"b","ph":"E","ts":3.0,"pid":1,"tid":1}
+        ],"otherData":{"dropped_events":0}}"#,
+    );
+    let p = good.to_str().unwrap();
+    let out = run(&["--check-trace", p, "--min-threads", "2"]);
+    assert!(
+        out.status.success(),
+        "balanced two-thread trace passes; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = run(&["--check-trace", p, "--min-threads", "3"]);
+    assert_eq!(out.status.code(), Some(1), "thread floor gates");
+    std::fs::remove_file(good).ok();
+
+    let bad = tmp_file(
+        "trace_bad.json",
+        r#"{"traceEvents":[{"name":"a","ph":"E","ts":1.0,"pid":1,"tid":0}]}"#,
+    );
+    let out = run(&["--check-trace", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "unmatched E gates");
+    std::fs::remove_file(bad).ok();
+}

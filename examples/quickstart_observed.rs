@@ -10,7 +10,9 @@
 //! renders a flame-style per-phase timing report plus the engine
 //! counters: how many timing arcs every STA propagation evaluated, how
 //! many ECO edits each closure iteration committed, and where the wall
-//! clock actually went.
+//! clock actually went. `tc_obs::enable_trace()` additionally arms the
+//! flight recorder, and the run ends by writing the per-event trace to
+//! `quickstart.trace.json` — load it in `chrome://tracing` or Perfetto.
 
 use timing_closure::closure::flow::ClosureConfig;
 use timing_closure::sta::{Constraints, Sta};
@@ -34,8 +36,10 @@ fn main() -> Result<(), tc_core::Error> {
     let target = 5_000.0 - report.wns().value() - 40.0;
     println!("running closure at {target:.0} ps (40 ps overconstrained)…");
 
-    // Drop the probe's metrics so the report covers only the flow.
+    // Drop the probe's metrics so the report covers only the flow, then
+    // arm the flight recorder for the flow itself.
     tc_obs::reset();
+    tc_obs::enable_trace(tc_obs::DEFAULT_TRACE_CAPACITY);
     flow.config = ClosureConfig::default();
     let outcome = flow.run(target)?;
     println!(
@@ -68,5 +72,16 @@ fn main() -> Result<(), tc_core::Error> {
     );
     // …and as machine-readable JSON (`snapshot.to_json()` / JSONL).
     println!("json export: {} bytes", snapshot.to_json().len());
+
+    // The flight recorder's per-event view of the same run, as a Chrome
+    // `trace_event` file.
+    let trace = tc_obs::trace_snapshot();
+    std::fs::write("quickstart.trace.json", trace.to_chrome_trace())
+        .map_err(|e| tc_core::Error::internal(format!("trace write failed: {e}")))?;
+    println!(
+        "trace: quickstart.trace.json ({} events on {} thread(s)) — open in chrome://tracing",
+        trace.events.len(),
+        trace.thread_ids().len()
+    );
     Ok(())
 }
