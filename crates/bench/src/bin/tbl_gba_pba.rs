@@ -5,16 +5,20 @@
 //!
 //! Runtime attribution comes from tc-obs span stats (`sta.gba` /
 //! `sta.pba`) instead of ad-hoc stopwatches, and the table plus the
-//! observability snapshot land in a JSON sidecar (`tbl_gba_pba.json`,
-//! directory `$TC_BENCH_OUT` or `.`).
+//! observability snapshot land in a JSON sidecar (`tbl_gba_pba.json`)
+//! next to a schema-versioned `RUN_gba_pba.json` run artifact
+//! (directory `$TC_BENCH_OUT` or `.`).
 
-use tc_bench::{fmt, print_table, standard_env, write_json_sidecar};
+use std::time::Instant;
+
+use tc_bench::{fmt, print_table, standard_env, write_json_sidecar, write_run_artifact};
 use tc_liberty::{AocvTable, DerateModel};
 use tc_obs::JsonValue;
 use tc_sta::pba::pba_worst_endpoints;
 use tc_sta::{Constraints, Sta};
 
 fn main() {
+    let run_start = Instant::now();
     let (lib, stack) = standard_env();
     let nl = tc_bench::bench_netlist(&lib, "c5315", 2015);
     // Constrain near the design's nominal capability so GBA-vs-PBA
@@ -31,6 +35,7 @@ fn main() {
 
     // Only the measured runs below should appear in the snapshot.
     tc_obs::enable();
+    tc_obs::enable_memory();
     tc_obs::reset();
 
     let gba = sta.run().expect("gba");
@@ -108,5 +113,20 @@ fn main() {
     match write_json_sidecar("tbl_gba_pba", &doc.render()) {
         Ok(path) => println!("sidecar: {}", path.display()),
         Err(e) => eprintln!("sidecar write failed: {e}"),
+    }
+
+    let artifact = tc_obs::RunArtifact::new("tbl_gba_pba GBA-vs-PBA pessimism recovery")
+        .knob("profile", "c5315")
+        .knob("pba_endpoints", results.len())
+        .knob("aocv_stage_sigma", 0.06)
+        .wall_ms(run_start.elapsed().as_secs_f64() * 1e3)
+        .extra("gba_violations", JsonValue::from(viol_gba))
+        .extra("pba_violations", JsonValue::from(viol_pba))
+        .extra("total_recovered_ps", JsonValue::from(total_rec))
+        .metrics(snapshot)
+        .capture_memory();
+    match write_run_artifact("gba_pba", &artifact) {
+        Ok(path) => println!("run artifact: {}", path.display()),
+        Err(e) => eprintln!("run artifact write failed: {e}"),
     }
 }

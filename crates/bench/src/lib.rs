@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use tc_interconnect::BeolStack;
 use tc_liberty::{LibConfig, Library, PvtCorner};
-use tc_netlist::gen::{generate, BenchProfile};
+use tc_netlist::gen::{generate, generate_streamed, BenchProfile};
 use tc_netlist::Netlist;
 
 /// Prints a fixed-width table: header row, rule, then rows.
@@ -67,7 +67,10 @@ pub fn standard_env() -> (Library, BeolStack) {
     )
 }
 
-/// A seeded benchmark netlist by profile name.
+/// A seeded benchmark netlist by profile name. The `scale_*` profiles
+/// go through the bounded-scratch streamed generator; everything else
+/// uses the classic generator (whose output committed fingerprints
+/// depend on).
 ///
 /// # Panics
 ///
@@ -80,6 +83,18 @@ pub fn bench_netlist(lib: &Library, profile: &str, seed: u64) -> Netlist {
         "c7552" => BenchProfile::c7552(),
         "aes" => BenchProfile::aes(),
         "mpeg2" => BenchProfile::mpeg2(),
+        "scale_50k" | "50k" => {
+            return generate_streamed(lib, BenchProfile::scale_50k(), seed)
+                .expect("generator is total")
+        }
+        "scale_200k" | "200k" => {
+            return generate_streamed(lib, BenchProfile::scale_200k(), seed)
+                .expect("generator is total")
+        }
+        "scale_1m" | "1m" => {
+            return generate_streamed(lib, BenchProfile::scale_1m(), seed)
+                .expect("generator is total")
+        }
         other => panic!("unknown profile {other}"),
     };
     generate(lib, p, seed).expect("generator is total")

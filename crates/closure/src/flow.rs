@@ -390,7 +390,8 @@ impl<'a> ClosureFlow<'a> {
     /// the config knobs that shaped the loop, one JSON record per
     /// iteration (WNS/TNS trajectory, fix edits, wall clock, engine
     /// counter deltas), the closure verdict, and — when `tc_obs` is
-    /// enabled — the full metrics snapshot. Harnesses write this next to
+    /// enabled — the full metrics snapshot plus, with memory counting
+    /// armed, the heap telemetry section. Harnesses write this next to
     /// their figure sidecars so `tcdiff` can gate any two runs.
     pub fn run_artifact(&self, workload: &str, out: &ClosureOutcome) -> tc_obs::RunArtifact {
         use tc_obs::JsonValue;
@@ -454,7 +455,9 @@ impl<'a> ClosureFlow<'a> {
         if tc_obs::is_enabled() {
             artifact = artifact.metrics(tc_obs::snapshot());
         }
-        artifact
+        // No-op unless the counting allocator is armed, so artifacts
+        // from uninstrumented runs stay byte-stable.
+        artifact.capture_memory()
     }
 
     fn apply_fix(

@@ -8,7 +8,7 @@
 //! shapes actually depend on.
 
 use tc_core::error::Result;
-use tc_core::ids::NetId;
+use tc_core::ids::{CellId, NetId};
 use tc_core::rng::Rng;
 use tc_device::VtClass;
 use tc_liberty::Library;
@@ -113,6 +113,54 @@ impl BenchProfile {
             BenchProfile::c7552(),
             BenchProfile::aes(),
             BenchProfile::mpeg2(),
+        ]
+    }
+
+    /// 50k-cell scale profile (47k gates + 3k flops). The smallest of
+    /// the capacity ladder — fast enough for CI.
+    pub fn scale_50k() -> Self {
+        BenchProfile {
+            name: "scale_50k",
+            gates: 47_000,
+            flops: 3_000,
+            inputs: 512,
+            outputs: 512,
+            window: 1_500,
+        }
+    }
+
+    /// 200k-cell scale profile (188k gates + 12k flops).
+    pub fn scale_200k() -> Self {
+        BenchProfile {
+            name: "scale_200k",
+            gates: 188_000,
+            flops: 12_000,
+            inputs: 512,
+            outputs: 512,
+            window: 3_000,
+        }
+    }
+
+    /// Million-cell scale profile (940k gates + 60k flops) — the
+    /// paper's §1.3 capacity regime. Local-only by default; see the
+    /// `tbl_scale` harness.
+    pub fn scale_1m() -> Self {
+        BenchProfile {
+            name: "scale_1m",
+            gates: 940_000,
+            flops: 60_000,
+            inputs: 1_024,
+            outputs: 1_024,
+            window: 6_000,
+        }
+    }
+
+    /// The capacity ladder, smallest first.
+    pub fn scale_set() -> [BenchProfile; 3] {
+        [
+            BenchProfile::scale_50k(),
+            BenchProfile::scale_200k(),
+            BenchProfile::scale_1m(),
         ]
     }
 }
@@ -225,6 +273,161 @@ pub fn generate(lib: &Library, profile: BenchProfile, seed: u64) -> Result<Netli
     Ok(nl)
 }
 
+/// Fixed size of the old-signal reservoir in [`generate_streamed`].
+const STREAM_RESERVOIR: usize = 1_024;
+
+/// Bounded scratch for the streamed generator: a ring of the most
+/// recent `window` signals (the recency-biased pick and the output/
+/// rewire sources) plus a fixed reservoir sampled uniformly from every
+/// signal ever pushed (the "anywhere in the pool" pick). Memory is
+/// O(window + reservoir) no matter how many cells the profile asks for
+/// — this is what lets `scale_1m` generate without a million-entry
+/// scratch `Vec` on top of the netlist itself.
+struct SignalWindow {
+    ring: Vec<NetId>,
+    head: usize,
+    reservoir: Vec<NetId>,
+    seen: usize,
+}
+
+impl SignalWindow {
+    fn new(window: usize) -> Self {
+        SignalWindow {
+            ring: Vec::with_capacity(window.max(1)),
+            head: 0,
+            reservoir: Vec::with_capacity(STREAM_RESERVOIR),
+            seen: 0,
+        }
+    }
+
+    fn push(&mut self, net: NetId, rng: &mut Rng) {
+        if self.ring.len() < self.ring.capacity() {
+            self.ring.push(net);
+        } else {
+            self.ring[self.head] = net;
+            self.head = (self.head + 1) % self.ring.len();
+        }
+        // Algorithm R: after n pushes each signal sits in the
+        // reservoir with probability min(1, R/n).
+        self.seen += 1;
+        if self.reservoir.len() < STREAM_RESERVOIR {
+            self.reservoir.push(net);
+        } else {
+            let j = rng.below(self.seen);
+            if j < STREAM_RESERVOIR {
+                self.reservoir[j] = net;
+            }
+        }
+    }
+
+    /// The signal pushed `back` steps ago (0 = most recent).
+    fn recent(&self, back: usize) -> NetId {
+        debug_assert!(back < self.ring.len());
+        let idx = (self.head + self.ring.len() - 1 - back) % self.ring.len();
+        self.ring[idx]
+    }
+
+    /// Mirrors `pick_signal`: recency-biased 75% of the time, uniform
+    /// over the (sampled) history otherwise.
+    fn pick(&self, rng: &mut Rng) -> NetId {
+        if rng.chance(0.75) {
+            self.recent(rng.below(self.ring.len()))
+        } else {
+            *rng.choose(&self.reservoir)
+        }
+    }
+}
+
+/// Streamed variant of [`generate`] for the `scale_*` profiles: same
+/// shape family (recency-windowed random logic with a registered
+/// boundary), but generator scratch is bounded at O(window) instead of
+/// O(cells) — only the netlist being built grows with the profile.
+///
+/// Not output-compatible with [`generate`] (it consumes the seed
+/// stream differently); committed fingerprints for the classic
+/// profiles are untouched. The same `(profile, seed)` pair always
+/// yields the identical netlist.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (generator bugs, not bad
+/// input).
+pub fn generate_streamed(lib: &Library, profile: BenchProfile, seed: u64) -> Result<Netlist> {
+    let mut rng = Rng::seed_from(seed ^ 0x73_6361_6c65_6431);
+    let mut nl = Netlist::new(profile.name);
+
+    let clk = nl.add_input("clk");
+    let mut window = SignalWindow::new(profile.window);
+    for i in 0..profile.inputs {
+        let pi = nl.add_input(format!("pi{i}"));
+        window.push(pi, &mut rng);
+    }
+
+    // Registers first (cells 0..flops, a contiguous id range — the
+    // rewire pass below iterates it instead of holding a Vec). D pins
+    // are temporarily tied to a recent signal and rewired once the
+    // cloud exists.
+    let dff = lib
+        .variant("DFF", VtClass::Svt, 1.0)
+        .expect("library has DFF_X1_SVT");
+    for i in 0..profile.flops {
+        let d_placeholder = window.pick(&mut rng);
+        let (ff, q) = nl.add_cell(format!("ff{i}"), lib, dff, &[d_placeholder, clk])?;
+        debug_assert_eq!(ff.index(), i, "flop ids are contiguous from 0");
+        window.push(q, &mut rng);
+    }
+
+    // Combinational cloud. Gate fan-in is at most 3 across the
+    // template mix, so inputs live in a fixed stack array.
+    let drives = [1.0, 1.0, 2.0, 2.0, 4.0];
+    for i in 0..profile.gates {
+        let tmpl = pick_template(&mut rng);
+        let drive = drives[rng.below(drives.len())];
+        let master = lib
+            .variant(tmpl, VtClass::Svt, drive)
+            .expect("library has all generator templates");
+        let n_in = lib.cell(master).input_pins().len();
+        let mut inputs = [NetId::new(0); 4];
+        debug_assert!(n_in <= inputs.len());
+        for slot in inputs.iter_mut().take(n_in) {
+            *slot = window.pick(&mut rng);
+        }
+        let (_, out) = nl.add_cell(format!("g{i}"), lib, master, &inputs[..n_in])?;
+        window.push(out, &mut rng);
+    }
+
+    // Rewire flop D pins into the recent end of the cloud so reg-to-reg
+    // paths traverse it.
+    let recent = profile.window.min(window.ring.len());
+    for i in 0..profile.flops {
+        let d_net = window.recent(rng.below(recent));
+        nl.rewire_input(
+            crate::graph::PinRef {
+                cell: CellId::new(i),
+                pin: 0,
+            },
+            d_net,
+        );
+    }
+
+    // Primary outputs from the deepest signals.
+    for k in 0..profile.outputs.min(window.ring.len()) {
+        nl.mark_output(window.recent(k));
+    }
+
+    // Same wirelength model as the classic generator.
+    for i in 0..nl.net_count() {
+        let um = if rng.chance(0.06) {
+            rng.uniform_in(150.0, 900.0)
+        } else {
+            rng.uniform_in(2.0, 80.0)
+        };
+        nl.set_wire_length(NetId::new(i), um);
+    }
+
+    Ok(nl)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +492,73 @@ mod tests {
             "plausible depth, got {}",
             lv.max_depth()
         );
+    }
+
+    #[test]
+    fn streamed_generator_is_deterministic() {
+        let lib = lib();
+        let a = generate_streamed(&lib, BenchProfile::tiny(), 7).unwrap();
+        let b = generate_streamed(&lib, BenchProfile::tiny(), 7).unwrap();
+        assert_eq!(a.cell_count(), b.cell_count());
+        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(ca.master, cb.master);
+            assert_eq!(ca.inputs, cb.inputs);
+        }
+        for (na, nb) in a.nets().iter().zip(b.nets()) {
+            assert_eq!(na.wire_length_um, nb.wire_length_um);
+        }
+        let c = generate_streamed(&lib, BenchProfile::tiny(), 8).unwrap();
+        let differs = a
+            .cells()
+            .iter()
+            .zip(c.cells())
+            .any(|(x, y)| x.master != y.master || x.inputs != y.inputs);
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn streamed_netlists_are_valid_acyclic_and_sized() {
+        let lib = lib();
+        for seed in [1, 2] {
+            let p = BenchProfile::tiny();
+            let nl = generate_streamed(&lib, p.clone(), seed).unwrap();
+            nl.validate(&lib).unwrap();
+            assert_eq!(nl.cell_count(), p.gates + p.flops);
+            assert_eq!(nl.flops(&lib).count(), p.flops);
+            assert_eq!(nl.primary_inputs().len(), p.inputs + 1);
+            assert_eq!(nl.primary_outputs().count(), p.outputs);
+            let lv = levelize(&nl, &lib).unwrap();
+            assert!(lv.max_depth() >= 3, "depth {}", lv.max_depth());
+        }
+    }
+
+    #[test]
+    fn streamed_scale_profile_builds_a_valid_50k_design() {
+        let lib = lib();
+        let p = BenchProfile::scale_50k();
+        let nl = generate_streamed(&lib, p.clone(), 42).unwrap();
+        assert_eq!(nl.cell_count(), 50_000);
+        nl.validate(&lib).unwrap();
+        let lv = levelize(&nl, &lib).unwrap();
+        assert!(
+            (10..400).contains(&lv.max_depth()),
+            "plausible depth at scale, got {}",
+            lv.max_depth()
+        );
+    }
+
+    #[test]
+    fn signal_window_ring_keeps_the_most_recent_signals() {
+        let mut rng = Rng::seed_from(99);
+        let mut w = SignalWindow::new(4);
+        for i in 0..10 {
+            w.push(NetId::new(i), &mut rng);
+        }
+        assert_eq!(w.ring.len(), 4, "ring is bounded at the window size");
+        assert_eq!(w.recent(0), NetId::new(9));
+        assert_eq!(w.recent(3), NetId::new(6));
+        assert!(w.reservoir.len() <= STREAM_RESERVOIR);
+        assert_eq!(w.seen, 10);
     }
 
     #[test]

@@ -11,12 +11,18 @@
 //! so `tcdiff` can refuse cross-version comparisons instead of
 //! producing nonsense deltas.
 
+use crate::alloc::{self, MemStats};
 use crate::export::Snapshot;
 use crate::json::JsonValue;
 
 /// Version of the artifact JSON layout. Bump on any field rename or
 /// semantic change; `tcdiff` refuses to compare mismatched versions.
-pub const RUN_ARTIFACT_SCHEMA_VERSION: u64 = 1;
+///
+/// * v1 — workload/knobs/wall/iterations/extras/metrics.
+/// * v2 — adds the `memory` section (counting-allocator totals, peak
+///   heap, kernel VmHWM/VmRSS) and per-span `net_bytes`/`peak_bytes`
+///   in the metrics snapshot.
+pub const RUN_ARTIFACT_SCHEMA_VERSION: u64 = 2;
 
 /// The `kind` discriminator artifacts carry so tools can tell them from
 /// figure sidecars.
@@ -33,6 +39,7 @@ pub struct RunArtifact {
     iterations: Vec<JsonValue>,
     extras: Vec<(String, JsonValue)>,
     metrics: Option<Snapshot>,
+    memory: Option<MemStats>,
 }
 
 impl RunArtifact {
@@ -47,6 +54,7 @@ impl RunArtifact {
             iterations: Vec::new(),
             extras: Vec::new(),
             metrics: None,
+            memory: None,
         };
         let threads = std::env::var("TC_PAR_THREADS").unwrap_or_else(|_| "unset".to_string());
         a = a.knob("TC_PAR_THREADS", threads);
@@ -92,6 +100,25 @@ impl RunArtifact {
         self
     }
 
+    /// Embeds a memory section from explicit allocator stats.
+    #[must_use]
+    pub fn memory(mut self, stats: MemStats) -> Self {
+        self.memory = Some(stats);
+        self
+    }
+
+    /// Embeds a memory section sampled right now, if memory counting is
+    /// on ([`crate::enable_memory`]); a no-op otherwise, so callers can
+    /// chain it unconditionally.
+    #[must_use]
+    pub fn capture_memory(self) -> Self {
+        if alloc::memory_enabled() {
+            self.memory(alloc::memory_stats())
+        } else {
+            self
+        }
+    }
+
     /// The artifact as one JSON object.
     pub fn to_json_value(&self) -> JsonValue {
         let knobs = self
@@ -115,6 +142,31 @@ impl RunArtifact {
         ];
         for (k, v) in &self.extras {
             fields.push((k.clone(), v.clone()));
+        }
+        if let Some(m) = &self.memory {
+            // All leaves carry memory-class suffixes (`_allocs`,
+            // `_frees`, `_bytes`) so tcdiff tolerance-gates them —
+            // allocator behaviour is never bit-stable across hosts.
+            let mut mem = vec![
+                ("total_allocs".to_string(), JsonValue::from(m.allocs)),
+                ("total_frees".to_string(), JsonValue::from(m.frees)),
+                (
+                    "allocated_bytes".to_string(),
+                    JsonValue::from(m.allocated_bytes),
+                ),
+                ("freed_bytes".to_string(), JsonValue::from(m.freed_bytes)),
+                ("live_bytes".to_string(), JsonValue::from(m.live_bytes)),
+                ("peak_heap_bytes".to_string(), JsonValue::from(m.peak_bytes)),
+            ];
+            mem.push((
+                "vm_hwm_bytes".to_string(),
+                alloc::vm_hwm_bytes().map_or(JsonValue::Null, JsonValue::from),
+            ));
+            mem.push((
+                "vm_rss_bytes".to_string(),
+                alloc::vm_rss_bytes().map_or(JsonValue::Null, JsonValue::from),
+            ));
+            fields.push(("memory".to_string(), JsonValue::Obj(mem)));
         }
         if let Some(snap) = &self.metrics {
             fields.push(("metrics".to_string(), snap.to_json_value()));

@@ -17,6 +17,11 @@ pub struct SpanSnapshot {
     pub min_ns: u64,
     /// Slowest single occurrence, ns.
     pub max_ns: u64,
+    /// Summed net heap bytes across occurrences (0 unless memory
+    /// counting was on — see [`crate::enable_memory`]).
+    pub net_bytes: i64,
+    /// Largest single-occurrence growth of the monotonic heap peak.
+    pub peak_bytes: u64,
 }
 
 impl SpanSnapshot {
@@ -47,6 +52,21 @@ impl SpanSnapshot {
         } else {
             self.total_ns as f64 / self.count as f64 / 1e3
         }
+    }
+}
+
+/// Renders a byte count as a compact human string (`1.5 MB`, `-320 B`).
+pub fn fmt_bytes(bytes: i64) -> String {
+    let sign = if bytes < 0 { "-" } else { "" };
+    let b = bytes.unsigned_abs() as f64;
+    if b >= 1e9 {
+        format!("{sign}{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{sign}{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{sign}{:.1} kB", b / 1e3)
+    } else {
+        format!("{sign}{b:.0} B")
     }
 }
 
@@ -202,8 +222,17 @@ impl Snapshot {
                     Some(p) => format!(" {:>5.1}% of parent", p),
                     None => String::new(),
                 };
+                let heap = if s.net_bytes != 0 || s.peak_bytes != 0 {
+                    format!(
+                        "  heap net {} peak +{}",
+                        fmt_bytes(s.net_bytes),
+                        fmt_bytes(s.peak_bytes as i64)
+                    )
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "  {indent}{:<width$} {:>7}x {:>10.3} ms  mean {:>9.1} us{bar}\n",
+                    "  {indent}{:<width$} {:>7}x {:>10.3} ms  mean {:>9.1} us{bar}{heap}\n",
                     s.name(),
                     s.count,
                     s.total_ms(),
@@ -256,6 +285,8 @@ impl Snapshot {
                     ("total_ns", JsonValue::from(s.total_ns)),
                     ("min_ns", JsonValue::from(s.min_ns)),
                     ("max_ns", JsonValue::from(s.max_ns)),
+                    ("net_bytes", JsonValue::from(s.net_bytes)),
+                    ("peak_bytes", JsonValue::from(s.peak_bytes)),
                 ])
             })
             .collect();
@@ -317,6 +348,8 @@ impl Snapshot {
                     ("total_ns", JsonValue::from(s.total_ns)),
                     ("min_ns", JsonValue::from(s.min_ns)),
                     ("max_ns", JsonValue::from(s.max_ns)),
+                    ("net_bytes", JsonValue::from(s.net_bytes)),
+                    ("peak_bytes", JsonValue::from(s.peak_bytes)),
                 ])
                 .render(),
             );

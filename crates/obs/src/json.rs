@@ -36,16 +36,23 @@ impl JsonValue {
     /// object key order is preserved, all numbers become [`Num`], and
     /// trailing non-whitespace is an error.
     ///
+    /// Nesting is bounded at [`MAX_DEPTH`] containers: the parser is
+    /// recursive-descent, so a pathological `[[[[…` input would
+    /// otherwise overflow the stack instead of returning `Err`.
+    ///
     /// [`render`]: JsonValue::render
     /// [`Num`]: JsonValue::Num
     ///
     /// # Errors
     ///
-    /// Returns a message with the byte offset of the first syntax error.
+    /// Returns a message with the byte offset of the first syntax error,
+    /// or a depth-limit message naming [`MAX_DEPTH`] and the offending
+    /// byte offset for over-nested input.
     pub fn parse(text: &str) -> Result<JsonValue, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -144,10 +151,19 @@ impl From<&str> for JsonValue {
     }
 }
 
+/// Maximum container nesting depth [`JsonValue::parse`] accepts.
+///
+/// Deep enough for any artifact this workspace emits (traces nest a
+/// handful of levels), small enough that the recursive parser stays
+/// well inside the thread stack.
+pub const MAX_DEPTH: usize = 128;
+
 /// Recursive-descent JSON reader over the document's bytes.
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, guarded against [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -196,12 +212,27 @@ impl Parser<'_> {
         }
     }
 
+    /// Bumps the nesting depth on container entry; the guard restores it
+    /// when the container method returns.
+    fn enter(&mut self) -> Result<(), String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Arr(items));
         }
         loop {
@@ -212,6 +243,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -221,10 +253,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Obj(pairs));
         }
         loop {
@@ -239,6 +273,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Obj(pairs));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),

@@ -1,4 +1,6 @@
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the counting global allocator
+// ([`alloc`]) is the crate's one sanctioned unsafe surface.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # tc-obs — zero-dependency tracing and metrics
@@ -29,8 +31,15 @@
 //!   ([`TraceSnapshot::to_folded`]).
 //! * **Run artifacts** ([`RunArtifact`]) — one schema-versioned JSON
 //!   document per harness/closure run (workload, knobs, metrics,
-//!   per-iteration records, wall clock) that the `tcdiff` binary diffs
-//!   to gate performance regressions.
+//!   per-iteration records, wall clock, heap/RSS) that the `tcdiff`
+//!   binary diffs to gate performance regressions.
+//! * **Memory telemetry** ([`alloc`]) — a counting `#[global_allocator]`
+//!   wrapper ([`enable_memory`]) tracking allocations/frees, live bytes
+//!   and a monotonic peak, with per-span heap attribution (net bytes and
+//!   peak growth recorded on span exit, next to duration) and kernel
+//!   `VmHWM`/`VmRSS` sampling ([`vm_hwm_bytes`]) behind a portable
+//!   fallback. Capacity — the second killer in the paper's §1.3 — gets
+//!   the same treatment as wall clock.
 //!
 //! Everything is std-only (`Instant`, `Mutex`, atomics) so offline
 //! builds keep working, and the whole layer is **off by default**:
@@ -70,6 +79,14 @@
 //! | `sim.newton.iters_per_step` | histogram | convergence profile |
 //! | `par.task` | trace scope | one pool work item (timeline only, no span path) |
 //! | `obs.trace.dropped` | counter | trace events lost to full rings |
+//! | `mem.allocs` / `mem.frees` | counter | allocator events since [`enable_memory`] |
+//! | `mem.live_bytes` | counter | tracked live heap bytes at snapshot time |
+//! | `mem.peak_heap_bytes` | counter | monotonic peak of tracked live bytes |
+//! | `mem.vm_hwm_bytes` | counter | kernel peak RSS (Linux; absent elsewhere) |
+//!
+//! The `mem.*` counters appear in snapshots only while memory counting
+//! is enabled; they are process-cumulative gauges sampled at snapshot
+//! time, not resettable event counts.
 //!
 //! [`ClosureFlow::run`]: ../tc_closure/flow/struct.ClosureFlow.html
 //! [`Sta::run`]: ../tc_sta/struct.Sta.html
@@ -90,6 +107,7 @@
 //! println!("{}", snap.render_text());
 //! ```
 
+pub mod alloc;
 pub mod artifact;
 pub mod export;
 pub mod json;
@@ -98,8 +116,12 @@ pub mod registry;
 pub mod span;
 pub mod trace;
 
+pub use alloc::{
+    disable_memory, enable_memory, heap_mark, memory_enabled, memory_stats, vm_hwm_bytes,
+    vm_rss_bytes, CountingAlloc, HeapDelta, HeapMark, MemStats,
+};
 pub use artifact::{RunArtifact, RUN_ARTIFACT_KIND, RUN_ARTIFACT_SCHEMA_VERSION};
-pub use export::{HistogramSnapshot, Snapshot, SpanSnapshot};
+pub use export::{fmt_bytes, HistogramSnapshot, Snapshot, SpanSnapshot};
 pub use json::JsonValue;
 pub use metrics::{Counter, Histogram};
 pub use registry::{counter, disable, enable, histogram, is_enabled, reset, snapshot};
@@ -224,6 +246,30 @@ mod tests {
         assert_eq!(json::escape("\u{1}"), "\\u0001");
         // Unicode above control range passes through unescaped.
         assert_eq!(json::escape("σ±µ"), "σ±µ");
+    }
+
+    #[test]
+    fn json_parse_bounds_nesting_depth() {
+        let ok = format!(
+            "{}1{}",
+            "[".repeat(json::MAX_DEPTH),
+            "]".repeat(json::MAX_DEPTH)
+        );
+        assert!(JsonValue::parse(&ok).is_ok(), "MAX_DEPTH levels parse");
+        let too_deep = format!(
+            "{}1{}",
+            "[".repeat(json::MAX_DEPTH + 1),
+            "]".repeat(json::MAX_DEPTH + 1)
+        );
+        let err = JsonValue::parse(&too_deep).expect_err("over-nested input rejected");
+        assert!(
+            err.contains("nesting deeper than") && err.contains("128") && err.contains("byte"),
+            "error carries the limit and the offset: {err}"
+        );
+        // Objects hit the same guard.
+        let deep_obj = "{\"k\":".repeat(json::MAX_DEPTH + 1);
+        let err = JsonValue::parse(&deep_obj).expect_err("over-nested object rejected");
+        assert!(err.contains("nesting deeper than"), "object guard: {err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
+use crate::alloc::{self, HeapDelta};
 use crate::export::{HistogramSnapshot, Snapshot, SpanSnapshot};
 use crate::metrics::{Counter, HistData, Histogram};
 
@@ -20,6 +21,10 @@ pub(crate) struct SpanStat {
     pub total_ns: u64,
     pub min_ns: u64,
     pub max_ns: u64,
+    /// Summed net heap bytes across occurrences (memory counting on).
+    pub net_bytes: i64,
+    /// Largest single-occurrence peak growth (memory counting on).
+    pub peak_bytes: u64,
 }
 
 #[derive(Default)]
@@ -72,8 +77,9 @@ pub fn is_enabled() -> bool {
     global().enabled.load(Ordering::Relaxed)
 }
 
-/// Records one completed span occurrence under `path`.
-pub(crate) fn record_span(path: &str, elapsed: Duration) {
+/// Records one completed span occurrence under `path`, with its heap
+/// delta when memory counting was on at span open.
+pub(crate) fn record_span(path: &str, elapsed: Duration, heap: Option<HeapDelta>) {
     let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
     let mut inner = global().inner.lock().expect("obs registry poisoned");
     let stat = inner.spans.entry(path.to_string()).or_default();
@@ -86,6 +92,10 @@ pub(crate) fn record_span(path: &str, elapsed: Duration) {
     }
     stat.count += 1;
     stat.total_ns = stat.total_ns.saturating_add(ns);
+    if let Some(h) = heap {
+        stat.net_bytes = stat.net_bytes.saturating_add(h.net_bytes);
+        stat.peak_bytes = stat.peak_bytes.max(h.peak_bytes);
+    }
 }
 
 /// Fetches (registering on first use) the counter named `name`.
@@ -144,13 +154,29 @@ pub fn snapshot() -> Snapshot {
             total_ns: s.total_ns,
             min_ns: s.min_ns,
             max_ns: s.max_ns,
+            net_bytes: s.net_bytes,
+            peak_bytes: s.peak_bytes,
         })
         .collect();
-    let counters = inner
+    let mut counters: BTreeMap<String, u64> = inner
         .counters
         .iter()
         .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
         .collect();
+    // Memory telemetry joins the counter namespace while counting is
+    // on: cumulative allocator totals plus live/peak/VmHWM gauges
+    // sampled at snapshot time (see the crate-root taxonomy).
+    if alloc::memory_enabled() {
+        let m = alloc::memory_stats();
+        counters.insert("mem.allocs".to_string(), m.allocs);
+        counters.insert("mem.frees".to_string(), m.frees);
+        counters.insert("mem.live_bytes".to_string(), m.live_bytes);
+        counters.insert("mem.peak_heap_bytes".to_string(), m.peak_bytes);
+        if let Some(hwm) = alloc::vm_hwm_bytes() {
+            counters.insert("mem.vm_hwm_bytes".to_string(), hwm);
+        }
+    }
+    let counters = counters.into_iter().collect();
     let histograms = inner
         .hists
         .iter()

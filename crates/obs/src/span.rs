@@ -9,6 +9,7 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
+use crate::alloc::{self, HeapMark};
 use crate::registry::{is_enabled, record_span, reset_epoch};
 use crate::trace;
 
@@ -26,6 +27,10 @@ struct ActiveSpan {
     /// Whether a trace Begin event was emitted (so the End stays
     /// paired even if tracing is toggled mid-span).
     traced: bool,
+    /// Heap position at open, when memory counting was enabled — the
+    /// span's net bytes and peak growth are recorded on close, next to
+    /// its duration.
+    heap: Option<HeapMark>,
 }
 
 /// RAII guard for an open span; records elapsed time on drop.
@@ -58,11 +63,18 @@ pub fn span(name: &str) -> SpanGuard {
         path
     });
     let traced = trace::span_begin(name);
+    let heap = alloc::memory_enabled().then(|| {
+        if traced {
+            trace::gauge("mem.live_bytes", alloc::live_bytes());
+        }
+        alloc::heap_mark()
+    });
     SpanGuard(Some(ActiveSpan {
         path,
         start: Instant::now(),
         epoch: reset_epoch(),
         traced,
+        heap,
     }))
 }
 
@@ -80,14 +92,18 @@ impl Drop for SpanGuard {
                     stack.remove(pos);
                 }
             });
+            let heap = active.heap.map(|mark| mark.delta());
             if active.traced {
                 let name = active.path.rsplit('/').next().unwrap_or(&active.path);
                 trace::span_end(name);
+                if active.heap.is_some() {
+                    trace::gauge("mem.live_bytes", alloc::live_bytes());
+                }
             }
             // A reset() between open and close means this duration
             // belongs to the wiped registry, not the fresh one.
             if active.epoch == reset_epoch() {
-                record_span(&active.path, elapsed);
+                record_span(&active.path, elapsed, heap);
             }
         }
     }

@@ -47,6 +47,10 @@ pub enum TraceEventKind {
     End,
     /// A counter moved by `delta` (Chrome `ph:"C"`).
     Counter,
+    /// An absolute sample of a gauge — `delta` holds the sampled value
+    /// itself, not an increment (Chrome `ph:"C"` with the value as-is).
+    /// Used for memory telemetry (`mem.live_bytes` at span edges).
+    Gauge,
 }
 
 /// One recorded event: span begin/end or counter delta.
@@ -62,7 +66,8 @@ pub struct TraceEvent {
     /// Nanoseconds since the recorder's epoch (first enable), from a
     /// monotonic clock.
     pub ts_ns: u64,
-    /// Counter delta (`0` for span events).
+    /// Counter delta, or the absolute sampled value for
+    /// [`TraceEventKind::Gauge`] (`0` for span events).
     pub delta: u64,
 }
 
@@ -85,12 +90,17 @@ impl TraceBuffer {
     }
 }
 
+/// One registered thread: `(tid, thread name, ring)`. The name is
+/// captured at first emission (OS thread name, else `thread-{tid}`)
+/// and surfaces as Chrome `M`/`thread_name` metadata.
+type ThreadRing = (u64, String, Arc<Mutex<TraceBuffer>>);
+
 struct TraceState {
     enabled: AtomicBool,
     capacity: AtomicUsize,
     epoch: OnceLock<Instant>,
     next_tid: AtomicU64,
-    rings: Mutex<Vec<Arc<Mutex<TraceBuffer>>>>,
+    rings: Mutex<Vec<ThreadRing>>,
     /// Events dropped by rings that were drained by `clear_trace` (so
     /// the total survives a registry reset of the counter mirror).
     dropped_total: AtomicU64,
@@ -146,7 +156,7 @@ pub fn trace_enabled() -> bool {
 pub fn clear_trace() {
     let s = state();
     let rings = s.rings.lock().expect("obs trace rings poisoned");
-    for ring in rings.iter() {
+    for (_, _, ring) in rings.iter() {
         let mut ring = ring.lock().expect("obs trace ring poisoned");
         s.dropped_total.fetch_add(ring.dropped, Ordering::Relaxed);
         ring.dropped = 0;
@@ -169,11 +179,14 @@ fn emit(kind: TraceEventKind, name: &str, delta: u64) {
         let (tid, ring) = cell.get_or_insert_with(|| {
             let s = state();
             let tid = s.next_tid.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map_or_else(|| format!("thread-{tid}"), str::to_string);
             let ring = Arc::new(Mutex::new(TraceBuffer::default()));
             s.rings
                 .lock()
                 .expect("obs trace rings poisoned")
-                .push(ring.clone());
+                .push((tid, name, ring.clone()));
             (tid, ring)
         });
         let ev = TraceEvent {
@@ -222,6 +235,16 @@ pub(crate) fn counter_delta(name: &str, delta: u64) {
     }
 }
 
+/// Records an absolute gauge sample (used by span open/close to plot
+/// `mem.live_bytes` as a timeline track). A no-op unless the recorder
+/// is enabled.
+#[inline]
+pub(crate) fn gauge(name: &str, value: u64) {
+    if trace_enabled() {
+        emit(TraceEventKind::Gauge, name, value);
+    }
+}
+
 /// A trace-only scope: emits a begin event now and the matching end
 /// event on drop, without touching the aggregate span registry. Worker
 /// pools wrap each claimed task in one so timelines show per-task
@@ -254,6 +277,8 @@ pub struct TraceSnapshot {
     pub events: Vec<TraceEvent>,
     /// Events lost to full rings, process-cumulative.
     pub dropped: u64,
+    /// `(tid, name)` for every thread that has emitted, sorted by tid.
+    pub thread_names: Vec<(u64, String)>,
 }
 
 /// Collects every thread's ring into one [`TraceSnapshot`]. Rings are
@@ -263,14 +288,21 @@ pub fn trace_snapshot() -> TraceSnapshot {
     let rings = s.rings.lock().expect("obs trace rings poisoned");
     let mut events = Vec::new();
     let mut dropped = s.dropped_total.load(Ordering::Relaxed);
-    for ring in rings.iter() {
+    let mut thread_names = Vec::new();
+    for (tid, name, ring) in rings.iter() {
         let ring = ring.lock().expect("obs trace ring poisoned");
         events.extend(ring.events.iter().cloned());
         dropped += ring.dropped;
+        thread_names.push((*tid, name.clone()));
     }
     drop(rings);
     events.sort_by_key(|a| (a.tid, a.ts_ns));
-    TraceSnapshot { events, dropped }
+    thread_names.sort_by_key(|(tid, _)| *tid);
+    TraceSnapshot {
+        events,
+        dropped,
+        thread_names,
+    }
 }
 
 impl TraceSnapshot {
@@ -285,10 +317,14 @@ impl TraceSnapshot {
     /// Renders the Chrome `trace_event` JSON document: an object with a
     /// `traceEvents` array of `B`/`E`/`C` events (timestamps in µs),
     /// loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+    /// The array opens with one `M`/`thread_name` metadata event per
+    /// recorded thread, so viewer lanes carry real names
+    /// (`tc-par-0`, …) instead of bare tids.
     ///
     /// Counter events carry a process-wide running total per counter
     /// name (computed in timestamp order), so the counter track plots
-    /// the cumulative value, not the raw delta.
+    /// the cumulative value, not the raw delta. Gauge events also
+    /// render as `ph:"C"` but their value is the absolute sample.
     pub fn to_chrome_trace(&self) -> String {
         // Running totals must accumulate in time order even though
         // events are stored sorted by (tid, ts).
@@ -304,25 +340,36 @@ impl TraceSnapshot {
                 running[i] = *t;
             }
         }
-        let trace_events: Vec<JsonValue> = self
-            .events
+        let mut trace_events: Vec<JsonValue> = self
+            .thread_names
             .iter()
-            .enumerate()
-            .map(|(i, e)| {
-                let ph = match e.kind {
-                    TraceEventKind::Begin => "B",
-                    TraceEventKind::End => "E",
-                    TraceEventKind::Counter => "C",
-                };
-                let mut fields = vec![
-                    ("name", JsonValue::str(e.name.as_ref())),
-                    ("cat", JsonValue::str("tc")),
-                    ("ph", JsonValue::str(ph)),
-                    ("ts", JsonValue::from(e.ts_ns as f64 / 1e3)),
+            .map(|(tid, name)| {
+                JsonValue::obj([
+                    ("name", JsonValue::str("thread_name")),
+                    ("ph", JsonValue::str("M")),
+                    ("ts", JsonValue::from(0u64)),
                     ("pid", JsonValue::from(1u64)),
-                    ("tid", JsonValue::from(e.tid)),
-                ];
-                if e.kind == TraceEventKind::Counter {
+                    ("tid", JsonValue::from(*tid)),
+                    ("args", JsonValue::obj([("name", JsonValue::str(name))])),
+                ])
+            })
+            .collect();
+        trace_events.extend(self.events.iter().enumerate().map(|(i, e)| {
+            let ph = match e.kind {
+                TraceEventKind::Begin => "B",
+                TraceEventKind::End => "E",
+                TraceEventKind::Counter | TraceEventKind::Gauge => "C",
+            };
+            let mut fields = vec![
+                ("name", JsonValue::str(e.name.as_ref())),
+                ("cat", JsonValue::str("tc")),
+                ("ph", JsonValue::str(ph)),
+                ("ts", JsonValue::from(e.ts_ns as f64 / 1e3)),
+                ("pid", JsonValue::from(1u64)),
+                ("tid", JsonValue::from(e.tid)),
+            ];
+            match e.kind {
+                TraceEventKind::Counter => {
                     fields.push((
                         "args",
                         JsonValue::obj([
@@ -331,9 +378,16 @@ impl TraceSnapshot {
                         ]),
                     ));
                 }
-                JsonValue::obj(fields)
-            })
-            .collect();
+                TraceEventKind::Gauge => {
+                    fields.push((
+                        "args",
+                        JsonValue::obj([("value", JsonValue::from(e.delta))]),
+                    ));
+                }
+                TraceEventKind::Begin | TraceEventKind::End => {}
+            }
+            JsonValue::obj(fields)
+        }));
         JsonValue::obj([
             ("traceEvents", JsonValue::Arr(trace_events)),
             ("displayTimeUnit", JsonValue::str("ms")),
@@ -398,7 +452,7 @@ impl TraceSnapshot {
                         close(stack, e.ts_ns, &mut folded);
                     }
                 }
-                TraceEventKind::Counter => {}
+                TraceEventKind::Counter | TraceEventKind::Gauge => {}
             }
         }
         for (_, mut stack) in per_tid {

@@ -68,14 +68,29 @@ fn concurrent_threads_produce_a_valid_balanced_chrome_trace() {
         }
     }
 
-    // The export is real JSON with balanced B/E per thread.
+    // The export is real JSON with balanced B/E per thread, plus one
+    // M/thread_name metadata event per recorded thread up front.
     let text = snap.to_chrome_trace();
     let doc = JsonValue::parse(&text).expect("chrome trace parses");
     let events = trace_events(&doc);
-    assert_eq!(events.len(), snap.events.len());
+    assert_eq!(
+        events.len(),
+        snap.events.len() + snap.thread_names.len(),
+        "every event plus one thread_name metadata record per thread"
+    );
+    let meta_count = events
+        .iter()
+        .filter(|ev| str_field(ev, "ph") == "M")
+        .inspect(|ev| assert_eq!(str_field(ev, "name"), "thread_name"))
+        .count();
+    assert_eq!(meta_count, snap.thread_names.len());
     let mut depth = std::collections::BTreeMap::new();
     let mut last_ts = std::collections::BTreeMap::new();
     for ev in &events {
+        let ph = str_field(ev, "ph");
+        if ph == "M" {
+            continue;
+        }
         let tid = num_field(ev, "tid") as u64;
         let ts = num_field(ev, "ts");
         if let Some(&prev) = last_ts.get(&tid) {
@@ -83,7 +98,7 @@ fn concurrent_threads_produce_a_valid_balanced_chrome_trace() {
         }
         last_ts.insert(tid, ts);
         let d = depth.entry(tid).or_insert(0i64);
-        match str_field(ev, "ph").as_str() {
+        match ph.as_str() {
             "B" => *d += 1,
             "E" => {
                 *d -= 1;

@@ -190,10 +190,11 @@ impl Pool {
         let busy: Vec<Duration> = thread::scope(|s| {
             let handles: Vec<_> = deal
                 .into_iter()
-                .map(|work| {
+                .enumerate()
+                .map(|(w, work)| {
                     let parent = parent.as_deref();
                     let f = &f;
-                    s.spawn(move || {
+                    spawn_worker(s, w, move || {
                         let _ctx = tc_obs::span_parent(parent);
                         let start = Instant::now();
                         for (i, c) in work {
@@ -225,11 +226,11 @@ impl Pool {
         let mut busy = Vec::with_capacity(workers);
         let outputs: Vec<R> = thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|w| {
                     let cursor = &cursor;
                     let body = &body;
                     let parent = parent.as_deref();
-                    s.spawn(move || {
+                    spawn_worker(s, w, move || {
                         let _ctx = tc_obs::span_parent(parent);
                         let start = Instant::now();
                         let out = body(cursor);
@@ -255,6 +256,20 @@ impl Default for Pool {
     fn default() -> Self {
         Pool::from_env()
     }
+}
+
+/// Spawns scoped worker `w` under the name `tc-par-<w>`, so flight-
+/// recorder traces (and debuggers) show a stable lane per worker
+/// instead of anonymous thread ids.
+fn spawn_worker<'scope, 'env, R: Send + 'scope>(
+    s: &'scope thread::Scope<'scope, 'env>,
+    w: usize,
+    body: impl FnOnce() -> R + Send + 'scope,
+) -> thread::ScopedJoinHandle<'scope, R> {
+    thread::Builder::new()
+        .name(format!("tc-par-{w}"))
+        .spawn_scoped(s, body)
+        .expect("spawn tc-par worker")
 }
 
 /// Joins one worker, re-raising its panic on the calling thread.

@@ -1,0 +1,98 @@
+//! Concurrent heap accounting: the tc-obs counting allocator must stay
+//! coherent when a tc-par pool's workers allocate and free in parallel,
+//! and worker threads must show up in the flight recorder under their
+//! `tc-par-<i>` lane names.
+
+use std::hint::black_box;
+use std::sync::Mutex;
+
+use tc_par::Pool;
+
+/// The allocator's counters are process-global; run these tests one at
+/// a time so their deltas don't interleave.
+static MEM_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    MEM_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+const ITEMS: usize = 64;
+const BUF: usize = 64 * 1024;
+
+#[test]
+fn two_workers_account_allocations_coherently() {
+    let _serial = lock();
+    tc_obs::enable_memory();
+    let before = tc_obs::memory_stats();
+    let mark = tc_obs::heap_mark();
+
+    let sums: Vec<u64> = Pool::new(2).scope_map(&[(); ITEMS], |i, ()| {
+        // Each task allocates, touches, and drops a worker-local buffer.
+        let buf = vec![(i % 251) as u8; BUF];
+        black_box(buf.iter().map(|&b| u64::from(b)).sum::<u64>())
+    });
+    assert_eq!(sums.len(), ITEMS);
+
+    let after = tc_obs::memory_stats();
+    let delta = mark.delta();
+
+    // Every task's buffer was counted on both sides of its life, with
+    // no events lost to the concurrent updates.
+    assert!(
+        after.allocs >= before.allocs + ITEMS as u64,
+        "at least one counted allocation per task: {} -> {}",
+        before.allocs,
+        after.allocs
+    );
+    assert!(
+        after.allocated_bytes >= before.allocated_bytes + (ITEMS * BUF) as u64,
+        "all task buffers were accounted"
+    );
+    // The buffers are dropped inside the scope: the net movement of the
+    // whole parallel region is far smaller than what flowed through it.
+    assert!(
+        delta.net_bytes.unsigned_abs() < (ITEMS * BUF) as u64 / 2,
+        "freed buffers net out, got {} net bytes",
+        delta.net_bytes
+    );
+    // At any instant at least one buffer was live, and the monotonic
+    // peak saw it.
+    assert!(
+        delta.peak_bytes >= BUF as u64,
+        "peak growth covers a task buffer, got {}",
+        delta.peak_bytes
+    );
+    assert!(after.peak_bytes >= after.live_bytes);
+}
+
+#[test]
+fn pool_workers_are_named_lanes_in_the_trace() {
+    let _serial = lock();
+    tc_obs::enable_trace(tc_obs::DEFAULT_TRACE_CAPACITY);
+    tc_obs::clear_trace();
+
+    let got = Pool::new(2).scope_map(&[1u64; 16], |_, &x| {
+        black_box((0..2_000u64).fold(x, |a, b| a.wrapping_mul(31).wrapping_add(b)))
+    });
+    assert_eq!(got.len(), 16);
+
+    let snap = tc_obs::trace_snapshot();
+    tc_obs::disable_trace();
+    let lanes: Vec<&str> = snap
+        .thread_names
+        .iter()
+        .map(|(_, name)| name.as_str())
+        .filter(|n| n.starts_with("tc-par-"))
+        .collect();
+    // The claim cursor may let one fast worker drain the queue, but at
+    // least one named worker lane must have recorded tasks.
+    assert!(
+        !lanes.is_empty(),
+        "expected tc-par-<i> lanes in {:?}",
+        snap.thread_names
+    );
+    assert!(
+        snap.events.iter().any(|e| &*e.name == "par.task"),
+        "worker tasks were traced"
+    );
+}

@@ -18,6 +18,12 @@
 //!   a configurable relative tolerance, and downgradeable to
 //!   informational (`--timing-informational`) for shared CI runners
 //!   whose wall clock proves nothing.
+//! * **Memory fields** — allocator telemetry (`*_bytes`, `*_allocs`,
+//!   `*_frees`): tolerance-gated like timing but under their own,
+//!   wider knob (`--mem-tol`), because allocator behaviour — arena
+//!   growth policy, thread count, even libc version — moves the counts
+//!   between perfectly healthy runs. They are **never** compared
+//!   bit-exactly, and `--timing-informational` downgrades them too.
 //!
 //! The unit suffix carries the distinction: `ms`/`us`/`ns` name *wall
 //! clock* (host-dependent), while `ps` names *simulated time* — a
@@ -40,6 +46,9 @@ pub enum FieldClass {
     Exact,
     /// Wall-clock measurement: tolerance-gated (or informational).
     Timing,
+    /// Heap telemetry: tolerance-gated under [`DiffOptions::mem_tol`]
+    /// (or informational) — never bit-exact.
+    Memory,
     /// Machine description: never gates.
     Info,
 }
@@ -80,8 +89,12 @@ pub struct DiffRow {
 pub struct DiffOptions {
     /// Relative tolerance for timing fields (fraction, not percent).
     pub tol: f64,
-    /// Downgrade out-of-tolerance timing fields from regression to
-    /// drift (for shared CI runners).
+    /// Relative tolerance for memory fields (fraction, not percent).
+    /// Wider than `tol` by default: allocator counts are stable within
+    /// a host but not across libc versions or thread schedules.
+    pub mem_tol: f64,
+    /// Downgrade out-of-tolerance timing *and memory* fields from
+    /// regression to drift (for shared CI runners).
     pub timing_informational: bool,
 }
 
@@ -89,6 +102,7 @@ impl Default for DiffOptions {
     fn default() -> Self {
         DiffOptions {
             tol: 0.25,
+            mem_tol: 0.5,
             timing_informational: true,
         }
     }
@@ -142,6 +156,7 @@ impl DiffReport {
                 let class = match r.class {
                     FieldClass::Exact => "exact",
                     FieldClass::Timing => "timing",
+                    FieldClass::Memory => "memory",
                     FieldClass::Info => "info",
                 };
                 let delta = r
@@ -237,15 +252,26 @@ fn flatten_into(v: &JsonValue, path: String, out: &mut Vec<(String, Flat)>) {
 /// Wall-clock unit/word tokens that mark a field as timing.
 const TIMING_TOKENS: [&str; 7] = ["ms", "us", "ns", "wall", "speedup", "elapsed", "idle"];
 
+/// Allocator-telemetry tokens that mark a field as memory. Checked
+/// before the timing vocabulary so `peak_heap_bytes` and friends never
+/// fall through to exact comparison.
+const MEMORY_TOKENS: [&str; 3] = ["bytes", "allocs", "frees"];
+
 /// Classifies a flattened path. The *leaf* segment decides: its
-/// `_`-separated tokens are matched against the wall-clock vocabulary.
-/// `host_threads` and everything under `knobs.` is machine description
-/// (informational).
+/// `_`-separated tokens are matched against the memory vocabulary
+/// first, then the wall-clock vocabulary. `host_threads` and everything
+/// under `knobs.` is machine description (informational).
 pub fn classify(path: &str) -> FieldClass {
     let leaf = path.rsplit('.').next().unwrap_or(path);
     let leaf = leaf.split('[').next().unwrap_or(leaf);
     if leaf == "host_threads" || path.starts_with("knobs.") || path.contains(".knobs.") {
         return FieldClass::Info;
+    }
+    if leaf
+        .split('_')
+        .any(|tok| MEMORY_TOKENS.contains(&tok.to_ascii_lowercase().as_str()))
+    {
+        return FieldClass::Memory;
     }
     if leaf
         .split('_')
@@ -362,11 +388,16 @@ fn compare(path: &str, class: FieldClass, va: &Flat, vb: &Flat, opts: &DiffOptio
                 RowStatus::Regression
             }
         }
-        FieldClass::Timing => {
+        FieldClass::Timing | FieldClass::Memory => {
+            let tol = if class == FieldClass::Memory {
+                opts.mem_tol
+            } else {
+                opts.tol
+            };
             let within = match (va, vb) {
                 (Flat::Num(a), Flat::Num(b)) => {
                     let denom = a.abs().max(b.abs());
-                    denom == 0.0 || ((b - a).abs() / denom) <= opts.tol
+                    denom == 0.0 || ((b - a).abs() / denom) <= tol
                 }
                 (a, b) => a == b,
             };
@@ -404,8 +435,10 @@ pub struct TraceCheck {
 
 /// Validates a Chrome `trace_event` JSON document: parseable, every
 /// event carries `ph`/`ts`/`tid`, per-thread timestamps are monotonic
-/// (non-decreasing), and B/E events balance per thread. Ring-overflow
-/// traces (`dropped_events > 0`) skip the balance requirement — drops
+/// (non-decreasing), and B/E events balance per thread. `M` metadata
+/// records (`thread_name`) are accepted anywhere and affect neither
+/// depth nor the timestamp order of their lane. Ring-overflow traces
+/// (`dropped_events > 0`) skip the balance requirement — drops
 /// legitimately orphan events.
 ///
 /// # Errors
@@ -452,6 +485,15 @@ pub fn check_trace(text: &str, min_threads: usize) -> Result<TraceCheck, String>
             Some(JsonValue::Str(s)) => s,
             _ => return Err(format!("event {i}: missing ph")),
         };
+        if ph == "M" {
+            // Metadata records name threads/processes; they carry ts 0
+            // regardless of position, so they stay out of the
+            // monotonicity and balance bookkeeping.
+            if field(ev, "name").is_none() {
+                return Err(format!("event {i}: metadata record missing name"));
+            }
+            continue;
+        }
         let ts = match field(ev, "ts") {
             Some(JsonValue::Num(x)) if x.is_finite() && x >= 0.0 => x,
             _ => return Err(format!("event {i}: missing/invalid ts")),
@@ -531,6 +573,52 @@ mod tests {
         assert_eq!(classify("arcs_recomputed"), FieldClass::Exact);
         assert_eq!(classify("host_threads"), FieldClass::Info);
         assert_eq!(classify("knobs.TC_PAR_THREADS"), FieldClass::Info);
+        // Allocator telemetry is its own class — never exact.
+        assert_eq!(classify("memory.peak_heap_bytes"), FieldClass::Memory);
+        assert_eq!(classify("memory.total_allocs"), FieldClass::Memory);
+        assert_eq!(classify("memory.total_frees"), FieldClass::Memory);
+        assert_eq!(classify("memory.vm_hwm_bytes"), FieldClass::Memory);
+        assert_eq!(classify("metrics.spans[0].net_bytes"), FieldClass::Memory);
+        assert_eq!(classify("profiles[1].build.peak_bytes"), FieldClass::Memory);
+    }
+
+    #[test]
+    fn memory_fields_gate_by_their_own_tolerance() {
+        let a = parse(r#"{"memory":{"peak_heap_bytes":1000000,"total_allocs":500}}"#);
+        let b = parse(r#"{"memory":{"peak_heap_bytes":1400000,"total_allocs":700}}"#);
+        let strict = DiffOptions {
+            tol: 0.25,
+            mem_tol: 0.5,
+            timing_informational: false,
+        };
+        // 40% growth sits inside mem_tol=0.5 even though tol=0.25
+        // would fail it — memory uses its own knob.
+        assert!(diff(&a, &b, &strict).ok());
+        let c = parse(r#"{"memory":{"peak_heap_bytes":3000000,"total_allocs":500}}"#);
+        let rep = diff(&a, &c, &strict);
+        assert!(!rep.ok(), "3x peak fails the strict memory gate");
+        let informational = DiffOptions {
+            timing_informational: true,
+            ..strict
+        };
+        let rep = diff(&a, &c, &informational);
+        assert!(rep.ok(), "informational mode downgrades memory too");
+        assert_eq!(rep.drifts, 1);
+    }
+
+    #[test]
+    fn memory_fields_are_never_compared_exactly() {
+        // A one-byte wiggle inside tolerance must pass even strict.
+        let a = parse(r#"{"live_bytes":1048576}"#);
+        let b = parse(r#"{"live_bytes":1048577}"#);
+        let strict = DiffOptions {
+            tol: 0.0,
+            mem_tol: 0.01,
+            timing_informational: false,
+        };
+        let rep = diff(&a, &b, &strict);
+        assert!(rep.ok());
+        assert_eq!(rep.rows[0].class, FieldClass::Memory);
     }
 
     #[test]
@@ -556,13 +644,13 @@ mod tests {
         let a = parse(r#"{"wall_ms":100.0}"#);
         let b = parse(r#"{"wall_ms":200.0}"#);
         let strict = DiffOptions {
-            tol: 0.25,
             timing_informational: false,
+            ..DiffOptions::default()
         };
         assert!(!diff(&a, &b, &strict).ok(), "2x slower fails strict gate");
         let informational = DiffOptions {
-            tol: 0.25,
             timing_informational: true,
+            ..DiffOptions::default()
         };
         let rep = diff(&a, &b, &informational);
         assert!(rep.ok(), "informational mode never gates on timing");
@@ -618,5 +706,27 @@ mod tests {
         assert!(check_trace(backwards, 1).is_err());
 
         assert!(check_trace("not json", 1).is_err());
+    }
+
+    #[test]
+    fn trace_check_accepts_thread_name_metadata() {
+        // M records carry ts 0 and sit before events whose lanes they
+        // name; they must not trip monotonicity or balance.
+        let with_meta = r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"main"}},
+            {"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"tc-par-0"}},
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":0},
+            {"name":"a","ph":"E","ts":2.0,"pid":1,"tid":0},
+            {"name":"b","ph":"B","ts":1.0,"pid":1,"tid":1},
+            {"name":"b","ph":"E","ts":2.0,"pid":1,"tid":1}
+        ],"otherData":{"dropped_events":0}}"#;
+        let check = check_trace(with_meta, 2).expect("metadata accepted");
+        assert_eq!(check.threads, 2, "threads counted from real events");
+        assert_eq!(check.events, 6, "metadata records count as events");
+
+        let nameless_meta = r#"{"traceEvents":[
+            {"ph":"M","ts":0,"pid":1,"tid":0}
+        ]}"#;
+        assert!(check_trace(nameless_meta, 0).is_err());
     }
 }

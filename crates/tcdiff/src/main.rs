@@ -2,7 +2,7 @@
 //! sidecars, or validate a Chrome trace export.
 //!
 //! ```text
-//! tcdiff <baseline.json> <candidate.json> [--tol 0.25]
+//! tcdiff <baseline.json> <candidate.json> [--tol 0.25] [--mem-tol 0.5]
 //!        [--timing-strict] [--verbose]
 //! tcdiff --check-trace <trace.json> [--min-threads N]
 //! ```
@@ -18,15 +18,19 @@ use tc_obs::JsonValue;
 use tcdiff::{check_schema, check_trace, diff, DiffOptions};
 
 fn usage() -> &'static str {
-    "usage: tcdiff <baseline.json> <candidate.json> [--tol FRACTION] [--timing-strict] [--verbose]\n\
+    "usage: tcdiff <baseline.json> <candidate.json> [--tol FRACTION] [--mem-tol FRACTION]\n\
+     \x20      [--timing-strict] [--verbose]\n\
      \x20      tcdiff --check-trace <trace.json> [--min-threads N]\n\
      \n\
      Compares two run artifacts or BENCH_*.json sidecars field by field.\n\
      Fingerprint/result fields must match exactly; wall-clock fields\n\
      (*_ms/*_us/*_ns/wall*/speedup*/elapsed*/idle*) are tolerance-gated\n\
-     (default 25% relative, informational unless --timing-strict).\n\
+     (default 25% relative); allocator fields (*_bytes/*_allocs/*_frees)\n\
+     gate under --mem-tol (default 50%, never bit-exact). Both classes\n\
+     are informational unless --timing-strict.\n\
      --check-trace validates a Chrome trace_event export instead:\n\
-     JSON parse, per-thread monotonic timestamps, balanced B/E events."
+     JSON parse, per-thread monotonic timestamps, balanced B/E events\n\
+     (M/thread_name metadata records accepted)."
 }
 
 fn fail(msg: &str) -> ExitCode {
@@ -96,6 +100,16 @@ fn main() -> ExitCode {
                     return fail("--tol must be >= 0");
                 }
                 opts.tol = t;
+                i += 2;
+            }
+            "--mem-tol" => {
+                let Some(t) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    return fail("--mem-tol needs a fraction, e.g. --mem-tol 0.5");
+                };
+                if t.is_nan() || t < 0.0 {
+                    return fail("--mem-tol must be >= 0");
+                }
+                opts.mem_tol = t;
                 i += 2;
             }
             "--timing-strict" => {

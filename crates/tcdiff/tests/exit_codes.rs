@@ -93,6 +93,74 @@ fn timing_drift_is_informational_by_default_and_gated_when_strict() {
 }
 
 #[test]
+fn memory_fields_gate_under_mem_tol_not_exactly() {
+    let a = tmp_file(
+        "mem_a.json",
+        r#"{"fp":"same","memory":{"peak_heap_bytes":1000000,"total_allocs":500}}"#,
+    );
+    let b = tmp_file(
+        "mem_b.json",
+        r#"{"fp":"same","memory":{"peak_heap_bytes":1400000,"total_allocs":650}}"#,
+    );
+    let (pa, pb) = (a.to_str().unwrap(), b.to_str().unwrap());
+
+    // 40% peak growth: inside the default mem tolerance (50%) even
+    // under --timing-strict, although the timing tolerance (25%) would
+    // have failed it — bytes fields are never compared bit-exactly.
+    let out = run(&[pa, pb, "--timing-strict"]);
+    assert!(
+        out.status.success(),
+        "memory wiggle inside --mem-tol passes strict; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let out = run(&[pa, pb, "--timing-strict", "--mem-tol", "0.1"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "tight --mem-tol gates the same wiggle"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("memory") && stdout.contains("peak_heap_bytes"),
+        "delta table names the memory field and class: {stdout}"
+    );
+
+    let out = run(&[pa, pb, "--mem-tol", "0.1"]);
+    assert!(
+        out.status.success(),
+        "informational default downgrades memory drift too"
+    );
+
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn pre_memory_schema_artifacts_are_refused() {
+    // A v1 artifact (before the memory section) against a current v2
+    // one must be refused outright — exit 2, not a field-level diff.
+    let v1 = tmp_file(
+        "run_v1.json",
+        r#"{"schema_version":1,"kind":"tc.run_artifact","workload":"w","wall_ms":1.0}"#,
+    );
+    let v2 = tmp_file(
+        "run_v2.json",
+        r#"{"schema_version":2,"kind":"tc.run_artifact","workload":"w","wall_ms":1.0,
+            "memory":{"peak_heap_bytes":1}}"#,
+    );
+    let out = run(&[v1.to_str().unwrap(), v2.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "schema bump refuses cleanly");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("schema_version mismatch"),
+        "refusal names the cause: {stderr}"
+    );
+    std::fs::remove_file(v1).ok();
+    std::fs::remove_file(v2).ok();
+}
+
+#[test]
 fn bad_inputs_are_usage_errors() {
     let out = run(&[]);
     assert_eq!(out.status.code(), Some(2), "no args is a usage error");
@@ -148,4 +216,21 @@ fn check_trace_mode_validates_and_gates() {
     let out = run(&["--check-trace", bad.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1), "unmatched E gates");
     std::fs::remove_file(bad).ok();
+
+    // thread_name metadata records pass validation untouched.
+    let with_meta = tmp_file(
+        "trace_meta.json",
+        r#"{"traceEvents":[
+            {"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"tc-par-0"}},
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":0},
+            {"name":"a","ph":"E","ts":2.0,"pid":1,"tid":0}
+        ],"otherData":{"dropped_events":0}}"#,
+    );
+    let out = run(&["--check-trace", with_meta.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "metadata events accepted; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(with_meta).ok();
 }
