@@ -1,0 +1,28 @@
+//! Allocator-call probe: counting-allocator allocations per full GBA
+//! STA run on c5315, after a warmup run. The flat data plane (pooled
+//! sink-delay spans, reusable wire/RC-tree scratch) keeps this in the
+//! low thousands; a per-net `Vec` rebuild regression pushes it back
+//! toward ~60k. Companion to the `TC_BENCH_MAX_MEM_OVERHEAD_PCT` gate
+//! in the engines bench.
+//!
+//! ```text
+//! cargo run --release -p tc-bench --example alloc_probe
+//! ```
+use tc_bench::{bench_netlist, standard_env};
+use tc_sta::{Constraints, Sta};
+
+fn main() {
+    tc_obs::enable();
+    tc_obs::enable_memory();
+    let (lib, stack) = standard_env();
+    let nl = bench_netlist(&lib, "c5315", 1);
+    let cons = Constraints::single_clock(900.0);
+    let sta = Sta::new(&nl, &lib, &stack, &cons);
+    sta.run().expect("warmup");
+    let a0 = tc_obs::memory_stats().allocs;
+    for _ in 0..10 {
+        sta.run().expect("sta");
+    }
+    let a1 = tc_obs::memory_stats().allocs;
+    println!("allocs_per_gba_run_c5315 = {}", (a1 - a0) / 10);
+}

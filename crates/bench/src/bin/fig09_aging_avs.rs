@@ -38,7 +38,6 @@ fn main() {
         let freq_ghz = 1.0;
         let dyn_uw: f64 = nl
             .cells()
-            .iter()
             .map(|c| {
                 let cell = lib.cell(c.master);
                 // fJ/switch × switches/ns = µW.

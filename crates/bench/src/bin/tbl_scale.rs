@@ -111,9 +111,11 @@ fn main() {
         });
         let mut timer = timer;
 
+        let allocs_before_sta = tc_obs::memory_stats().allocs;
         let (sta_phase, full) = measured("scale.sta", || {
             Sta::new(&nl, &lib, &stack, &cons).run().expect("full sta")
         });
+        let allocs_per_sta_run = tc_obs::memory_stats().allocs - allocs_before_sta;
         let wns_ps = full.wns().value();
         let tns_ps = full.tns().value();
 
@@ -173,6 +175,15 @@ fn main() {
             // Process-cumulative at this rung (the ladder runs small →
             // large, so each rung's peak covers its predecessors).
             ("peak_heap_bytes", JsonValue::from(mem.peak_bytes)),
+            // Footprint efficiency of the flat data plane: cumulative
+            // peak heap normalized by this rung's cell count.
+            (
+                "bytes_per_cell",
+                JsonValue::from(mem.peak_bytes as f64 / cells as f64),
+            ),
+            // Allocator calls one full GBA propagation performed — the
+            // pooled-span/scratch-arena regression canary.
+            ("allocs_per_sta_run", JsonValue::from(allocs_per_sta_run)),
             (
                 "vm_hwm_bytes",
                 vm_hwm.map_or(JsonValue::Null, JsonValue::from),

@@ -232,7 +232,7 @@ pub fn apply_buffering(nl: &mut Netlist, lib: &Library, plan: &[NetId]) -> Resul
     let mut edits = 0;
     for &net in plan {
         let len = nl.net(net).wire_length_um;
-        let sinks: Vec<PinRef> = nl.net(net).sinks.clone();
+        let sinks: Vec<PinRef> = nl.net(net).sinks.to_vec();
         if sinks.is_empty() {
             continue;
         }

@@ -54,6 +54,17 @@ pub struct WireTiming {
     pub r_total: Kohm,
 }
 
+/// Reusable buffers for wire-timing extraction: the RC tree plus the
+/// Elmore evaluation scratch. One instance serves any number of
+/// [`WireModel::timing_into`] calls — full-design extraction performs
+/// zero per-net allocations once the buffers are warm.
+#[derive(Clone, Debug, Default)]
+pub struct WireScratch {
+    tree: RcTree,
+    r_to: Vec<f64>,
+    marks: Vec<bool>,
+}
+
 /// A net reduced to (length, layer, rule); the estimation model of a
 /// placed-but-unrouted flow.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -96,15 +107,19 @@ impl WireModel {
         self
     }
 
-    /// Builds the RC tree: the wire is a 4-segment ladder with sinks
-    /// attached round-robin along it.
-    fn build_tree(
+    /// Rebuilds the RC tree into `tree`: the wire is a 4-segment ladder
+    /// with sinks attached round-robin along it. Sink `i` lands on node
+    /// `SEGS` when `i == 0` (the far end), otherwise on node
+    /// `1 + SEGS/2 + (i % (SEGS/2)).min(SEGS-1-SEGS/2)` — the lookup
+    /// `timing_into` repeats for the delay readout.
+    fn build_tree_into(
         &self,
         stack: &BeolStack,
         corner: BeolCorner,
         sample: Option<&BeolSample>,
         sink_caps: &[Ff],
-    ) -> RcTree {
+        tree: &mut RcTree,
+    ) {
         let layer = stack.layer(self.layer);
         let (fr, fcg, fcc) = self.ndr.factors();
         let cf = corner.factors(layer.multi_patterned);
@@ -117,28 +132,72 @@ impl WireModel {
 
         const SEGS: usize = 4;
         let seg_len = self.length_um / SEGS as f64;
-        let mut tree = RcTree::new(Ff::new(0.5 * c_per_um * seg_len));
-        let mut nodes = Vec::with_capacity(SEGS);
+        tree.reset(Ff::new(0.5 * c_per_um * seg_len));
         let mut prev = 0;
         for _ in 0..SEGS {
-            let node = tree.add_node(
+            prev = tree.add_node(
                 prev,
                 Kohm::new(r_per_um * seg_len),
                 Ff::new(c_per_um * seg_len),
             );
-            nodes.push(node);
-            prev = node;
         }
         for (i, &cap) in sink_caps.iter().enumerate() {
             // Farthest sink last: spread sinks over the back half.
-            let node = nodes[SEGS / 2 + (i % (SEGS / 2)).min(SEGS - 1 - SEGS / 2)];
-            let node = if i == 0 { nodes[SEGS - 1] } else { node };
+            // Ladder nodes are 1..=SEGS in creation order.
+            let node = 1 + SEGS / 2 + (i % (SEGS / 2)).min(SEGS - 1 - SEGS / 2);
+            let node = if i == 0 { SEGS } else { node };
             tree.add_cap(node, cap);
         }
-        tree
     }
 
-    /// Computes the driver load and per-sink Elmore delays.
+    /// Computes the driver load and per-sink Elmore delays into
+    /// caller-owned buffers: delays are *appended* to `out_delays` (one
+    /// per entry of `sink_caps`, in order) and `scratch` is reused across
+    /// calls, so steady-state extraction allocates nothing. Returns
+    /// `(driver_load, r_total)`. Results are bit-identical to
+    /// [`WireModel::timing`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates RC-tree errors (which indicate an internal bug).
+    pub fn timing_into(
+        &self,
+        stack: &BeolStack,
+        corner: BeolCorner,
+        sample: Option<&BeolSample>,
+        sink_caps: &[Ff],
+        scratch: &mut WireScratch,
+        out_delays: &mut Vec<Ps>,
+    ) -> Result<(Ff, Kohm)> {
+        self.build_tree_into(stack, corner, sample, sink_caps, &mut scratch.tree);
+        let layer = stack.layer(self.layer);
+        let (fr, _, _) = self.ndr.factors();
+        let cf = corner.factors(layer.multi_patterned);
+        let sr = sample.map_or(1.0, |s| s.r[self.layer]);
+        let r_total = Kohm::new(layer.r_per_um * fr * cf.r * sr * self.length_um);
+
+        // Sinks were attached to interior nodes; their delays are the
+        // Elmore delays at those nodes. Recompute attachment for lookup.
+        const SEGS: usize = 4;
+        scratch.tree.fill_r_to(&mut scratch.r_to);
+        out_delays.reserve(sink_caps.len());
+        for i in 0..sink_caps.len() {
+            let node = if i == 0 {
+                SEGS
+            } else {
+                1 + SEGS / 2 + (i % (SEGS / 2)).min(SEGS - 1 - SEGS / 2)
+            };
+            out_delays.push(
+                scratch
+                    .tree
+                    .elmore_with(node, &scratch.r_to, &mut scratch.marks)?,
+            );
+        }
+        Ok((scratch.tree.total_cap(), r_total))
+    }
+
+    /// Computes the driver load and per-sink Elmore delays (allocating
+    /// convenience wrapper around [`WireModel::timing_into`]).
     ///
     /// # Errors
     ///
@@ -150,27 +209,18 @@ impl WireModel {
         sample: Option<&BeolSample>,
         sink_caps: &[Ff],
     ) -> Result<WireTiming> {
-        let tree = self.build_tree(stack, corner, sample, sink_caps);
-        let layer = stack.layer(self.layer);
-        let (fr, _, _) = self.ndr.factors();
-        let cf = corner.factors(layer.multi_patterned);
-        let sr = sample.map_or(1.0, |s| s.r[self.layer]);
-        let r_total = Kohm::new(layer.r_per_um * fr * cf.r * sr * self.length_um);
-
-        // Sinks were attached to interior nodes; their delays are the
-        // Elmore delays at those nodes. Recompute attachment for lookup.
-        const SEGS: usize = 4;
-        let mut sink_delays = Vec::with_capacity(sink_caps.len());
-        for i in 0..sink_caps.len() {
-            let node = if i == 0 {
-                SEGS
-            } else {
-                1 + SEGS / 2 + (i % (SEGS / 2)).min(SEGS - 1 - SEGS / 2)
-            };
-            sink_delays.push(tree.elmore(node)?);
-        }
+        let mut scratch = WireScratch::default();
+        let mut sink_delays = Vec::new();
+        let (driver_load, r_total) = self.timing_into(
+            stack,
+            corner,
+            sample,
+            sink_caps,
+            &mut scratch,
+            &mut sink_delays,
+        )?;
         Ok(WireTiming {
-            driver_load: tree.total_cap(),
+            driver_load,
             sink_delays,
             r_total,
         })
@@ -280,6 +330,44 @@ mod tests {
             }
         }
         assert!(distinct >= 9, "samples must perturb delay");
+    }
+
+    #[test]
+    fn timing_into_is_bit_identical_to_timing_across_reuse() {
+        // The arena path must produce the exact bytes of the allocating
+        // path, including when the scratch is reused across nets of
+        // different shapes (buffer contents must never leak between
+        // calls).
+        let s = stack();
+        let mut scratch = WireScratch::default();
+        let mut rng = tc_core::rng::Rng::seed_from(9);
+        let mut delays = Vec::new();
+        for i in 0..50 {
+            let n_sinks = 1 + rng.below(6);
+            let caps: Vec<Ff> = (0..n_sinks)
+                .map(|_| Ff::new(rng.uniform_in(0.5, 4.0)))
+                .collect();
+            let wm = WireModel::from_length(rng.uniform_in(5.0, 700.0)).with_ndr(match i % 3 {
+                0 => NdrClass::Default,
+                1 => NdrClass::DoubleWidth,
+                _ => NdrClass::DoubleWidthSpacing,
+            });
+            let want = wm.timing(&s, BeolCorner::Typical, None, &caps).unwrap();
+            delays.clear();
+            let (load, r_total) = wm
+                .timing_into(
+                    &s,
+                    BeolCorner::Typical,
+                    None,
+                    &caps,
+                    &mut scratch,
+                    &mut delays,
+                )
+                .unwrap();
+            assert_eq!(load, want.driver_load, "net {i}");
+            assert_eq!(r_total, want.r_total, "net {i}");
+            assert_eq!(delays, want.sink_delays, "net {i}");
+        }
     }
 
     #[test]

@@ -110,13 +110,18 @@ pub fn write_spef(nets: &[NetParasitics], stack: &BeolStack) -> String {
     out
 }
 
-/// Parses the sensitivity-SPEF subset written by [`write_spef`].
+/// Parses the sensitivity-SPEF subset written by [`write_spef`] from any
+/// buffered reader, one line at a time — a multi-million-net parasitics
+/// file is never materialized in memory as a whole.
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidInput`] on malformed records or unknown layer
-/// names.
-pub fn parse_spef(text: &str, stack: &BeolStack) -> Result<Vec<NetParasitics>> {
+/// Returns [`Error::InvalidInput`] on malformed records, unknown layer
+/// names, or I/O failures (wrapped).
+pub fn parse_spef_from<R: std::io::BufRead>(
+    mut reader: R,
+    stack: &BeolStack,
+) -> Result<Vec<NetParasitics>> {
     let layer_idx = |name: &str| -> Result<usize> {
         stack
             .layers()
@@ -126,7 +131,15 @@ pub fn parse_spef(text: &str, stack: &BeolStack) -> Result<Vec<NetParasitics>> {
     };
     let mut nets = Vec::new();
     let mut cur: Option<NetParasitics> = None;
-    for line in text.lines() {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| Error::invalid_input(format!("read: {e}")))?;
+        if n == 0 {
+            break;
+        }
         let l = line.trim();
         if let Some(rest) = l.strip_prefix("*D_NET ") {
             let tok: Vec<&str> = rest.split_whitespace().collect();
@@ -193,6 +206,17 @@ pub fn parse_spef(text: &str, stack: &BeolStack) -> Result<Vec<NetParasitics>> {
         return Err(Error::invalid_input("unterminated D_NET block"));
     }
     Ok(nets)
+}
+
+/// Parses the sensitivity-SPEF subset written by [`write_spef`]
+/// (in-memory convenience wrapper around [`parse_spef_from`]).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] on malformed records or unknown layer
+/// names.
+pub fn parse_spef(text: &str, stack: &BeolStack) -> Result<Vec<NetParasitics>> {
+    parse_spef_from(text.as_bytes(), stack)
 }
 
 #[cfg(test)]
@@ -298,6 +322,17 @@ mod tests {
         // A prefix ending inside a block is specifically an error.
         let inside = text.find("*SENS").unwrap() + 3;
         assert!(parse_spef(&text[..inside], &stack).is_err());
+    }
+
+    #[test]
+    fn streaming_parse_matches_in_memory_parse() {
+        let stack = stack();
+        let nets = sample_nets(&stack);
+        let text = write_spef(&nets, &stack);
+        // A deliberately tiny buffer forces many refills mid-record.
+        let reader = std::io::BufReader::with_capacity(7, text.as_bytes());
+        let streamed = parse_spef_from(reader, &stack).unwrap();
+        assert_eq!(streamed, parse_spef(&text, &stack).unwrap());
     }
 
     #[test]

@@ -270,6 +270,9 @@ pub fn generate(lib: &Library, profile: BenchProfile, seed: u64) -> Result<Netli
         nl.set_wire_length(NetId::new(i), um);
     }
 
+    // Bulk construction left doubling slack in the sink pool; rebuild
+    // it tight before handing the netlist out.
+    nl.compact();
     Ok(nl)
 }
 
@@ -425,6 +428,7 @@ pub fn generate_streamed(lib: &Library, profile: BenchProfile, seed: u64) -> Res
         nl.set_wire_length(NetId::new(i), um);
     }
 
+    nl.compact();
     Ok(nl)
 }
 
@@ -444,14 +448,13 @@ mod tests {
         let a = generate(&lib, BenchProfile::tiny(), 7).unwrap();
         let b = generate(&lib, BenchProfile::tiny(), 7).unwrap();
         assert_eq!(a.cell_count(), b.cell_count());
-        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+        for (ca, cb) in a.cells().zip(b.cells()) {
             assert_eq!(ca.master, cb.master);
             assert_eq!(ca.inputs, cb.inputs);
         }
         let c = generate(&lib, BenchProfile::tiny(), 8).unwrap();
         let differs = a
             .cells()
-            .iter()
             .zip(c.cells())
             .any(|(x, y)| x.master != y.master || x.inputs != y.inputs);
         assert!(differs, "different seeds should differ");
@@ -500,17 +503,16 @@ mod tests {
         let a = generate_streamed(&lib, BenchProfile::tiny(), 7).unwrap();
         let b = generate_streamed(&lib, BenchProfile::tiny(), 7).unwrap();
         assert_eq!(a.cell_count(), b.cell_count());
-        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+        for (ca, cb) in a.cells().zip(b.cells()) {
             assert_eq!(ca.master, cb.master);
             assert_eq!(ca.inputs, cb.inputs);
         }
-        for (na, nb) in a.nets().iter().zip(b.nets()) {
+        for (na, nb) in a.nets().zip(b.nets()) {
             assert_eq!(na.wire_length_um, nb.wire_length_um);
         }
         let c = generate_streamed(&lib, BenchProfile::tiny(), 8).unwrap();
         let differs = a
             .cells()
-            .iter()
             .zip(c.cells())
             .any(|(x, y)| x.master != y.master || x.inputs != y.inputs);
         assert!(differs, "different seeds should differ");
@@ -565,16 +567,8 @@ mod tests {
     fn wirelengths_have_a_long_tail() {
         let lib = lib();
         let nl = generate(&lib, BenchProfile::c5315(), 42).unwrap();
-        let long = nl
-            .nets()
-            .iter()
-            .filter(|n| n.wire_length_um > 150.0)
-            .count();
-        let short = nl
-            .nets()
-            .iter()
-            .filter(|n| n.wire_length_um <= 80.0)
-            .count();
+        let long = nl.nets().filter(|n| n.wire_length_um > 150.0).count();
+        let short = nl.nets().filter(|n| n.wire_length_um <= 80.0).count();
         assert!(long > 0 && short > 10 * long);
     }
 }

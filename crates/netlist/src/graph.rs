@@ -1,6 +1,33 @@
 //! The netlist graph and its ECO edit operations.
-
-use std::collections::HashMap;
+//!
+//! # Data layout
+//!
+//! The netlist is stored in struct-of-arrays (SoA) form: every cell and
+//! net attribute lives in its own dense vector indexed by raw
+//! [`CellId`] / [`NetId`], so the timing hot loops touch exactly the
+//! columns they read and nothing else (no inline `String` names, no
+//! per-cell `Vec` headers between consecutive masters).
+//!
+//! * Cell input pins are a CSR adjacency: `cell_input_nets` holds every
+//!   input net back to back, `cell_input_offsets[i]..cell_input_offsets
+//!   [i + 1]` is cell `i`'s slice. Input *counts* never change after
+//!   `add_cell` (ECOs rewire pins in place, buffer insertion appends a
+//!   new cell), so the offsets stay valid under every journaled edit.
+//! * Net sink lists are spans into a shared `sink_pool`. Sinks *do*
+//!   move between nets (buffering, rewires), so each span carries a
+//!   capacity and relocates to the end of the pool with doubled
+//!   capacity when full — O(1) amortized push, and the abandoned slots
+//!   are bounded geometrically. [`Netlist::compact`] rebuilds the pool
+//!   tight; the generators call it once construction settles.
+//! * Names are evicted into interned [`NameTable`]s (one byte buffer +
+//!   `(start, len)` spans) owned by the netlist and touched only by
+//!   reporting, lookup and the Verilog writer. Cell-name lookup goes
+//!   through a chained FNV-1a index (`NameIndex`) instead of a
+//!   `HashMap<String, CellId>`.
+//!
+//! Accessors hand out [`CellRef`] / [`NetRef`] view structs that borrow
+//! the columns, so downstream code reads `cell.inputs` / `net.sinks`
+//! exactly as it did against the old array-of-structs layout.
 
 use tc_core::error::{Error, Result};
 use tc_core::ids::{CellId, LibCellId, NetId};
@@ -17,28 +44,28 @@ pub struct PinRef {
     pub pin: usize,
 }
 
-/// One cell instance.
-#[derive(Clone, Debug, PartialEq)]
-pub struct Cell {
+/// A borrowed view of one cell instance (the SoA columns re-assembled).
+#[derive(Clone, Copy, Debug)]
+pub struct CellRef<'a> {
     /// Instance name.
-    pub name: String,
+    pub name: &'a str,
     /// The library master this instance is bound to.
     pub master: LibCellId,
     /// Input nets, in the master's pin order (`D`, `CK` for flops).
-    pub inputs: Vec<NetId>,
+    pub inputs: &'a [NetId],
     /// The output net.
     pub output: NetId,
 }
 
-/// One net.
-#[derive(Clone, Debug, Default, PartialEq)]
-pub struct Net {
+/// A borrowed view of one net.
+#[derive(Clone, Copy, Debug)]
+pub struct NetRef<'a> {
     /// Net name.
-    pub name: String,
+    pub name: &'a str,
     /// Driving cell; `None` for primary inputs.
     pub driver: Option<CellId>,
     /// Sink pins.
-    pub sinks: Vec<PinRef>,
+    pub sinks: &'a [PinRef],
     /// `true` if the net is a primary output.
     pub is_output: bool,
     /// Estimated routed wirelength in µm (annotated by placement).
@@ -49,21 +76,176 @@ pub struct Net {
     pub route_class: u8,
 }
 
+/// Interned names: one byte buffer plus `(start, len)` spans per id.
+/// Append-only except [`NameTable::pop_last`], which exactly inverts
+/// the most recent push (what buffer-insertion undo needs).
+#[derive(Clone, Debug, Default)]
+struct NameTable {
+    bytes: String,
+    spans: Vec<(u32, u32)>,
+}
+
+impl NameTable {
+    fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    fn get(&self, i: usize) -> &str {
+        let (start, len) = self.spans[i];
+        &self.bytes[start as usize..(start + len) as usize]
+    }
+
+    fn push(&mut self, name: &str) -> usize {
+        let start = self.bytes.len() as u32;
+        self.bytes.push_str(name);
+        self.spans.push((start, name.len() as u32));
+        self.spans.len() - 1
+    }
+
+    /// Removes the most recently pushed name, reclaiming its bytes.
+    fn pop_last(&mut self) {
+        let (start, _) = self.spans.pop().expect("name table not empty");
+        self.bytes.truncate(start as usize);
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Chained-bucket FNV-1a index over a [`NameTable`]: the flat-layout
+/// replacement for `HashMap<String, CellId>`. `buckets` holds head
+/// indices + 1 (0 = empty), `next` the per-entry chain links. Deletion
+/// is only ever of the *last* entry (buffer undo), so a chain unlink
+/// suffices — no tombstones.
+#[derive(Clone, Debug, Default)]
+struct NameIndex {
+    buckets: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl NameIndex {
+    fn lookup(&self, names: &NameTable, name: &str) -> Option<usize> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mask = self.buckets.len() as u64 - 1;
+        let mut at = self.buckets[(fnv1a(name.as_bytes()) & mask) as usize];
+        while at != 0 {
+            let i = (at - 1) as usize;
+            if names.get(i) == name {
+                return Some(i);
+            }
+            at = self.next[i];
+        }
+        None
+    }
+
+    /// Indexes the last-pushed name (index `names.len() - 1`).
+    fn insert_last(&mut self, names: &NameTable) {
+        let i = names.len() - 1;
+        debug_assert_eq!(self.next.len(), i, "insert must follow the table");
+        if names.len() > self.buckets.len() {
+            self.grow(names);
+        }
+        let mask = self.buckets.len() as u64 - 1;
+        let b = (fnv1a(names.get(i).as_bytes()) & mask) as usize;
+        self.next.push(self.buckets[b]);
+        self.buckets[b] = i as u32 + 1;
+    }
+
+    /// Unlinks the last entry, mirroring [`NameTable::pop_last`]. Call
+    /// *before* popping the table (the name is still needed to hash).
+    fn remove_last(&mut self, names: &NameTable) {
+        let i = names.len() - 1;
+        let mask = self.buckets.len() as u64 - 1;
+        let b = (fnv1a(names.get(i).as_bytes()) & mask) as usize;
+        let target = i as u32 + 1;
+        if self.buckets[b] == target {
+            self.buckets[b] = self.next[i];
+        } else {
+            let mut at = self.buckets[b];
+            loop {
+                let j = (at - 1) as usize;
+                if self.next[j] == target {
+                    self.next[j] = self.next[i];
+                    break;
+                }
+                at = self.next[j];
+                assert!(at != 0, "name index chain corrupt");
+            }
+        }
+        self.next.pop();
+    }
+
+    fn grow(&mut self, names: &NameTable) {
+        let want = (names.len().max(8)).next_power_of_two() * 2;
+        self.buckets.clear();
+        self.buckets.resize(want, 0);
+        self.next.clear();
+        self.next.resize(names.len() - 1, 0);
+        let mask = want as u64 - 1;
+        for i in 0..names.len() - 1 {
+            let b = (fnv1a(names.get(i).as_bytes()) & mask) as usize;
+            self.next[i] = self.buckets[b];
+            self.buckets[b] = i as u32 + 1;
+        }
+    }
+}
+
+/// One net's sink list: a span into the shared pool with headroom.
+#[derive(Clone, Copy, Debug, Default)]
+struct SinkSpan {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+const PLACEHOLDER_SINK: PinRef = PinRef {
+    cell: CellId::new(0),
+    pin: 0,
+};
+
 /// A gate-level netlist bound to a [`Library`]'s master ids.
 ///
 /// Invariants (checked by [`Netlist::validate`]):
 /// * every net has exactly one driver (a cell or a primary input);
 /// * every cell's input count matches its master's pin count;
 /// * flop `CK` pins connect to a clock net.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Netlist {
     /// Design name.
     pub name: String,
-    cells: Vec<Cell>,
-    nets: Vec<Net>,
+    // Cell columns (dense by CellId).
+    cell_master: Vec<LibCellId>,
+    cell_output: Vec<NetId>,
+    /// CSR offsets into `cell_input_nets`; length `cell_count() + 1`.
+    cell_input_offsets: Vec<u32>,
+    cell_input_nets: Vec<NetId>,
+    // Net columns (dense by NetId).
+    net_driver: Vec<Option<CellId>>,
+    net_is_output: Vec<bool>,
+    net_wire_length: Vec<f64>,
+    net_route_class: Vec<u8>,
+    net_sinks: Vec<SinkSpan>,
+    sink_pool: Vec<PinRef>,
+    // Name side tables: reporting/lookup only, never on the hot path.
+    cell_names: NameTable,
+    net_names: NameTable,
+    cell_name_index: NameIndex,
     inputs: Vec<NetId>,
-    by_cell_name: HashMap<String, CellId>,
     journal: Vec<NetlistEdit>,
+}
+
+impl Default for Netlist {
+    fn default() -> Self {
+        Netlist::new("")
+    }
 }
 
 impl Netlist {
@@ -71,17 +253,39 @@ impl Netlist {
     pub fn new(name: impl Into<String>) -> Self {
         Netlist {
             name: name.into(),
-            ..Default::default()
+            cell_master: Vec::new(),
+            cell_output: Vec::new(),
+            cell_input_offsets: vec![0],
+            cell_input_nets: Vec::new(),
+            net_driver: Vec::new(),
+            net_is_output: Vec::new(),
+            net_wire_length: Vec::new(),
+            net_route_class: Vec::new(),
+            net_sinks: Vec::new(),
+            sink_pool: Vec::new(),
+            cell_names: NameTable::default(),
+            net_names: NameTable::default(),
+            cell_name_index: NameIndex::default(),
+            inputs: Vec::new(),
+            journal: Vec::new(),
         }
+    }
+
+    fn push_net(&mut self, name: &str, driver: Option<CellId>) -> NetId {
+        let id = NetId::new(self.net_driver.len());
+        self.net_names.push(name);
+        self.net_driver.push(driver);
+        self.net_is_output.push(false);
+        self.net_wire_length.push(0.0);
+        self.net_route_class.push(0);
+        self.net_sinks.push(SinkSpan::default());
+        id
     }
 
     /// Adds a primary input and returns its net.
     pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
-        let id = NetId::new(self.nets.len());
-        self.nets.push(Net {
-            name: name.into(),
-            ..Default::default()
-        });
+        let name = name.into();
+        let id = self.push_net(&name, None);
         self.inputs.push(id);
         id
     }
@@ -108,66 +312,104 @@ impl Netlist {
                 inputs.len()
             )));
         }
-        if self.by_cell_name.contains_key(&name) {
+        if self
+            .cell_name_index
+            .lookup(&self.cell_names, &name)
+            .is_some()
+        {
             return Err(Error::invalid_input(format!(
                 "duplicate instance name {name}"
             )));
         }
-        let cell_id = CellId::new(self.cells.len());
-        let out = NetId::new(self.nets.len());
-        self.nets.push(Net {
-            name: format!("{name}_out"),
-            driver: Some(cell_id),
-            ..Default::default()
-        });
+        let cell_id = CellId::new(self.cell_master.len());
+        let out_name = format!("{name}_out");
+        let out = self.push_net(&out_name, Some(cell_id));
         for (pin, &net) in inputs.iter().enumerate() {
-            self.nets[net.index()]
-                .sinks
-                .push(PinRef { cell: cell_id, pin });
+            self.sink_push(net, PinRef { cell: cell_id, pin });
         }
-        self.by_cell_name.insert(name.clone(), cell_id);
-        self.cells.push(Cell {
-            name,
-            master,
-            inputs: inputs.to_vec(),
-            output: out,
-        });
+        self.cell_names.push(&name);
+        self.cell_name_index.insert_last(&self.cell_names);
+        self.cell_master.push(master);
+        self.cell_output.push(out);
+        self.cell_input_nets.extend_from_slice(inputs);
+        self.cell_input_offsets
+            .push(self.cell_input_nets.len() as u32);
         Ok((cell_id, out))
     }
 
     /// Marks a net as a primary output.
     pub fn mark_output(&mut self, net: NetId) {
-        self.nets[net.index()].is_output = true;
+        self.net_is_output[net.index()] = true;
     }
 
     /// Number of cell instances.
     pub fn cell_count(&self) -> usize {
-        self.cells.len()
+        self.cell_master.len()
     }
 
     /// Number of nets.
     pub fn net_count(&self) -> usize {
-        self.nets.len()
+        self.net_driver.len()
     }
 
-    /// All cells, indexable by [`CellId`].
-    pub fn cells(&self) -> &[Cell] {
-        &self.cells
+    /// Iterates all cells in [`CellId`] order.
+    pub fn cells(&self) -> impl Iterator<Item = CellRef<'_>> + '_ {
+        (0..self.cell_count()).map(|i| self.cell(CellId::new(i)))
     }
 
-    /// All nets, indexable by [`NetId`].
-    pub fn nets(&self) -> &[Net] {
-        &self.nets
+    /// Iterates all nets in [`NetId`] order.
+    pub fn nets(&self) -> impl Iterator<Item = NetRef<'_>> + '_ {
+        (0..self.net_count()).map(|i| self.net(NetId::new(i)))
     }
 
     /// One cell.
-    pub fn cell(&self, id: CellId) -> &Cell {
-        &self.cells[id.index()]
+    pub fn cell(&self, id: CellId) -> CellRef<'_> {
+        let i = id.index();
+        CellRef {
+            name: self.cell_names.get(i),
+            master: self.cell_master[i],
+            inputs: self.cell_inputs(id),
+            output: self.cell_output[i],
+        }
     }
 
     /// One net.
-    pub fn net(&self, id: NetId) -> &Net {
-        &self.nets[id.index()]
+    pub fn net(&self, id: NetId) -> NetRef<'_> {
+        let i = id.index();
+        let span = self.net_sinks[i];
+        NetRef {
+            name: self.net_names.get(i),
+            driver: self.net_driver[i],
+            sinks: &self.sink_pool[span.start as usize..(span.start + span.len) as usize],
+            is_output: self.net_is_output[i],
+            wire_length_um: self.net_wire_length[i],
+            route_class: self.net_route_class[i],
+        }
+    }
+
+    /// A cell's input nets (the CSR slice), without the name lookup.
+    #[inline]
+    pub fn cell_inputs(&self, id: CellId) -> &[NetId] {
+        let i = id.index();
+        let start = self.cell_input_offsets[i] as usize;
+        let end = self.cell_input_offsets[i + 1] as usize;
+        &self.cell_input_nets[start..end]
+    }
+
+    /// The global index of cell `id`'s pin 0 in the flat input-pin
+    /// numbering (`pin_base(id) + pin` addresses one input pin). Dense
+    /// structures in `tc-sta` index by this instead of hashing
+    /// `(CellId, pin)` keys.
+    #[inline]
+    pub fn pin_base(&self, id: CellId) -> usize {
+        self.cell_input_offsets[id.index()] as usize
+    }
+
+    /// Total input-pin count across all cells (the length of the flat
+    /// pin numbering).
+    #[inline]
+    pub fn total_input_pins(&self) -> usize {
+        self.cell_input_nets.len()
     }
 
     /// Primary input nets.
@@ -177,32 +419,120 @@ impl Netlist {
 
     /// Primary output nets.
     pub fn primary_outputs(&self) -> impl Iterator<Item = NetId> + '_ {
-        self.nets
+        self.net_is_output
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.is_output)
+            .filter(|(_, &o)| o)
             .map(|(i, _)| NetId::new(i))
     }
 
     /// Looks up a cell by instance name.
     pub fn cell_named(&self, name: &str) -> Option<CellId> {
-        self.by_cell_name.get(name).copied()
+        self.cell_name_index
+            .lookup(&self.cell_names, name)
+            .map(CellId::new)
     }
 
     /// Ids of all flop instances.
     pub fn flops<'a>(&'a self, lib: &'a Library) -> impl Iterator<Item = CellId> + 'a {
-        self.cells
+        self.cell_master
             .iter()
             .enumerate()
-            .filter(move |(_, c)| lib.cell(c.master).kind == CellKind::Flop)
+            .filter(move |(_, &m)| lib.cell(m).kind == CellKind::Flop)
             .map(|(i, _)| CellId::new(i))
     }
+
+    // --- sink-span pool operations -----------------------------------
+
+    fn sink_slice(&self, net: NetId) -> &[PinRef] {
+        let s = self.net_sinks[net.index()];
+        &self.sink_pool[s.start as usize..(s.start + s.len) as usize]
+    }
+
+    /// Relocates `net`'s span to the end of the pool with at least
+    /// `min_cap` capacity (doubling policy).
+    fn sink_grow(&mut self, net: NetId, min_cap: u32) {
+        let mut s = self.net_sinks[net.index()];
+        let new_cap = (s.cap * 2).max(min_cap).max(2);
+        let new_start = self.sink_pool.len() as u32;
+        self.sink_pool.reserve(new_cap as usize);
+        for k in 0..s.len {
+            let v = self.sink_pool[(s.start + k) as usize];
+            self.sink_pool.push(v);
+        }
+        for _ in s.len..new_cap {
+            self.sink_pool.push(PLACEHOLDER_SINK);
+        }
+        s.start = new_start;
+        s.cap = new_cap;
+        self.net_sinks[net.index()] = s;
+    }
+
+    fn sink_push(&mut self, net: NetId, pr: PinRef) {
+        if self.net_sinks[net.index()].len == self.net_sinks[net.index()].cap {
+            self.sink_grow(net, 2);
+        }
+        let s = &mut self.net_sinks[net.index()];
+        self.sink_pool[(s.start + s.len) as usize] = pr;
+        s.len += 1;
+    }
+
+    /// Keeps only sinks matching `pred`, preserving order.
+    fn sink_retain(&mut self, net: NetId, mut pred: impl FnMut(&PinRef) -> bool) {
+        let s = self.net_sinks[net.index()];
+        let (start, len) = (s.start as usize, s.len as usize);
+        let mut kept = 0usize;
+        for k in 0..len {
+            let v = self.sink_pool[start + k];
+            if pred(&v) {
+                self.sink_pool[start + kept] = v;
+                kept += 1;
+            }
+        }
+        self.net_sinks[net.index()].len = kept as u32;
+    }
+
+    /// Inserts a sink at `index`, shifting later sinks right.
+    fn sink_insert(&mut self, net: NetId, index: usize, pr: PinRef) {
+        if self.net_sinks[net.index()].len == self.net_sinks[net.index()].cap {
+            self.sink_grow(net, 2);
+        }
+        let s = self.net_sinks[net.index()];
+        let (start, len) = (s.start as usize, s.len as usize);
+        assert!(index <= len, "sink insert index out of range");
+        let mut k = len;
+        while k > index {
+            self.sink_pool[start + k] = self.sink_pool[start + k - 1];
+            k -= 1;
+        }
+        self.sink_pool[start + index] = pr;
+        self.net_sinks[net.index()].len = len as u32 + 1;
+    }
+
+    /// Rebuilds the sink pool tight (capacity == length, no abandoned
+    /// slots). The generators call this once after construction: bulk
+    /// building doubles spans many times, and the reclaimed slack is
+    /// pure peak-heap win. ECOs after a compact simply start a fresh
+    /// doubling ladder at the pool tail.
+    pub fn compact(&mut self) {
+        let mut pool =
+            Vec::with_capacity(self.net_sinks.iter().map(|s| s.len as usize).sum::<usize>());
+        for s in &mut self.net_sinks {
+            let new_start = pool.len() as u32;
+            pool.extend_from_slice(&self.sink_pool[s.start as usize..(s.start + s.len) as usize]);
+            s.start = new_start;
+            s.cap = s.len;
+        }
+        self.sink_pool = pool;
+    }
+
+    // --- journaled ECO mutators --------------------------------------
 
     /// Annotates a net's estimated wirelength (journaled: closure fixes
     /// re-annotate split nets, and the incremental timer must see it).
     pub fn set_wire_length(&mut self, net: NetId, um: f64) {
-        let old_um = self.nets[net.index()].wire_length_um;
-        self.nets[net.index()].wire_length_um = um;
+        let old_um = self.net_wire_length[net.index()];
+        self.net_wire_length[net.index()] = um;
         self.journal.push(NetlistEdit::SetWireLength {
             net,
             old_um,
@@ -212,8 +542,8 @@ impl Netlist {
 
     /// **ECO: routing rule.** Sets a net's route class (NDR application).
     pub fn set_route_class(&mut self, net: NetId, class: u8) {
-        let old_class = self.nets[net.index()].route_class;
-        self.nets[net.index()].route_class = class;
+        let old_class = self.net_route_class[net.index()];
+        self.net_route_class[net.index()] = class;
         self.journal.push(NetlistEdit::SetRouteClass {
             net,
             old_class,
@@ -234,16 +564,16 @@ impl Netlist {
         cell: CellId,
         new_master: LibCellId,
     ) -> Result<()> {
-        let want = self.cells[cell.index()].inputs.len();
+        let want = self.cell_inputs(cell).len();
         let got = lib.cell(new_master).input_pins().len();
         if want != got {
             return Err(Error::invalid_input(format!(
                 "swap on {}: pin count {got} != {want}",
-                self.cells[cell.index()].name
+                self.cell_names.get(cell.index())
             )));
         }
-        let old_master = self.cells[cell.index()].master;
-        self.cells[cell.index()].master = new_master;
+        let old_master = self.cell_master[cell.index()];
+        self.cell_master[cell.index()] = new_master;
         self.journal.push(NetlistEdit::SwapMaster {
             cell,
             old_master,
@@ -271,32 +601,30 @@ impl Netlist {
             return Err(Error::invalid_input("buffer master must be single-input"));
         }
         for s in moved_sinks {
-            if !self.nets[net.index()].sinks.contains(s) {
+            if !self.sink_slice(net).contains(s) {
                 return Err(Error::invalid_input(format!(
                     "sink {:?} not on net {}",
                     s,
-                    self.nets[net.index()].name
+                    self.net_names.get(net.index())
                 )));
             }
         }
-        let buf_name = format!("eco_buf_{}", self.cells.len());
+        let buf_name = format!("eco_buf_{}", self.cell_count());
         let (buf_id, buf_out) = self.add_cell(buf_name, lib, buf_master, &[net])?;
         // Record each moved sink's original position so undo can restore
         // the exact sink order (per-sink wire delays align with it).
-        let moved_with_index: Vec<(PinRef, usize)> = self.nets[net.index()]
-            .sinks
+        let moved_with_index: Vec<(PinRef, usize)> = self
+            .sink_slice(net)
             .iter()
             .enumerate()
             .filter(|(_, s)| moved_sinks.contains(s))
             .map(|(i, &s)| (s, i))
             .collect();
         // Detach the moved sinks from the original net and re-home them.
-        self.nets[net.index()]
-            .sinks
-            .retain(|s| !moved_sinks.contains(s));
+        self.sink_retain(net, |s| !moved_sinks.contains(s));
         for &s in moved_sinks {
-            self.cells[s.cell.index()].inputs[s.pin] = buf_out;
-            self.nets[buf_out.index()].sinks.push(s);
+            self.set_cell_input(s, buf_out);
+            self.sink_push(buf_out, s);
         }
         self.journal.push(NetlistEdit::InsertBuffer {
             buffer: buf_id,
@@ -307,18 +635,23 @@ impl Netlist {
         Ok(buf_id)
     }
 
+    fn set_cell_input(&mut self, sink: PinRef, net: NetId) {
+        let base = self.cell_input_offsets[sink.cell.index()] as usize;
+        self.cell_input_nets[base + sink.pin] = net;
+    }
+
     /// **ECO: rewire.** Moves one input pin of a cell onto a different
     /// net, maintaining both nets' sink lists.
     pub fn rewire_input(&mut self, sink: PinRef, new_net: NetId) {
-        let old = self.cells[sink.cell.index()].inputs[sink.pin];
-        let old_index = self.nets[old.index()]
-            .sinks
+        let old = self.cell_inputs(sink.cell)[sink.pin];
+        let old_index = self
+            .sink_slice(old)
             .iter()
             .position(|s| *s == sink)
             .expect("sink must be on its recorded net");
-        self.nets[old.index()].sinks.retain(|s| *s != sink);
-        self.cells[sink.cell.index()].inputs[sink.pin] = new_net;
-        self.nets[new_net.index()].sinks.push(sink);
+        self.sink_retain(old, |s| *s != sink);
+        self.set_cell_input(sink, new_net);
+        self.sink_push(new_net, sink);
         self.journal.push(NetlistEdit::RewireInput {
             sink,
             old_net: old,
@@ -367,13 +700,13 @@ impl Netlist {
                 NetlistEdit::SwapMaster {
                     cell, old_master, ..
                 } => {
-                    self.cells[cell.index()].master = old_master;
+                    self.cell_master[cell.index()] = old_master;
                 }
                 NetlistEdit::SetWireLength { net, old_um, .. } => {
-                    self.nets[net.index()].wire_length_um = old_um;
+                    self.net_wire_length[net.index()] = old_um;
                 }
                 NetlistEdit::SetRouteClass { net, old_class, .. } => {
-                    self.nets[net.index()].route_class = old_class;
+                    self.net_route_class[net.index()] = old_class;
                 }
                 NetlistEdit::RewireInput {
                     sink,
@@ -381,9 +714,9 @@ impl Netlist {
                     new_net,
                     old_index,
                 } => {
-                    self.nets[new_net.index()].sinks.retain(|s| *s != sink);
-                    self.cells[sink.cell.index()].inputs[sink.pin] = old_net;
-                    self.nets[old_net.index()].sinks.insert(old_index, sink);
+                    self.sink_retain(new_net, |s| *s != sink);
+                    self.set_cell_input(sink, old_net);
+                    self.sink_insert(old_net, old_index, sink);
                 }
                 NetlistEdit::InsertBuffer {
                     buffer,
@@ -391,8 +724,8 @@ impl Netlist {
                     src_net,
                     moved_sinks,
                 } => {
-                    if buffer.index() + 1 != self.cells.len()
-                        || buffer_out.index() + 1 != self.nets.len()
+                    if buffer.index() + 1 != self.cell_count()
+                        || buffer_out.index() + 1 != self.net_count()
                     {
                         return Err(Error::internal(
                             "undo of buffer insertion: cells/nets were added \
@@ -407,14 +740,24 @@ impl Netlist {
                         cell: buffer,
                         pin: 0,
                     };
-                    self.nets[src_net.index()].sinks.retain(|s| *s != tap);
+                    self.sink_retain(src_net, |s| *s != tap);
                     for &(s, i) in &moved_sinks {
-                        self.cells[s.cell.index()].inputs[s.pin] = src_net;
-                        self.nets[src_net.index()].sinks.insert(i, s);
+                        self.set_cell_input(s, src_net);
+                        self.sink_insert(src_net, i, s);
                     }
-                    let cell = self.cells.pop().expect("buffer cell present");
-                    self.by_cell_name.remove(&cell.name);
-                    self.nets.pop();
+                    self.cell_name_index.remove_last(&self.cell_names);
+                    self.cell_names.pop_last();
+                    self.cell_master.pop();
+                    self.cell_output.pop();
+                    let base = self.cell_input_offsets[self.cell_count()] as usize;
+                    self.cell_input_nets.truncate(base);
+                    self.cell_input_offsets.pop();
+                    self.net_names.pop_last();
+                    self.net_driver.pop();
+                    self.net_is_output.pop();
+                    self.net_wire_length.pop();
+                    self.net_route_class.pop();
+                    self.net_sinks.pop();
                 }
             }
         }
@@ -423,17 +766,17 @@ impl Netlist {
 
     /// Total placement-site area of the design.
     pub fn total_area(&self, lib: &Library) -> f64 {
-        self.cells
+        self.cell_master
             .iter()
-            .map(|c| lib.cell(c.master).area_sites)
+            .map(|&m| lib.cell(m).area_sites)
             .sum()
     }
 
     /// Total leakage power in µW at the library's corner.
     pub fn total_leakage_uw(&self, lib: &Library) -> f64 {
-        self.cells
+        self.cell_master
             .iter()
-            .map(|c| lib.cell(c.master).leakage_uw)
+            .map(|&m| lib.cell(m).leakage_uw)
             .sum()
     }
 
@@ -443,36 +786,44 @@ impl Netlist {
     ///
     /// Returns [`Error::Internal`] describing the first violation found.
     pub fn validate(&self, lib: &Library) -> Result<()> {
-        for (i, net) in self.nets.iter().enumerate() {
+        for i in 0..self.net_count() {
             let id = NetId::new(i);
             let is_pi = self.inputs.contains(&id);
-            if net.driver.is_none() && !is_pi {
-                return Err(Error::internal(format!("net {} undriven", net.name)));
-            }
-            if net.driver.is_some() && is_pi {
+            if self.net_driver[i].is_none() && !is_pi {
                 return Err(Error::internal(format!(
-                    "net {} both driven and a primary input",
-                    net.name
+                    "net {} undriven",
+                    self.net_names.get(i)
                 )));
             }
-            for s in &net.sinks {
-                if self.cells[s.cell.index()].inputs[s.pin] != id {
+            if self.net_driver[i].is_some() && is_pi {
+                return Err(Error::internal(format!(
+                    "net {} both driven and a primary input",
+                    self.net_names.get(i)
+                )));
+            }
+            for s in self.sink_slice(id) {
+                if self.cell_inputs(s.cell)[s.pin] != id {
                     return Err(Error::internal(format!(
                         "net {}: sink {:?} does not point back",
-                        net.name, s
+                        self.net_names.get(i),
+                        s
                     )));
                 }
             }
         }
-        for (i, cell) in self.cells.iter().enumerate() {
-            if cell.inputs.len() != lib.cell(cell.master).input_pins().len() {
-                return Err(Error::internal(format!("cell {} pin mismatch", cell.name)));
+        for i in 0..self.cell_count() {
+            let id = CellId::new(i);
+            if self.cell_inputs(id).len() != lib.cell(self.cell_master[i]).input_pins().len() {
+                return Err(Error::internal(format!(
+                    "cell {} pin mismatch",
+                    self.cell_names.get(i)
+                )));
             }
-            let out = &self.nets[cell.output.index()];
-            if out.driver != Some(CellId::new(i)) {
+            let out = self.cell_output[i];
+            if self.net_driver[out.index()] != Some(id) {
                 return Err(Error::internal(format!(
                     "cell {} output net driver mismatch",
-                    cell.name
+                    self.cell_names.get(i)
                 )));
             }
         }
@@ -565,10 +916,61 @@ mod tests {
         assert!(nl.total_leakage_uw(&lib) > 0.0);
     }
 
+    #[test]
+    fn compact_preserves_structure() {
+        let lib = lib();
+        let mut nl = tiny(&lib);
+        let before: Vec<Vec<PinRef>> = nl.nets().map(|n| n.sinks.to_vec()).collect();
+        nl.compact();
+        let after: Vec<Vec<PinRef>> = nl.nets().map(|n| n.sinks.to_vec()).collect();
+        assert_eq!(before, after);
+        nl.validate(&lib).unwrap();
+        // Pool is tight: capacity equals total sink count.
+        assert_eq!(
+            nl.sink_pool.len(),
+            nl.nets().map(|n| n.sinks.len()).sum::<usize>()
+        );
+        // ECOs still work after a compact.
+        let u2 = nl.cell_named("u2").unwrap();
+        let n1 = nl.cell(nl.cell_named("u1").unwrap()).output;
+        let buf = lib.variant("BUF", VtClass::Svt, 2.0).unwrap();
+        nl.insert_buffer(&lib, n1, &[PinRef { cell: u2, pin: 0 }], buf)
+            .unwrap();
+        nl.validate(&lib).unwrap();
+    }
+
     /// Structural snapshot for undo round-trip checks: everything an
-    /// undo must restore bit-identically.
-    fn snapshot(nl: &Netlist) -> (Vec<Cell>, Vec<Net>, usize) {
-        (nl.cells().to_vec(), nl.nets().to_vec(), nl.journal_len())
+    /// undo must restore bit-identically, gathered through the views.
+    type NetRow = (String, Option<CellId>, Vec<PinRef>, bool, f64, u8);
+
+    #[derive(Debug, PartialEq)]
+    struct Snapshot {
+        cells: Vec<(String, LibCellId, Vec<NetId>, NetId)>,
+        nets: Vec<NetRow>,
+        journal_len: usize,
+    }
+
+    fn snapshot(nl: &Netlist) -> Snapshot {
+        Snapshot {
+            cells: nl
+                .cells()
+                .map(|c| (c.name.to_string(), c.master, c.inputs.to_vec(), c.output))
+                .collect(),
+            nets: nl
+                .nets()
+                .map(|n| {
+                    (
+                        n.name.to_string(),
+                        n.driver,
+                        n.sinks.to_vec(),
+                        n.is_output,
+                        n.wire_length_um,
+                        n.route_class,
+                    )
+                })
+                .collect(),
+            journal_len: nl.journal_len(),
+        }
     }
 
     #[test]
@@ -605,7 +1007,7 @@ mod tests {
         nl.swap_master(&lib, u1, lvt).unwrap();
         nl.set_wire_length(n1, 33.0);
         nl.set_route_class(n1, 2);
-        nl.undo_to(before.2).unwrap();
+        nl.undo_to(before.journal_len).unwrap();
         assert_eq!(snapshot(&nl), before);
         nl.validate(&lib).unwrap();
     }
@@ -622,7 +1024,7 @@ mod tests {
             .unwrap();
         assert_eq!(nl.journal_len(), 1);
         assert!(nl.journal()[0].is_structural());
-        nl.undo_to(before.2).unwrap();
+        nl.undo_to(before.journal_len).unwrap();
         assert_eq!(snapshot(&nl), before);
         assert!(nl.cell_named("u2").is_some());
         nl.validate(&lib).unwrap();
@@ -649,7 +1051,7 @@ mod tests {
         let before = snapshot(&nl);
         nl.rewire_input(PinRef { cell: u2, pin: 0 }, b);
         assert_eq!(nl.cell(u2).inputs[0], b);
-        nl.undo_to(before.2).unwrap();
+        nl.undo_to(before.journal_len).unwrap();
         assert_eq!(snapshot(&nl), before);
         nl.validate(&lib).unwrap();
     }
@@ -682,7 +1084,7 @@ mod tests {
         nl.undo_to(mid).unwrap();
         assert_eq!(snapshot(&nl), mid_snap);
         // …then all the way back to time zero.
-        nl.undo_to(before.2).unwrap();
+        nl.undo_to(before.journal_len).unwrap();
         assert_eq!(snapshot(&nl), before);
         nl.validate(&lib).unwrap();
     }
@@ -693,5 +1095,38 @@ mod tests {
         let mut nl = tiny(&lib);
         assert!(nl.undo_to(5).is_err());
         assert!(nl.undo_to(0).is_ok());
+    }
+
+    #[test]
+    fn name_index_survives_growth_and_removal() {
+        let lib = lib();
+        let mut nl = Netlist::new("names");
+        let a = nl.add_input("a");
+        let inv = lib.variant("INV", VtClass::Svt, 1.0).unwrap();
+        // Enough cells to force several index growths.
+        let mut prev = a;
+        for i in 0..200 {
+            let (_, out) = nl
+                .add_cell(format!("cell_{i}"), &lib, inv, &[prev])
+                .unwrap();
+            prev = out;
+        }
+        for i in 0..200 {
+            let id = nl.cell_named(&format!("cell_{i}")).unwrap();
+            assert_eq!(id.index(), i);
+        }
+        assert!(nl.cell_named("cell_200").is_none());
+        // Buffer insert + undo exercises remove_last through a chain.
+        let before = nl.journal_len();
+        let n0 = nl.cell(CellId::new(0)).output;
+        let sink = nl.net(n0).sinks[0];
+        let buf = lib.variant("BUF", VtClass::Svt, 2.0).unwrap();
+        nl.insert_buffer(&lib, n0, &[sink], buf).unwrap();
+        assert!(nl.cell_named("eco_buf_200").is_some());
+        nl.undo_to(before).unwrap();
+        assert!(nl.cell_named("eco_buf_200").is_none());
+        for i in 0..200 {
+            assert!(nl.cell_named(&format!("cell_{i}")).is_some());
+        }
     }
 }

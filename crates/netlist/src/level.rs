@@ -39,12 +39,12 @@ pub fn levelize(nl: &Netlist, lib: &Library) -> Result<Levelization> {
     let n = nl.cell_count();
     let mut indeg = vec![0usize; n];
     let mut is_flop = vec![false; n];
-    for (i, cell) in nl.cells().iter().enumerate() {
+    for (i, cell) in nl.cells().enumerate() {
         if lib.cell(cell.master).kind == CellKind::Flop {
             is_flop[i] = true;
             continue; // flops have no combinational fan-in dependency
         }
-        for &input in &cell.inputs {
+        for &input in cell.inputs {
             if let Some(drv) = nl.net(input).driver {
                 if !lib_is_flop(nl, lib, drv) {
                     indeg[i] += 1;
@@ -84,7 +84,7 @@ pub fn levelize(nl: &Netlist, lib: &Library) -> Result<Levelization> {
             continue;
         }
         let out = nl.cell(c).output;
-        for sink in &nl.net(out).sinks {
+        for sink in nl.net(out).sinks {
             let s = sink.cell;
             if is_flop[s.index()] {
                 continue;
@@ -171,11 +171,11 @@ mod tests {
         for (p, &c) in lv.order.iter().enumerate() {
             pos[c.index()] = p;
         }
-        for (i, cell) in nl.cells().iter().enumerate() {
+        for (i, cell) in nl.cells().enumerate() {
             if lib.cell(cell.master).kind == CellKind::Flop {
                 continue;
             }
-            for &input in &cell.inputs {
+            for &input in cell.inputs {
                 if let Some(drv) = nl.net(input).driver {
                     assert!(
                         pos[drv.index()] < pos[i],

@@ -35,7 +35,7 @@ pub mod journal;
 pub mod level;
 pub mod verilog;
 
-pub use graph::{Cell, Net, Netlist, PinRef};
+pub use graph::{CellRef, NetRef, Netlist, PinRef};
 pub use journal::NetlistEdit;
 pub use level::Levelization;
-pub use verilog::{parse_verilog, write_verilog};
+pub use verilog::{parse_verilog, parse_verilog_from, write_verilog};

@@ -8,18 +8,21 @@
 //!
 //! Subset: one `module` with `input`/`output`/`wire` declarations and
 //! instantiations of the form `MASTER name (.A(net), .B(net), .Y(net));`.
+//!
+//! Import is streaming: [`parse_verilog_from`] consumes any [`BufRead`]
+//! one statement at a time, so a million-cell netlist file is never
+//! materialized in memory — only the netlist being built grows with the
+//! design. [`parse_verilog`] wraps it for in-memory strings.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use tc_core::error::{Error, Result};
-use tc_core::ids::NetId;
+use tc_core::ids::{CellId, NetId};
 use tc_liberty::Library;
 
 use crate::graph::Netlist;
-
-/// A parsed instantiation: (master, instance name, port connections).
-type ParsedInstance = (String, String, Vec<(String, String)>);
 
 /// Sanitizes a net name into a Verilog identifier.
 fn ident(name: &str) -> String {
@@ -42,7 +45,7 @@ fn ident(name: &str) -> String {
 /// Serializes a netlist to structural Verilog.
 pub fn write_verilog(nl: &Netlist, lib: &Library) -> String {
     let mut out = String::new();
-    let net_name = |id: NetId| ident(&nl.net(id).name);
+    let net_name = |id: NetId| ident(nl.net(id).name);
 
     let inputs: Vec<String> = nl.primary_inputs().iter().map(|&n| net_name(n)).collect();
     let outputs: Vec<String> = nl.primary_outputs().map(net_name).collect();
@@ -57,7 +60,7 @@ pub fn write_verilog(nl: &Netlist, lib: &Library) -> String {
         let _ = writeln!(out, "  output {o};");
     }
     // Internal wires: every net that is neither a PI nor a PO.
-    for (i, net) in nl.nets().iter().enumerate() {
+    for (i, net) in nl.nets().enumerate() {
         let id = NetId::new(i);
         if nl.primary_inputs().contains(&id) || net.is_output {
             continue;
@@ -71,7 +74,7 @@ pub fn write_verilog(nl: &Netlist, lib: &Library) -> String {
         let mut conns: Vec<String> = master
             .input_pins()
             .iter()
-            .zip(&cell.inputs)
+            .zip(cell.inputs)
             .map(|(pin, &net)| format!(".{pin}({})", net_name(net)))
             .collect();
         conns.push(format!(".Y({})", net_name(cell.output)));
@@ -79,7 +82,7 @@ pub fn write_verilog(nl: &Netlist, lib: &Library) -> String {
             out,
             "  {} {} ({});",
             master.name,
-            ident(&cell.name),
+            ident(cell.name),
             conns.join(", ")
         );
     }
@@ -87,123 +90,185 @@ pub fn write_verilog(nl: &Netlist, lib: &Library) -> String {
     out
 }
 
+/// Streaming parser state: instances are created as their statements
+/// arrive (placeholder inputs, since a pin may name a net declared
+/// later); the recorded rewires resolve once the whole file has gone by.
+struct Parser<'a> {
+    lib: &'a Library,
+    nl: Netlist,
+    nets: HashMap<String, NetId>,
+    outputs: Vec<String>,
+    scratch: Option<NetId>,
+    pending: Vec<(CellId, usize, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(lib: &'a Library) -> Self {
+        Parser {
+            lib,
+            nl: Netlist::new("parsed"),
+            nets: HashMap::new(),
+            outputs: Vec::new(),
+            scratch: None,
+            pending: Vec::new(),
+        }
+    }
+
+    fn statement(&mut self, stmt: &str) -> Result<()> {
+        let stmt = stmt.trim();
+        if stmt.is_empty() || stmt == "endmodule" {
+            return Ok(());
+        }
+        if let Some(rest) = stmt.strip_prefix("module ") {
+            let name = rest.split('(').next().unwrap_or("parsed").trim();
+            self.nl.name = name.to_string();
+        } else if let Some(rest) = stmt.strip_prefix("input ") {
+            for n in rest.split(',') {
+                let n = n.trim();
+                if !n.is_empty() {
+                    let id = self.nl.add_input(n);
+                    self.nets.insert(n.to_string(), id);
+                }
+            }
+        } else if let Some(rest) = stmt.strip_prefix("output ") {
+            for n in rest.split(',') {
+                self.outputs.push(n.trim().to_string());
+            }
+        } else if stmt.strip_prefix("wire ").is_some() {
+            // Wires are implied by driver outputs; nothing to pre-create.
+        } else {
+            self.instance(stmt)?;
+        }
+        Ok(())
+    }
+
+    /// Instance: `MASTER name (.PIN(net), ...)`. Created immediately
+    /// with placeholder inputs; real wiring is deferred to `finish`.
+    fn instance(&mut self, stmt: &str) -> Result<()> {
+        let open = stmt
+            .find('(')
+            .ok_or_else(|| Error::invalid_input(format!("bad statement: {stmt}")))?;
+        let head: Vec<&str> = stmt[..open].split_whitespace().collect();
+        if head.len() != 2 {
+            return Err(Error::invalid_input(format!("bad instance head: {stmt}")));
+        }
+        let (master_name, inst_name) = (head[0], head[1]);
+        let master = self
+            .lib
+            .id_of(master_name)
+            .ok_or_else(|| Error::not_found(format!("master {master_name}")))?;
+        let pins = self.lib.cell(master).input_pins();
+
+        let conns_str = &stmt[open + 1..stmt.rfind(')').unwrap_or(stmt.len())];
+        let mut conns: Vec<(&str, &str)> = Vec::with_capacity(pins.len() + 1);
+        for c in conns_str.split(',') {
+            let c = c.trim().trim_start_matches('.');
+            let (pin, net) = c
+                .split_once('(')
+                .ok_or_else(|| Error::invalid_input(format!("bad connection: {c}")))?;
+            conns.push((pin.trim(), net.trim_end_matches(')').trim()));
+        }
+
+        let scratch = match self.scratch {
+            Some(s) => s,
+            None => {
+                let s = self
+                    .nl
+                    .primary_inputs()
+                    .first()
+                    .copied()
+                    .unwrap_or_else(|| self.nl.add_input("__scratch__"));
+                self.scratch = Some(s);
+                s
+            }
+        };
+        let placeholder = vec![scratch; pins.len()];
+        let (cid, out_net) =
+            self.nl
+                .add_cell(inst_name.to_string(), self.lib, master, &placeholder)?;
+        // The instance's Y connection names its output net.
+        let y = conns
+            .iter()
+            .find(|(p, _)| *p == "Y")
+            .ok_or_else(|| Error::invalid_input(format!("{inst_name}: no Y connection")))?;
+        self.nets.insert(y.1.to_string(), out_net);
+        for (idx, pin) in pins.iter().enumerate() {
+            let conn = conns
+                .iter()
+                .find(|(p, _)| p == pin)
+                .ok_or_else(|| Error::invalid_input(format!("{inst_name}: missing pin {pin}")))?;
+            self.pending.push((cid, idx, conn.1.to_string()));
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<Netlist> {
+        for (cid, pin, net_name) in std::mem::take(&mut self.pending) {
+            let net = *self
+                .nets
+                .get(&net_name)
+                .ok_or_else(|| Error::not_found(format!("net {net_name}")))?;
+            self.nl
+                .rewire_input(crate::graph::PinRef { cell: cid, pin }, net);
+        }
+        for o in std::mem::take(&mut self.outputs) {
+            let net = *self
+                .nets
+                .get(&o)
+                .ok_or_else(|| Error::not_found(format!("output net {o}")))?;
+            self.nl.mark_output(net);
+        }
+        self.nl.compact();
+        Ok(self.nl)
+    }
+}
+
+/// Parses the structural subset produced by [`write_verilog`] from any
+/// buffered reader, one `;`-terminated statement at a time — the file is
+/// never held in memory as a whole.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] for unknown masters, undeclared nets,
+/// missing pins, or syntax outside the supported subset; I/O errors are
+/// wrapped as [`Error::InvalidInput`].
+pub fn parse_verilog_from<R: BufRead>(mut reader: R, lib: &Library) -> Result<Netlist> {
+    let mut parser = Parser::new(lib);
+    let mut line = String::new();
+    let mut buf = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| Error::invalid_input(format!("read: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        // Strip line comments, join continuation lines with a space.
+        let code = line.split("//").next().unwrap_or("").trim_end();
+        if !buf.is_empty() {
+            buf.push(' ');
+        }
+        buf.push_str(code);
+        while let Some(pos) = buf.find(';') {
+            parser.statement(&buf[..pos])?;
+            buf.drain(..=pos);
+        }
+    }
+    parser.statement(&buf)?;
+    parser.finish()
+}
+
 /// Parses the structural subset produced by [`write_verilog`] back into
-/// a [`Netlist`] bound to `lib`.
+/// a [`Netlist`] bound to `lib` (in-memory convenience wrapper around
+/// [`parse_verilog_from`]).
 ///
 /// # Errors
 ///
 /// Returns [`Error::InvalidInput`] for unknown masters, undeclared nets,
 /// missing pins, or syntax outside the supported subset.
 pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist> {
-    // Join statements (";"-terminated) across lines.
-    let body: String = text
-        .lines()
-        .map(|l| l.split("//").next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join(" ");
-
-    let mut nl = Netlist::new("parsed");
-    let mut nets: HashMap<String, NetId> = HashMap::new();
-    let mut outputs: Vec<String> = Vec::new();
-    // Instances must be created after all declarations; collect them as
-    // (master, instance, port connections).
-    let mut instances: Vec<ParsedInstance> = Vec::new();
-
-    for stmt in body.split(';') {
-        let stmt = stmt.trim();
-        if stmt.is_empty() || stmt == "endmodule" {
-            continue;
-        }
-        if let Some(rest) = stmt.strip_prefix("module ") {
-            let name = rest.split('(').next().unwrap_or("parsed").trim();
-            nl.name = name.to_string();
-        } else if let Some(rest) = stmt.strip_prefix("input ") {
-            for n in rest.split(',') {
-                let n = n.trim();
-                if !n.is_empty() {
-                    let id = nl.add_input(n);
-                    nets.insert(n.to_string(), id);
-                }
-            }
-        } else if let Some(rest) = stmt.strip_prefix("output ") {
-            for n in rest.split(',') {
-                outputs.push(n.trim().to_string());
-            }
-        } else if stmt.strip_prefix("wire ").is_some() {
-            // Wires are implied by driver outputs; nothing to pre-create.
-        } else {
-            // Instance: MASTER name (.PIN(net), ...)
-            let open = stmt
-                .find('(')
-                .ok_or_else(|| Error::invalid_input(format!("bad statement: {stmt}")))?;
-            let head: Vec<&str> = stmt[..open].split_whitespace().collect();
-            if head.len() != 2 {
-                return Err(Error::invalid_input(format!("bad instance head: {stmt}")));
-            }
-            let conns_str = &stmt[open + 1..stmt.rfind(')').unwrap_or(stmt.len())];
-            let mut conns = Vec::new();
-            for c in conns_str.split(',') {
-                let c = c.trim().trim_start_matches('.');
-                let (pin, net) = c
-                    .split_once('(')
-                    .ok_or_else(|| Error::invalid_input(format!("bad connection: {c}")))?;
-                conns.push((
-                    pin.trim().to_string(),
-                    net.trim_end_matches(')').trim().to_string(),
-                ));
-            }
-            instances.push((head[0].to_string(), head[1].to_string(), conns));
-        }
-    }
-
-    // Instance order in the file is arbitrary, but `add_cell` needs its
-    // input nets up front. Create every instance with a placeholder
-    // input first (an existing PI), then rewire once all output nets
-    // exist.
-    let scratch = nl
-        .primary_inputs()
-        .first()
-        .copied()
-        .unwrap_or_else(|| nl.add_input("__scratch__"));
-    let mut pending: Vec<(tc_core::ids::CellId, Vec<(usize, String)>)> = Vec::new();
-    for (master_name, inst_name, conns) in &instances {
-        let master = lib
-            .id_of(master_name)
-            .ok_or_else(|| Error::not_found(format!("master {master_name}")))?;
-        let pins = lib.cell(master).input_pins();
-        let placeholder = vec![scratch; pins.len()];
-        let (cid, out_net) = nl.add_cell(inst_name.clone(), lib, master, &placeholder)?;
-        // The instance's Y connection names its output net.
-        let y = conns
-            .iter()
-            .find(|(p, _)| p == "Y")
-            .ok_or_else(|| Error::invalid_input(format!("{inst_name}: no Y connection")))?;
-        nets.insert(y.1.clone(), out_net);
-        let mut wiring = Vec::new();
-        for (idx, pin) in pins.iter().enumerate() {
-            let conn = conns
-                .iter()
-                .find(|(p, _)| p == pin)
-                .ok_or_else(|| Error::invalid_input(format!("{inst_name}: missing pin {pin}")))?;
-            wiring.push((idx, conn.1.clone()));
-        }
-        pending.push((cid, wiring));
-    }
-    for (cid, wiring) in pending {
-        for (pin, net_name) in wiring {
-            let net = *nets
-                .get(&net_name)
-                .ok_or_else(|| Error::not_found(format!("net {net_name}")))?;
-            nl.rewire_input(crate::graph::PinRef { cell: cid, pin }, net);
-        }
-    }
-    for o in outputs {
-        let net = *nets
-            .get(&o)
-            .ok_or_else(|| Error::not_found(format!("output net {o}")))?;
-        nl.mark_output(net);
-    }
-    Ok(nl)
+    parse_verilog_from(text.as_bytes(), lib)
 }
 
 #[cfg(test)]
@@ -235,21 +300,36 @@ mod tests {
         // Per-instance master binding survives.
         for cell in orig.cells() {
             let pc = parsed
-                .cell_named(&cell.name)
+                .cell_named(cell.name)
                 .expect("instance name preserved");
             assert_eq!(parsed.cell(pc).master, cell.master, "cell {}", cell.name);
         }
 
         // Connectivity: same driver-master for every input pin.
         for cell in orig.cells() {
-            let pid = parsed.cell_named(&cell.name).unwrap();
+            let pid = parsed.cell_named(cell.name).unwrap();
             for (i, &net) in cell.inputs.iter().enumerate() {
-                let want_driver = orig.net(net).driver.map(|d| orig.cell(d).name.clone());
+                let want_driver = orig.net(net).driver.map(|d| orig.cell(d).name.to_string());
                 let pnet = parsed.cell(pid).inputs[i];
-                let got_driver = parsed.net(pnet).driver.map(|d| parsed.cell(d).name.clone());
+                let got_driver = parsed
+                    .net(pnet)
+                    .driver
+                    .map(|d| parsed.cell(d).name.to_string());
                 assert_eq!(want_driver, got_driver, "cell {} pin {i}", cell.name);
             }
         }
+    }
+
+    #[test]
+    fn streaming_parse_matches_in_memory_parse() {
+        let lib = lib();
+        let orig = generate(&lib, BenchProfile::tiny(), 55).unwrap();
+        let text = write_verilog(&orig, &lib);
+        // A deliberately tiny buffer forces many refills mid-statement.
+        let reader = std::io::BufReader::with_capacity(17, text.as_bytes());
+        let streamed = parse_verilog_from(reader, &lib).unwrap();
+        let direct = parse_verilog(&text, &lib).unwrap();
+        assert_eq!(write_verilog(&streamed, &lib), write_verilog(&direct, &lib));
     }
 
     #[test]

@@ -10,9 +10,9 @@ use tc_core::error::{Error, Result};
 use tc_core::ids::{CellId, NetId};
 use tc_core::units::{Ff, Ps};
 use tc_interconnect::beol::{BeolCorner, BeolSample, BeolStack};
-use tc_interconnect::estimate::{NdrClass, WireModel};
+use tc_interconnect::estimate::{NdrClass, WireModel, WireScratch};
 use tc_liberty::{CellKind, DerateModel, Library, TimingArc};
-use tc_netlist::{Net, Netlist};
+use tc_netlist::Netlist;
 
 use crate::constraints::Constraints;
 use crate::report::{Endpoint, EndpointTiming, TimingReport};
@@ -89,15 +89,151 @@ const PAR_RANK_MIN: usize = 64;
 /// claim per chunk, not per net).
 const PAR_WIRE_CHUNK: usize = 256;
 
-/// Wire timing cached per net.
-#[derive(Clone, Debug, Default, PartialEq)]
+/// Wire timing cached per net. Plain-old-data: the per-sink delays live
+/// in the owning [`WireTable`]'s shared pool, addressed by `(start, len)`
+/// — one flat `Vec<Ps>` for the whole design instead of one heap
+/// allocation per net.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct NetWire {
     /// Total load seen by the driver, fF.
     pub driver_load: Ff,
-    /// Per-sink wire delay, aligned with the net's sink list.
-    pub sink_delays: Vec<Ps>,
     /// SI delta delay (ps) added late / subtracted early when enabled.
     pub si_delta: f64,
+    /// Start of this net's sink-delay span in the pool.
+    pub(crate) start: u32,
+    /// Sink count (span length).
+    pub(crate) len: u32,
+}
+
+/// Per-net wire timings for a whole design: dense entries indexed by net
+/// id plus one pooled sink-delay arena.
+///
+/// The pool is **append-only**: recomputing a net writes a fresh span and
+/// repoints the entry, leaving the old span in place. That is what makes
+/// the incremental timer's undo log sound — a popped [`NetWire`] entry
+/// still addresses valid bytes. The retired spans are reclaimed only when
+/// the table is rebuilt from scratch (a full propagation), mirroring how
+/// the timer's own undo log grows until a fresh build.
+#[derive(Clone, Debug, Default)]
+pub struct WireTable {
+    entries: Vec<NetWire>,
+    pool: Vec<Ps>,
+}
+
+impl WireTable {
+    /// Number of nets covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no nets are covered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The POD entry of one net.
+    pub fn entry(&self, net: usize) -> NetWire {
+        self.entries[net]
+    }
+
+    /// Driver load of one net, fF.
+    pub fn driver_load(&self, net: usize) -> Ff {
+        self.entries[net].driver_load
+    }
+
+    /// SI delta delay of one net, ps.
+    pub fn si_delta(&self, net: usize) -> f64 {
+        self.entries[net].si_delta
+    }
+
+    /// Per-sink wire delays of one net, aligned with its sink list.
+    pub fn delays(&self, net: usize) -> &[Ps] {
+        let e = self.entries[net];
+        &self.pool[e.start as usize..e.start as usize + e.len as usize]
+    }
+
+    /// Wire delay to one sink of one net.
+    pub fn delay(&self, net: usize, sink: usize) -> Ps {
+        self.delays(net)[sink]
+    }
+
+    /// Grows the entry vector to `n` nets (new entries empty) after a
+    /// structural edit appended nets.
+    pub(crate) fn resize(&mut self, n: usize) {
+        self.entries.resize(n, NetWire::default());
+    }
+
+    /// Shrinks the entry vector back to `n` nets (rollback of a
+    /// structural edit); pooled spans are untouched, so surviving
+    /// entries stay valid.
+    pub(crate) fn truncate(&mut self, n: usize) {
+        self.entries.truncate(n);
+    }
+
+    /// Direct pool access for appending a candidate span (the timer's
+    /// incremental recompute path).
+    pub(crate) fn pool_mut(&mut self) -> &mut Vec<Ps> {
+        &mut self.pool
+    }
+
+    /// Current pool length — the `start` of the next appended span.
+    pub(crate) fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Pool slice by raw span (candidate spans not yet installed in an
+    /// entry).
+    pub(crate) fn pool_slice(&self, start: usize, len: usize) -> &[Ps] {
+        &self.pool[start..start + len]
+    }
+
+    /// Drops pool bytes past `len` (a rejected candidate span).
+    pub(crate) fn pool_truncate(&mut self, len: usize) {
+        self.pool.truncate(len);
+    }
+
+    /// Installs `entry` for `net`, returning the previous entry (whose
+    /// span remains valid in the pool for undo).
+    pub(crate) fn install(&mut self, net: usize, entry: NetWire) -> NetWire {
+        std::mem::replace(&mut self.entries[net], entry)
+    }
+
+    /// Restores a previously popped entry (rollback).
+    pub(crate) fn restore(&mut self, net: usize, entry: NetWire) {
+        self.entries[net] = entry;
+    }
+
+    /// Heap bytes held by the table (entries + pool), for memory
+    /// accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<NetWire>()
+            + self.pool.capacity() * std::mem::size_of::<Ps>()
+    }
+}
+
+/// Content equality: two tables agree when every net has the same load,
+/// SI delta and delay values — regardless of where the spans sit in
+/// their pools.
+impl PartialEq for WireTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && (0..self.entries.len()).all(|n| {
+                let (a, b) = (self.entries[n], other.entries[n]);
+                a.driver_load == b.driver_load
+                    && a.si_delta == b.si_delta
+                    && self.delays(n) == other.delays(n)
+            })
+    }
+}
+
+/// Reusable scratch for wire-timing evaluation: the interconnect arena
+/// plus the per-net sink-cap staging buffer. One instance serves a whole
+/// propagation (or a whole incremental-update batch) with no per-net
+/// allocations.
+#[derive(Clone, Debug, Default)]
+pub struct WireEvalScratch {
+    sink_caps: Vec<Ff>,
+    wire: WireScratch,
 }
 
 impl<'a> Sta<'a> {
@@ -224,58 +360,94 @@ impl<'a> Sta<'a> {
         }
     }
 
-    /// Computes one net's wire timing (load, sink delays, SI delta).
-    /// The single code path shared by full runs and incremental updates.
-    pub(crate) fn net_wire(&self, net: &Net) -> Result<NetWire> {
-        let sink_caps: Vec<Ff> = net
-            .sinks
-            .iter()
-            .map(|s| self.lib.cell(self.nl.cell(s.cell).master).input_cap)
-            .collect();
-        let ndr = match net.route_class {
+    /// Computes one net's wire timing (load, sink delays, SI delta),
+    /// appending the per-sink delays to `pool` and returning the entry
+    /// that addresses them. The single code path shared by full runs and
+    /// incremental updates; with a warm `scratch` it allocates nothing
+    /// beyond pool growth.
+    pub(crate) fn net_wire_entry(
+        &self,
+        net: NetId,
+        scratch: &mut WireEvalScratch,
+        pool: &mut Vec<Ps>,
+    ) -> Result<NetWire> {
+        let n = self.nl.net(net);
+        scratch.sink_caps.clear();
+        for s in n.sinks {
+            scratch
+                .sink_caps
+                .push(self.lib.cell(self.nl.cell(s.cell).master).input_cap);
+        }
+        let ndr = match n.route_class {
             0 => NdrClass::Default,
             1 => NdrClass::DoubleWidth,
             _ => NdrClass::DoubleWidthSpacing,
         };
-        let wm = WireModel::from_length(net.wire_length_um.max(1.0)).with_ndr(ndr);
-        let t = wm.timing(self.stack, self.beol_corner, self.beol_sample, &sink_caps)?;
+        let wm = WireModel::from_length(n.wire_length_um.max(1.0)).with_ndr(ndr);
+        let start = pool.len();
+        let (driver_load, _r_total) = wm.timing_into(
+            self.stack,
+            self.beol_corner,
+            self.beol_sample,
+            &scratch.sink_caps,
+            &mut scratch.wire,
+            pool,
+        )?;
         let si_delta = if self.cons.si_enabled {
             let layer = self.stack.layer(wm.layer);
-            coupling_delta(layer, self.beol_corner, ndr, &t)
+            coupling_delta(layer, self.beol_corner, ndr, &pool[start..])
         } else {
             0.0
         };
         Ok(NetWire {
-            driver_load: t.driver_load,
-            sink_delays: t.sink_delays,
+            driver_load,
             si_delta,
+            start: start as u32,
+            len: (pool.len() - start) as u32,
         })
     }
 
-    /// Computes per-net wire timings (loads, sink delays, SI deltas).
-    /// With a parallel pool the nets are extracted in fixed chunks and
-    /// reassembled in net order (each net's timing depends only on that
-    /// net, so any schedule produces identical bytes).
-    pub(crate) fn wire_timings(&self) -> Result<Vec<NetWire>> {
-        let nets = self.nl.nets();
+    /// Computes per-net wire timings (loads, sink delays, SI deltas)
+    /// into a fresh [`WireTable`]. With a parallel pool the nets are
+    /// extracted in fixed chunks and reassembled in net order (each
+    /// net's timing depends only on that net, so any schedule produces
+    /// identical bytes).
+    pub(crate) fn wire_timings(&self) -> Result<WireTable> {
+        let n = self.nl.net_count();
+        let mut table = WireTable::default();
         if let Some(pool) = self.par.filter(|p| p.workers() > 1) {
-            let chunks = pool.chunked_map(nets.len(), PAR_WIRE_CHUNK, |_, r| {
-                nets[r]
-                    .iter()
-                    .map(|n| self.net_wire(n))
-                    .collect::<Result<Vec<_>>>()
+            let chunks = pool.chunked_map(n, PAR_WIRE_CHUNK, |_, r| {
+                let mut scratch = WireEvalScratch::default();
+                let mut entries = Vec::with_capacity(r.len());
+                let mut local_pool = Vec::new();
+                for i in r {
+                    entries.push(self.net_wire_entry(
+                        NetId::new(i),
+                        &mut scratch,
+                        &mut local_pool,
+                    )?);
+                }
+                Ok((entries, local_pool))
             });
-            let mut out = Vec::with_capacity(nets.len());
+            table.entries.reserve(n);
             for c in chunks {
-                out.extend(c?);
+                let (entries, local_pool): (Vec<NetWire>, Vec<Ps>) = c?;
+                let base = table.pool.len() as u32;
+                table.entries.extend(entries.into_iter().map(|mut e| {
+                    e.start += base;
+                    e
+                }));
+                table.pool.extend_from_slice(&local_pool);
             }
-            return Ok(out);
+            return Ok(table);
         }
-        let mut out = Vec::with_capacity(nets.len());
-        for net in nets {
-            out.push(self.net_wire(net)?);
+        let mut scratch = WireEvalScratch::default();
+        table.entries.reserve(n);
+        for i in 0..n {
+            let e = self.net_wire_entry(NetId::new(i), &mut scratch, &mut table.pool)?;
+            table.entries.push(e);
         }
-        Ok(out)
+        Ok(table)
     }
 
     /// Launch/capture clock components for a flop:
@@ -306,7 +478,7 @@ impl<'a> Sta<'a> {
         let clock_names: Vec<&str> = self.cons.clocks.iter().map(|c| c.name.as_str()).collect();
         for &pi in self.nl.primary_inputs() {
             let net = self.nl.net(pi);
-            if clock_names.contains(&net.name.as_str()) {
+            if clock_names.contains(&net.name) {
                 continue;
             }
             let base = Arr {
@@ -336,13 +508,13 @@ impl<'a> Sta<'a> {
         &self,
         cid: CellId,
         graph: &TimingGraph,
-        wires: &[NetWire],
+        wires: &WireTable,
         state: &[NetState],
     ) -> Result<(NetState, u64)> {
         let cell = self.nl.cell(cid);
         let master = self.lib.cell(cell.master);
         let out = cell.output;
-        let load = wires[out.index()].driver_load.value();
+        let load = wires.driver_load(out.index()).value();
         let k = self.k_sigma();
 
         if master.kind == CellKind::Flop {
@@ -389,9 +561,9 @@ impl<'a> Sta<'a> {
             if !ns.reached {
                 continue;
             }
-            let si = graph.sink_index[&(cid, pin)];
-            let wire = wires[in_net.index()].sink_delays[si];
-            let si_delta = wires[in_net.index()].si_delta;
+            let si = graph.sink_pos(self.nl, cid, pin);
+            let wire = wires.delay(in_net.index(), si);
+            let si_delta = wires.si_delta(in_net.index());
             let (wl, wvl, we, wve) = self.wire_terms(wire);
             let pin_name = master.input_pins()[pin];
             let arc = master
@@ -454,7 +626,7 @@ impl<'a> Sta<'a> {
     ///
     /// Propagates levelization failures (combinational loops) and
     /// interconnect estimation errors.
-    pub fn propagate(&self) -> Result<(Vec<NetState>, Vec<NetWire>)> {
+    pub fn propagate(&self) -> Result<(Vec<NetState>, WireTable)> {
         let graph = TimingGraph::build(self.nl, self.lib)?;
         self.propagate_with(&graph)
     }
@@ -462,10 +634,7 @@ impl<'a> Sta<'a> {
     /// Runs graph-based analysis over a prebuilt [`TimingGraph`] (the
     /// persistent timer and shared-structure MCMM runs skip the
     /// per-call rebuild).
-    pub(crate) fn propagate_with(
-        &self,
-        graph: &TimingGraph,
-    ) -> Result<(Vec<NetState>, Vec<NetWire>)> {
+    pub(crate) fn propagate_with(&self, graph: &TimingGraph) -> Result<(Vec<NetState>, WireTable)> {
         let _span = tc_obs::span("sta.gba");
         // Accumulated locally and flushed once: one atomic add per
         // propagation, not per arc.
@@ -531,7 +700,7 @@ impl<'a> Sta<'a> {
         &self,
         fid: CellId,
         state: &[NetState],
-        wires: &[NetWire],
+        wires: &WireTable,
     ) -> Result<Option<EndpointTiming>> {
         if self.cons.exceptions.is_false_path(fid) {
             return Ok(None); // set_false_path: checks waived
@@ -554,8 +723,8 @@ impl<'a> Sta<'a> {
             .iter()
             .position(|s| s.cell == fid && s.pin == 0)
             .ok_or_else(|| Error::internal("flop D not a sink of its net"))?;
-        let wire = wires[d_net.index()].sink_delays[si];
-        let si_delta = wires[d_net.index()].si_delta;
+        let wire = wires.delay(d_net.index(), si);
+        let si_delta = wires.si_delta(d_net.index());
         let (wl, wvl, we, wve) = self.wire_terms(wire);
 
         let data_late = Arr {
@@ -629,7 +798,7 @@ impl<'a> Sta<'a> {
     pub(crate) fn report_from(
         &self,
         state: &[NetState],
-        wires: &[NetWire],
+        wires: &WireTable,
     ) -> Result<TimingReport> {
         let mut endpoints = Vec::new();
         for fid in self.nl.flops(self.lib) {

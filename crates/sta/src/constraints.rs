@@ -1,5 +1,9 @@
 //! Timing constraints: clocks, I/O delays, clock-tree latencies, derates.
 
+// Cold configuration path: constraint sets are built once per scenario
+// and looked up per endpoint, never inside the propagation loop.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::{HashMap, HashSet};
 
 use tc_core::ids::CellId;

@@ -138,7 +138,7 @@ pub(crate) fn worst_paths_from(
     sta: &Sta<'_>,
     report: &crate::report::TimingReport,
     state: &[crate::analysis::NetState],
-    wires: &[crate::analysis::NetWire],
+    wires: &crate::analysis::WireTable,
     k: usize,
 ) -> Result<Vec<CriticalPath>> {
     let _span = tc_obs::span("sta.pba");
@@ -181,7 +181,7 @@ pub(crate) fn worst_paths_from(
 fn extract_path(
     sta: &Sta<'_>,
     state: &[crate::analysis::NetState],
-    wires: &[crate::analysis::NetWire],
+    wires: &crate::analysis::WireTable,
     endpoint_flop: CellId,
 ) -> Result<(Vec<PathStage>, Option<CellId>)> {
     extract_path_from_net(sta, state, wires, sta.nl.cell(endpoint_flop).inputs[0])
@@ -190,7 +190,7 @@ fn extract_path(
 fn extract_path_from_net(
     sta: &Sta<'_>,
     state: &[crate::analysis::NetState],
-    wires: &[crate::analysis::NetWire],
+    wires: &crate::analysis::WireTable,
     start_net: tc_core::ids::NetId,
 ) -> Result<(Vec<PathStage>, Option<CellId>)> {
     let nl = sta.nl;
@@ -216,14 +216,14 @@ fn extract_path_from_net(
             .ok_or_else(|| Error::internal("missing predecessor on critical path"))?;
         let in_net = cell.inputs[pred];
         // Reconstruct the GBA evaluation of this stage.
-        let load = wires[cell.output.index()].driver_load.value();
+        let load = wires.driver_load(cell.output.index()).value();
         let sink_idx = nl
             .net(in_net)
             .sinks
             .iter()
             .position(|s| s.cell == driver && s.pin == pred)
             .ok_or_else(|| Error::internal("sink lookup failed in pba"))?;
-        let wire = wires[in_net.index()].sink_delays[sink_idx].value();
+        let wire = wires.delay(in_net.index(), sink_idx).value();
         let pin_slew = state[in_net.index()].late.slew + 0.25 * wire;
         let pin_name = master.input_pins()[pred];
         let arc = master
@@ -255,7 +255,7 @@ fn reevaluate(
     ep: &EndpointTiming,
     path: &[PathStage],
     launch_flop: Option<CellId>,
-    wires: &[crate::analysis::NetWire],
+    wires: &crate::analysis::WireTable,
     k: f64,
 ) -> Result<Ps> {
     let depth = path.len() + 1;
@@ -275,7 +275,7 @@ fn reevaluate(
                 .arc_from("CK")
                 .ok_or_else(|| Error::internal("flop without CK arc"))?;
             let cs = sta.cons.clock_tree.clock_slew;
-            let load = wires[sta.nl.cell(f).output.index()].driver_load.value();
+            let load = wires.driver_load(sta.nl.cell(f).output.index()).value();
             let raw = arc.delay.eval(cs, load);
             let (d, v) = derate_stage(sta, raw, depth, || {
                 arc.lvf

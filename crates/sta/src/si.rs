@@ -7,8 +7,9 @@
 //! delay on late paths and — switching in the same direction — removing
 //! it on early paths.
 
+use tc_core::units::Ps;
 use tc_interconnect::beol::{BeolCorner, MetalLayer};
-use tc_interconnect::estimate::{NdrClass, WireTiming};
+use tc_interconnect::estimate::NdrClass;
 
 /// Fraction of nets assumed to have a timing-window-overlapping
 /// aggressor (a graph-level SI analysis would compute real windows; the
@@ -19,24 +20,21 @@ const AGGRESSOR_ACTIVITY: f64 = 0.6;
 const MILLER_EXCESS: f64 = 0.85;
 
 /// Delta delay (ps) a net's sinks see from coupling, given its layer,
-/// corner and routing rule. Added to late arrivals, subtracted from
-/// early arrivals.
+/// corner, routing rule and per-sink wire delays (a borrowed slice, so
+/// callers keeping delays in a pooled arena pass them without copying).
+/// Added to late arrivals, subtracted from early arrivals.
 pub fn coupling_delta(
     layer: &MetalLayer,
     corner: BeolCorner,
     ndr: NdrClass,
-    wire: &WireTiming,
+    sink_delays: &[Ps],
 ) -> f64 {
     let f = corner.factors(layer.multi_patterned);
     let (_, fcg, fcc) = ndr.factors();
     let cc = layer.cc_per_um * f.cc * fcc;
     let cg = layer.cg_per_um * f.cg * fcg;
     let coupling_fraction = cc / (cc + cg);
-    let worst_wire = wire
-        .sink_delays
-        .iter()
-        .map(|d| d.value())
-        .fold(0.0f64, f64::max);
+    let worst_wire = sink_delays.iter().map(|d| d.value()).fold(0.0f64, f64::max);
     AGGRESSOR_ACTIVITY * MILLER_EXCESS * coupling_fraction * worst_wire
 }
 
@@ -63,13 +61,13 @@ mod tests {
             stack.layer(short.layer),
             BeolCorner::Typical,
             NdrClass::Default,
-            &t_short,
+            &t_short.sink_delays,
         );
         let d_long = coupling_delta(
             stack.layer(long.layer),
             BeolCorner::Typical,
             NdrClass::Default,
-            &t_long,
+            &t_long.sink_delays,
         );
         assert!(d_long > d_short);
         assert!(d_short >= 0.0);
@@ -85,13 +83,13 @@ mod tests {
             stack.layer(wm.layer),
             BeolCorner::Typical,
             NdrClass::Default,
-            &t,
+            &t.sink_delays,
         );
         let spaced = coupling_delta(
             stack.layer(wm.layer),
             BeolCorner::Typical,
             NdrClass::DoubleWidthSpacing,
-            &t,
+            &t.sink_delays,
         );
         assert!(
             spaced < base,
@@ -109,13 +107,13 @@ mod tests {
             stack.layer(wm.layer),
             BeolCorner::Typical,
             NdrClass::Default,
-            &t,
+            &t.sink_delays,
         );
         let ccw = coupling_delta(
             stack.layer(wm.layer),
             BeolCorner::CcWorst,
             NdrClass::Default,
-            &t,
+            &t.sink_delays,
         );
         assert!(ccw > typ);
     }

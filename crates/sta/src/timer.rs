@@ -24,7 +24,7 @@
 //! [`Netlist::undo_to`]: tc_netlist::Netlist::undo_to
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 use std::mem;
 use std::sync::Arc;
 
@@ -35,7 +35,7 @@ use tc_liberty::{CellKind, Library};
 use tc_netlist::level::levelize;
 use tc_netlist::{Netlist, NetlistEdit};
 
-use crate::analysis::{NetState, NetWire, Sta};
+use crate::analysis::{NetState, NetWire, Sta, WireEvalScratch, WireTable};
 use crate::constraints::Constraints;
 use crate::pba::{self, CriticalPath};
 use crate::report::{EndpointTiming, TimingReport};
@@ -55,10 +55,12 @@ pub struct TimingGraph {
     pub(crate) order: Vec<CellId>,
     /// Inverse of `order`: position of each cell, indexed by cell id.
     pub(crate) order_pos: Vec<usize>,
-    /// `(cell, input pin) -> index in the driving net's sink list` —
-    /// the lookup arrival evaluation needs to pick the right per-sink
-    /// wire delay.
-    pub(crate) sink_index: HashMap<(CellId, usize), usize>,
+    /// Dense per-pin sink positions: slot `Netlist::pin_base(cell) + pin`
+    /// holds that input pin's index in its driving net's sink list — the
+    /// lookup arrival evaluation needs to pick the right per-sink wire
+    /// delay. A flat `Vec<u32>` indexed by global input-pin number, not a
+    /// hash map: the hot path is one add and one load.
+    pub(crate) sink_pos: Vec<u32>,
     /// Total timing-arc count of the design (1 per flop, 1 per
     /// combinational input pin) — the denominator of arc-reuse metrics.
     pub(crate) arc_count: u64,
@@ -82,11 +84,25 @@ impl TimingGraph {
         for (p, &c) in lv.order.iter().enumerate() {
             order_pos[c.index()] = p;
         }
-        let mut sink_index = HashMap::new();
-        for net in nl.nets() {
-            for (i, s) in net.sinks.iter().enumerate() {
-                sink_index.insert((s.cell, s.pin), i);
+        // Dense per-pin sink positions, written net by net. Start from
+        // an invalid sentinel so the dense-id invariant is checkable.
+        let mut sink_pos = vec![u32::MAX; nl.total_input_pins()];
+        for i in 0..nl.net_count() {
+            for (k, s) in nl.net(NetId::new(i)).sinks.iter().enumerate() {
+                sink_pos[nl.pin_base(s.cell) + s.pin] = k as u32;
             }
+        }
+        // Every input pin must be a sink of exactly one net — the
+        // invariant the flat lookup (and every id-indexed column) relies
+        // on. A hole means cell ids are not dense or a sink list is
+        // inconsistent with the cells' input columns; fail loudly here
+        // rather than timing garbage.
+        if let Some(hole) = sink_pos.iter().position(|&p| p == u32::MAX) {
+            return Err(Error::internal(format!(
+                "timing graph: input-pin slot {hole} of {} has no sink entry — netlist sink \
+                 lists are inconsistent with the dense pin index",
+                sink_pos.len()
+            )));
         }
         let mut arc_count = 0u64;
         for cell in nl.cells() {
@@ -117,10 +133,16 @@ impl TimingGraph {
         Ok(TimingGraph {
             order: lv.order,
             order_pos,
-            sink_index,
+            sink_pos,
             arc_count,
             ranks,
         })
+    }
+
+    /// Index of `(cell, pin)` in its driving net's sink list.
+    #[inline]
+    pub(crate) fn sink_pos(&self, nl: &Netlist, cell: CellId, pin: usize) -> usize {
+        self.sink_pos[nl.pin_base(cell) + pin] as usize
     }
 
     /// Number of cells in the evaluation order.
@@ -132,6 +154,67 @@ impl TimingGraph {
     pub fn arc_count(&self) -> u64 {
         self.arc_count
     }
+}
+
+/// An epoch-marked dense set over small integer ids (cells, nets).
+///
+/// `insert` is one load + one store — no hashing, and no allocation once
+/// the mark vector is warm. `begin` resets in O(1) by bumping the epoch
+/// instead of clearing. Replaces the HashSet-then-sort dirty-cone
+/// collection: the sorted id iteration order is identical, so update
+/// order (and the undo log) is byte-for-byte unchanged.
+#[derive(Debug, Default)]
+struct MarkSet {
+    mark: Vec<u32>,
+    epoch: u32,
+    items: Vec<u32>,
+}
+
+impl MarkSet {
+    /// Starts a new collection round over ids `0..n`.
+    fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One wrap every 2^32 rounds: clear and restart.
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        self.items.clear();
+    }
+
+    /// Marks `i`; returns `true` on first insertion this round.
+    fn insert(&mut self, i: usize) -> bool {
+        if self.mark[i] == self.epoch {
+            return false;
+        }
+        self.mark[i] = self.epoch;
+        self.items.push(i as u32);
+        true
+    }
+
+    /// The ids marked this round, sorted ascending.
+    fn sorted_items(&mut self) -> &[u32] {
+        self.items.sort_unstable();
+        &self.items
+    }
+}
+
+/// Reusable buffers for one incremental update: dirty-set marks, the
+/// levelized worklist, and the wire-evaluation arena. Owned by the
+/// [`Timer`] so the ~10⁵ transient allocations a per-update rebuild
+/// would cost are paid once per timer instead.
+#[derive(Debug, Default)]
+struct UpdateScratch {
+    dirty_nets: MarkSet,
+    seed_cells: MarkSet,
+    dirty_flop_eps: MarkSet,
+    dirty_po_eps: MarkSet,
+    queued: MarkSet,
+    heap: BinaryHeap<Reverse<(usize, usize)>>,
+    wire: WireEvalScratch,
 }
 
 /// A point in a timer's history that [`Timer::rollback_to`] can restore.
@@ -176,7 +259,7 @@ enum UndoOp {
 struct FullSnapshot {
     cons: Constraints,
     state: Vec<NetState>,
-    wires: Vec<NetWire>,
+    wires: WireTable,
     flop_ep: Vec<Option<EndpointTiming>>,
     po_ep: Vec<Option<EndpointTiming>>,
 }
@@ -223,23 +306,41 @@ pub struct Timer<'a> {
     beol_corner: BeolCorner,
     structure: Arc<TimingGraph>,
     state: Vec<NetState>,
-    wires: Vec<NetWire>,
+    wires: WireTable,
     flop_ep: Vec<Option<EndpointTiming>>,
     po_ep: Vec<Option<EndpointTiming>>,
     /// How many journal entries have been consumed.
     cursor: usize,
     undo: Vec<UndoOp>,
+    scratch: UpdateScratch,
 }
 
 fn enqueue(
     heap: &mut BinaryHeap<Reverse<(usize, usize)>>,
-    queued: &mut [bool],
+    queued: &mut MarkSet,
     order_pos: &[usize],
     cell: usize,
 ) {
-    if !queued[cell] {
-        queued[cell] = true;
+    if queued.insert(cell) {
         heap.push(Reverse((order_pos[cell], cell)));
+    }
+}
+
+/// Classifies one touched sink pin: flop D pins dirty their endpoint
+/// check, combinational pins seed the worklist.
+fn mark_sink_dirty(
+    lib: &Library,
+    nl: &Netlist,
+    s: tc_netlist::PinRef,
+    seed_cells: &mut MarkSet,
+    dirty_flop_eps: &mut MarkSet,
+) {
+    if lib.cell(nl.cell(s.cell).master).kind == CellKind::Flop {
+        if s.pin == 0 {
+            dirty_flop_eps.insert(s.cell.index());
+        }
+    } else {
+        seed_cells.insert(s.cell.index());
     }
 }
 
@@ -292,11 +393,12 @@ impl<'a> Timer<'a> {
             beol_corner: corner,
             structure,
             state: Vec::new(),
-            wires: Vec::new(),
+            wires: WireTable::default(),
             flop_ep: Vec::new(),
             po_ep: Vec::new(),
             cursor: 0,
             undo: Vec::new(),
+            scratch: UpdateScratch::default(),
         };
         t.refresh_all(nl)?;
         Ok(t)
@@ -368,10 +470,19 @@ impl<'a> Timer<'a> {
         }
         let _span = tc_obs::span("sta.incremental");
 
+        // All dirty-set, worklist and wire-eval buffers live in the
+        // timer-owned scratch arena, so a steady-state update performs
+        // no transient allocations. Taken for the duration of the call;
+        // an early `?` drops the warm buffers, which only costs
+        // re-warming them on the next update.
+        let mut scr = mem::take(&mut self.scratch);
+        scr.dirty_nets.begin(nl.net_count());
+        scr.seed_cells.begin(nl.cell_count());
+        scr.dirty_flop_eps.begin(nl.cell_count());
+        scr.dirty_po_eps.begin(nl.net_count());
+        scr.queued.begin(nl.cell_count());
+
         // Phase 1: scan the unconsumed journal suffix into dirty sets.
-        let mut dirty_nets: HashSet<usize> = HashSet::new();
-        let mut seed_cells: HashSet<usize> = HashSet::new();
-        let mut dirty_flop_eps: HashSet<usize> = HashSet::new();
         let mut structural = false;
         for edit in &nl.journal()[self.cursor..] {
             match edit {
@@ -382,9 +493,9 @@ impl<'a> Timer<'a> {
                 } => {
                     // Arc tables changed: re-evaluate the cell. Pin caps
                     // changed: every input net's wire timing is stale.
-                    seed_cells.insert(cell.index());
-                    for &input in &nl.cell(*cell).inputs {
-                        dirty_nets.insert(input.index());
+                    scr.seed_cells.insert(cell.index());
+                    for &input in nl.cell(*cell).inputs {
+                        scr.dirty_nets.insert(input.index());
                     }
                     let old_kind = self.lib.cell(*old_master).kind;
                     let new_kind = self.lib.cell(*new_master).kind;
@@ -394,11 +505,11 @@ impl<'a> Timer<'a> {
                     }
                     if old_kind == CellKind::Flop || new_kind == CellKind::Flop {
                         // Setup/hold tables live on the master.
-                        dirty_flop_eps.insert(cell.index());
+                        scr.dirty_flop_eps.insert(cell.index());
                     }
                 }
                 NetlistEdit::SetWireLength { net, .. } | NetlistEdit::SetRouteClass { net, .. } => {
-                    dirty_nets.insert(net.index());
+                    scr.dirty_nets.insert(net.index());
                 }
                 NetlistEdit::InsertBuffer {
                     buffer,
@@ -407,11 +518,17 @@ impl<'a> Timer<'a> {
                     moved_sinks,
                 } => {
                     structural = true;
-                    dirty_nets.insert(src_net.index());
-                    dirty_nets.insert(buffer_out.index());
-                    seed_cells.insert(buffer.index());
+                    scr.dirty_nets.insert(src_net.index());
+                    scr.dirty_nets.insert(buffer_out.index());
+                    scr.seed_cells.insert(buffer.index());
                     for (s, _) in moved_sinks {
-                        self.mark_sink_dirty(nl, *s, &mut seed_cells, &mut dirty_flop_eps);
+                        mark_sink_dirty(
+                            self.lib,
+                            nl,
+                            *s,
+                            &mut scr.seed_cells,
+                            &mut scr.dirty_flop_eps,
+                        );
                     }
                 }
                 NetlistEdit::RewireInput {
@@ -421,9 +538,15 @@ impl<'a> Timer<'a> {
                     ..
                 } => {
                     structural = true;
-                    dirty_nets.insert(old_net.index());
-                    dirty_nets.insert(new_net.index());
-                    self.mark_sink_dirty(nl, *sink, &mut seed_cells, &mut dirty_flop_eps);
+                    scr.dirty_nets.insert(old_net.index());
+                    scr.dirty_nets.insert(new_net.index());
+                    mark_sink_dirty(
+                        self.lib,
+                        nl,
+                        *sink,
+                        &mut scr.seed_cells,
+                        &mut scr.dirty_flop_eps,
+                    );
                 }
             }
         }
@@ -440,7 +563,7 @@ impl<'a> Timer<'a> {
                 prev: Arc::clone(&self.structure),
             });
             self.state.resize(nl.net_count(), NetState::default());
-            self.wires.resize(nl.net_count(), NetWire::default());
+            self.wires.resize(nl.net_count());
             self.po_ep.resize(nl.net_count(), None);
             self.flop_ep.resize(nl.cell_count(), None);
             self.structure = Arc::new(TimingGraph::build(nl, self.lib)?);
@@ -456,43 +579,55 @@ impl<'a> Timer<'a> {
             beol_sample: None,
             par: None,
         };
-        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
-        let mut queued = vec![false; nl.cell_count()];
-        let mut dirty_po_eps: HashSet<usize> = HashSet::new();
-
-        // Sets iterate in randomized order; sort so update order (and
+        // Dirty sets iterate in sorted id order so update order (and
         // thus the undo log and any accumulated float state) is
-        // deterministic.
-        let mut seeds: Vec<usize> = seed_cells.into_iter().collect();
-        seeds.sort_unstable();
-        for c in seeds {
-            enqueue(&mut heap, &mut queued, &graph.order_pos, c);
+        // deterministic — the same order the old sort-a-HashSet code
+        // produced.
+        for &c in scr.seed_cells.sorted_items() {
+            enqueue(&mut scr.heap, &mut scr.queued, &graph.order_pos, c as usize);
         }
 
-        // Phase 3: recompute dirty wire timings. A changed wire dirties
-        // its driver (load changed) and every sink (arrival changed).
-        let mut dirty: Vec<usize> = dirty_nets.into_iter().collect();
-        dirty.sort_unstable();
-        for n in dirty {
-            let new_wire = sta.net_wire(nl.net(NetId::new(n)))?;
-            if new_wire == self.wires[n] {
+        // Phase 3: recompute dirty wire timings into the pooled arena.
+        // A changed wire dirties its driver (load changed) and every
+        // sink (arrival changed); an unchanged recomputation is trimmed
+        // back off the end of the pool.
+        for &n in scr.dirty_nets.sorted_items() {
+            let n = n as usize;
+            let start = self.wires.pool_len();
+            let cand = sta.net_wire_entry(NetId::new(n), &mut scr.wire, self.wires.pool_mut())?;
+            let old = self.wires.entry(n);
+            if old.driver_load == cand.driver_load
+                && old.si_delta == cand.si_delta
+                && self.wires.delays(n) == self.wires.pool_slice(start, cand.len as usize)
+            {
+                self.wires.pool_truncate(start);
                 continue;
             }
-            let prev = mem::replace(&mut self.wires[n], new_wire);
+            let prev = self.wires.install(n, cand);
             self.undo.push(UndoOp::NetWire { net: n, prev });
             let net = nl.net(NetId::new(n));
             if let Some(drv) = net.driver {
-                enqueue(&mut heap, &mut queued, &graph.order_pos, drv.index());
+                enqueue(
+                    &mut scr.heap,
+                    &mut scr.queued,
+                    &graph.order_pos,
+                    drv.index(),
+                );
             }
-            for s in &net.sinks {
+            for s in net.sinks {
                 if self.lib.cell(nl.cell(s.cell).master).kind == CellKind::Flop {
                     if s.pin == 0 {
                         // The D-pin wire feeds the setup/hold check
                         // directly; CK pins follow the ideal clock model.
-                        dirty_flop_eps.insert(s.cell.index());
+                        scr.dirty_flop_eps.insert(s.cell.index());
                     }
                 } else {
-                    enqueue(&mut heap, &mut queued, &graph.order_pos, s.cell.index());
+                    enqueue(
+                        &mut scr.heap,
+                        &mut scr.queued,
+                        &graph.order_pos,
+                        s.cell.index(),
+                    );
                 }
             }
         }
@@ -504,7 +639,7 @@ impl<'a> Timer<'a> {
         // computed. Propagation stops where arrivals stop changing.
         let mut cells_evaluated = 0u64;
         let mut arcs_recomputed = 0u64;
-        while let Some(Reverse((_, c))) = heap.pop() {
+        while let Some(Reverse((_, c))) = scr.heap.pop() {
             let cid = CellId::new(c);
             let (ns, arcs) = sta.eval_cell(cid, &graph, &self.wires, &self.state)?;
             cells_evaluated += 1;
@@ -520,23 +655,27 @@ impl<'a> Timer<'a> {
             });
             let net = nl.net(out);
             if net.is_output {
-                dirty_po_eps.insert(out.index());
+                scr.dirty_po_eps.insert(out.index());
             }
-            for s in &net.sinks {
+            for s in net.sinks {
                 if self.lib.cell(nl.cell(s.cell).master).kind == CellKind::Flop {
                     if s.pin == 0 {
-                        dirty_flop_eps.insert(s.cell.index());
+                        scr.dirty_flop_eps.insert(s.cell.index());
                     }
                 } else {
-                    enqueue(&mut heap, &mut queued, &graph.order_pos, s.cell.index());
+                    enqueue(
+                        &mut scr.heap,
+                        &mut scr.queued,
+                        &graph.order_pos,
+                        s.cell.index(),
+                    );
                 }
             }
         }
 
         // Phase 5: refresh dirty endpoint checks.
-        let mut flops: Vec<usize> = dirty_flop_eps.into_iter().collect();
-        flops.sort_unstable();
-        for c in flops {
+        for &c in scr.dirty_flop_eps.sorted_items() {
+            let c = c as usize;
             let cid = CellId::new(c);
             let new_ep = if self.lib.cell(nl.cell(cid).master).kind == CellKind::Flop {
                 sta.flop_endpoint(cid, &self.state, &self.wires)?
@@ -548,9 +687,8 @@ impl<'a> Timer<'a> {
                 self.undo.push(UndoOp::FlopEp { cell: c, prev });
             }
         }
-        let mut pos: Vec<usize> = dirty_po_eps.into_iter().collect();
-        pos.sort_unstable();
-        for n in pos {
+        for &n in scr.dirty_po_eps.sorted_items() {
+            let n = n as usize;
             let new_ep = sta.po_endpoint(NetId::new(n), &self.state);
             if new_ep != self.po_ep[n] {
                 let prev = mem::replace(&mut self.po_ep[n], new_ep);
@@ -559,27 +697,12 @@ impl<'a> Timer<'a> {
         }
 
         self.cursor = journal_len;
+        self.scratch = scr;
         tc_obs::histogram("sta.dirty_cone_size").record(cells_evaluated as f64);
         tc_obs::counter("sta.arcs_recomputed").add(arcs_recomputed);
         tc_obs::counter("sta.arcs_reused")
             .add(self.structure.arc_count.saturating_sub(arcs_recomputed));
         Ok(())
-    }
-
-    fn mark_sink_dirty(
-        &self,
-        nl: &Netlist,
-        s: tc_netlist::PinRef,
-        seed_cells: &mut HashSet<usize>,
-        dirty_flop_eps: &mut HashSet<usize>,
-    ) {
-        if self.lib.cell(nl.cell(s.cell).master).kind == CellKind::Flop {
-            if s.pin == 0 {
-                dirty_flop_eps.insert(s.cell.index());
-            }
-        } else {
-            seed_cells.insert(s.cell.index());
-        }
     }
 
     /// Marks the current state for later [`Timer::rollback_to`]. Cheap
@@ -607,7 +730,7 @@ impl<'a> Timer<'a> {
         while self.undo.len() > cp.undo_len {
             match self.undo.pop().expect("length checked") {
                 UndoOp::NetState { net, prev } => self.state[net] = prev,
-                UndoOp::NetWire { net, prev } => self.wires[net] = prev,
+                UndoOp::NetWire { net, prev } => self.wires.restore(net, prev),
                 UndoOp::FlopEp { cell, prev } => self.flop_ep[cell] = prev,
                 UndoOp::PoEp { net, prev } => self.po_ep[net] = prev,
                 UndoOp::Structure { prev } => self.structure = prev,
@@ -697,7 +820,7 @@ impl<'a> Timer<'a> {
     }
 
     /// Cached per-net wire timings (net-id indexed).
-    pub fn wires(&self) -> &[NetWire] {
+    pub fn wires(&self) -> &WireTable {
         &self.wires
     }
 
@@ -736,7 +859,7 @@ mod tests {
         let sta = Sta::new(nl, lib, stack, timer.constraints());
         let (state, wires) = sta.propagate().unwrap();
         assert_eq!(timer.states(), &state[..], "net states diverged");
-        assert_eq!(timer.wires(), &wires[..], "wire timings diverged");
+        assert_eq!(timer.wires(), &wires, "wire timings diverged");
         let fresh = sta.report_from(&state, &wires).unwrap();
         assert_eq!(
             timer.report(nl).endpoints,
@@ -768,7 +891,6 @@ mod tests {
         nl.set_route_class(NetId::new(nl.net_count() / 3), 2);
         let victim = nl
             .cells()
-            .iter()
             .position(|c| lib.cell(c.master).kind != CellKind::Flop)
             .unwrap();
         let m = lib.cell(nl.cell(CellId::new(victim)).master);
@@ -792,7 +914,7 @@ mod tests {
             .max_by_key(|&n| nl.net(NetId::new(n)).sinks.len())
             .unwrap();
         let buf = lib.variant("BUF", VtClass::Svt, 2.0).unwrap();
-        let sinks = nl.net(NetId::new(fat)).sinks.clone();
+        let sinks = nl.net(NetId::new(fat)).sinks.to_vec();
         nl.insert_buffer(&lib, NetId::new(fat), &sinks, buf)
             .unwrap();
         timer.update(&nl).unwrap();
@@ -816,7 +938,7 @@ mod tests {
             .filter(|&n| nl.net(NetId::new(n)).driver.is_some())
             .max_by_key(|&n| nl.net(NetId::new(n)).sinks.len())
             .unwrap();
-        let sinks = nl.net(NetId::new(fat)).sinks.clone();
+        let sinks = nl.net(NetId::new(fat)).sinks.to_vec();
         nl.insert_buffer(&lib, NetId::new(fat), &sinks, buf)
             .unwrap();
         nl.set_wire_length(NetId::new(1), 400.0);

@@ -96,6 +96,12 @@ pub struct DiffOptions {
     /// Downgrade out-of-tolerance timing *and memory* fields from
     /// regression to drift (for shared CI runners).
     pub timing_informational: bool,
+    /// Gate memory fields even when timing is informational: an
+    /// out-of-tolerance `*_bytes`/`*_allocs`/`*_frees` field is a
+    /// regression regardless of `timing_informational`. Heap telemetry
+    /// is host-stable in a way wall clock is not, so CI can hold the
+    /// memory line while ignoring runner-speed noise.
+    pub mem_strict: bool,
 }
 
 impl Default for DiffOptions {
@@ -104,6 +110,7 @@ impl Default for DiffOptions {
             tol: 0.25,
             mem_tol: 0.5,
             timing_informational: true,
+            mem_strict: false,
         }
     }
 }
@@ -403,6 +410,8 @@ fn compare(path: &str, class: FieldClass, va: &Flat, vb: &Flat, opts: &DiffOptio
             };
             if within {
                 RowStatus::Match
+            } else if class == FieldClass::Memory && opts.mem_strict {
+                RowStatus::Regression
             } else if opts.timing_informational {
                 RowStatus::Drift
             } else {
@@ -590,6 +599,7 @@ mod tests {
             tol: 0.25,
             mem_tol: 0.5,
             timing_informational: false,
+            mem_strict: false,
         };
         // 40% growth sits inside mem_tol=0.5 even though tol=0.25
         // would fail it — memory uses its own knob.
@@ -607,6 +617,23 @@ mod tests {
     }
 
     #[test]
+    fn mem_strict_gates_memory_despite_informational_timing() {
+        let a = parse(r#"{"peak_heap_bytes":1000000,"wall_ms":100.0}"#);
+        let b = parse(r#"{"peak_heap_bytes":3000000,"wall_ms":300.0}"#);
+        let opts = DiffOptions {
+            mem_strict: true,
+            ..DiffOptions::default()
+        };
+        let rep = diff(&a, &b, &opts);
+        assert!(!rep.ok(), "3x heap fails --mem-strict");
+        assert_eq!(rep.regressions, 1, "only the memory field gates");
+        assert_eq!(rep.drifts, 1, "wall clock stays informational");
+        // Inside mem-tol still passes.
+        let c = parse(r#"{"peak_heap_bytes":1200000,"wall_ms":100.0}"#);
+        assert!(diff(&a, &c, &opts).ok());
+    }
+
+    #[test]
     fn memory_fields_are_never_compared_exactly() {
         // A one-byte wiggle inside tolerance must pass even strict.
         let a = parse(r#"{"live_bytes":1048576}"#);
@@ -615,6 +642,7 @@ mod tests {
             tol: 0.0,
             mem_tol: 0.01,
             timing_informational: false,
+            mem_strict: false,
         };
         let rep = diff(&a, &b, &strict);
         assert!(rep.ok());

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! tcdiff <baseline.json> <candidate.json> [--tol 0.25] [--mem-tol 0.5]
-//!        [--timing-strict] [--verbose]
+//!        [--timing-strict] [--mem-strict] [--verbose]
 //! tcdiff --check-trace <trace.json> [--min-threads N]
 //! ```
 //!
@@ -19,7 +19,7 @@ use tcdiff::{check_schema, check_trace, diff, DiffOptions};
 
 fn usage() -> &'static str {
     "usage: tcdiff <baseline.json> <candidate.json> [--tol FRACTION] [--mem-tol FRACTION]\n\
-     \x20      [--timing-strict] [--verbose]\n\
+     \x20      [--timing-strict] [--mem-strict] [--verbose]\n\
      \x20      tcdiff --check-trace <trace.json> [--min-threads N]\n\
      \n\
      Compares two run artifacts or BENCH_*.json sidecars field by field.\n\
@@ -27,7 +27,8 @@ fn usage() -> &'static str {
      (*_ms/*_us/*_ns/wall*/speedup*/elapsed*/idle*) are tolerance-gated\n\
      (default 25% relative); allocator fields (*_bytes/*_allocs/*_frees)\n\
      gate under --mem-tol (default 50%, never bit-exact). Both classes\n\
-     are informational unless --timing-strict.\n\
+     are informational unless --timing-strict; --mem-strict gates the\n\
+     memory class alone, keeping wall clock informational.\n\
      --check-trace validates a Chrome trace_event export instead:\n\
      JSON parse, per-thread monotonic timestamps, balanced B/E events\n\
      (M/thread_name metadata records accepted)."
@@ -114,6 +115,10 @@ fn main() -> ExitCode {
             }
             "--timing-strict" => {
                 opts.timing_informational = false;
+                i += 1;
+            }
+            "--mem-strict" => {
+                opts.mem_strict = true;
                 i += 1;
             }
             "--timing-informational" => {

@@ -28,11 +28,7 @@ fn assert_matches_full(timer: &Timer<'_>, nl: &Netlist, lib: &Library, stack: &B
         &state[..],
         "net states diverged from full STA"
     );
-    assert_eq!(
-        timer.wires(),
-        &wires[..],
-        "wire timings diverged from full STA"
-    );
+    assert_eq!(timer.wires(), &wires, "wire timings diverged from full STA");
     let fresh = sta.run().unwrap();
     let incr = timer.report(nl);
     assert_eq!(incr.endpoints, fresh.endpoints, "endpoint reports diverged");
@@ -44,7 +40,7 @@ fn assert_matches_full(timer: &Timer<'_>, nl: &Netlist, lib: &Library, stack: &B
 /// combinational cycle: primary inputs and flop-driven nets.
 fn acyclic_safe_nets(nl: &Netlist, lib: &Library) -> Vec<NetId> {
     let mut safe: Vec<NetId> = nl.primary_inputs().to_vec();
-    for (i, net) in nl.nets().iter().enumerate() {
+    for (i, net) in nl.nets().enumerate() {
         if let Some(driver) = net.driver {
             if lib.cell(nl.cell(driver).master).kind == CellKind::Flop {
                 safe.push(NetId::new(i));
@@ -102,7 +98,7 @@ fn random_edit(rng: &mut Rng, nl: &mut Netlist, lib: &Library) -> bool {
                 return false;
             }
             let net = *rng.choose(&candidates);
-            let sinks = nl.net(net).sinks.clone();
+            let sinks = nl.net(net).sinks.to_vec();
             let mut moved: Vec<PinRef> =
                 sinks.iter().copied().filter(|_| rng.chance(0.5)).collect();
             if moved.is_empty() {
@@ -114,11 +110,7 @@ fn random_edit(rng: &mut Rng, nl: &mut Netlist, lib: &Library) -> bool {
         _ => {
             // Rewire a random sink onto a cycle-safe net.
             let safe = acyclic_safe_nets(nl, lib);
-            let candidates: Vec<PinRef> = nl
-                .nets()
-                .iter()
-                .flat_map(|n| n.sinks.iter().copied())
-                .collect();
+            let candidates: Vec<PinRef> = nl.nets().flat_map(|n| n.sinks.iter().copied()).collect();
             if safe.is_empty() || candidates.is_empty() {
                 return false;
             }
@@ -159,7 +151,7 @@ fn run_sequence(profile: BenchProfile, gen_seed: u64, edit_seed: u64, edits: usi
         // exact pre-speculation world.
         if i % 5 == 4 {
             let states_before = timer.states().to_vec();
-            let wires_before = timer.wires().to_vec();
+            let wires_before = timer.wires().clone();
             let report_before = timer.report(&nl);
             let nl_cp = nl.journal_len();
             let t_cp = timer.checkpoint();
@@ -173,7 +165,7 @@ fn run_sequence(profile: BenchProfile, gen_seed: u64, edit_seed: u64, edits: usi
                 &states_before[..],
                 "rollback lost net state"
             );
-            assert_eq!(timer.wires(), &wires_before[..], "rollback lost wire state");
+            assert_eq!(timer.wires(), &wires_before, "rollback lost wire state");
             assert_eq!(
                 timer.report(&nl).endpoints,
                 report_before.endpoints,

@@ -74,7 +74,7 @@ fn generation_is_reproducible() {
         let a = generate(&lib, BenchProfile::tiny(), seed).unwrap();
         let b = generate(&lib, BenchProfile::tiny(), seed).unwrap();
         assert_eq!(a.cell_count(), b.cell_count());
-        for (ca, cb) in a.cells().iter().zip(b.cells()) {
+        for (ca, cb) in a.cells().zip(b.cells()) {
             assert_eq!(ca.master, cb.master);
             assert_eq!(&ca.inputs, &cb.inputs);
         }
@@ -91,7 +91,7 @@ fn wire_stretch_never_improves_wns() {
         let mut nl = generate(&lib, BenchProfile::tiny(), seed).unwrap();
         let cons = Constraints::single_clock(1_000.0);
         let before = Sta::new(&nl, &lib, &stack, &cons).run().unwrap().wns();
-        let lengths: Vec<f64> = nl.nets().iter().map(|n| n.wire_length_um).collect();
+        let lengths: Vec<f64> = nl.nets().map(|n| n.wire_length_um).collect();
         for (i, len) in lengths.into_iter().enumerate() {
             nl.set_wire_length(NetId::new(i), len * stretch);
         }
