@@ -1,0 +1,6 @@
+module m (a, q);
+  input a;
+  output q;
+  INV_X1_SVT u1 (.A(a), .Y(q));
+  INV_X1_SVT u1 (.A(a), .Y(q));
+endmodule

@@ -1,0 +1,1 @@
+module m (a); input a; X) Y(; endmodule

@@ -1,0 +1,250 @@
+//! `tc_fuzz` — seeded mutation-fuzz campaigns over every ingest surface.
+//!
+//! ```text
+//! tc_fuzz [--seed 1,2,3] [--iters N] [--target spef|verilog|liberty|json|journal|tcdiff|all]
+//!         [--corpus-out DIR] [--verbose]
+//! tc_fuzz --replay PATH [--target T]
+//! ```
+//!
+//! Campaign mode mutates writer-generated corpora and drives the chosen
+//! parsers; every violation (panic, context-free error, round-trip
+//! break) is deduplicated, shrunk, and — with `--corpus-out` — written
+//! to `DIR/<target>/` as a regression corpus entry. Exit code 1 means
+//! findings, 0 means a clean run, 2 means usage error.
+//!
+//! Replay mode re-runs one file (or every file under a directory, with
+//! the target inferred from the containing directory's name) and prints
+//! the verdict; violating inputs are re-shrunk and printed.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tc_fuzz::{run, shrink, Env, FuzzConfig, TargetKind, Verdict};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tc_fuzz [--seed S1,S2,..] [--iters N] [--target NAME|all] \
+         [--corpus-out DIR] [--verbose]\n       tc_fuzz --replay PATH [--target NAME]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut seeds: Vec<u64> = vec![1];
+    let mut iters: u64 = 1000;
+    let mut targets: Vec<TargetKind> = TargetKind::ALL.to_vec();
+    let mut corpus_out: Option<PathBuf> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut verbose = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--seed" => {
+                let Some(v) = need_value(i) else {
+                    return usage();
+                };
+                match v.split(',').map(|s| s.trim().parse::<u64>()).collect() {
+                    Ok(s) => seeds = s,
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            "--iters" => {
+                let Some(v) = need_value(i) else {
+                    return usage();
+                };
+                match v.parse() {
+                    Ok(n) => iters = n,
+                    Err(_) => return usage(),
+                }
+                i += 2;
+            }
+            "--target" => {
+                let Some(v) = need_value(i) else {
+                    return usage();
+                };
+                if v == "all" {
+                    targets = TargetKind::ALL.to_vec();
+                } else {
+                    match TargetKind::from_name(v) {
+                        Some(t) => targets = vec![t],
+                        None => return usage(),
+                    }
+                }
+                i += 2;
+            }
+            "--corpus-out" => {
+                let Some(v) = need_value(i) else {
+                    return usage();
+                };
+                corpus_out = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--replay" => {
+                let Some(v) = need_value(i) else {
+                    return usage();
+                };
+                replay = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--verbose" => {
+                verbose = true;
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+
+    // Parsers under fuzz panic on purpose; keep the default hook from
+    // spraying a backtrace per caught panic.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let env = Env::new();
+    if let Some(path) = replay {
+        return replay_mode(&env, &path, targets);
+    }
+
+    let cfg = FuzzConfig {
+        seeds,
+        iters,
+        targets,
+        verbose,
+    };
+    let findings = run(&env, &cfg);
+    for f in &findings {
+        println!(
+            "[{}] seed {} iter {}: {} — {}",
+            f.target.name(),
+            f.seed,
+            f.iter,
+            f.violation.kind(),
+            f.violation.message()
+        );
+        println!("  shrunk input ({} bytes):", f.input.len());
+        println!("  {:?}", String::from_utf8_lossy(&f.input));
+        if let Some(dir) = &corpus_out {
+            let tdir = dir.join(f.target.name());
+            if let Err(e) = std::fs::create_dir_all(&tdir) {
+                eprintln!("cannot create {}: {e}", tdir.display());
+                continue;
+            }
+            let file = tdir.join(format!(
+                "{}-s{}-i{}.bin",
+                f.violation.kind(),
+                f.seed,
+                f.iter
+            ));
+            match std::fs::write(&file, &f.input) {
+                Ok(()) => println!("  wrote {}", file.display()),
+                Err(e) => eprintln!("cannot write {}: {e}", file.display()),
+            }
+        }
+    }
+    let iters_total = cfg.iters * cfg.seeds.len() as u64 * cfg.targets.len() as u64;
+    println!(
+        "tc_fuzz: {} iterations across {} target(s), {} finding(s)",
+        iters_total,
+        cfg.targets.len(),
+        findings.len()
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn replay_mode(env: &Env, path: &Path, targets: Vec<TargetKind>) -> ExitCode {
+    let mut files: Vec<(TargetKind, PathBuf)> = Vec::new();
+    if path.is_dir() {
+        if let Err(e) = collect_dir(path, &targets, &mut files) {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    } else {
+        let target = infer_target(path).or(if targets.len() == 1 {
+            Some(targets[0])
+        } else {
+            None
+        });
+        let Some(target) = target else {
+            eprintln!("cannot infer target for {}; pass --target", path.display());
+            return ExitCode::from(2);
+        };
+        files.push((target, path.to_path_buf()));
+    }
+
+    let mut violations = 0usize;
+    for (target, file) in files {
+        let input = match std::fs::read(&file) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        match env.check(target, &input) {
+            Verdict::Accepted => println!("[{}] {}: accepted", target.name(), file.display()),
+            Verdict::Rejected => {
+                println!(
+                    "[{}] {}: rejected (positioned)",
+                    target.name(),
+                    file.display()
+                )
+            }
+            Verdict::Violation(v) => {
+                violations += 1;
+                let shrunk = shrink(env, target, &input);
+                println!(
+                    "[{}] {}: VIOLATION {} — {}",
+                    target.name(),
+                    file.display(),
+                    v.kind(),
+                    v.message()
+                );
+                println!(
+                    "  shrunk ({} bytes): {:?}",
+                    shrunk.len(),
+                    String::from_utf8_lossy(&shrunk)
+                );
+            }
+        }
+    }
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `corpus/<target>/entry` layout: the parent directory names the target.
+fn infer_target(file: &Path) -> Option<TargetKind> {
+    file.parent()
+        .and_then(|d| d.file_name())
+        .and_then(|n| n.to_str())
+        .and_then(TargetKind::from_name)
+}
+
+fn collect_dir(
+    dir: &Path,
+    allowed: &[TargetKind],
+    out: &mut Vec<(TargetKind, PathBuf)>,
+) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_dir(&p, allowed, out)?;
+        } else if let Some(t) = infer_target(&p) {
+            if allowed.contains(&t) {
+                out.push((t, p));
+            }
+        }
+    }
+    Ok(())
+}

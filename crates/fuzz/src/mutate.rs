@@ -1,0 +1,223 @@
+//! Seeded byte- and token-level mutators.
+//!
+//! All randomness flows through `tc_core::rng::Rng`, so a mutation
+//! sequence is a pure function of the seed — any finding replays
+//! bit-identically. The taxonomy (see DESIGN.md "Robustness & fuzzing"):
+//!
+//! * **truncate** — cut the input at a random byte;
+//! * **splice** — prefix of this input + suffix of another corpus entry;
+//! * **bit-flip** — flip 1–8 random bits;
+//! * **span duplicate / delete** — copy or remove a random byte span;
+//! * **number perturbation** — replace a numeric token with a hostile
+//!   one (`1e999`, `NaN`, lone `-`, 19-digit integers, …);
+//! * **token duplicate / delete** — repeat or drop a
+//!   whitespace-delimited token;
+//! * **nesting amplification** — inject a run of open brackets.
+
+use tc_core::rng::Rng;
+
+/// Hostile replacements for numeric tokens: overflow, non-finite, signs
+/// without digits, precision extremes.
+const NUMBER_POOL: [&str; 12] = [
+    "1e999",
+    "-1e999",
+    "NaN",
+    "inf",
+    "-0",
+    "999999999999999999999",
+    "1e-999",
+    "-1",
+    "+1",
+    "0x10",
+    "-",
+    "18446744073709551616",
+];
+
+/// Applies between 1 and 4 mutators to `input`, drawing corpus entries
+/// from `pool` for splices.
+pub fn mutate(rng: &mut Rng, pool: &[Vec<u8>], input: &mut Vec<u8>) {
+    let rounds = 1 + rng.below(4);
+    for _ in 0..rounds {
+        mutate_once(rng, pool, input);
+    }
+    // Keep pathological growth bounded: mutated inputs stay comfortably
+    // above any real record size but below memory-hostile territory.
+    input.truncate(1 << 16);
+}
+
+fn mutate_once(rng: &mut Rng, pool: &[Vec<u8>], input: &mut Vec<u8>) {
+    match rng.below(8) {
+        0 => truncate(rng, input),
+        1 => splice(rng, pool, input),
+        2 => bit_flips(rng, input),
+        3 => span_duplicate(rng, input),
+        4 => span_delete(rng, input),
+        5 => number_perturb(rng, input),
+        6 => token_mutate(rng, input),
+        _ => nesting_amplify(rng, input),
+    }
+}
+
+fn truncate(rng: &mut Rng, input: &mut Vec<u8>) {
+    if input.is_empty() {
+        return;
+    }
+    let cut = rng.below(input.len() + 1);
+    input.truncate(cut);
+}
+
+fn splice(rng: &mut Rng, pool: &[Vec<u8>], input: &mut Vec<u8>) {
+    if pool.is_empty() {
+        return;
+    }
+    let other = &pool[rng.below(pool.len())];
+    if other.is_empty() || input.is_empty() {
+        return;
+    }
+    let keep = rng.below(input.len() + 1);
+    let from = rng.below(other.len());
+    input.truncate(keep);
+    input.extend_from_slice(&other[from..]);
+}
+
+fn bit_flips(rng: &mut Rng, input: &mut [u8]) {
+    if input.is_empty() {
+        return;
+    }
+    let flips = 1 + rng.below(8);
+    for _ in 0..flips {
+        let pos = rng.below(input.len());
+        let bit = rng.below(8);
+        input[pos] ^= 1 << bit;
+    }
+}
+
+fn random_span(rng: &mut Rng, len: usize) -> (usize, usize) {
+    let start = rng.below(len);
+    let max = (len - start).min(64);
+    let span = 1 + rng.below(max);
+    (start, start + span)
+}
+
+fn span_duplicate(rng: &mut Rng, input: &mut Vec<u8>) {
+    if input.is_empty() {
+        return;
+    }
+    let (a, b) = random_span(rng, input.len());
+    let chunk: Vec<u8> = input[a..b].to_vec();
+    let at = rng.below(input.len() + 1);
+    input.splice(at..at, chunk);
+}
+
+fn span_delete(rng: &mut Rng, input: &mut Vec<u8>) {
+    if input.is_empty() {
+        return;
+    }
+    let (a, b) = random_span(rng, input.len());
+    input.drain(a..b);
+}
+
+/// Finds ASCII number tokens (digit runs with optional sign/dot/exponent
+/// context) and swaps one for a hostile literal.
+fn number_perturb(rng: &mut Rng, input: &mut Vec<u8>) {
+    let is_numch = |b: u8| b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E');
+    let mut tokens: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < input.len() {
+        if input[i].is_ascii_digit() {
+            let mut start = i;
+            // Pull a leading sign into the token.
+            if start > 0 && matches!(input[start - 1], b'-' | b'+') {
+                start -= 1;
+            }
+            let mut end = i;
+            while end < input.len() && is_numch(input[end]) {
+                end += 1;
+            }
+            tokens.push((start, end));
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    if tokens.is_empty() {
+        return;
+    }
+    let (a, b) = tokens[rng.below(tokens.len())];
+    let replacement = NUMBER_POOL[rng.below(NUMBER_POOL.len())];
+    input.splice(a..b, replacement.bytes());
+}
+
+/// Duplicates or deletes one whitespace/punctuation-delimited token.
+fn token_mutate(rng: &mut Rng, input: &mut Vec<u8>) {
+    let is_sep = |b: u8| b.is_ascii_whitespace() || matches!(b, b',' | b';' | b'(' | b')' | b'"');
+    let mut tokens: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < input.len() {
+        if is_sep(input[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < input.len() && !is_sep(input[i]) {
+            i += 1;
+        }
+        tokens.push((start, i));
+    }
+    if tokens.is_empty() {
+        return;
+    }
+    let (a, b) = tokens[rng.below(tokens.len())];
+    if rng.chance(0.5) {
+        let chunk: Vec<u8> = input[a..b].to_vec();
+        let mut ins = Vec::with_capacity(chunk.len() + 1);
+        ins.push(b' ');
+        ins.extend_from_slice(&chunk);
+        input.splice(b..b, ins);
+    } else {
+        input.drain(a..b);
+    }
+}
+
+/// Injects a run of open brackets/braces/quotes — recursion-depth and
+/// unterminated-construct stress.
+fn nesting_amplify(rng: &mut Rng, input: &mut Vec<u8>) {
+    const OPENERS: [&[u8]; 4] = [b"[", b"{", b"(", b"\""];
+    let opener = OPENERS[rng.below(OPENERS.len())];
+    let count = 1 + rng.below(64);
+    let at = rng.below(input.len() + 1);
+    let run: Vec<u8> = opener.iter().copied().cycle().take(count).collect();
+    input.splice(at..at, run);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let pool = vec![b"module m (a); input a; endmodule".to_vec()];
+        let run = |seed| {
+            let mut rng = Rng::seed_from(seed);
+            let mut x = pool[0].clone();
+            for _ in 0..50 {
+                mutate(&mut rng, &pool, &mut x);
+            }
+            x
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn mutators_handle_empty_input() {
+        let mut rng = Rng::seed_from(3);
+        let pool: Vec<Vec<u8>> = vec![Vec::new(), b"x".to_vec()];
+        let mut x = Vec::new();
+        for _ in 0..200 {
+            mutate(&mut rng, &pool, &mut x);
+        }
+        // No panic and the size cap holds.
+        assert!(x.len() <= 1 << 16);
+    }
+}

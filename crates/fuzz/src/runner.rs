@@ -1,0 +1,236 @@
+//! The fuzz loop: seeded campaign driver, violation dedup, and greedy
+//! ddmin-style shrinking.
+
+use std::collections::HashSet;
+
+use tc_core::rng::Rng;
+
+use crate::mutate::mutate;
+use crate::target::{Env, TargetKind, Verdict, Violation};
+
+/// Campaign configuration (mirrors the `tc_fuzz` CLI).
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Base seeds; each (seed, target) pair is an independent stream.
+    pub seeds: Vec<u64>,
+    /// Iterations per (seed, target) pair.
+    pub iters: u64,
+    /// Targets to drive.
+    pub targets: Vec<TargetKind>,
+    /// Print per-finding detail while running.
+    pub verbose: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seeds: vec![1],
+            iters: 1000,
+            targets: TargetKind::ALL.to_vec(),
+            verbose: false,
+        }
+    }
+}
+
+/// One deduplicated, shrunk violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Target that broke.
+    pub target: TargetKind,
+    /// Seed of the stream that found it.
+    pub seed: u64,
+    /// Iteration within the stream.
+    pub iter: u64,
+    /// The shrunk offending input.
+    pub input: Vec<u8>,
+    /// What broke.
+    pub violation: Violation,
+}
+
+/// Accepted mutants feed back into the pool up to this size — enough
+/// diversity to walk away from the seeds, bounded so the pool cannot
+/// drown in near-duplicates.
+const POOL_CAP: usize = 64;
+
+/// Findings kept per target; further duplicates of the same signature
+/// are counted but not re-shrunk.
+const FINDINGS_CAP: usize = 12;
+
+/// Runs a fuzz campaign. Deterministic: the same `cfg` against the same
+/// code yields the same findings in the same order.
+pub fn run(env: &Env, cfg: &FuzzConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for &target in &cfg.targets {
+        let corpus = env.corpus(target);
+        let mut seen: HashSet<String> = HashSet::new();
+        for &seed in &cfg.seeds {
+            let mut rng = Rng::stream_from(seed, target as u64 + 1);
+            let mut pool = corpus.clone();
+            for iter in 0..cfg.iters {
+                let mut input = pool[rng.below(pool.len())].clone();
+                mutate(&mut rng, &pool, &mut input);
+                match env.check(target, &input) {
+                    Verdict::Accepted => {
+                        if pool.len() < POOL_CAP {
+                            pool.push(input);
+                        }
+                    }
+                    Verdict::Rejected => {}
+                    Verdict::Violation(v) => {
+                        let key = signature(&v);
+                        if seen.len() >= FINDINGS_CAP || !seen.insert(key) {
+                            continue;
+                        }
+                        let shrunk = shrink(env, target, &input);
+                        if cfg.verbose {
+                            eprintln!(
+                                "[{}] seed {seed} iter {iter}: {} — {}",
+                                target.name(),
+                                v.kind(),
+                                v.message()
+                            );
+                        }
+                        findings.push(Finding {
+                            target,
+                            seed,
+                            iter,
+                            input: shrunk,
+                            violation: v,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Dedup signature: violation kind plus a message prefix (offsets and
+/// payload fragments vary per input; the leading words identify the bug).
+fn signature(v: &Violation) -> String {
+    let msg: String = v.message().chars().take(48).collect();
+    format!("{}:{}", v.kind(), msg)
+}
+
+/// Greedy ddmin-style shrink: first drop whole lines, then byte chunks,
+/// preserving the violation *kind*. Bounded predicate budget keeps the
+/// worst case around a few hundred parser invocations.
+pub fn shrink(env: &Env, target: TargetKind, input: &[u8]) -> Vec<u8> {
+    let want_kind = match env.check(target, input) {
+        Verdict::Violation(v) => v.kind(),
+        _ => return input.to_vec(),
+    };
+    let mut budget = 400usize;
+    let still_fails = |candidate: &[u8], budget: &mut usize| -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        matches!(env.check(target, candidate),
+                 Verdict::Violation(v) if v.kind() == want_kind)
+    };
+
+    let mut cur = input.to_vec();
+    // Pass 1: remove lines (most corpus formats are line-oriented).
+    loop {
+        let lines: Vec<&[u8]> = split_keep_newlines(&cur);
+        if lines.len() <= 1 {
+            break;
+        }
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < lines_count(&cur) {
+            let lines: Vec<&[u8]> = split_keep_newlines(&cur);
+            if lines.len() <= 1 {
+                break;
+            }
+            let candidate: Vec<u8> = lines
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .flat_map(|(_, l)| l.iter().copied())
+                .collect();
+            if still_fails(&candidate, &mut budget) {
+                cur = candidate;
+                removed_any = true;
+                // Same index now names the next line.
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any || budget == 0 {
+            break;
+        }
+    }
+    // Pass 2: halve-and-conquer byte chunks.
+    let mut chunk = (cur.len() / 2).max(1);
+    while chunk >= 1 && budget > 0 && !cur.is_empty() {
+        let mut start = 0;
+        let mut removed_any = false;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && still_fails(&candidate, &mut budget) {
+                cur = candidate;
+                removed_any = true;
+            } else {
+                start = end;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+        if !removed_any && chunk == 1 && cur.len() > 4096 {
+            break;
+        }
+    }
+    cur
+}
+
+fn split_keep_newlines(bytes: &[u8]) -> Vec<&[u8]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            out.push(&bytes[start..=i]);
+            start = i + 1;
+        }
+    }
+    if start < bytes.len() {
+        out.push(&bytes[start..]);
+    }
+    out
+}
+
+fn lines_count(bytes: &[u8]) -> usize {
+    split_keep_newlines(bytes).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let env = Env::new();
+        let cfg = FuzzConfig {
+            seeds: vec![11],
+            iters: 60,
+            targets: vec![TargetKind::Json],
+            verbose: false,
+        };
+        let a = run(&env, &cfg);
+        let b = run(&env, &cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.input, y.input);
+            assert_eq!(x.iter, y.iter);
+        }
+    }
+}

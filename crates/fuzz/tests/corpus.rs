@@ -1,0 +1,50 @@
+//! Replays the committed regression corpus on every `cargo test` run.
+//!
+//! Each file under `crates/fuzz/corpus/<target>/` is a shrunk input that
+//! once violated a fuzz invariant (panic, context-free error, round-trip
+//! break). After the corresponding fix, the entry must parse cleanly or
+//! fail with a positioned error — never violate again.
+
+use std::path::PathBuf;
+
+use tc_fuzz::{Env, TargetKind, Verdict};
+
+#[test]
+fn committed_corpus_entries_no_longer_violate() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    if !root.is_dir() {
+        // No findings committed yet — vacuously green.
+        return;
+    }
+    let env = Env::new();
+    let mut replayed = 0usize;
+    for target in TargetKind::ALL {
+        let dir = root.join(target.name());
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect();
+        files.sort();
+        for file in files {
+            let input =
+                std::fs::read(&file).unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+            match env.check(target, &input) {
+                Verdict::Accepted | Verdict::Rejected => {}
+                Verdict::Violation(v) => panic!(
+                    "[{}] corpus entry {} still violates: {} — {}",
+                    target.name(),
+                    file.display(),
+                    v.kind(),
+                    v.message()
+                ),
+            }
+            replayed += 1;
+        }
+    }
+    // Sanity: the walk actually visited the committed entries.
+    assert!(replayed > 0, "corpus directory exists but holds no files");
+}

@@ -114,56 +114,76 @@ pub fn write_spef(nets: &[NetParasitics], stack: &BeolStack) -> String {
 /// buffered reader, one line at a time — a multi-million-net parasitics
 /// file is never materialized in memory as a whole.
 ///
+/// Numeric fields are validated at parse time: totals must be finite and
+/// non-negative, sensitivities finite — a `NaN` or negative cap here
+/// would silently poison every slack merge downstream.
+///
 /// # Errors
 ///
 /// Returns [`Error::InvalidInput`] on malformed records, unknown layer
-/// names, or I/O failures (wrapped).
+/// names, non-finite/negative values, or I/O failures (wrapped). Every
+/// error names the offending line number.
 pub fn parse_spef_from<R: std::io::BufRead>(
     mut reader: R,
     stack: &BeolStack,
 ) -> Result<Vec<NetParasitics>> {
-    let layer_idx = |name: &str| -> Result<usize> {
-        stack
-            .layers()
-            .iter()
-            .position(|l| l.name == name)
-            .ok_or_else(|| Error::invalid_input(format!("unknown layer {name}")))
-    };
     let mut nets = Vec::new();
     let mut cur: Option<NetParasitics> = None;
     let mut line = String::new();
+    let mut lineno = 0usize;
     loop {
         line.clear();
         let n = reader
             .read_line(&mut line)
-            .map_err(|e| Error::invalid_input(format!("read: {e}")))?;
+            .map_err(|e| Error::invalid_input(format!("line {}: read: {e}", lineno + 1)))?;
         if n == 0 {
             break;
         }
+        lineno += 1;
+        let layer_idx = |name: &str| -> Result<usize> {
+            stack
+                .layers()
+                .iter()
+                .position(|l| l.name == name)
+                .ok_or_else(|| Error::invalid_input(format!("line {lineno}: unknown layer {name}")))
+        };
         let l = line.trim();
         if let Some(rest) = l.strip_prefix("*D_NET ") {
             let tok: Vec<&str> = rest.split_whitespace().collect();
             if tok.len() != 7 || tok[1] != "R" || tok[3] != "C" || tok[5] != "LAYER" {
-                return Err(Error::invalid_input(format!("bad D_NET record: {l}")));
+                return Err(Error::invalid_input(format!(
+                    "line {lineno}: bad D_NET record: {l}"
+                )));
             }
-            let parse = |s: &str| {
-                s.parse::<f64>()
-                    .map_err(|e| Error::invalid_input(format!("bad number {s}: {e}")))
+            // Totals must be finite and non-negative: f64::parse happily
+            // accepts `NaN`, `inf` and `-3`, none of which is a physical
+            // R or C.
+            let parse_total = |what: &str, s: &str| -> Result<f64> {
+                let v = s.parse::<f64>().map_err(|e| {
+                    Error::invalid_input(format!("line {lineno}: bad number {s}: {e}"))
+                })?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(Error::invalid_input(format!(
+                        "line {lineno}: {what} must be finite and non-negative, got {s}"
+                    )));
+                }
+                Ok(v)
             };
             cur = Some(NetParasitics {
                 name: tok[0].to_string(),
-                r_total: parse(tok[2])?,
-                c_total: parse(tok[4])?,
+                r_total: parse_total("R", tok[2])?,
+                c_total: parse_total("C", tok[4])?,
                 layer: {
                     // Validate against the stack here: an out-of-range
                     // index would otherwise surface later as an indexing
                     // panic in `at_sample` or `write_spef`.
-                    let layer: usize = tok[6]
-                        .parse()
-                        .map_err(|e| Error::invalid_input(format!("bad layer index: {e}")))?;
+                    let layer: usize = tok[6].parse().map_err(|e| {
+                        Error::invalid_input(format!("line {lineno}: bad layer index: {e}"))
+                    })?;
                     if layer >= stack.layers().len() {
                         return Err(Error::invalid_input(format!(
-                            "layer index {layer} out of range for a {}-layer stack: {l}",
+                            "line {lineno}: layer index {layer} out of range for a {}-layer \
+                             stack: {l}",
                             stack.layers().len()
                         )));
                     }
@@ -175,15 +195,23 @@ pub fn parse_spef_from<R: std::io::BufRead>(
         } else if let Some(rest) = l.strip_prefix("*SENS ") {
             let tok: Vec<&str> = rest.split_whitespace().collect();
             if tok.len() != 3 {
-                return Err(Error::invalid_input(format!("bad SENS record: {l}")));
+                return Err(Error::invalid_input(format!(
+                    "line {lineno}: bad SENS record: {l}"
+                )));
             }
-            let net = cur
-                .as_mut()
-                .ok_or_else(|| Error::invalid_input("SENS outside D_NET"))?;
+            let net = cur.as_mut().ok_or_else(|| {
+                Error::invalid_input(format!("line {lineno}: SENS outside D_NET"))
+            })?;
             let layer = layer_idx(tok[1])?;
-            let s = tok[2]
-                .parse::<f64>()
-                .map_err(|e| Error::invalid_input(format!("bad sensitivity: {e}")))?;
+            let s = tok[2].parse::<f64>().map_err(|e| {
+                Error::invalid_input(format!("line {lineno}: bad sensitivity: {e}"))
+            })?;
+            if !s.is_finite() {
+                return Err(Error::invalid_input(format!(
+                    "line {lineno}: sensitivity must be finite, got {}",
+                    tok[2]
+                )));
+            }
             match tok[0] {
                 "R" => {
                     net.r_sens.insert(layer, s);
@@ -192,18 +220,21 @@ pub fn parse_spef_from<R: std::io::BufRead>(
                     net.c_sens.insert(layer, s);
                 }
                 other => {
-                    return Err(Error::invalid_input(format!("bad SENS kind {other}")));
+                    return Err(Error::invalid_input(format!(
+                        "line {lineno}: bad SENS kind {other}"
+                    )));
                 }
             }
         } else if l == "*END" {
-            nets.push(
-                cur.take()
-                    .ok_or_else(|| Error::invalid_input("END without D_NET"))?,
-            );
+            nets.push(cur.take().ok_or_else(|| {
+                Error::invalid_input(format!("line {lineno}: END without D_NET"))
+            })?);
         }
     }
     if cur.is_some() {
-        return Err(Error::invalid_input("unterminated D_NET block"));
+        return Err(Error::invalid_input(format!(
+            "line {lineno}: unterminated D_NET block"
+        )));
     }
     Ok(nets)
 }
@@ -302,6 +333,31 @@ mod tests {
         let last = stack.layers().len() - 1;
         let good = format!("*D_NET n R 1 C 1 LAYER {last}\n*END");
         assert_eq!(parse_spef(&good, &stack).unwrap()[0].layer, last);
+    }
+
+    #[test]
+    fn parser_rejects_non_finite_and_negative_values() {
+        // `f64::parse` happily accepts `NaN`, `inf`, and negatives — any
+        // of which would poison every downstream slack merge.
+        let stack = stack();
+        for bad in [
+            "*D_NET n R NaN C 1 LAYER 1\n*END",
+            "*D_NET n R inf C 1 LAYER 1\n*END",
+            "*D_NET n R 1 C -3.0 LAYER 1\n*END",
+            "*D_NET n R 1 C 1e999 LAYER 1\n*END",
+            "*D_NET n R 1 C 1 LAYER 1\n*SENS R M1 NaN\n*END",
+        ] {
+            let err = parse_spef(bad, &stack).unwrap_err().to_string();
+            assert!(err.contains("line "), "no line number in: {err}");
+        }
+    }
+
+    #[test]
+    fn parser_errors_carry_line_numbers() {
+        let stack = stack();
+        let bad = "*D_NET n R 1 C 1 LAYER 1\n*SENS R M99 1.0\n*END";
+        let err = parse_spef(bad, &stack).unwrap_err().to_string();
+        assert!(err.contains("line 2"), "no line number in: {err}");
     }
 
     #[test]

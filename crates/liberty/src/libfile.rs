@@ -147,7 +147,8 @@ pub struct ParsedLibrary {
 /// # Errors
 ///
 /// Returns [`Error::InvalidInput`] on malformed structure (unbalanced
-/// braces, missing axes, ragged value grids).
+/// braces, missing axes, ragged value grids). Every error names the line
+/// the offending construct started on.
 pub fn parse_liberty(text: &str) -> Result<ParsedLibrary> {
     let mut lib = ParsedLibrary::default();
     let mut cur_cell: Option<ParsedCell> = None;
@@ -157,39 +158,58 @@ pub fn parse_liberty(text: &str) -> Result<ParsedLibrary> {
     let mut index1: Option<Vec<f64>> = None;
     let mut index2: Option<Vec<f64>> = None;
     let mut depth = 0i32;
+    let mut last_line = 0usize;
 
     // The writer emits one construct per line except `values`, which may
-    // continue with `\`-terminated lines; splice those first.
-    let mut spliced = Vec::new();
+    // continue with `\`-terminated lines; splice those first, remembering
+    // the line each spliced statement started on.
+    let mut spliced: Vec<(usize, String)> = Vec::new();
     let mut pending = String::new();
-    for line in text.lines() {
+    let mut pending_line = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        last_line = lineno;
         let trimmed = line.trim_end();
         if trimmed.ends_with('\\') {
+            if pending.is_empty() {
+                pending_line = lineno;
+            }
             pending.push_str(trimmed.trim_end_matches('\\'));
         } else if pending.is_empty() {
-            spliced.push(trimmed.to_string());
+            spliced.push((lineno, trimmed.to_string()));
         } else {
             pending.push_str(trimmed);
-            spliced.push(std::mem::take(&mut pending));
+            spliced.push((pending_line, std::mem::take(&mut pending)));
         }
     }
+    if !pending.is_empty() {
+        // A trailing `\` with no continuation line.
+        spliced.push((pending_line, pending));
+    }
 
-    let parse_quoted_axis = |line: &str| -> Result<Vec<f64>> {
+    let parse_quoted_axis = |line: &str, lineno: usize| -> Result<Vec<f64>> {
         let inner = line
             .split('"')
             .nth(1)
-            .ok_or_else(|| Error::invalid_input("axis missing quotes"))?;
+            .ok_or_else(|| Error::invalid_input(format!("line {lineno}: axis missing quotes")))?;
         inner
             .split(',')
             .map(|v| {
-                v.trim()
-                    .parse::<f64>()
-                    .map_err(|e| Error::invalid_input(format!("bad axis value: {e}")))
+                let x = v.trim().parse::<f64>().map_err(|e| {
+                    Error::invalid_input(format!("line {lineno}: bad axis value: {e}"))
+                })?;
+                if !x.is_finite() {
+                    return Err(Error::invalid_input(format!(
+                        "line {lineno}: axis value must be finite, got {}",
+                        v.trim()
+                    )));
+                }
+                Ok(x)
             })
             .collect()
     };
 
-    for line in &spliced {
+    for &(lineno, ref line) in &spliced {
         let l = line.trim();
         if l.starts_with("library (") {
             lib.name = l
@@ -228,15 +248,15 @@ pub fn parse_liberty(text: &str) -> Result<ParsedLibrary> {
             }
         } else if l.starts_with("area :") {
             if let Some(c) = cur_cell.as_mut() {
-                c.area = attr_value(l)?;
+                c.area = attr_value(l, lineno)?;
             }
         } else if l.starts_with("cell_leakage_power :") {
             if let Some(c) = cur_cell.as_mut() {
-                c.leakage = attr_value(l)?;
+                c.leakage = attr_value(l, lineno)?;
             }
         } else if l.starts_with("capacitance :") {
             if let (Some(c), Some(pin)) = (cur_cell.as_mut(), cur_pin.as_ref()) {
-                c.pin_caps.insert(pin.clone(), attr_value(l)?);
+                c.pin_caps.insert(pin.clone(), attr_value(l, lineno)?);
             }
         } else if l.starts_with("cell_rise")
             || l.starts_with("rise_transition")
@@ -248,37 +268,43 @@ pub fn parse_liberty(text: &str) -> Result<ParsedLibrary> {
             index2 = None;
             depth += 1;
         } else if l.starts_with("index_1") {
-            index1 = Some(parse_quoted_axis(l)?);
+            index1 = Some(parse_quoted_axis(l, lineno)?);
         } else if l.starts_with("index_2") {
-            index2 = Some(parse_quoted_axis(l)?);
+            index2 = Some(parse_quoted_axis(l, lineno)?);
         } else if l.starts_with("values (") {
-            let kind = table_kind
-                .clone()
-                .ok_or_else(|| Error::invalid_input("values outside a table"))?;
-            let rows_axis = index1
-                .clone()
-                .ok_or_else(|| Error::invalid_input("values before index_1"))?;
-            let cols_axis = index2
-                .clone()
-                .ok_or_else(|| Error::invalid_input("values before index_2"))?;
+            let kind = table_kind.clone().ok_or_else(|| {
+                Error::invalid_input(format!("line {lineno}: values outside a table"))
+            })?;
+            let rows_axis = index1.clone().ok_or_else(|| {
+                Error::invalid_input(format!("line {lineno}: values before index_1"))
+            })?;
+            let cols_axis = index2.clone().ok_or_else(|| {
+                Error::invalid_input(format!("line {lineno}: values before index_2"))
+            })?;
             let mut grid = Vec::new();
             for row_str in l.split('"').skip(1).step_by(2) {
                 let row: Result<Vec<f64>> = row_str
                     .split(',')
                     .map(|v| {
-                        v.trim()
-                            .parse::<f64>()
-                            .map_err(|e| Error::invalid_input(format!("bad value: {e}")))
+                        v.trim().parse::<f64>().map_err(|e| {
+                            Error::invalid_input(format!("line {lineno}: bad value: {e}"))
+                        })
                     })
                     .collect();
                 grid.push(row?);
             }
-            let lut = Lut2::new(rows_axis, cols_axis, grid)?;
+            let lut = Lut2::new(rows_axis, cols_axis, grid)
+                .map_err(|e| Error::invalid_input(format!("line {lineno}: {e}")))?;
             if let Some(arc) = cur_arc.as_mut() {
                 arc.tables.push(ParsedTable { kind, lut });
             }
         } else if l == "}" {
             depth -= 1;
+            if depth < 0 {
+                return Err(Error::invalid_input(format!(
+                    "line {lineno}: unexpected closing brace"
+                )));
+            }
             // Close the innermost open construct.
             if table_kind.take().is_some() {
                 // table closed
@@ -295,17 +321,26 @@ pub fn parse_liberty(text: &str) -> Result<ParsedLibrary> {
     }
     if depth != 0 {
         return Err(Error::invalid_input(format!(
-            "unbalanced braces: depth {depth} at end of file"
+            "line {last_line}: unbalanced braces: depth {depth} at end of file"
         )));
     }
     Ok(lib)
 }
 
-fn attr_value(line: &str) -> Result<f64> {
-    line.split(':')
+fn attr_value(line: &str, lineno: usize) -> Result<f64> {
+    let v = line
+        .split(':')
         .nth(1)
         .and_then(|v| v.trim().trim_end_matches(';').parse::<f64>().ok())
-        .ok_or_else(|| Error::invalid_input(format!("bad attribute line: {line}")))
+        .ok_or_else(|| {
+            Error::invalid_input(format!("line {lineno}: bad attribute line: {line}"))
+        })?;
+    if !v.is_finite() {
+        return Err(Error::invalid_input(format!(
+            "line {lineno}: attribute must be finite: {line}"
+        )));
+    }
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -367,12 +402,29 @@ mod tests {
 
     #[test]
     fn parser_rejects_unbalanced_input() {
-        assert!(parse_liberty(
+        let err = parse_liberty(
             "library (x) {
   cell (a) {
-}"
+}",
         )
-        .is_err());
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("line 3"), "no line number in: {err}");
+    }
+
+    #[test]
+    fn parser_errors_carry_line_numbers() {
+        let bad = "library (x) {\n  cell (a) {\n    area : potato;\n  }\n}";
+        let err = parse_liberty(bad).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "no line number in: {err}");
+
+        let extra = "library (x) {\n}\n}";
+        let err = parse_liberty(extra).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "no line number in: {err}");
+
+        let nan = "library (x) {\n  cell (a) {\n    area : NaN;\n  }\n}";
+        let err = parse_liberty(nan).unwrap_err().to_string();
+        assert!(err.contains("line 3") && err.contains("finite"), "{err}");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! materialized in memory — only the netlist being built grows with the
 //! design. [`parse_verilog`] wraps it for in-memory strings.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::io::BufRead;
 
@@ -24,33 +24,112 @@ use tc_liberty::Library;
 
 use crate::graph::Netlist;
 
-/// Sanitizes a net name into a Verilog identifier.
+/// Verilog-2005 keywords that a sanitized name must not collide with —
+/// an instance or wire called `wire` or `module` would make the emitted
+/// file unparseable by any conforming tool (and by our own parser).
+const RESERVED: &[&str] = &[
+    "always",
+    "and",
+    "assign",
+    "begin",
+    "buf",
+    "case",
+    "endcase",
+    "endfunction",
+    "endgenerate",
+    "endmodule",
+    "endtask",
+    "else",
+    "end",
+    "for",
+    "function",
+    "generate",
+    "if",
+    "initial",
+    "inout",
+    "input",
+    "integer",
+    "localparam",
+    "module",
+    "nand",
+    "negedge",
+    "nor",
+    "not",
+    "or",
+    "output",
+    "parameter",
+    "posedge",
+    "real",
+    "reg",
+    "signed",
+    "supply0",
+    "supply1",
+    "task",
+    "time",
+    "tri",
+    "while",
+    "wire",
+    "xnor",
+    "xor",
+];
+
+/// Sanitizes a name into a plain Verilog identifier:
+/// `[a-zA-Z_][a-zA-Z0-9_]*`, never a reserved word. Non-ASCII characters
+/// (which `char::is_alphanumeric` would wave through) are mapped to `_`
+/// like any other illegal byte.
 fn ident(name: &str) -> String {
     let mut s: String = name
         .chars()
         .map(|c| {
-            if c.is_alphanumeric() || c == '_' {
+            if c.is_ascii_alphanumeric() || c == '_' {
                 c
             } else {
                 '_'
             }
         })
         .collect();
-    if s.is_empty() || s.chars().next().unwrap().is_ascii_digit() {
+    if s.is_empty() || s.as_bytes()[0].is_ascii_digit() {
         s.insert(0, 'n');
+    }
+    if RESERVED.contains(&s.as_str()) {
+        s.push('_');
     }
     s
 }
 
 /// Serializes a netlist to structural Verilog.
+///
+/// Net and instance identifiers are uniquified against a shared
+/// namespace: two distinct names that sanitize to the same identifier
+/// (`u.1` vs `u_1`) get numeric suffixes, so the emitted text always
+/// reparses to the same structure. Names that are already distinct
+/// identifiers — everything our generators produce — come through
+/// byte-identical.
 pub fn write_verilog(nl: &Netlist, lib: &Library) -> String {
     let mut out = String::new();
-    let net_name = |id: NetId| ident(nl.net(id).name);
+    let mut used: HashSet<String> = HashSet::new();
+    let claim = |name: &str, used: &mut HashSet<String>| -> String {
+        let base = ident(name);
+        if used.insert(base.clone()) {
+            return base;
+        }
+        let mut k = 2usize;
+        loop {
+            let cand = format!("{base}_{k}");
+            if used.insert(cand.clone()) {
+                return cand;
+            }
+            k += 1;
+        }
+    };
+    let net_names: Vec<String> = nl.nets().map(|n| claim(n.name, &mut used)).collect();
+    let cell_names: Vec<String> = nl.cells().map(|c| claim(c.name, &mut used)).collect();
+    let net_name = |id: NetId| net_names[id.index()].as_str();
 
-    let inputs: Vec<String> = nl.primary_inputs().iter().map(|&n| net_name(n)).collect();
-    let outputs: Vec<String> = nl.primary_outputs().map(net_name).collect();
+    let inputs: Vec<&str> = nl.primary_inputs().iter().map(|&n| net_name(n)).collect();
+    let outputs: Vec<&str> = nl.primary_outputs().map(net_name).collect();
     let mut ports = inputs.clone();
-    ports.extend(outputs.iter().cloned());
+    ports.extend(outputs.iter().copied());
 
     let _ = writeln!(out, "module {} ({});", ident(&nl.name), ports.join(", "));
     for i in &inputs {
@@ -69,7 +148,7 @@ pub fn write_verilog(nl: &Netlist, lib: &Library) -> String {
     }
     let _ = writeln!(out);
 
-    for cell in nl.cells() {
+    for (i, cell) in nl.cells().enumerate() {
         let master = lib.cell(cell.master);
         let mut conns: Vec<String> = master
             .input_pins()
@@ -82,7 +161,7 @@ pub fn write_verilog(nl: &Netlist, lib: &Library) -> String {
             out,
             "  {} {} ({});",
             master.name,
-            ident(cell.name),
+            cell_names[i],
             conns.join(", ")
         );
     }
@@ -97,9 +176,10 @@ struct Parser<'a> {
     lib: &'a Library,
     nl: Netlist,
     nets: HashMap<String, NetId>,
-    outputs: Vec<String>,
+    inst_names: HashSet<String>,
+    outputs: Vec<(String, usize)>,
     scratch: Option<NetId>,
-    pending: Vec<(CellId, usize, String)>,
+    pending: Vec<(CellId, usize, String, usize)>,
 }
 
 impl<'a> Parser<'a> {
@@ -108,13 +188,14 @@ impl<'a> Parser<'a> {
             lib,
             nl: Netlist::new("parsed"),
             nets: HashMap::new(),
+            inst_names: HashSet::new(),
             outputs: Vec::new(),
             scratch: None,
             pending: Vec::new(),
         }
     }
 
-    fn statement(&mut self, stmt: &str) -> Result<()> {
+    fn statement(&mut self, stmt: &str, line: usize) -> Result<()> {
         let stmt = stmt.trim();
         if stmt.is_empty() || stmt == "endmodule" {
             return Ok(());
@@ -126,49 +207,76 @@ impl<'a> Parser<'a> {
             for n in rest.split(',') {
                 let n = n.trim();
                 if !n.is_empty() {
+                    // Re-declaring a name would silently shadow the
+                    // earlier net and corrupt every connection that
+                    // resolved to it.
+                    if self.nets.contains_key(n) {
+                        return Err(Error::invalid_input(format!(
+                            "line {line}: duplicate net {n}"
+                        )));
+                    }
                     let id = self.nl.add_input(n);
                     self.nets.insert(n.to_string(), id);
                 }
             }
         } else if let Some(rest) = stmt.strip_prefix("output ") {
             for n in rest.split(',') {
-                self.outputs.push(n.trim().to_string());
+                self.outputs.push((n.trim().to_string(), line));
             }
         } else if stmt.strip_prefix("wire ").is_some() {
             // Wires are implied by driver outputs; nothing to pre-create.
         } else {
-            self.instance(stmt)?;
+            self.instance(stmt, line)?;
         }
         Ok(())
     }
 
     /// Instance: `MASTER name (.PIN(net), ...)`. Created immediately
     /// with placeholder inputs; real wiring is deferred to `finish`.
-    fn instance(&mut self, stmt: &str) -> Result<()> {
+    fn instance(&mut self, stmt: &str, line: usize) -> Result<()> {
         let open = stmt
             .find('(')
-            .ok_or_else(|| Error::invalid_input(format!("bad statement: {stmt}")))?;
+            .ok_or_else(|| Error::invalid_input(format!("line {line}: bad statement: {stmt}")))?;
         let head: Vec<&str> = stmt[..open].split_whitespace().collect();
         if head.len() != 2 {
-            return Err(Error::invalid_input(format!("bad instance head: {stmt}")));
+            return Err(Error::invalid_input(format!(
+                "line {line}: bad instance head: {stmt}"
+            )));
         }
         let (master_name, inst_name) = (head[0], head[1]);
         let master = self
             .lib
             .id_of(master_name)
-            .ok_or_else(|| Error::not_found(format!("master {master_name}")))?;
+            .ok_or_else(|| Error::not_found(format!("line {line}: master {master_name}")))?;
         let pins = self.lib.cell(master).input_pins();
 
-        let conns_str = &stmt[open + 1..stmt.rfind(')').unwrap_or(stmt.len())];
+        // The closing paren must come after the opening one: on input
+        // like `X) Y(;` a naive `rfind` slice would panic with an
+        // inverted range instead of reporting the malformed statement.
+        let close = match stmt.rfind(')') {
+            Some(c) if c > open => c,
+            Some(_) => {
+                return Err(Error::invalid_input(format!(
+                    "line {line}: unterminated connection list: {stmt}"
+                )))
+            }
+            None => stmt.len(),
+        };
+        let conns_str = &stmt[open + 1..close];
         let mut conns: Vec<(&str, &str)> = Vec::with_capacity(pins.len() + 1);
         for c in conns_str.split(',') {
             let c = c.trim().trim_start_matches('.');
             let (pin, net) = c
                 .split_once('(')
-                .ok_or_else(|| Error::invalid_input(format!("bad connection: {c}")))?;
+                .ok_or_else(|| Error::invalid_input(format!("line {line}: bad connection: {c}")))?;
             conns.push((pin.trim(), net.trim_end_matches(')').trim()));
         }
 
+        if !self.inst_names.insert(inst_name.to_string()) {
+            return Err(Error::invalid_input(format!(
+                "line {line}: duplicate instance {inst_name}"
+            )));
+        }
         let scratch = match self.scratch {
             Some(s) => s,
             None => {
@@ -187,35 +295,39 @@ impl<'a> Parser<'a> {
             self.nl
                 .add_cell(inst_name.to_string(), self.lib, master, &placeholder)?;
         // The instance's Y connection names its output net.
-        let y = conns
-            .iter()
-            .find(|(p, _)| *p == "Y")
-            .ok_or_else(|| Error::invalid_input(format!("{inst_name}: no Y connection")))?;
+        let y = conns.iter().find(|(p, _)| *p == "Y").ok_or_else(|| {
+            Error::invalid_input(format!("line {line}: {inst_name}: no Y connection"))
+        })?;
+        if self.nets.contains_key(y.1) {
+            return Err(Error::invalid_input(format!(
+                "line {line}: duplicate net {}",
+                y.1
+            )));
+        }
         self.nets.insert(y.1.to_string(), out_net);
         for (idx, pin) in pins.iter().enumerate() {
-            let conn = conns
-                .iter()
-                .find(|(p, _)| p == pin)
-                .ok_or_else(|| Error::invalid_input(format!("{inst_name}: missing pin {pin}")))?;
-            self.pending.push((cid, idx, conn.1.to_string()));
+            let conn = conns.iter().find(|(p, _)| p == pin).ok_or_else(|| {
+                Error::invalid_input(format!("line {line}: {inst_name}: missing pin {pin}"))
+            })?;
+            self.pending.push((cid, idx, conn.1.to_string(), line));
         }
         Ok(())
     }
 
     fn finish(mut self) -> Result<Netlist> {
-        for (cid, pin, net_name) in std::mem::take(&mut self.pending) {
+        for (cid, pin, net_name, line) in std::mem::take(&mut self.pending) {
             let net = *self
                 .nets
                 .get(&net_name)
-                .ok_or_else(|| Error::not_found(format!("net {net_name}")))?;
+                .ok_or_else(|| Error::not_found(format!("line {line}: net {net_name}")))?;
             self.nl
                 .rewire_input(crate::graph::PinRef { cell: cid, pin }, net);
         }
-        for o in std::mem::take(&mut self.outputs) {
+        for (o, line) in std::mem::take(&mut self.outputs) {
             let net = *self
                 .nets
                 .get(&o)
-                .ok_or_else(|| Error::not_found(format!("output net {o}")))?;
+                .ok_or_else(|| Error::not_found(format!("line {line}: output net {o}")))?;
             self.nl.mark_output(net);
         }
         self.nl.compact();
@@ -231,31 +343,41 @@ impl<'a> Parser<'a> {
 ///
 /// Returns [`Error::InvalidInput`] for unknown masters, undeclared nets,
 /// missing pins, or syntax outside the supported subset; I/O errors are
-/// wrapped as [`Error::InvalidInput`].
+/// wrapped as [`Error::InvalidInput`]. Every error reports the line the
+/// offending statement started on.
 pub fn parse_verilog_from<R: BufRead>(mut reader: R, lib: &Library) -> Result<Netlist> {
     let mut parser = Parser::new(lib);
     let mut line = String::new();
     let mut buf = String::new();
+    let mut lineno = 0usize;
+    // Line on which the statement currently accumulating in `buf` began.
+    let mut stmt_line = 1usize;
     loop {
         line.clear();
         let n = reader
             .read_line(&mut line)
-            .map_err(|e| Error::invalid_input(format!("read: {e}")))?;
+            .map_err(|e| Error::invalid_input(format!("line {}: read: {e}", lineno + 1)))?;
         if n == 0 {
             break;
         }
+        lineno += 1;
         // Strip line comments, join continuation lines with a space.
         let code = line.split("//").next().unwrap_or("").trim_end();
+        if buf.is_empty() {
+            stmt_line = lineno;
+        }
         if !buf.is_empty() {
             buf.push(' ');
         }
         buf.push_str(code);
         while let Some(pos) = buf.find(';') {
-            parser.statement(&buf[..pos])?;
+            parser.statement(&buf[..pos], stmt_line)?;
             buf.drain(..=pos);
+            // Whatever trails the `;` came from the current line.
+            stmt_line = lineno;
         }
     }
-    parser.statement(&buf)?;
+    parser.statement(&buf, stmt_line)?;
     parser.finish()
 }
 
@@ -350,5 +472,67 @@ mod tests {
     fn identifiers_are_sanitized() {
         assert_eq!(ident("a.b-c"), "a_b_c");
         assert_eq!(ident("3x"), "n3x");
+        // Non-ASCII alphanumerics are not legal Verilog identifier
+        // characters even though `char::is_alphanumeric` accepts them.
+        assert_eq!(ident("née"), "n_e");
+        assert_eq!(ident("λx"), "_x");
+        // Reserved words are escaped, not emitted verbatim.
+        assert_eq!(ident("wire"), "wire_");
+        assert_eq!(ident("module"), "module_");
+        assert_eq!(ident(""), "n");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let lib = lib();
+        let bad = "module m (a);\ninput a;\nFOO_X1 u1 (.A(a), .Y(b));\nendmodule\n";
+        let err = parse_verilog(bad, &lib).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "no line number in: {err}");
+
+        let bad = "module m (a);\ninput a;\noutput q;\nendmodule\n";
+        let err = parse_verilog(bad, &lib).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "no line number in: {err}");
+    }
+
+    #[test]
+    fn inverted_parens_are_an_error_not_a_panic() {
+        // `rfind(')')` before the first '(' used to build an inverted
+        // slice range and panic.
+        let lib = lib();
+        let bad = "module m (a); input a; X) Y(; endmodule";
+        let err = parse_verilog(bad, &lib).unwrap_err().to_string();
+        assert!(err.contains("line 1"), "no line number in: {err}");
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let lib = lib();
+        let dup_net = "module m (a); input a, a; endmodule";
+        assert!(parse_verilog(dup_net, &lib).is_err());
+        let dup_inst = "module m (a); input a;\n\
+                        INV_X1_SVT u1 (.A(a), .Y(x));\n\
+                        INV_X1_SVT u1 (.A(a), .Y(y));\nendmodule";
+        let err = parse_verilog(dup_inst, &lib).unwrap_err().to_string();
+        assert!(err.contains("duplicate instance"), "got: {err}");
+    }
+
+    #[test]
+    fn writer_uniquifies_colliding_identifiers() {
+        let lib = lib();
+        let mut nl = Netlist::new("m");
+        // Both sanitize to `a_1`; the writer must keep them distinct.
+        let a = nl.add_input("a.1");
+        let b = nl.add_input("a_1");
+        let inv = lib.id_of("INV_X1_SVT").unwrap();
+        let (_, out) = nl.add_cell("u1", &lib, inv, &[a]).unwrap();
+        let (_, out2) = nl.add_cell("u2", &lib, inv, &[b]).unwrap();
+        nl.mark_output(out);
+        nl.mark_output(out2);
+        let text = write_verilog(&nl, &lib);
+        assert!(text.contains("input a_1;"), "{text}");
+        assert!(text.contains("input a_1_2;"), "{text}");
+        let reparsed = parse_verilog(&text, &lib).unwrap();
+        assert_eq!(reparsed.cell_count(), 2);
+        assert_eq!(write_verilog(&reparsed, &lib), text);
     }
 }

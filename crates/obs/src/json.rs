@@ -263,7 +263,14 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_at = self.pos;
             let key = self.string()?;
+            // Duplicate keys make name lookup ambiguous (first-match wins
+            // while iteration sees every pair), so no consumer can treat
+            // the document coherently; refuse them outright.
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key `{key}` at byte {key_at}"));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -291,9 +298,16 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| format!("invalid number at byte {start}"))?;
-        text.parse::<f64>()
-            .map(JsonValue::Num)
-            .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+        let x = text
+            .parse::<f64>()
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))?;
+        // `1e999` overflows f64 to infinity; a document can never round-
+        // trip it (non-finite renders as null), so refuse it here rather
+        // than leak `inf` into downstream arithmetic.
+        if !x.is_finite() {
+            return Err(format!("number `{text}` overflows f64 at byte {start}"));
+        }
+        Ok(JsonValue::Num(x))
     }
 
     fn hex4(&mut self) -> Result<u32, String> {
@@ -309,17 +323,25 @@ impl Parser<'_> {
 
     fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
+        let start = self.pos - 1;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".to_string()),
+                None => {
+                    return Err(format!(
+                        "unterminated string starting at byte {start} (ends at byte {})",
+                        self.pos
+                    ))
+                }
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| format!("unterminated escape at byte {}", self.pos))?;
                     self.pos += 1;
                     match esc {
                         b'"' => out.push('"'),
@@ -337,7 +359,17 @@ impl Parser<'_> {
                             {
                                 self.pos += 2;
                                 let lo = self.hex4()?;
-                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                if (0xDC00..0xE000).contains(&lo) {
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    // High surrogate followed by a non-low
+                                    // escape: the pair arithmetic would
+                                    // underflow. Render the unpaired high
+                                    // half as U+FFFD and keep the second
+                                    // escape on its own.
+                                    out.push('\u{FFFD}');
+                                    lo
+                                }
                             } else {
                                 hi
                             };
@@ -356,8 +388,11 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar (the input is &str, so
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf-8".to_string())?;
-                    let c = rest.chars().next().ok_or("unterminated string")?;
+                        .map_err(|_| format!("invalid utf-8 at byte {}", self.pos))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| format!("unterminated string at byte {}", self.pos))?;
                     if (c as u32) < 0x20 {
                         return Err(format!("raw control char at byte {}", self.pos));
                     }

@@ -1,0 +1,97 @@
+//! Hostile-input tests for [`JsonValue::parse`], pinning the number and
+//! string handling bugs the fuzz harness found: overflow-to-infinity
+//! literals, leading-plus/lone-minus tokens, and unpaired surrogate
+//! escapes must all produce positioned errors (or replacement chars),
+//! never `Ok(inf)` and never a panic.
+
+use tc_obs::JsonValue;
+
+/// Every error message must carry a byte offset — a bare "invalid
+/// number" gives the operator nothing to act on in a megabyte sidecar.
+fn assert_positioned(input: &str) {
+    let err = JsonValue::parse(input).unwrap_err();
+    assert!(
+        err.contains("byte "),
+        "no byte offset in `{err}` for {input:?}"
+    );
+}
+
+#[test]
+fn overflowing_literals_are_errors_not_inf() {
+    for input in ["1e999", "-1e999", "[1e309]", "1e+999", "12e99999"] {
+        let res = JsonValue::parse(input);
+        assert!(res.is_err(), "{input:?} parsed as {res:?}");
+        assert_positioned(input);
+    }
+    // The largest finite literal still parses.
+    let v = JsonValue::parse("1.7976931348623157e308").unwrap();
+    assert!(matches!(v, JsonValue::Num(x) if x.is_finite()));
+}
+
+#[test]
+fn malformed_number_tokens_are_positioned_errors() {
+    for input in ["+1", "-", "[-]", "1e", "1.2.3", "--5", "0x10", "NaN", "inf"] {
+        let res = JsonValue::parse(input);
+        assert!(res.is_err(), "{input:?} parsed as {res:?}");
+        assert_positioned(input);
+    }
+}
+
+#[test]
+fn unpaired_surrogates_do_not_panic() {
+    // High surrogate followed by a non-low escape used to underflow in
+    // the pair arithmetic (debug-build panic). Now both halves decode to
+    // replacement characters.
+    let v = JsonValue::parse(r#""\ud800A""#).unwrap();
+    assert_eq!(v, JsonValue::Str("\u{FFFD}A".to_string()));
+    // Lone high surrogate at end of string.
+    let v = JsonValue::parse(r#""\ud800""#).unwrap();
+    assert_eq!(v, JsonValue::Str("\u{FFFD}".to_string()));
+    // Lone low surrogate.
+    let v = JsonValue::parse(r#""\udc00""#).unwrap();
+    assert_eq!(v, JsonValue::Str("\u{FFFD}".to_string()));
+    // A proper pair still decodes.
+    let v = JsonValue::parse(r#""😀""#).unwrap();
+    assert_eq!(v, JsonValue::Str("\u{1F600}".to_string()));
+}
+
+#[test]
+fn truncated_strings_and_escapes_are_positioned_errors() {
+    for input in ["\"abc", "\"abc\\", "\"\\u12", "\"\\u123", "\"a\\q\""] {
+        assert_positioned(input);
+    }
+}
+
+#[test]
+fn duplicate_object_keys_are_positioned_errors() {
+    // Lookup-by-name sees the first pair, iteration sees both — a
+    // document with duplicate keys can never diff cleanly against
+    // itself, so the parser refuses it.
+    for input in [
+        r#"{"a":1,"a":2}"#,
+        r#"{"":9,"":""}"#,
+        r#"{"k":{"x":1,"x":1}}"#,
+    ] {
+        let err = JsonValue::parse(input).unwrap_err();
+        assert!(err.contains("duplicate key"), "got `{err}` for {input:?}");
+        assert_positioned(input);
+    }
+    // Same key at different nesting levels is fine.
+    JsonValue::parse(r#"{"a":{"a":1}}"#).unwrap();
+}
+
+#[test]
+fn accepted_documents_render_to_a_fixpoint() {
+    for input in [
+        r#"{"a":1,"b":[true,null,"x\n"],"c":{"d":-2.5}}"#,
+        "[0,1,2]",
+        r#""\ud800A""#,
+        "1e300",
+        "-0.125",
+    ] {
+        let v = JsonValue::parse(input).unwrap();
+        let r1 = v.render();
+        let v2 = JsonValue::parse(&r1).unwrap_or_else(|e| panic!("reparse of {r1:?}: {e}"));
+        assert_eq!(v2.render(), r1, "render not a fixpoint for {input:?}");
+    }
+}

@@ -245,10 +245,20 @@ fn flatten_into(v: &JsonValue, path: String, out: &mut Vec<(String, Flat)>) {
         }
         JsonValue::Obj(pairs) => {
             for (k, item) in pairs {
-                let child = if path.is_empty() {
-                    k.clone()
+                // An empty key would splice its children into the parent
+                // level, and a key containing path syntax (`.`, `[`, `]`,
+                // quotes) could collide with a genuinely nested path —
+                // both let distinct documents flatten identically. Render
+                // such keys as quoted segments instead.
+                let seg = if k.is_empty() || k.contains(['.', '[', ']', '"', '\\']) {
+                    format!("{k:?}")
                 } else {
-                    format!("{path}.{k}")
+                    k.clone()
+                };
+                let child = if path.is_empty() {
+                    seg
+                } else {
+                    format!("{path}.{seg}")
                 };
                 flatten_into(item, child, out);
             }
@@ -565,6 +575,30 @@ mod tests {
 
     fn parse(s: &str) -> JsonValue {
         JsonValue::parse(s).expect("test doc parses")
+    }
+
+    #[test]
+    fn ambiguous_keys_flatten_to_distinct_paths() {
+        // An empty key must not splice its children into the parent
+        // level: `profile` and `{"":{"profile":…}}` are different fields.
+        let doc = parse(r#"{"profile":"tiny","":{"profile":"y"},"a.b":1,"a":{"b":2}}"#);
+        let flat = flatten(&doc);
+        let mut paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
+        paths.sort_unstable();
+        let n = paths.len();
+        paths.dedup();
+        assert_eq!(
+            paths.len(),
+            n,
+            "flatten produced colliding paths: {paths:?}"
+        );
+        // Self-diff of any accepted document is clean.
+        let report = diff(&doc, &doc, &DiffOptions::default());
+        assert!(
+            report.ok(),
+            "self-diff not clean:\n{}",
+            report.render(false)
+        );
     }
 
     #[test]

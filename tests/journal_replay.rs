@@ -1,0 +1,87 @@
+//! ECO-journal interchange: export, validated replay, and the
+//! rollback-after-failed-edit contract with the incremental `Timer`.
+//!
+//! The handoff scenario: a fix engine edits its copy of the design,
+//! exports the journal suffix as text, and a signoff process replays it
+//! onto its own copy. A journal that names objects the target doesn't
+//! have must fail with a typed, positioned error AND leave the target —
+//! and any `Timer` watching it — exactly where they were.
+
+use timing_closure::interconnect::beol::BeolStack;
+use timing_closure::liberty::{LibConfig, Library, PvtCorner};
+use timing_closure::netlist::gen::{generate, BenchProfile};
+use timing_closure::netlist::{decode_journal, replay_journal, write_journal, JournalCmd};
+use timing_closure::sta::{Constraints, Timer};
+
+fn setup() -> (Library, BeolStack) {
+    let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+    (lib, BeolStack::n20())
+}
+
+#[test]
+fn exported_journal_replays_onto_a_fresh_copy() {
+    let (lib, stack) = setup();
+    let mut edited = generate(&lib, BenchProfile::tiny(), 7).unwrap();
+    let mut copy = edited.clone();
+    let cp = edited.journal_len();
+
+    // A representative ECO sequence on the "fix" side.
+    edited.set_wire_length(timing_closure::core::ids::NetId::new(4), 33.5);
+    edited.set_route_class(timing_closure::core::ids::NetId::new(4), 2);
+
+    let text = write_journal(&edited, &lib, cp);
+    let cmds = decode_journal(&text).unwrap();
+    replay_journal(&mut copy, &lib, &cmds).unwrap();
+    copy.validate(&lib).unwrap();
+
+    // Both sides now time identically.
+    let cons = Constraints::single_clock(900.0);
+    let t_edit = Timer::new(&edited, &lib, &stack, cons.clone()).unwrap();
+    let t_copy = Timer::new(&copy, &lib, &stack, cons).unwrap();
+    assert_eq!(
+        t_edit.report(&edited).wns(),
+        t_copy.report(&copy).wns(),
+        "replayed copy times differently"
+    );
+}
+
+#[test]
+fn failed_replay_leaves_timer_consistent() {
+    let (lib, stack) = setup();
+    let mut nl = generate(&lib, BenchProfile::tiny(), 7).unwrap();
+    let cons = Constraints::single_clock(900.0);
+    let mut timer = Timer::new(&nl, &lib, &stack, cons).unwrap();
+    let wns_before = timer.report(&nl).wns();
+    let cp = nl.journal_len();
+
+    // Two valid edits followed by one naming a cell the netlist does not
+    // have: replay must apply nothing.
+    let cmds = vec![
+        JournalCmd::SetWireLength { net: 2, um: 77.0 },
+        JournalCmd::SetRouteClass { net: 2, class: 1 },
+        JournalCmd::Swap {
+            cell: 999_999,
+            new_master: "INV_X1_SVT".to_string(),
+        },
+    ];
+    let err = replay_journal(&mut nl, &lib, &cmds).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("entry 2"), "no entry context in: {msg}");
+
+    // The netlist is back at the checkpoint, so the timer's cursor still
+    // matches the journal and `update` is a no-op.
+    assert_eq!(nl.journal_len(), cp);
+    timer.update(&nl).unwrap();
+    assert_eq!(
+        timer.report(&nl).wns(),
+        wns_before,
+        "failed replay perturbed timing"
+    );
+
+    // After the failure the same timer keeps working for a valid replay.
+    let good = vec![JournalCmd::SetWireLength { net: 2, um: 77.0 }];
+    replay_journal(&mut nl, &lib, &good).unwrap();
+    timer.update(&nl).unwrap();
+    let _ = timer.report(&nl).wns();
+    assert_eq!(nl.journal_len(), cp + 1);
+}
