@@ -40,6 +40,13 @@ pub struct ClosureConfig {
     /// flow uses it — the incremental timer's dirty-cone worklist is
     /// inherently ordered and stays sequential.
     pub parallel_sta: bool,
+    /// Run the `tc-lint` static passes before the first STA iteration
+    /// (the default). Error-severity findings abort the run with
+    /// [`tc_core::error::Error::InvalidInput`] — a design with
+    /// unregistered feedback or unclocked registers would either fail
+    /// levelization anyway or silently time garbage; warnings ride
+    /// along in [`ClosureOutcome::lint_findings`] and the run artifact.
+    pub preflight_lint: bool,
 }
 
 impl Default for ClosureConfig {
@@ -53,6 +60,7 @@ impl Default for ClosureConfig {
             days_per_iteration: 3.0,
             use_incremental: true,
             parallel_sta: false,
+            preflight_lint: true,
         }
     }
 }
@@ -103,6 +111,10 @@ pub struct ClosureOutcome {
     pub closed: bool,
     /// Schedule consumed, days.
     pub days: f64,
+    /// Warning-severity findings from the pre-flight lint gate (empty
+    /// when [`ClosureConfig::preflight_lint`] is off; error findings
+    /// abort the run instead of appearing here).
+    pub lint_findings: Vec<tc_lint::Diagnostic>,
 }
 
 /// The closure flow engine.
@@ -136,13 +148,43 @@ impl<'a> ClosureFlow<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates STA failures.
+    /// Propagates STA failures. With [`ClosureConfig::preflight_lint`]
+    /// on, returns [`tc_core::error::Error::InvalidInput`] before any
+    /// timing runs if the lint gate finds error-severity defects.
     pub fn run(&mut self, nl: &mut Netlist, cons: Constraints) -> Result<ClosureOutcome> {
-        if self.config.use_incremental {
+        let lint_findings = if self.config.preflight_lint {
+            self.preflight(nl, &cons)?
+        } else {
+            Vec::new()
+        };
+        let mut out = if self.config.use_incremental {
             self.run_incremental(nl, cons)
         } else {
             self.run_full(nl, cons)
+        }?;
+        out.lint_findings = lint_findings;
+        Ok(out)
+    }
+
+    /// The pre-flight lint gate: runs the graph-side `tc-lint` passes
+    /// (cycles, dangling nets, constraint coverage) and rejects the run
+    /// on any error-severity finding, returning the warnings.
+    fn preflight(&self, nl: &Netlist, cons: &Constraints) -> Result<Vec<tc_lint::Diagnostic>> {
+        let _span = tc_obs::span("closure.preflight");
+        let mut ctx = tc_lint::LintContext::new(nl, self.lib);
+        ctx.constraints = Some(cons);
+        let findings = tc_lint::run_lint(&tc_par::Pool::from_env(), &ctx);
+        let (errors, warnings): (Vec<_>, Vec<_>) = findings
+            .into_iter()
+            .partition(|d| d.severity == tc_lint::Severity::Error);
+        if let Some(first) = errors.first() {
+            return Err(tc_core::error::Error::invalid_input(format!(
+                "preflight lint: {} error(s), first: {}",
+                errors.len(),
+                first.render()
+            )));
         }
+        Ok(warnings)
     }
 
     /// The incremental loop: one persistent [`Timer`] lives across all
@@ -231,6 +273,7 @@ impl<'a> ClosureFlow<'a> {
             constraints: timer.constraints().clone(),
             closed,
             days,
+            lint_findings: Vec::new(),
         })
     }
 
@@ -383,6 +426,7 @@ impl<'a> ClosureFlow<'a> {
             constraints: cons,
             closed,
             days,
+            lint_findings: Vec::new(),
         })
     }
 
@@ -412,7 +456,8 @@ impl<'a> ClosureFlow<'a> {
             .extra(
                 "final_tns_ps",
                 JsonValue::from(out.final_report.tns().value()),
-            );
+            )
+            .extra("lint", lint_section(&out.lint_findings));
         for rec in &out.iterations {
             let fixes = rec
                 .fixes
@@ -491,6 +536,31 @@ impl<'a> ClosureFlow<'a> {
 
 fn fixes_were_empty(rec: &IterationRecord) -> bool {
     rec.fixes.iter().all(|&(_, n)| n == 0)
+}
+
+/// The artifact's `lint` section: finding counts plus the first few
+/// findings verbatim (capped so a noisy design cannot bloat the
+/// artifact — the full list lives in [`ClosureOutcome::lint_findings`]).
+fn lint_section(findings: &[tc_lint::Diagnostic]) -> tc_obs::JsonValue {
+    use tc_obs::JsonValue;
+    const EMBED_CAP: usize = 20;
+    JsonValue::obj([
+        ("warnings", JsonValue::from(findings.len())),
+        (
+            "findings",
+            JsonValue::Arr(
+                findings
+                    .iter()
+                    .take(EMBED_CAP)
+                    .map(tc_lint::Diagnostic::to_json)
+                    .collect(),
+            ),
+        ),
+        (
+            "truncated",
+            JsonValue::from(findings.len().saturating_sub(EMBED_CAP)),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -626,6 +696,43 @@ mod tests {
                 nl.validate(&lib).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn preflight_gate_rejects_unclocked_design_before_any_sta() {
+        let (lib, stack, mut nl, mut cons) = env(-25.0);
+        cons.clocks.clear();
+        let mut flow = ClosureFlow::new(&lib, &stack, ClosureConfig::default());
+        let err = flow.run(&mut nl, cons).unwrap_err().to_string();
+        assert!(err.contains("preflight lint"), "{err}");
+        assert!(err.contains("TCL0201"), "{err}");
+    }
+
+    #[test]
+    fn preflight_warnings_ride_into_outcome_and_artifact() {
+        let (lib, stack, mut nl, cons) = env(100.0);
+        // Generated designs carry dangling gate outputs → TCL0104
+        // warnings, which must not gate but must be reported.
+        let mut flow = ClosureFlow::new(&lib, &stack, ClosureConfig::default());
+        let out = flow.run(&mut nl, cons.clone()).unwrap();
+        assert!(out.closed);
+        assert!(!out.lint_findings.is_empty());
+        assert!(out
+            .lint_findings
+            .iter()
+            .all(|d| d.severity == tc_lint::Severity::Warning));
+        let text = flow.run_artifact("flow_test lint", &out).render();
+        assert!(text.contains("\"lint\""), "{text}");
+        assert!(text.contains("TCL0104"), "{text}");
+
+        // And the gate can be switched off entirely.
+        let cfg = ClosureConfig {
+            preflight_lint: false,
+            ..Default::default()
+        };
+        let mut flow = ClosureFlow::new(&lib, &stack, cfg);
+        let out = flow.run(&mut nl, cons).unwrap();
+        assert!(out.lint_findings.is_empty());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use tc_interconnect::estimate::{NdrClass, WireModel};
 use tc_interconnect::spef::{parse_spef_from, write_spef, NetParasitics};
 use tc_liberty::libfile::{parse_liberty, write_liberty};
 use tc_liberty::{LibConfig, Library, PvtCorner};
+use tc_lint::{decode_waivers, render_waivers, Waiver};
 use tc_netlist::gen::{generate, BenchProfile};
 use tc_netlist::{
     decode_journal, parse_verilog_from, render_cmds, replay_journal, write_journal, write_verilog,
@@ -15,7 +16,7 @@ use tc_netlist::{
 };
 use tc_obs::{JsonValue, RunArtifact};
 
-/// The six ingest surfaces the harness drives.
+/// The seven ingest surfaces the harness drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TargetKind {
     /// Sensitivity-SPEF parasitics (`parse_spef_from`).
@@ -30,17 +31,20 @@ pub enum TargetKind {
     Journal,
     /// tcdiff sidecar loading (`JsonValue::parse` + `diff` + `check_trace`).
     Tcdiff,
+    /// Lint waiver/baseline files (`decode_waivers` + `render_waivers`).
+    Waiver,
 }
 
 impl TargetKind {
     /// Every target, in canonical order.
-    pub const ALL: [TargetKind; 6] = [
+    pub const ALL: [TargetKind; 7] = [
         TargetKind::Spef,
         TargetKind::Verilog,
         TargetKind::Liberty,
         TargetKind::Json,
         TargetKind::Journal,
         TargetKind::Tcdiff,
+        TargetKind::Waiver,
     ];
 
     /// CLI/corpus-directory name.
@@ -52,6 +56,7 @@ impl TargetKind {
             TargetKind::Json => "json",
             TargetKind::Journal => "journal",
             TargetKind::Tcdiff => "tcdiff",
+            TargetKind::Waiver => "waiver",
         }
     }
 
@@ -245,6 +250,23 @@ impl Env {
                 self.base_doc.clone().into_bytes(),
                 trace_doc().render().into_bytes(),
             ],
+            TargetKind::Waiver => vec![
+                render_waivers(&[
+                    Waiver {
+                        code: "TCL0104".into(),
+                        subject: "probe_q7".into(),
+                        reason: "scan probe net, unloaded by design".into(),
+                    },
+                    Waiver {
+                        code: "TCL0302".into(),
+                        subject: "*".into(),
+                        reason: String::new(),
+                    },
+                ])
+                .into_bytes(),
+                b"# baseline for bringup\n\n*TCW 1\nWAIVE TCL0201 small no clocks yet in bringup\n"
+                    .to_vec(),
+            ],
         }
     }
 
@@ -300,6 +322,7 @@ impl Env {
             TargetKind::Json => check_json(input),
             TargetKind::Journal => self.check_journal(input),
             TargetKind::Tcdiff => self.check_tcdiff(input),
+            TargetKind::Waiver => check_waiver(input),
         }
     }
 
@@ -454,6 +477,34 @@ impl Env {
 impl Default for Env {
     fn default() -> Self {
         Env::new()
+    }
+}
+
+fn check_waiver(input: &[u8]) -> Verdict {
+    let text = String::from_utf8_lossy(input);
+    match decode_waivers(&text) {
+        Err(e) => err_verdict(e.to_string()),
+        Ok(ws) => {
+            let t2 = render_waivers(&ws);
+            match decode_waivers(&t2) {
+                Err(e) => Verdict::Violation(Violation::RoundtripMismatch(format!(
+                    "rendered waivers do not re-decode: {e}"
+                ))),
+                Ok(ws2) => {
+                    if ws2 != ws {
+                        Verdict::Violation(Violation::RoundtripMismatch(
+                            "waiver decode∘render is not the identity".to_string(),
+                        ))
+                    } else if render_waivers(&ws2) != t2 {
+                        Verdict::Violation(Violation::RoundtripMismatch(
+                            "waiver render is not a fixpoint".to_string(),
+                        ))
+                    } else {
+                        Verdict::Accepted
+                    }
+                }
+            }
+        }
     }
 }
 

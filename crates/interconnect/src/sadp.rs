@@ -195,6 +195,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_types)] // cold test path: set cardinality check
     fn track_assignment_covers_all_solutions() {
         use std::collections::HashSet;
         let mut seen = HashSet::new();

@@ -20,7 +20,6 @@
 //! *END
 //! ```
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use tc_core::error::{Error, Result};
@@ -39,11 +38,17 @@ pub struct NetParasitics {
     pub c_total: f64,
     /// Stack layer index the net is routed on.
     pub layer: usize,
-    /// Per-layer sensitivity of R: dR/R per unit layer R factor.
-    /// For single-layer routes this is 1.0 on the route layer.
-    pub r_sens: HashMap<usize, f64>,
-    /// Per-layer sensitivity of C.
-    pub c_sens: HashMap<usize, f64>,
+    /// Per-layer sensitivity of R: dR/R per unit layer R factor, as
+    /// `(layer, sensitivity)` pairs sorted by layer index. For
+    /// single-layer routes this is 1.0 on the route layer. A sorted
+    /// slice beats a hash map here: the hot consumer ([`at_sample`])
+    /// only ever iterates, serialization wants layer order anyway, and
+    /// real nets touch a handful of layers at most.
+    ///
+    /// [`at_sample`]: NetParasitics::at_sample
+    pub r_sens: Vec<(usize, f64)>,
+    /// Per-layer sensitivity of C, same representation as `r_sens`.
+    pub c_sens: Vec<(usize, f64)>,
 }
 
 impl NetParasitics {
@@ -53,10 +58,8 @@ impl NetParasitics {
         let (fr, fcg, fcc) = wm.ndr.factors();
         let r_total = layer.r_per_um * fr * wm.length_um;
         let c_total = (layer.cg_per_um * fcg + layer.cc_per_um * fcc) * wm.length_um;
-        let mut r_sens = HashMap::new();
-        let mut c_sens = HashMap::new();
-        r_sens.insert(wm.layer, 1.0);
-        c_sens.insert(wm.layer, 1.0);
+        let r_sens = vec![(wm.layer, 1.0)];
+        let c_sens = vec![(wm.layer, 1.0)];
         NetParasitics {
             name: name.into(),
             r_total,
@@ -73,12 +76,12 @@ impl NetParasitics {
         let r_factor: f64 = self
             .r_sens
             .iter()
-            .map(|(&l, &s)| 1.0 + s * (sample.r[l] - 1.0))
+            .map(|&(l, s)| 1.0 + s * (sample.r[l] - 1.0))
             .product();
         let c_factor: f64 = self
             .c_sens
             .iter()
-            .map(|(&l, &s)| 1.0 + s * (sample.c[l] - 1.0))
+            .map(|&(l, s)| 1.0 + s * (sample.c[l] - 1.0))
             .product();
         (self.r_total * r_factor, self.c_total * c_factor)
     }
@@ -95,14 +98,12 @@ pub fn write_spef(nets: &[NetParasitics], stack: &BeolStack) -> String {
             "*D_NET {} R {:.6} C {:.6} LAYER {}",
             n.name, n.r_total, n.c_total, n.layer
         );
-        let mut keys: Vec<_> = n.r_sens.iter().collect();
-        keys.sort_by_key(|(l, _)| **l);
-        for (&l, &s) in keys {
+        // The pairs are kept sorted by layer, so emission order is
+        // deterministic without a sort.
+        for &(l, s) in &n.r_sens {
             let _ = writeln!(out, "*SENS R {} {:.4}", stack.layer(l).name, s);
         }
-        let mut keys: Vec<_> = n.c_sens.iter().collect();
-        keys.sort_by_key(|(l, _)| **l);
-        for (&l, &s) in keys {
+        for &(l, s) in &n.c_sens {
             let _ = writeln!(out, "*SENS C {} {:.4}", stack.layer(l).name, s);
         }
         let _ = writeln!(out, "*END");
@@ -189,8 +190,8 @@ pub fn parse_spef_from<R: std::io::BufRead>(
                     }
                     layer
                 },
-                r_sens: HashMap::new(),
-                c_sens: HashMap::new(),
+                r_sens: Vec::new(),
+                c_sens: Vec::new(),
             });
         } else if let Some(rest) = l.strip_prefix("*SENS ") {
             let tok: Vec<&str> = rest.split_whitespace().collect();
@@ -214,10 +215,10 @@ pub fn parse_spef_from<R: std::io::BufRead>(
             }
             match tok[0] {
                 "R" => {
-                    net.r_sens.insert(layer, s);
+                    upsert(&mut net.r_sens, layer, s);
                 }
                 "C" => {
-                    net.c_sens.insert(layer, s);
+                    upsert(&mut net.c_sens, layer, s);
                 }
                 other => {
                     return Err(Error::invalid_input(format!(
@@ -237,6 +238,16 @@ pub fn parse_spef_from<R: std::io::BufRead>(
         )));
     }
     Ok(nets)
+}
+
+/// Inserts `(layer, s)` into a layer-sorted pair list, replacing the
+/// entry if the layer is already present (a repeated `*SENS` line for
+/// the same layer means the later value wins, matching map semantics).
+fn upsert(pairs: &mut Vec<(usize, f64)>, layer: usize, s: f64) {
+    match pairs.binary_search_by_key(&layer, |&(l, _)| l) {
+        Ok(i) => pairs[i].1 = s,
+        Err(i) => pairs.insert(i, (layer, s)),
+    }
 }
 
 /// Parses the sensitivity-SPEF subset written by [`write_spef`]

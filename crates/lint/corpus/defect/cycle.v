@@ -1,0 +1,21 @@
+// Seeded defect: g2 → g5 → g2 is unregistered feedback → TCL0101.
+// The file parses (each net has exactly one driver); only levelization
+// and the lint cycle pass can see the loop.
+module small (clk, a, b, y, q);
+  input clk;
+  input a;
+  input b;
+  output y;
+  output q;
+  wire n1;
+  wire n2;
+  wire d1;
+  wire q1;
+
+  NAND2_X1_SVT g1 (.A(a), .B(b), .Y(n1));
+  NAND2_X1_SVT g2 (.A(n1), .B(n2), .Y(d1));
+  INV_X1_SVT g5 (.A(d1), .Y(n2));
+  DFF_X1_SVT r1 (.D(d1), .CK(clk), .Y(q1));
+  BUF_X1_SVT g3 (.A(q1), .Y(q));
+  NOR2_X1_SVT g4 (.A(q1), .B(a), .Y(y));
+endmodule

@@ -1,0 +1,18 @@
+// Seeded defect: n1 is driven by both g1.Y and g5.Y → TCL0102.
+module small (clk, a, b, y, q);
+  input clk;
+  input a;
+  input b;
+  output y;
+  output q;
+  wire n1;
+  wire d1;
+  wire q1;
+
+  NAND2_X1_SVT g1 (.A(a), .B(b), .Y(n1));
+  INV_X1_SVT g2 (.A(n1), .Y(d1));
+  DFF_X1_SVT r1 (.D(d1), .CK(clk), .Y(q1));
+  BUF_X1_SVT g3 (.A(q1), .Y(q));
+  NOR2_X1_SVT g4 (.A(q1), .B(a), .Y(y));
+  INV_X1_SVT g5 (.A(b), .Y(n1));
+endmodule

@@ -1,0 +1,17 @@
+// Seeded defect: g1 was deleted, so n1 is referenced but never driven
+// → TCL0103.
+module small (clk, a, b, y, q);
+  input clk;
+  input a;
+  input b;
+  output y;
+  output q;
+  wire n1;
+  wire d1;
+  wire q1;
+
+  INV_X1_SVT g2 (.A(n1), .Y(d1));
+  DFF_X1_SVT r1 (.D(d1), .CK(clk), .Y(q1));
+  BUF_X1_SVT g3 (.A(q1), .Y(q));
+  NOR2_X1_SVT g4 (.A(q1), .B(a), .Y(y));
+endmodule

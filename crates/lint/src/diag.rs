@@ -1,0 +1,251 @@
+//! The diagnostic framework: stable rule codes, severities, positions,
+//! and the text/JSON reporters.
+//!
+//! Every finding carries a stable `TCL####` code (grouped by input
+//! surface: 01xx structure, 02xx constraints, 03xx parasitics, 04xx
+//! library data, 05xx ECO journals), a waiver-matchable subject, and —
+//! where the finding comes from a text surface — the line it was found
+//! on, reusing the line numbering the workspace parsers already report.
+
+use tc_obs::JsonValue;
+
+/// Finding severity. Errors gate admission; warnings are hygiene
+/// findings that a waiver file can accept permanently.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but analyzable: the design can still be timed.
+    Warning,
+    /// The design (or its side files) would fail or mislead analysis.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by the reporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One static-analysis finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule code (`TCL0101`, …). Codes are never reused.
+    pub code: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Waiver-matchable identity: the offending cell, net, clock, table,
+    /// or journal entry.
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The input surface the finding came from (`design.v`, `netlist`,
+    /// `journal`, …).
+    pub source: String,
+    /// 1-based line in `source` for text surfaces; `None` for graph
+    /// findings (the subject names the object instead).
+    pub line: Option<usize>,
+}
+
+impl Diagnostic {
+    /// Renders one finding as a single report line:
+    /// `TCL0102 error design.v:12 n3: driven 2 times`.
+    pub fn render(&self) -> String {
+        let at = match self.line {
+            Some(l) => format!("{}:{l}", self.source),
+            None => self.source.clone(),
+        };
+        format!(
+            "{} {} {at} {}: {}",
+            self.code,
+            self.severity.label(),
+            self.subject,
+            self.message
+        )
+    }
+
+    /// The finding as a JSON object (for the `--json` reporter and for
+    /// embedding in a [`tc_obs::RunArtifact`]).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj([
+            ("code", JsonValue::str(self.code)),
+            ("severity", JsonValue::str(self.severity.label())),
+            ("subject", JsonValue::str(self.subject.as_str())),
+            ("message", JsonValue::str(self.message.as_str())),
+            ("source", JsonValue::str(self.source.as_str())),
+            (
+                "line",
+                match self.line {
+                    Some(l) => JsonValue::Num(l as f64),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// One catalog entry: the fixed code/severity/title triple of a rule.
+#[derive(Clone, Copy, Debug)]
+pub struct Rule {
+    /// Stable code.
+    pub code: &'static str,
+    /// Severity every finding of this rule carries.
+    pub severity: Severity,
+    /// One-line description for `tc_lint --rules` and DESIGN.md.
+    pub title: &'static str,
+}
+
+/// The full rule catalog. Codes are grouped by input surface and never
+/// renumbered; retired rules leave holes.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "TCL0101",
+        severity: Severity::Error,
+        title: "combinational cycle (unregistered feedback)",
+    },
+    Rule {
+        code: "TCL0102",
+        severity: Severity::Error,
+        title: "multi-driven net in structural Verilog",
+    },
+    Rule {
+        code: "TCL0103",
+        severity: Severity::Error,
+        title: "undriven net referenced by a pin or output port",
+    },
+    Rule {
+        code: "TCL0104",
+        severity: Severity::Warning,
+        title: "dangling driven net (no sinks, not a primary output)",
+    },
+    Rule {
+        code: "TCL0201",
+        severity: Severity::Error,
+        title: "no clocks defined: every endpoint is unconstrained",
+    },
+    Rule {
+        code: "TCL0202",
+        severity: Severity::Error,
+        title: "clock has no matching source net in the design",
+    },
+    Rule {
+        code: "TCL0203",
+        severity: Severity::Error,
+        title: "register clock pin not reachable from any clock source",
+    },
+    Rule {
+        code: "TCL0204",
+        severity: Severity::Warning,
+        title: "timing exception references a dead or non-register cell",
+    },
+    Rule {
+        code: "TCL0301",
+        severity: Severity::Error,
+        title: "SPEF annotates a net that does not exist in the netlist",
+    },
+    Rule {
+        code: "TCL0302",
+        severity: Severity::Warning,
+        title: "netlist net missing from the SPEF annotation",
+    },
+    Rule {
+        code: "TCL0401",
+        severity: Severity::Error,
+        title: "Liberty table axis not strictly increasing",
+    },
+    Rule {
+        code: "TCL0402",
+        severity: Severity::Warning,
+        title: "Liberty delay/slew table non-monotone along the load axis",
+    },
+    Rule {
+        code: "TCL0501",
+        severity: Severity::Error,
+        title: "ECO journal references a dead cell, net, pin, or master",
+    },
+];
+
+/// Looks up a catalog entry by code.
+pub fn rule(code: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.code == code)
+}
+
+/// Builds a finding with the catalog severity for `code`.
+///
+/// # Panics
+///
+/// Panics if `code` is not in [`RULES`] — rule passes only emit catalog
+/// codes, so an unknown code is a bug in this crate.
+pub fn finding(
+    code: &'static str,
+    subject: impl Into<String>,
+    message: impl Into<String>,
+    source: impl Into<String>,
+    line: Option<usize>,
+) -> Diagnostic {
+    let severity = rule(code)
+        .unwrap_or_else(|| panic!("unknown rule code {code}"))
+        .severity;
+    Diagnostic {
+        code,
+        severity,
+        subject: subject.into(),
+        message: message.into(),
+        source: source.into(),
+        line,
+    }
+}
+
+/// Renders findings as a text report, one line each, in the given order.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders findings as a JSON array in the given order.
+pub fn render_json(diags: &[Diagnostic]) -> JsonValue {
+    JsonValue::Arr(diags.iter().map(Diagnostic::to_json).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(r.code.starts_with("TCL") && r.code.len() == 7, "{}", r.code);
+            assert!(r.code[3..].chars().all(|c| c.is_ascii_digit()));
+            for other in &RULES[i + 1..] {
+                assert_ne!(r.code, other.code);
+            }
+        }
+    }
+
+    #[test]
+    fn render_carries_code_position_and_subject() {
+        let d = finding("TCL0102", "n3", "driven 2 times", "design.v", Some(12));
+        let line = d.render();
+        assert!(line.contains("TCL0102"), "{line}");
+        assert!(line.contains("design.v:12"), "{line}");
+        assert!(line.contains("n3"), "{line}");
+        assert_eq!(d.severity, Severity::Error);
+    }
+
+    #[test]
+    fn json_reporter_roundtrips_through_the_obs_parser() {
+        let d = finding("TCL0104", "g7", "no sinks", "netlist", None);
+        let text = render_json(&[d]).render();
+        let back = JsonValue::parse(&text).unwrap();
+        match back {
+            JsonValue::Arr(items) => assert_eq!(items.len(), 1),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Liberty LUT validation: axis ordering and delay monotonicity.
+//!
+//! [`tc_core::lut::Lut2`] rejects non-increasing axes at construction,
+//! so `parse_liberty` can only report a bad axis as an opaque parse
+//! failure — and it cannot see physics violations at all, because a
+//! non-monotone delay table is structurally valid. This pass scans the
+//! Liberty *text* (same `\` splicing and line numbering as the real
+//! parser) so both defects surface as positioned, waivable findings:
+//!
+//! * `TCL0401` — an `index_1`/`index_2` axis is not strictly increasing.
+//! * `TCL0402` — a `cell_rise`/`rise_transition` table row decreases
+//!   along the load (column) axis: gate delay and output slew grow with
+//!   load in any physical characterization, so a dip is corrupt data
+//!   that would silently warp every slack downstream.
+//!
+//! Sigma (`ocv_sigma_*`) and constraint tables are exempt from the
+//! monotonicity rule — hold constraints legitimately fall with data
+//! slew.
+
+use crate::diag::{finding, Diagnostic};
+
+/// Table kinds whose rows must be non-decreasing along the load axis.
+const MONOTONE_KINDS: [&str; 2] = ["cell_rise", "rise_transition"];
+
+/// All table kinds the Liberty writer emits (a `values` group belongs
+/// to the most recent one of these).
+const TABLE_KINDS: [&str; 4] = [
+    "cell_rise",
+    "rise_transition",
+    "ocv_sigma_cell_rise",
+    "ocv_sigma_cell_fall",
+];
+
+/// Scans Liberty text for axis-ordering and monotonicity defects.
+/// `label` names the stream in the findings (`lib.lib`).
+pub fn lint_liberty_source(text: &str, label: &str) -> Vec<Diagnostic> {
+    // Splice `\`-continued lines exactly like `parse_liberty`, keeping
+    // the line each spliced statement started on.
+    let mut spliced: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let trimmed = line.trim_end();
+        if trimmed.ends_with('\\') {
+            if pending.is_empty() {
+                pending_line = lineno;
+            }
+            pending.push_str(trimmed.trim_end_matches('\\'));
+        } else if pending.is_empty() {
+            spliced.push((lineno, trimmed.to_string()));
+        } else {
+            pending.push_str(trimmed);
+            spliced.push((pending_line, std::mem::take(&mut pending)));
+        }
+    }
+    if !pending.is_empty() {
+        spliced.push((pending_line, pending));
+    }
+
+    let mut out = Vec::new();
+    let mut cell = String::new();
+    let mut related = String::new();
+    let mut kind: Option<String> = None;
+    let mut axes_ok = true;
+
+    let quoted_floats = |l: &str| -> Option<Vec<f64>> {
+        let inner = l.split('"').nth(1)?;
+        inner
+            .split(',')
+            .map(|v| v.trim().parse::<f64>().ok())
+            .collect()
+    };
+
+    for &(lineno, ref line) in &spliced {
+        let l = line.trim();
+        if let Some(rest) = l.strip_prefix("cell (") {
+            cell = rest.split(')').next().unwrap_or("").to_string();
+            related.clear();
+        } else if l.starts_with("related_pin") {
+            related = l.split('"').nth(1).unwrap_or("").to_string();
+        } else if let Some(k) = TABLE_KINDS.iter().find(|k| l.starts_with(**k)) {
+            kind = Some((*k).to_string());
+            axes_ok = true;
+        } else if l.starts_with("index_1") || l.starts_with("index_2") {
+            let which = if l.starts_with("index_1") {
+                "index_1"
+            } else {
+                "index_2"
+            };
+            // An unparsable axis is the parser's problem; ours is an
+            // axis that parses but is not strictly increasing.
+            if let Some(axis) = quoted_floats(l) {
+                if let Some(i) = axis.windows(2).position(|w| w[1] <= w[0]) {
+                    axes_ok = false;
+                    let k = kind.as_deref().unwrap_or("?");
+                    out.push(finding(
+                        "TCL0401",
+                        table_subject(&cell, &related, k),
+                        format!(
+                            "{which} not strictly increasing: {} then {} at position {}",
+                            axis[i],
+                            axis[i + 1],
+                            i + 1
+                        ),
+                        label,
+                        Some(lineno),
+                    ));
+                }
+            }
+        } else if l.starts_with("values (") {
+            let Some(k) = kind.as_deref() else { continue };
+            // Monotonicity over an unordered axis is meaningless; the
+            // TCL0401 finding already covers that table.
+            if !axes_ok || !MONOTONE_KINDS.contains(&k) {
+                continue;
+            }
+            for (row_idx, row_str) in l.split('"').skip(1).step_by(2).enumerate() {
+                let parsed: Option<Vec<f64>> = row_str
+                    .split(',')
+                    .map(|v| v.trim().parse::<f64>().ok())
+                    .collect();
+                let Some(row) = parsed else { continue };
+                if let Some(c) = row.windows(2).position(|w| w[1] < w[0] - 1e-9) {
+                    out.push(finding(
+                        "TCL0402",
+                        table_subject(&cell, &related, k),
+                        format!(
+                            "row {row_idx} decreases along the load axis at column {}: {} then {}",
+                            c + 1,
+                            row[c],
+                            row[c + 1]
+                        ),
+                        label,
+                        Some(lineno),
+                    ));
+                    break; // one finding per table is enough to act on
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Waiver-matchable identity of a table: `cell:related_pin:kind`.
+fn table_subject(cell: &str, related: &str, kind: &str) -> String {
+    let related = if related.is_empty() { "?" } else { related };
+    format!("{cell}:{related}:{kind}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_liberty::{LibConfig, Library, PvtCorner};
+
+    fn table(index_2: &str, values: &str) -> String {
+        format!(
+            "library (t) {{\n  cell (INV_X1_SVT) {{\n    pin (Y) {{\n      timing () {{\n        related_pin : \"A\";\n        cell_rise (tbl_2x2) {{\n          index_1 (\"5.0000, 10.0000\");\n          index_2 ({index_2});\n          values ({values});\n        }}\n      }}\n    }}\n  }}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn generated_library_is_clean() {
+        let lib = Library::generate(&LibConfig::default(), &PvtCorner::typical());
+        let text = tc_liberty::write_liberty(&lib);
+        let diags = lint_liberty_source(&text, "gen.lib");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn non_monotone_row_fires_0402_with_position() {
+        let text = table("\"0.5000, 1.0000\"", "\"1.0, 0.5\", \"1.2, 1.4\"");
+        let diags = lint_liberty_source(&text, "t.lib");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "TCL0402");
+        assert_eq!(diags[0].subject, "INV_X1_SVT:A:cell_rise");
+        assert_eq!(diags[0].line, Some(9));
+    }
+
+    #[test]
+    fn unordered_axis_fires_0401_and_suppresses_0402() {
+        let text = table("\"1.0000, 0.5000\"", "\"1.0, 0.5\", \"1.2, 1.4\"");
+        let diags = lint_liberty_source(&text, "t.lib");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "TCL0401");
+        assert_eq!(diags[0].line, Some(8));
+    }
+
+    #[test]
+    fn sigma_tables_may_fall() {
+        let text = table("\"0.5000, 1.0000\"", "\"1.0, 1.5\", \"1.2, 1.4\"")
+            .replace("cell_rise (tbl_2x2)", "ocv_sigma_cell_rise (tbl_2x2)");
+        let falling = text.replace("\"1.0, 1.5\"", "\"1.5, 1.0\"");
+        assert!(lint_liberty_source(&falling, "t.lib").is_empty());
+    }
+
+    #[test]
+    fn continued_values_lines_keep_the_start_line() {
+        let text = table(
+            "\"0.5000, 1.0000\"",
+            "\"1.0, 0.5\", \\\n                  \"1.2, 1.4\"",
+        );
+        let diags = lint_liberty_source(&text, "t.lib");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, Some(9));
+    }
+}

@@ -1,0 +1,250 @@
+//! Structural-Verilog source scan: connectivity rules the netlist data
+//! structure cannot even represent.
+//!
+//! The SoA [`tc_netlist::Netlist`] mints a fresh output net per cell and
+//! validates single drivers, so a multi-driven or undriven net can never
+//! exist *after* ingest — `parse_verilog` rejects such files outright
+//! with a bare "duplicate net" / "not found" error. Admission control
+//! wants more than rejection: this pass scans the source text itself,
+//! statement by statement (same `;`-splitting and line accounting as the
+//! real parser), and reports *positioned* findings naming every driver
+//! of the offending net, before any parse is attempted.
+//!
+//! The scan is master-agnostic: it follows the workspace convention that
+//! `.Y(net)` is the (single) output connection of an instance and every
+//! other connection is an input. It never allocates more than the
+//! per-net connection table — O(nets + connections) for any input size.
+
+use std::collections::HashMap;
+
+use crate::diag::{finding, Diagnostic};
+
+/// Everything the scan learned about one net name.
+#[derive(Default)]
+struct NetUse {
+    /// Line of the `input` declaration, if any.
+    declared_input: Option<usize>,
+    /// Line of the `output` declaration, if any.
+    declared_output: Option<usize>,
+    /// Output-pin connections: `(instance name, line)`.
+    drivers: Vec<(String, usize)>,
+    /// Line of the first input-pin reference, and total count.
+    first_sink: Option<usize>,
+    sink_count: usize,
+}
+
+/// Scans structural-Verilog text for connectivity defects.
+///
+/// Emits `TCL0102` for every net with more than one driver (two `.Y`
+/// connections, or a `.Y` onto a declared `input`), positioned at the
+/// extra driver, and `TCL0103` for every net that is referenced by an
+/// input pin or `output` declaration but never driven, positioned at the
+/// first reference. `label` names the stream in the findings
+/// (`design.v`).
+pub fn lint_verilog_source(text: &str, label: &str) -> Vec<Diagnostic> {
+    let mut order: Vec<String> = Vec::new();
+    let mut uses: HashMap<String, usize> = HashMap::new();
+    let mut slots: Vec<NetUse> = Vec::new();
+    let mut slot = |name: &str, order: &mut Vec<String>, slots: &mut Vec<NetUse>| -> usize {
+        if let Some(&i) = uses.get(name) {
+            return i;
+        }
+        let i = slots.len();
+        uses.insert(name.to_string(), i);
+        order.push(name.to_string());
+        slots.push(NetUse::default());
+        i
+    };
+
+    // Statement accumulation mirrors `parse_verilog_from`: strip `//`
+    // comments, join continuation lines, split on `;`, and remember the
+    // line each statement began on.
+    let mut buf = String::new();
+    let mut stmt_line = 1usize;
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let code = raw.split("//").next().unwrap_or("").trim_end();
+        if buf.is_empty() {
+            stmt_line = lineno;
+        } else {
+            buf.push(' ');
+        }
+        buf.push_str(code);
+        while let Some(pos) = buf.find(';') {
+            statements.push((stmt_line, buf[..pos].to_string()));
+            buf.drain(..=pos);
+            stmt_line = lineno;
+        }
+    }
+    if !buf.trim().is_empty() {
+        statements.push((stmt_line, std::mem::take(&mut buf)));
+    }
+
+    for (line, stmt) in &statements {
+        let line = *line;
+        let stmt = stmt.trim();
+        if stmt.is_empty() || stmt == "endmodule" || stmt.starts_with("module ") {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("input ") {
+            for n in rest.split(',') {
+                let n = n.trim();
+                if !n.is_empty() {
+                    let s = slot(n, &mut order, &mut slots);
+                    slots[s].declared_input.get_or_insert(line);
+                }
+            }
+        } else if let Some(rest) = stmt.strip_prefix("output ") {
+            for n in rest.split(',') {
+                let n = n.trim();
+                if !n.is_empty() {
+                    let s = slot(n, &mut order, &mut slots);
+                    slots[s].declared_output.get_or_insert(line);
+                }
+            }
+        } else if stmt.strip_prefix("wire ").is_some() {
+            // Wires are implied by drivers; the declaration adds nothing.
+        } else if let Some(open) = stmt.find('(') {
+            // Instance: `MASTER name (.PIN(net), ...)`.
+            let inst = stmt[..open]
+                .split_whitespace()
+                .nth(1)
+                .unwrap_or("?")
+                .to_string();
+            let close = match stmt.rfind(')') {
+                Some(c) if c > open => c,
+                _ => stmt.len(),
+            };
+            for conn in stmt[open + 1..close].split(',') {
+                let conn = conn.trim().trim_start_matches('.');
+                let Some((pin, net)) = conn.split_once('(') else {
+                    continue; // malformed connection: the parser's problem
+                };
+                let net = net.trim_end_matches(')').trim();
+                if net.is_empty() {
+                    continue;
+                }
+                let s = slot(net, &mut order, &mut slots);
+                if pin.trim() == "Y" {
+                    slots[s].drivers.push((inst.clone(), line));
+                } else {
+                    slots[s].first_sink.get_or_insert(line);
+                    slots[s].sink_count += 1;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for name in &order {
+        let u = &slots[uses[name]];
+        let from_input = usize::from(u.declared_input.is_some());
+        if u.drivers.len() + from_input > 1 {
+            // Position at the first *extra* driver; name them all.
+            let extra = &u.drivers[usize::from(from_input == 0)];
+            let mut who: Vec<String> = u
+                .drivers
+                .iter()
+                .map(|(i, l)| format!("{i}.Y (line {l})"))
+                .collect();
+            if from_input == 1 {
+                who.insert(
+                    0,
+                    format!("input declaration (line {})", u.declared_input.unwrap_or(0)),
+                );
+            }
+            out.push(finding(
+                "TCL0102",
+                name.as_str(),
+                format!("net has {} drivers: {}", who.len(), who.join(", ")),
+                label,
+                Some(extra.1),
+            ));
+        } else if u.drivers.is_empty() && u.declared_input.is_none() {
+            let referenced = u.sink_count > 0 || u.declared_output.is_some();
+            if referenced {
+                let line = u.first_sink.or(u.declared_output);
+                let what = if u.sink_count > 0 {
+                    format!("referenced by {} input pin(s)", u.sink_count)
+                } else {
+                    "declared as an output port".to_string()
+                };
+                out.push(finding(
+                    "TCL0103",
+                    name.as_str(),
+                    format!("net is never driven but {what}"),
+                    label,
+                    line,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "module t (a, y);\n  input a;\n  output y;\n\n  INV_X1_SVT u1 (.A(a), .Y(n1));\n  INV_X1_SVT u2 (.A(n1), .Y(y));\nendmodule\n";
+
+    #[test]
+    fn clean_text_scans_clean() {
+        assert!(lint_verilog_source(CLEAN, "t.v").is_empty());
+    }
+
+    #[test]
+    fn double_driver_is_positioned_at_the_extra_driver() {
+        let text = CLEAN.replace("endmodule", "  INV_X1_SVT u3 (.A(a), .Y(n1));\nendmodule");
+        let diags = lint_verilog_source(&text, "t.v");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "TCL0102");
+        assert_eq!(diags[0].subject, "n1");
+        assert_eq!(diags[0].line, Some(7));
+        assert!(diags[0].message.contains("u1.Y"), "{}", diags[0].message);
+        assert!(diags[0].message.contains("u3.Y"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn driving_a_primary_input_is_multi_driver() {
+        let text = CLEAN.replace(".Y(n1)", ".Y(a)").replace(".A(n1)", ".A(a)");
+        let diags = lint_verilog_source(&text, "t.v");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "TCL0102" && d.subject == "a"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn undriven_reference_is_flagged_at_first_use() {
+        let text = CLEAN.replace("  INV_X1_SVT u1 (.A(a), .Y(n1));\n", "");
+        let diags = lint_verilog_source(&text, "t.v");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "TCL0103");
+        assert_eq!(diags[0].subject, "n1");
+        assert_eq!(diags[0].line, Some(5));
+    }
+
+    #[test]
+    fn undriven_output_port_is_flagged() {
+        let text = "module t (a, y);\n  input a;\n  output y;\n  INV_X1_SVT u1 (.A(a), .Y(n1));\nendmodule\n";
+        let diags = lint_verilog_source(text, "t.v");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "TCL0103");
+        assert_eq!(diags[0].subject, "y");
+    }
+
+    #[test]
+    fn statements_spanning_lines_keep_their_start_line() {
+        let text = "module t (a, y);\n  input a;\n  output y;\n  INV_X1_SVT u1\n    (.A(a),\n     .Y(y));\n  INV_X1_SVT u2 (.A(q), .Y(n2));\n  INV_X1_SVT u3 (.A(n2), .Y(n3));\nendmodule\n";
+        let diags = lint_verilog_source(text, "t.v");
+        // q undriven (line 7); n3 is driven-but-unloaded, which is the
+        // graph pass's business, not the scan's.
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].subject, "q");
+        assert_eq!(diags[0].line, Some(7));
+    }
+}

@@ -1,0 +1,235 @@
+//! The waiver/baseline file: known findings that gate CI without
+//! blocking it.
+//!
+//! Format (line-oriented, one record per line, `#` comments allowed):
+//!
+//! ```text
+//! *TCW 1
+//! # probe nets are kept unloaded on purpose
+//! WAIVE TCL0104 probe_q7 scan probe net, unloaded by design
+//! WAIVE TCL0302 * SPEF regenerated nightly; partial annotation is fine
+//! ```
+//!
+//! `WAIVE <code> <subject> <reason…>`: `<code>` must be a catalog rule
+//! code, `<subject>` matches a finding's subject exactly (`*` matches
+//! every subject of that code), and the rest of the line is the
+//! human-readable justification. [`decode_waivers`] and
+//! [`render_waivers`] are an emit/reparse fixpoint (`decode ∘ render`
+//! is the identity on decoded waivers), and every decode error names
+//! the offending line — the same contract the journal and SPEF parsers
+//! honor, which is what lets tc-fuzz drive this parser as its seventh
+//! target.
+
+use tc_core::error::{Error, Result};
+
+use crate::diag::{rule, Diagnostic};
+
+/// Magic first line of a waiver file.
+pub const WAIVER_HEADER: &str = "*TCW 1";
+
+/// One waiver record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule code this waiver applies to (`TCL0104`, …).
+    pub code: String,
+    /// Exact subject to match, or `*` for every subject of the code.
+    pub subject: String,
+    /// Why the finding is accepted. May be empty.
+    pub reason: String,
+}
+
+/// Parses a waiver file.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidInput`] naming the offending line for a
+/// missing/garbled header, an unknown verb or rule code, or a record
+/// missing its subject.
+pub fn decode_waivers(text: &str) -> Result<Vec<Waiver>> {
+    let mut lines = text.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            None => return Err(Error::invalid_input("line 1: empty waiver file")),
+            Some((i, l)) => {
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('#') {
+                    continue;
+                }
+                break (i + 1, t);
+            }
+        }
+    };
+    if header.1 != WAIVER_HEADER {
+        return Err(Error::invalid_input(format!(
+            "line {}: expected `{WAIVER_HEADER}` header, got: {}",
+            header.0, header.1
+        )));
+    }
+
+    let mut waivers = Vec::new();
+    for (i, l) in lines {
+        let lineno = i + 1;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let rest = t.strip_prefix("WAIVE").ok_or_else(|| {
+            Error::invalid_input(format!("line {lineno}: expected WAIVE record, got: {t}"))
+        })?;
+        if !rest.starts_with(char::is_whitespace) {
+            return Err(Error::invalid_input(format!(
+                "line {lineno}: expected WAIVE record, got: {t}"
+            )));
+        }
+        let rest = rest.trim_start();
+        let (code, rest) = rest.split_once(char::is_whitespace).ok_or_else(|| {
+            Error::invalid_input(format!("line {lineno}: WAIVE missing subject: {t}"))
+        })?;
+        if rule(code).is_none() {
+            return Err(Error::invalid_input(format!(
+                "line {lineno}: unknown rule code {code}"
+            )));
+        }
+        let rest = rest.trim_start();
+        let (subject, reason) = match rest.split_once(char::is_whitespace) {
+            Some((s, r)) => (s, r.trim()),
+            None => (rest, ""),
+        };
+        if subject.is_empty() {
+            return Err(Error::invalid_input(format!(
+                "line {lineno}: WAIVE missing subject: {t}"
+            )));
+        }
+        waivers.push(Waiver {
+            code: code.to_string(),
+            subject: subject.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+    Ok(waivers)
+}
+
+/// Renders waivers in canonical form: header, then one `WAIVE` line per
+/// record. `decode_waivers(render_waivers(ws)) == ws`.
+pub fn render_waivers(waivers: &[Waiver]) -> String {
+    let mut out = String::from(WAIVER_HEADER);
+    out.push('\n');
+    for w in waivers {
+        out.push_str("WAIVE ");
+        out.push_str(&w.code);
+        out.push(' ');
+        out.push_str(&w.subject);
+        if !w.reason.is_empty() {
+            out.push(' ');
+            out.push_str(&w.reason);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Findings split into the ones that still gate and the ones a waiver
+/// accepted.
+#[derive(Clone, Debug, Default)]
+pub struct WaiverOutcome {
+    /// Findings no waiver matched — these decide the exit code.
+    pub active: Vec<Diagnostic>,
+    /// Findings accepted by a waiver, with the index of the matching
+    /// record.
+    pub waived: Vec<(Diagnostic, usize)>,
+    /// Indices of waiver records that matched nothing (stale baseline
+    /// entries worth pruning; informational, never gating).
+    pub unused: Vec<usize>,
+}
+
+/// Applies waivers to findings, preserving finding order. The first
+/// matching waiver wins; a waiver matches when its code equals the
+/// finding's code and its subject is `*` or equals the finding's
+/// subject.
+pub fn apply_waivers(diags: Vec<Diagnostic>, waivers: &[Waiver]) -> WaiverOutcome {
+    let mut out = WaiverOutcome::default();
+    let mut used = vec![false; waivers.len()];
+    for d in diags {
+        match waivers
+            .iter()
+            .position(|w| w.code == d.code && (w.subject == "*" || w.subject == d.subject))
+        {
+            Some(i) => {
+                used[i] = true;
+                out.waived.push((d, i));
+            }
+            None => out.active.push(d),
+        }
+    }
+    out.unused = (0..waivers.len()).filter(|&i| !used[i]).collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::finding;
+
+    fn sample() -> Vec<Waiver> {
+        vec![
+            Waiver {
+                code: "TCL0104".into(),
+                subject: "probe_q7".into(),
+                reason: "scan probe net, unloaded by design".into(),
+            },
+            Waiver {
+                code: "TCL0302".into(),
+                subject: "*".into(),
+                reason: String::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn render_decode_is_identity() {
+        let ws = sample();
+        let text = render_waivers(&ws);
+        assert_eq!(decode_waivers(&text).unwrap(), ws);
+        // And a second pass is a fixpoint.
+        let again = render_waivers(&decode_waivers(&text).unwrap());
+        assert_eq!(again, text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# baseline\n\n*TCW 1\n# dated 2026-08\nWAIVE TCL0104 x why\n";
+        let ws = decode_waivers(text).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].subject, "x");
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        for (text, want) in [
+            ("", "line 1"),
+            ("*TCJ 1\n", "line 1"),
+            ("*TCW 1\nNOPE x\n", "line 2"),
+            ("*TCW 1\nWAIVE TCL9999 x y\n", "line 2"),
+            ("*TCW 1\nWAIVE TCL0104\n", "line 2"),
+        ] {
+            let err = decode_waivers(text).unwrap_err().to_string();
+            assert!(err.contains(want), "{text:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn waivers_split_findings_and_track_staleness() {
+        let diags = vec![
+            finding("TCL0104", "probe_q7", "no sinks", "netlist", None),
+            finding("TCL0104", "other", "no sinks", "netlist", None),
+        ];
+        let ws = sample();
+        let out = apply_waivers(diags, &ws);
+        assert_eq!(out.active.len(), 1);
+        assert_eq!(out.active[0].subject, "other");
+        assert_eq!(out.waived.len(), 1);
+        assert_eq!(out.waived[0].1, 0);
+        // The TCL0302 wildcard matched nothing.
+        assert_eq!(out.unused, vec![1]);
+    }
+}

@@ -33,8 +33,10 @@ impl Levelization {
 ///
 /// # Errors
 ///
-/// Returns [`Error::Internal`] if the combinational graph contains a
-/// cycle (unregistered feedback).
+/// Returns [`Error::InvalidInput`] if the combinational graph contains a
+/// cycle (unregistered feedback). The message names the cells on each
+/// offending cycle — extracted with the same SCC walk the tc-lint cycle
+/// rule uses — so the failure is actionable instead of a bare count.
 pub fn levelize(nl: &Netlist, lib: &Library) -> Result<Levelization> {
     let n = nl.cell_count();
     let mut indeg = vec![0usize; n];
@@ -97,11 +99,22 @@ pub fn levelize(nl: &Netlist, lib: &Library) -> Result<Levelization> {
         }
     }
     if order.len() != n {
-        return Err(Error::internal(format!(
+        // Only pay for SCC extraction on the failure path: the clean
+        // path stays a single Kahn sweep.
+        let sccs = crate::scc::combinational_sccs(nl, lib);
+        let mut msg = format!(
             "combinational loop: {} of {} cells unplaced in topological order",
             n - order.len(),
             n
-        )));
+        );
+        for comp in sccs.iter().take(3) {
+            msg.push_str("; cycle through ");
+            msg.push_str(&crate::scc::describe_scc(nl, comp));
+        }
+        if sccs.len() > 3 {
+            msg.push_str(&format!("; and {} more cycle(s)", sccs.len() - 3));
+        }
+        return Err(Error::invalid_input(msg));
     }
     Ok(Levelization { order, depth })
 }
@@ -201,6 +214,8 @@ mod tests {
         // Close the loop: u1 input 1 ← u2 output.
         nl.rewire_input(PinRef { cell: u1, pin: 1 }, n2);
         nl.validate(&lib).unwrap();
-        assert!(levelize(&nl, &lib).is_err());
+        let err = levelize(&nl, &lib).unwrap_err().to_string();
+        // The failure is actionable: it names the cells on the cycle.
+        assert!(err.contains("u1") && err.contains("u2"), "{err}");
     }
 }

@@ -34,10 +34,12 @@ pub mod graph;
 pub mod journal;
 pub mod journal_text;
 pub mod level;
+pub mod scc;
 pub mod verilog;
 
 pub use graph::{CellRef, NetRef, Netlist, PinRef};
 pub use journal::NetlistEdit;
 pub use journal_text::{decode_journal, render_cmds, replay_journal, write_journal, JournalCmd};
 pub use level::Levelization;
+pub use scc::{combinational_sccs, describe_scc};
 pub use verilog::{parse_verilog, parse_verilog_from, write_verilog};

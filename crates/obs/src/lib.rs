@@ -58,6 +58,10 @@
 //! | `closure.fix.*` | span | one fix pass (`VtSwap`, `Sizing`, …) |
 //! | `closure.sta` | span | a verify/summary STA inside the loop |
 //! | `closure.edits` | counter | accepted ECO edits |
+//! | `closure.preflight` | span | the pre-STA lint gate inside `ClosureFlow::run` |
+//! | `lint.run` | span | one full lint registry sweep (`tc_lint::run_lint`) |
+//! | `lint.rule.*` | span | one rule pass (a root span when run on pool worker threads) |
+//! | `lint.findings` / `lint.errors` / `lint.warnings` | counter | findings per sweep, split by severity |
 //! | `sta.gba` | span | one graph-based analysis ([`Sta::run`]) |
 //! | `sta.pba` | span | one path-based re-analysis pass |
 //! | `sta.arcs_evaluated` | counter | timing arcs evaluated in GBA |
