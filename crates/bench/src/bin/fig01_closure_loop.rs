@@ -8,12 +8,14 @@
 //! flight recorder armed: the per-phase timing report is printed after
 //! the table, the whole run lands in a JSON sidecar
 //! (`fig01_closure_loop.json`), a schema-versioned run artifact in
-//! `RUN_fig01_closure_loop.json`, and the per-event trace in
-//! `fig01_closure_loop.trace.json` / `.folded` (directory
-//! `$TC_BENCH_OUT` or `.`).
+//! `RUN_fig01_closure_loop.json`, the per-event trace in
+//! `fig01_closure_loop.trace.json` / `.folded`, and the reduced span
+//! profile in `PROF_fig01_closure_loop.json` (directory
+//! `$TC_BENCH_OUT`, default `artifacts/`).
 
 use tc_bench::{
-    fmt, print_table, standard_env, write_json_sidecar, write_run_artifact, write_trace_sidecars,
+    fmt, print_table, standard_env, write_json_sidecar, write_prof_sidecar, write_run_artifact,
+    write_trace_sidecars,
 };
 use tc_closure::flow::{ClosureConfig, ClosureFlow};
 use tc_obs::JsonValue;
@@ -168,5 +170,10 @@ fn main() {
         Ok(Some(path)) => println!("trace: {}", path.display()),
         Ok(None) => {}
         Err(e) => eprintln!("trace write failed: {e}"),
+    }
+    match write_prof_sidecar("fig01_closure_loop", "fig01_closure_loop soc_block") {
+        Ok(Some(path)) => println!("profile: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("profile write failed: {e}"),
     }
 }

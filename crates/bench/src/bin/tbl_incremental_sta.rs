@@ -12,12 +12,14 @@
 //! land in a `BENCH_incremental_sta.json` sidecar, a
 //! `RUN_tbl_incremental_sta.json` run artifact, and — with the flight
 //! recorder armed — `tbl_incremental_sta.trace.json` / `.folded` trace
-//! exports (directory `$TC_BENCH_OUT` or `.`).
+//! exports plus the `PROF_tbl_incremental_sta.json` span profile
+//! (directory `$TC_BENCH_OUT`, default `artifacts/`).
 
 use std::time::Instant;
 
 use tc_bench::{
-    fmt, print_table, standard_env, write_json_sidecar, write_run_artifact, write_trace_sidecars,
+    fmt, print_table, standard_env, write_json_sidecar, write_prof_sidecar, write_run_artifact,
+    write_trace_sidecars,
 };
 use tc_core::ids::{CellId, NetId};
 use tc_core::rng::Rng;
@@ -271,5 +273,10 @@ fn main() {
         Ok(Some(path)) => println!("trace: {}", path.display()),
         Ok(None) => {}
         Err(e) => eprintln!("trace write failed: {e}"),
+    }
+    match write_prof_sidecar("tbl_incremental_sta", "tbl_incremental_sta soc_block") {
+        Ok(Some(path)) => println!("profile: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("profile write failed: {e}"),
     }
 }

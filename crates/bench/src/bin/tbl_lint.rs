@@ -13,15 +13,20 @@
 //! allocator-call counts — the O(graph) scratch canary).
 //!
 //! Profiles come from `TC_LINT_PROFILES` (comma-separated, default
-//! `50k,200k`). Outputs (directory `$TC_BENCH_OUT` or `.`):
+//! `50k,200k`). Outputs (directory `$TC_BENCH_OUT`, default
+//! `artifacts/`):
 //! * `BENCH_lint.json` — per-profile wall/heap documents (not CI-gated;
 //!   EXPERIMENTS.md records representative numbers).
+//! * `PROF_lint.json` — span profile over the whole ladder, with
+//!   per-worker lane utilization for the pooled registry sweep.
 //! * `RUN_lint.json` — run artifact with the `lint.*` span/counter
 //!   taxonomy and the memory section.
 
 use std::time::Instant;
 
-use tc_bench::{fmt, print_table, standard_env, write_json_sidecar, write_run_artifact};
+use tc_bench::{
+    fmt, print_table, standard_env, write_json_sidecar, write_prof_sidecar, write_run_artifact,
+};
 use tc_core::ids::NetId;
 use tc_interconnect::estimate::WireModel;
 use tc_interconnect::spef::NetParasitics;
@@ -101,6 +106,7 @@ fn main() {
     let run_start = Instant::now();
     tc_obs::enable();
     tc_obs::enable_memory();
+    tc_obs::enable_trace(tc_obs::DEFAULT_TRACE_CAPACITY);
     let (lib, _stack) = standard_env();
     let cons = Constraints::single_clock(PERIOD_PS);
     let pool = tc_par::Pool::from_env();
@@ -213,5 +219,10 @@ fn main() {
     match write_run_artifact("lint", &artifact) {
         Ok(path) => println!("run artifact: {}", path.display()),
         Err(e) => eprintln!("run artifact write failed: {e}"),
+    }
+    match write_prof_sidecar("lint", "tbl_lint ladder") {
+        Ok(Some(path)) => println!("profile: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("profile write failed: {e}"),
     }
 }

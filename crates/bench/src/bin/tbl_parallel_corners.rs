@@ -10,7 +10,9 @@
 //! Results land in a `BENCH_parallel_corners.json` sidecar, a
 //! `RUN_tbl_parallel_corners.json` run artifact, and — with the flight
 //! recorder armed — `tbl_parallel_corners.trace.json` / `.folded`
-//! trace exports (directory `$TC_BENCH_OUT` or `.`).
+//! trace exports plus the `PROF_tbl_parallel_corners.json` span
+//! profile with per-worker lane utilization (directory
+//! `$TC_BENCH_OUT`, default `artifacts/`).
 //!
 //! Speedup is only meaningful when the host exposes real parallelism;
 //! the sidecar records `host_threads` so a single-core CI runner's
@@ -20,7 +22,8 @@
 use std::time::Instant;
 
 use tc_bench::{
-    fmt, print_table, standard_env, write_json_sidecar, write_run_artifact, write_trace_sidecars,
+    fmt, print_table, standard_env, write_json_sidecar, write_prof_sidecar, write_run_artifact,
+    write_trace_sidecars,
 };
 use tc_interconnect::beol::BeolCorner;
 use tc_liberty::{LibConfig, Library, PvtCorner};
@@ -228,5 +231,13 @@ fn main() {
         Ok(Some(path)) => println!("trace: {}", path.display()),
         Ok(None) => {}
         Err(e) => eprintln!("trace write failed: {e}"),
+    }
+    match write_prof_sidecar(
+        "tbl_parallel_corners",
+        "tbl_parallel_corners soc_block 8-corner",
+    ) {
+        Ok(Some(path)) => println!("profile: {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("profile write failed: {e}"),
     }
 }

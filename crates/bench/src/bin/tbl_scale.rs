@@ -16,16 +16,21 @@
 //! 50k,200k,1m`) and deliberately not run in CI — it needs ~2 GB and
 //! minutes of wall clock; CI gates the 50k rung only.
 //!
-//! Outputs (directory `$TC_BENCH_OUT` or `.`):
+//! Outputs (directory `$TC_BENCH_OUT`, default `artifacts/`):
 //! * `BENCH_scale.json` — all profiles run this invocation.
 //! * `BENCH_scale_<profile>.json` — one per profile, so CI can gate a
 //!   subset of the ladder against its committed baseline.
+//! * `PROF_scale_<profile>.json` — per-rung span profile (the flight
+//!   recorder is cleared between rungs, so each profile covers exactly
+//!   one rung); `tc_prof diff` gates the 50k rung in CI.
 //! * `RUN_scale.json` — schema-versioned run artifact with the memory
 //!   section and per-span heap attribution.
 
 use std::time::Instant;
 
-use tc_bench::{fmt, print_table, standard_env, write_json_sidecar, write_run_artifact};
+use tc_bench::{
+    fmt, print_table, standard_env, write_json_sidecar, write_prof_sidecar, write_run_artifact,
+};
 use tc_core::ids::NetId;
 use tc_core::rng::Rng;
 use tc_obs::JsonValue;
@@ -91,6 +96,7 @@ fn main() {
     let run_start = Instant::now();
     tc_obs::enable();
     tc_obs::enable_memory();
+    tc_obs::enable_trace(tc_obs::DEFAULT_TRACE_CAPACITY);
     let (lib, stack) = standard_env();
     let cons = Constraints::single_clock(PERIOD_PS);
 
@@ -100,6 +106,9 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut profile_docs: Vec<JsonValue> = Vec::new();
     for name in &profiles {
+        // Each rung gets its own span profile: start from an empty ring
+        // so PROF_scale_<profile> attributes exactly this rung's work.
+        tc_obs::clear_trace();
         let (gen_phase, nl) = measured("scale.generate", || {
             tc_bench::bench_netlist(&lib, name, 2015)
         });
@@ -131,9 +140,12 @@ fn main() {
             }
         });
         let incr_report = timer.report(&nl);
-        let verify = Sta::new(&nl, &lib, &stack, &cons)
-            .run()
-            .expect("verify sta");
+        let verify = {
+            let _span = tc_obs::span("scale.verify");
+            Sta::new(&nl, &lib, &stack, &cons)
+                .run()
+                .expect("verify sta")
+        };
         assert_eq!(
             incr_report.wns(),
             verify.wns(),
@@ -201,6 +213,14 @@ fn main() {
         match write_json_sidecar(&format!("BENCH_scale_{short}"), &single.render()) {
             Ok(path) => println!("sidecar: {}", path.display()),
             Err(e) => eprintln!("sidecar write failed: {e}"),
+        }
+        match write_prof_sidecar(
+            &format!("scale_{short}"),
+            &format!("tbl_scale {name} rung ({cells} cells)"),
+        ) {
+            Ok(Some(path)) => println!("profile: {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("profile write failed: {e}"),
         }
         profile_docs.push(doc);
         // `nl`/`timer` drop here: each rung starts from the previous

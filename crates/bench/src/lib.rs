@@ -183,14 +183,22 @@ pub fn bench_with_setup<T, R>(
     }
 }
 
+/// The directory generated sidecars land in: `$TC_BENCH_OUT`, default
+/// `artifacts/`. Harness output never scatters at the repo root —
+/// committed baselines are *copied* to their gated locations, the
+/// artifacts directory itself is gitignored.
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("TC_BENCH_OUT").map_or_else(|| PathBuf::from("artifacts"), PathBuf::from)
+}
+
 /// Writes a figure harness's JSON sidecar next to the human-readable
-/// table: `<name>.json` in `$TC_BENCH_OUT` (default: current directory).
+/// table: `<name>.json` in [`out_dir`].
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors.
 pub fn write_json_sidecar(name: &str, json: &str) -> std::io::Result<PathBuf> {
-    let dir = std::env::var_os("TC_BENCH_OUT").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let dir = out_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
     std::fs::write(&path, json)?;
@@ -211,7 +219,7 @@ pub fn write_trace_sidecars(name: &str) -> std::io::Result<Option<PathBuf>> {
     if snap.events.is_empty() {
         return Ok(None);
     }
-    let dir = std::env::var_os("TC_BENCH_OUT").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let dir = out_dir();
     std::fs::create_dir_all(&dir)?;
     let trace = dir.join(format!("{name}.trace.json"));
     std::fs::write(&trace, snap.to_chrome_trace())?;
@@ -219,8 +227,32 @@ pub fn write_trace_sidecars(name: &str) -> std::io::Result<Option<PathBuf>> {
     Ok(Some(trace))
 }
 
+/// Reduces the current flight-recorder contents to a span profile and
+/// writes it as `PROF_<name>.json` in [`out_dir`], for `tc_prof`
+/// reporting and differential gating. No-op returning `None` when
+/// tracing is off or nothing was recorded.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_prof_sidecar(name: &str, workload: &str) -> std::io::Result<Option<PathBuf>> {
+    let snap = tc_obs::trace_snapshot();
+    if snap.events.is_empty() {
+        return Ok(None);
+    }
+    let profile = tc_prof::Profile::from_trace(&snap).workload(workload);
+    if profile.dropped_events > 0 {
+        eprintln!(
+            "warning: PROF_{name}: {} trace event(s) dropped to ring overflow — profile is \
+             truncated and will not pass a tc_prof gate",
+            profile.dropped_events
+        );
+    }
+    write_json_sidecar(&format!("PROF_{name}"), &profile.render_json()).map(Some)
+}
+
 /// Writes a [`tc_obs::RunArtifact`] as `RUN_<name>.json` in
-/// `$TC_BENCH_OUT` (default: current directory), for `tcdiff` gating.
+/// [`out_dir`], for `tcdiff` gating.
 ///
 /// # Errors
 ///

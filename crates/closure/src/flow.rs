@@ -86,6 +86,11 @@ pub struct IterationRecord {
     /// `sta.arcs_evaluated` this iteration cost), sorted by name. Empty
     /// when `tc_obs` is disabled.
     pub counter_deltas: Vec<(String, u64)>,
+    /// Span wall-time growth over the iteration, `(path, ns)` sorted by
+    /// path (e.g. where inside `closure.iteration` the time went —
+    /// which fix pass, how much re-timing). Empty when `tc_obs` is
+    /// disabled.
+    pub span_ns_deltas: Vec<(String, u64)>,
 }
 
 impl IterationRecord {
@@ -241,9 +246,11 @@ impl<'a> ClosureFlow<'a> {
             }
             let after = timer.report(nl);
             drop(iter_span);
-            let counter_deltas = counters_before.map_or_else(Vec::new, |before| {
-                tc_obs::snapshot().counter_deltas(&before)
-            });
+            let (counter_deltas, span_ns_deltas) =
+                counters_before.map_or_else(Default::default, |before| {
+                    let now = tc_obs::snapshot();
+                    (now.counter_deltas(&before), now.span_ns_deltas(&before))
+                });
             iterations.push(IterationRecord {
                 iteration: it,
                 wns_before,
@@ -253,6 +260,7 @@ impl<'a> ClosureFlow<'a> {
                 fixes,
                 elapsed_ms: iter_start.elapsed().as_secs_f64() * 1e3,
                 counter_deltas,
+                span_ns_deltas,
             });
             // Ping-pong guard: a fully unproductive iteration means the
             // remaining violations need different medicine — stop rather
@@ -391,9 +399,11 @@ impl<'a> ClosureFlow<'a> {
                 self.sta(nl, &cons).run()?
             };
             drop(iter_span);
-            let counter_deltas = counters_before.map_or_else(Vec::new, |before| {
-                tc_obs::snapshot().counter_deltas(&before)
-            });
+            let (counter_deltas, span_ns_deltas) =
+                counters_before.map_or_else(Default::default, |before| {
+                    let now = tc_obs::snapshot();
+                    (now.counter_deltas(&before), now.span_ns_deltas(&before))
+                });
             iterations.push(IterationRecord {
                 iteration: it,
                 wns_before,
@@ -403,6 +413,7 @@ impl<'a> ClosureFlow<'a> {
                 fixes,
                 elapsed_ms: iter_start.elapsed().as_secs_f64() * 1e3,
                 counter_deltas,
+                span_ns_deltas,
             });
             // Ping-pong guard: a fully unproductive iteration means the
             // remaining violations need different medicine — stop rather
@@ -474,6 +485,11 @@ impl<'a> ClosureFlow<'a> {
                 .iter()
                 .map(|(name, v)| (name.clone(), JsonValue::from(*v)))
                 .collect();
+            let span_ns = rec
+                .span_ns_deltas
+                .iter()
+                .map(|(path, v)| (path.clone(), JsonValue::from(*v)))
+                .collect();
             artifact = artifact.iteration(JsonValue::Obj(vec![
                 ("iteration".to_string(), JsonValue::from(rec.iteration)),
                 (
@@ -495,6 +511,7 @@ impl<'a> ClosureFlow<'a> {
                 ("fixes".to_string(), JsonValue::Arr(fixes)),
                 ("elapsed_ms".to_string(), JsonValue::from(rec.elapsed_ms)),
                 ("counter_deltas".to_string(), JsonValue::Obj(counters)),
+                ("span_ns".to_string(), JsonValue::Obj(span_ns)),
             ]));
         }
         if tc_obs::is_enabled() {

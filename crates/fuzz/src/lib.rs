@@ -8,7 +8,7 @@
 //! run artifacts, ECO journals) is a parser that hostile or merely
 //! truncated input will eventually reach. This crate is a
 //! zero-dependency, fully deterministic mutation-fuzz harness over all
-//! seven of the workspace's parser entry points:
+//! eight of the workspace's parser entry points:
 //!
 //! | target    | parser                                           |
 //! |-----------|--------------------------------------------------|
@@ -19,6 +19,7 @@
 //! | `journal` | `tc_netlist::decode_journal` + `replay_journal`  |
 //! | `tcdiff`  | sidecar load: `JsonValue::parse` + `diff` + `check_trace` |
 //! | `waiver`  | `tc_lint::decode_waivers` + `render_waivers`     |
+//! | `prof`    | `tc_prof::Profile::parse` (span-profile sidecars) |
 //!
 //! The harness seeds its corpus from the repo's **own writers** (the
 //! Verilog/SPEF/Liberty emitters, `RunArtifact` JSON, journal export),

@@ -1,7 +1,7 @@
 //! `tc_fuzz` — seeded mutation-fuzz campaigns over every ingest surface.
 //!
 //! ```text
-//! tc_fuzz [--seed 1,2,3] [--iters N] [--target spef|verilog|liberty|json|journal|tcdiff|waiver|all]
+//! tc_fuzz [--seed 1,2,3] [--iters N] [--target spef|verilog|liberty|json|journal|tcdiff|waiver|prof|all]
 //!         [--corpus-out DIR] [--verbose]
 //! tc_fuzz --replay PATH [--target T]
 //! ```

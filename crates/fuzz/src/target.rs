@@ -16,7 +16,7 @@ use tc_netlist::{
 };
 use tc_obs::{JsonValue, RunArtifact};
 
-/// The seven ingest surfaces the harness drives.
+/// The eight ingest surfaces the harness drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TargetKind {
     /// Sensitivity-SPEF parasitics (`parse_spef_from`).
@@ -33,11 +33,13 @@ pub enum TargetKind {
     Tcdiff,
     /// Lint waiver/baseline files (`decode_waivers` + `render_waivers`).
     Waiver,
+    /// `PROF_*.json` span-profile sidecars (`Profile::parse`).
+    Prof,
 }
 
 impl TargetKind {
     /// Every target, in canonical order.
-    pub const ALL: [TargetKind; 7] = [
+    pub const ALL: [TargetKind; 8] = [
         TargetKind::Spef,
         TargetKind::Verilog,
         TargetKind::Liberty,
@@ -45,6 +47,7 @@ impl TargetKind {
         TargetKind::Journal,
         TargetKind::Tcdiff,
         TargetKind::Waiver,
+        TargetKind::Prof,
     ];
 
     /// CLI/corpus-directory name.
@@ -57,6 +60,7 @@ impl TargetKind {
             TargetKind::Journal => "journal",
             TargetKind::Tcdiff => "tcdiff",
             TargetKind::Waiver => "waiver",
+            TargetKind::Prof => "prof",
         }
     }
 
@@ -128,7 +132,14 @@ pub fn has_position(msg: &str) -> bool {
 
 /// Document-level errors that legitimately have no offset: they describe
 /// the whole input, not a location in it.
-const DOC_LEVEL_OK: [&str; 2] = ["trace document is not an object", "no traceEvents array"];
+const DOC_LEVEL_OK: [&str; 4] = [
+    "trace document is not an object",
+    "no traceEvents array",
+    // check_trace's ring-overflow hard finding describes the document.
+    "dropped event(s)",
+    // tc-prof envelope errors all open with this prefix.
+    "profile document",
+];
 
 fn err_verdict(msg: String) -> Verdict {
     if has_position(&msg) || DOC_LEVEL_OK.iter().any(|d| msg.contains(d)) {
@@ -250,6 +261,11 @@ impl Env {
                 self.base_doc.clone().into_bytes(),
                 trace_doc().render().into_bytes(),
             ],
+            TargetKind::Prof => vec![
+                prof_doc().render_json().into_bytes(),
+                br#"{"schema_version":1,"kind":"tc.profile","workload":"","wall_ns":0,"attributed_ns":0,"dropped_events":0,"unmatched_ends":0,"open_spans":0,"spans":[],"lanes":[],"critical_chain":[],"critical_chain_ns":0}"#
+                    .to_vec(),
+            ],
             TargetKind::Waiver => vec![
                 render_waivers(&[
                     Waiver {
@@ -323,6 +339,7 @@ impl Env {
             TargetKind::Journal => self.check_journal(input),
             TargetKind::Tcdiff => self.check_tcdiff(input),
             TargetKind::Waiver => check_waiver(input),
+            TargetKind::Prof => check_prof(input),
         }
     }
 
@@ -530,6 +547,58 @@ fn check_json(input: &[u8]) -> Verdict {
             }
         }
     }
+}
+
+fn check_prof(input: &[u8]) -> Verdict {
+    let text = String::from_utf8_lossy(input);
+    match tc_prof::Profile::parse(&text) {
+        Err(e) => err_verdict(e),
+        Ok(p) => {
+            let r1 = p.render_json();
+            match tc_prof::Profile::parse(&r1) {
+                Err(e) => Verdict::Violation(Violation::RoundtripMismatch(format!(
+                    "rendered profile does not reparse: {e}"
+                ))),
+                Ok(p2) => {
+                    if p2.render_json() != r1 {
+                        Verdict::Violation(Violation::RoundtripMismatch(
+                            "profile render is not a fixpoint".to_string(),
+                        ))
+                    } else {
+                        Verdict::Accepted
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A small, valid span profile for the prof corpus, reduced from a
+/// synthetic trace so the seed exercises the builder's invariants.
+fn prof_doc() -> tc_prof::Profile {
+    use tc_obs::trace::{TraceEvent, TraceEventKind};
+    let ev = |kind: TraceEventKind, name: &str, tid: u64, ts_ns: u64, delta: u64| TraceEvent {
+        kind,
+        name: std::sync::Arc::from(name),
+        tid,
+        ts_ns,
+        delta,
+    };
+    let snap = tc_obs::TraceSnapshot {
+        events: vec![
+            ev(TraceEventKind::Begin, "sta", 0, 0, 0),
+            ev(TraceEventKind::Gauge, "mem.live_bytes", 0, 10, 4096),
+            ev(TraceEventKind::Begin, "propagate", 0, 100, 0),
+            ev(TraceEventKind::End, "propagate", 0, 900, 0),
+            ev(TraceEventKind::End, "sta", 0, 1_000, 0),
+            ev(TraceEventKind::Gauge, "mem.live_bytes", 0, 1_010, 8192),
+            ev(TraceEventKind::Begin, "par.task", 1, 200, 0),
+            ev(TraceEventKind::End, "par.task", 1, 600, 0),
+        ],
+        dropped: 0,
+        thread_names: vec![(0, "main".to_string()), (1, "tc-par-0".to_string())],
+    };
+    tc_prof::Profile::from_trace(&snap).workload("fuzz seed")
 }
 
 /// A small, valid Chrome-trace document for the tcdiff corpus.

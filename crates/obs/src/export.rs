@@ -204,11 +204,38 @@ impl Snapshot {
             .collect()
     }
 
+    /// Per-span-path increase of total wall time since `earlier`
+    /// (saturating; spans absent earlier count from zero). Unchanged
+    /// spans are omitted. The span analogue of [`counter_deltas`] —
+    /// used by the closure loop to attribute each iteration's wall
+    /// clock to the spans that consumed it.
+    ///
+    /// [`counter_deltas`]: Snapshot::counter_deltas
+    pub fn span_ns_deltas(&self, earlier: &Snapshot) -> Vec<(String, u64)> {
+        self.spans
+            .iter()
+            .filter_map(|s| {
+                let before = earlier.span(&s.path).map_or(0, |p| p.total_ns);
+                let d = s.total_ns.saturating_sub(before);
+                (d > 0).then(|| (s.path.clone(), d))
+            })
+            .collect()
+    }
+
     /// Renders the flame-style text report: spans indented by nesting
     /// depth with count/total/mean and percent-of-parent, then counters,
-    /// then histograms.
+    /// then histograms. A non-zero `obs.trace.dropped` counter (ring
+    /// overflow) opens the report with an explicit warning: any profile
+    /// derived from that trace is truncated.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
+        let dropped = self.counter("obs.trace.dropped");
+        if dropped > 0 {
+            out.push_str(&format!(
+                "WARNING: {dropped} trace event(s) dropped to ring overflow — flight-recorder \
+                 output is truncated; raise the enable_trace capacity\n"
+            ));
+        }
         if !self.spans.is_empty() {
             out.push_str("spans (wall clock)\n");
             for s in &self.spans {

@@ -101,9 +101,6 @@ struct TraceState {
     epoch: OnceLock<Instant>,
     next_tid: AtomicU64,
     rings: Mutex<Vec<ThreadRing>>,
-    /// Events dropped by rings that were drained by `clear_trace` (so
-    /// the total survives a registry reset of the counter mirror).
-    dropped_total: AtomicU64,
 }
 
 fn state() -> &'static TraceState {
@@ -114,7 +111,6 @@ fn state() -> &'static TraceState {
         epoch: OnceLock::new(),
         next_tid: AtomicU64::new(0),
         rings: Mutex::new(Vec::new()),
-        dropped_total: AtomicU64::new(0),
     })
 }
 
@@ -151,14 +147,15 @@ pub fn trace_enabled() -> bool {
     state().enabled.load(Ordering::Relaxed)
 }
 
-/// Drains every thread's ring and forgets recorded events. Drop totals
-/// are preserved (they are cumulative for the process).
+/// Drains every thread's ring and forgets recorded events — drop
+/// counts included, so the next [`trace_snapshot`] window starts clean
+/// (per-window profiles must not inherit another window's overflow).
+/// The `obs.trace.dropped` registry counter stays cumulative.
 pub fn clear_trace() {
     let s = state();
     let rings = s.rings.lock().expect("obs trace rings poisoned");
     for (_, _, ring) in rings.iter() {
         let mut ring = ring.lock().expect("obs trace ring poisoned");
-        s.dropped_total.fetch_add(ring.dropped, Ordering::Relaxed);
         ring.dropped = 0;
         ring.events.clear();
     }
@@ -275,7 +272,8 @@ impl Drop for TraceScope {
 pub struct TraceSnapshot {
     /// Events sorted by `(tid, ts_ns)`.
     pub events: Vec<TraceEvent>,
-    /// Events lost to full rings, process-cumulative.
+    /// Events lost to full rings since the last [`clear_trace`] (or
+    /// forever, if the rings were never cleared).
     pub dropped: u64,
     /// `(tid, name)` for every thread that has emitted, sorted by tid.
     pub thread_names: Vec<(u64, String)>,
@@ -287,7 +285,7 @@ pub fn trace_snapshot() -> TraceSnapshot {
     let s = state();
     let rings = s.rings.lock().expect("obs trace rings poisoned");
     let mut events = Vec::new();
-    let mut dropped = s.dropped_total.load(Ordering::Relaxed);
+    let mut dropped = 0u64;
     let mut thread_names = Vec::new();
     for (tid, name, ring) in rings.iter() {
         let ring = ring.lock().expect("obs trace ring poisoned");

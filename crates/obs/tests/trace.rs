@@ -167,6 +167,52 @@ fn ring_overflow_counts_drops_without_panicking() {
 }
 
 #[test]
+fn overflow_warning_opens_the_text_report() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    tc_obs::enable();
+    tc_obs::clear_trace();
+    tc_obs::enable_trace(4);
+    for _ in 0..200 {
+        let _s = tc_obs::span("trc.warn_overflow");
+    }
+    assert!(tc_obs::trace_snapshot().dropped > 0, "overflow happened");
+
+    // The metrics report must lead with the truncation warning: any
+    // profile derived from this trace is lying about self-time.
+    let text = tc_obs::snapshot().render_text();
+    assert!(text.starts_with("WARNING:"), "{text}");
+    assert!(text.contains("ring overflow"), "{text}");
+
+    tc_obs::disable_trace();
+    tc_obs::clear_trace();
+}
+
+#[test]
+fn span_ns_deltas_report_growth_and_omit_unchanged_spans() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    tc_obs::enable();
+    {
+        let _s = tc_obs::span("trc.delta_done");
+    }
+    let before = tc_obs::snapshot();
+    {
+        let _s = tc_obs::span("trc.delta_work");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let after = tc_obs::snapshot();
+    let deltas = after.span_ns_deltas(&before);
+    let grown = deltas
+        .iter()
+        .find(|(path, _)| path == "trc.delta_work")
+        .expect("worked span appears in the deltas");
+    assert!(grown.1 > 0);
+    assert!(
+        deltas.iter().all(|(path, _)| path != "trc.delta_done"),
+        "untouched spans are omitted: {deltas:?}"
+    );
+}
+
+#[test]
 fn disabled_tracing_emits_nothing() {
     let _guard = TRACE_LOCK.lock().unwrap();
     tc_obs::disable_trace();

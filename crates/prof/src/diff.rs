@@ -1,0 +1,165 @@
+//! Differential profiling: compare two span profiles name-by-name
+//! under a relative tolerance, so a hot-path regression gates CI as a
+//! named span with a percentage.
+//!
+//! Unlike `tcdiff` (which flattens documents positionally and treats
+//! any `_ns` leaf as informational timing), this diff *gates* on
+//! timing — that is its whole point — but only for spans that carry a
+//! meaningful share of the wall clock (`min_share`), so scheduling
+//! jitter on microsecond spans never fails a build. Structure (span
+//! set, counts) is deterministic for same-seed runs and is compared
+//! exactly by default.
+
+use crate::fmt_ns;
+use crate::profile::Profile;
+
+/// Knobs for [`diff`].
+#[derive(Clone, Debug)]
+pub struct DiffOptions {
+    /// Relative self-time growth beyond which a span regresses
+    /// (`0.5` = +50%).
+    pub tol: f64,
+    /// Minimum share of wall (in either profile) a span's self time
+    /// must hold before its timing is gated at all.
+    pub min_share: f64,
+    /// Demote count mismatches from regressions to notes (for
+    /// workloads whose span counts legitimately vary run-to-run).
+    pub counts_informational: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            tol: 0.5,
+            min_share: 0.02,
+            counts_informational: false,
+        }
+    }
+}
+
+/// What [`diff`] found: gating regressions and informational notes.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Findings that should fail a gate.
+    pub regressions: Vec<String>,
+    /// Non-gating observations (improvements, wall drift, heap drift).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// No gating findings.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn share(self_ns: u64, wall_ns: u64) -> f64 {
+    if wall_ns == 0 {
+        0.0
+    } else {
+        self_ns as f64 / wall_ns as f64
+    }
+}
+
+/// Compares `cand` against `base`.
+///
+/// Regressions: dropped events in either profile (truncated profiles
+/// are not gateable), spans appearing or disappearing, count changes
+/// (unless demoted), and self-time growth beyond `tol` on any span
+/// whose share of wall reaches `min_share` in either profile.
+/// Improvements and sub-share drift are notes.
+pub fn diff(base: &Profile, cand: &Profile, opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    for (label, p) in [("baseline", base), ("candidate", cand)] {
+        if p.dropped_events > 0 {
+            report.regressions.push(format!(
+                "{label} profile dropped {} trace event(s) — ring overflow truncates \
+                 self-time; re-record with a larger capacity",
+                p.dropped_events
+            ));
+        }
+    }
+    if base.workload != cand.workload {
+        report.notes.push(format!(
+            "workload label differs: \"{}\" vs \"{}\"",
+            base.workload, cand.workload
+        ));
+    }
+    if base.wall_ns > 0 {
+        let rel = (cand.wall_ns as f64 - base.wall_ns as f64) / base.wall_ns as f64;
+        report.notes.push(format!(
+            "wall {} -> {} ({:+.1}%)",
+            fmt_ns(base.wall_ns),
+            fmt_ns(cand.wall_ns),
+            rel * 100.0
+        ));
+    }
+
+    for b in &base.spans {
+        let Some(c) = cand.span(&b.name) else {
+            report.regressions.push(format!(
+                "span {}: present in baseline, missing from candidate",
+                b.name
+            ));
+            continue;
+        };
+        if b.count != c.count {
+            let msg = format!("span {}: count {} -> {}", b.name, b.count, c.count);
+            if opts.counts_informational {
+                report.notes.push(msg);
+            } else {
+                report.regressions.push(msg);
+            }
+        }
+        let sh = share(b.self_ns, base.wall_ns).max(share(c.self_ns, cand.wall_ns));
+        if sh < opts.min_share {
+            continue;
+        }
+        if b.self_ns == 0 {
+            report.regressions.push(format!(
+                "span {}: self 0 -> {} ({:.1}% of wall)",
+                b.name,
+                fmt_ns(c.self_ns),
+                share(c.self_ns, cand.wall_ns) * 100.0
+            ));
+            continue;
+        }
+        let rel = (c.self_ns as f64 - b.self_ns as f64) / b.self_ns as f64;
+        if rel > opts.tol {
+            report.regressions.push(format!(
+                "span {}: self {} -> {} ({:+.1}%, tol {:.0}%)",
+                b.name,
+                fmt_ns(b.self_ns),
+                fmt_ns(c.self_ns),
+                rel * 100.0,
+                opts.tol * 100.0
+            ));
+        } else if rel < -opts.tol {
+            report.notes.push(format!(
+                "span {}: self {} -> {} ({:+.1}%) — improved",
+                b.name,
+                fmt_ns(b.self_ns),
+                fmt_ns(c.self_ns),
+                rel * 100.0
+            ));
+        }
+        let heap_delta = (c.net_bytes - b.net_bytes).unsigned_abs();
+        if heap_delta > (1 << 20) && heap_delta as i64 > b.net_bytes.abs() / 2 {
+            report.notes.push(format!(
+                "span {}: net heap {} -> {}",
+                b.name,
+                tc_obs::fmt_bytes(b.net_bytes),
+                tc_obs::fmt_bytes(c.net_bytes)
+            ));
+        }
+    }
+    for c in &cand.spans {
+        if base.span(&c.name).is_none() {
+            report.regressions.push(format!(
+                "span {}: new in candidate, absent from baseline",
+                c.name
+            ));
+        }
+    }
+    report
+}

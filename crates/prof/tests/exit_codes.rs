@@ -1,0 +1,136 @@
+//! The `tc_prof` binary's exit-code contract, locked end to end:
+//! 0 clean, 1 finding (dropped events / diff regression), 2 usage or
+//! parse error. Fixtures are built from synthetic snapshots so the
+//! expected verdicts are exact.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+use tc_obs::trace::{TraceEvent, TraceEventKind};
+use tc_obs::TraceSnapshot;
+use tc_prof::Profile;
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tc_prof"))
+        .args(args)
+        .output()
+        .expect("spawn tc_prof")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn fixture_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tc_prof_exit_codes_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("fixture dir");
+    dir
+}
+
+fn write(name: &str, text: &str) -> String {
+    let path = fixture_dir().join(name);
+    std::fs::write(&path, text).expect("write fixture");
+    path.to_string_lossy().into_owned()
+}
+
+fn one_span_snapshot(end_ns: u64, dropped: u64) -> TraceSnapshot {
+    let ev = |kind, ts_ns| TraceEvent {
+        kind,
+        name: Arc::from("sta"),
+        tid: 0,
+        ts_ns,
+        delta: 0,
+    };
+    TraceSnapshot {
+        events: vec![
+            ev(TraceEventKind::Begin, 0),
+            ev(TraceEventKind::End, end_ns),
+        ],
+        dropped,
+        thread_names: vec![(0, "main".to_string())],
+    }
+}
+
+fn prof_json(end_ns: u64, dropped: u64) -> String {
+    Profile::from_trace(&one_span_snapshot(end_ns, dropped))
+        .workload("exit-code fixture")
+        .render_json()
+}
+
+#[test]
+fn report_is_clean_on_a_good_profile_and_trace() {
+    let prof = write("good.json", &prof_json(1_000, 0));
+    let out = run(&["report", &prof]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    assert!(stdout(&out).contains("sta"));
+
+    let trace = write(
+        "good.trace.json",
+        &one_span_snapshot(1_000, 0).to_chrome_trace(),
+    );
+    let out = run(&["report", &trace, "--json"]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    assert!(stdout(&out).contains("tc.profile"));
+}
+
+#[test]
+fn report_exits_one_on_dropped_events() {
+    let trace = write(
+        "dropped.trace.json",
+        &one_span_snapshot(1_000, 9).to_chrome_trace(),
+    );
+    let out = run(&["report", &trace]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("dropped"));
+}
+
+#[test]
+fn diff_passes_identical_and_fails_a_slowed_span() {
+    let base = write("base.json", &prof_json(1_000, 0));
+    let same = write("same.json", &prof_json(1_000, 0));
+    let out = run(&["diff", &base, &same]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    assert!(stdout(&out).contains("PASS"));
+
+    let slowed = write("slowed.json", &prof_json(2_000, 0));
+    let out = run(&["diff", &base, &slowed]);
+    assert_eq!(code(&out), 1, "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("FAIL"), "{text}");
+
+    // A wide-open tolerance forgives the timing but not structure.
+    let out = run(&["diff", &base, &slowed, "--tol", "5.0"]);
+    assert_eq!(code(&out), 0, "{out:?}");
+}
+
+#[test]
+fn fold_reproduces_folded_stacks_from_a_trace() {
+    let trace = write(
+        "fold.trace.json",
+        &one_span_snapshot(1_000, 0).to_chrome_trace(),
+    );
+    let out = run(&["fold", &trace]);
+    assert_eq!(code(&out), 0, "{out:?}");
+    assert!(stdout(&out).starts_with("sta "));
+}
+
+#[test]
+fn usage_parse_and_io_errors_exit_two() {
+    assert_eq!(code(&run(&[])), 2);
+    assert_eq!(code(&run(&["frobnicate"])), 2);
+    assert_eq!(code(&run(&["report"])), 2);
+    assert_eq!(code(&run(&["report", "/nonexistent/PROF.json"])), 2);
+    assert_eq!(code(&run(&["diff", "/nonexistent/a.json"])), 2);
+    let garbage = write("garbage.json", "this is not json");
+    assert_eq!(code(&run(&["report", &garbage])), 2);
+    let bad = write("bad.json", r#"{"kind":"tc.profile","schema_version":1}"#);
+    assert_eq!(code(&run(&["report", &bad])), 2);
+    // --help is informational (exit 0), bare invocation is misuse.
+    assert_eq!(code(&run(&["--help"])), 0);
+}

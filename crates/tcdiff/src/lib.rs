@@ -457,8 +457,9 @@ pub struct TraceCheck {
 /// (non-decreasing), and B/E events balance per thread. `M` metadata
 /// records (`thread_name`) are accepted anywhere and affect neither
 /// depth nor the timestamp order of their lane. Ring-overflow traces
-/// (`dropped_events > 0`) skip the balance requirement — drops
-/// legitimately orphan events.
+/// (`dropped_events > 0`) are a **hard finding**: drops orphan events
+/// and silently truncate any profile derived from the trace, so a
+/// gating check must fail them, not forgive the imbalance they cause.
 ///
 /// # Errors
 ///
@@ -487,6 +488,12 @@ pub fn check_trace(text: &str, min_threads: usize) -> Result<TraceCheck, String>
             _ => None,
         })
         .unwrap_or(0);
+    if dropped > 0 {
+        return Err(format!(
+            "trace records {dropped} dropped event(s) — ring overflow truncates span \
+             accounting; re-record with a larger enable_trace capacity"
+        ));
+    }
     let field = |ev: &JsonValue, name: &str| -> Option<JsonValue> {
         match ev {
             JsonValue::Obj(pairs) => pairs
@@ -540,7 +547,7 @@ pub fn check_trace(text: &str, min_threads: usize) -> Result<TraceCheck, String>
             }
             "E" => {
                 *d -= 1;
-                if *d < 0 && dropped == 0 {
+                if *d < 0 {
                     return Err(format!("event {i}: unmatched E on tid {tid}"));
                 }
             }
@@ -548,11 +555,9 @@ pub fn check_trace(text: &str, min_threads: usize) -> Result<TraceCheck, String>
             other => return Err(format!("event {i}: unexpected ph `{other}`")),
         }
     }
-    if dropped == 0 {
-        for (tid, d) in &depth {
-            if *d != 0 {
-                return Err(format!("tid {tid}: {d} unbalanced B event(s)"));
-            }
+    for (tid, d) in &depth {
+        if *d != 0 {
+            return Err(format!("tid {tid}: {d} unbalanced B event(s)"));
         }
     }
     let threads = last_ts.len();
@@ -768,6 +773,20 @@ mod tests {
         assert!(check_trace(backwards, 1).is_err());
 
         assert!(check_trace("not json", 1).is_err());
+    }
+
+    #[test]
+    fn trace_check_hard_fails_on_dropped_events() {
+        // Ring overflow truncates span accounting, so a non-zero drop
+        // count is a finding in itself — even when the surviving events
+        // happen to balance.
+        let truncated = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1.0,"pid":1,"tid":0},
+            {"name":"a","ph":"E","ts":2.0,"pid":1,"tid":0}
+        ],"otherData":{"dropped_events":3}}"#;
+        let err = check_trace(truncated, 1).expect_err("drops are a hard finding");
+        assert!(err.contains("3 dropped event(s)"), "{err}");
+        assert!(err.contains("enable_trace"), "{err}");
     }
 
     #[test]

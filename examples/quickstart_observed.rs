@@ -12,7 +12,9 @@
 //! many ECO edits each closure iteration committed, and where the wall
 //! clock actually went. `tc_obs::enable_trace()` additionally arms the
 //! flight recorder, and the run ends by writing the per-event trace to
-//! `quickstart.trace.json` — load it in `chrome://tracing` or Perfetto.
+//! `artifacts/quickstart.trace.json` (directory override:
+//! `$TC_BENCH_OUT`) — load it in `chrome://tracing` or Perfetto, or
+//! reduce it with `tc_prof report artifacts/quickstart.trace.json`.
 
 use timing_closure::closure::flow::ClosureConfig;
 use timing_closure::sta::{Constraints, Sta};
@@ -74,12 +76,19 @@ fn main() -> Result<(), tc_core::Error> {
     println!("json export: {} bytes", snapshot.to_json().len());
 
     // The flight recorder's per-event view of the same run, as a Chrome
-    // `trace_event` file.
+    // `trace_event` file under the artifacts directory (kept out of the
+    // repo root; `tc_prof report` consumes the same file).
     let trace = tc_obs::trace_snapshot();
-    std::fs::write("quickstart.trace.json", trace.to_chrome_trace())
+    let dir = std::env::var_os("TC_BENCH_OUT")
+        .map_or_else(|| std::path::PathBuf::from("artifacts"), Into::into);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| tc_core::Error::internal(format!("artifacts dir failed: {e}")))?;
+    let path = dir.join("quickstart.trace.json");
+    std::fs::write(&path, trace.to_chrome_trace())
         .map_err(|e| tc_core::Error::internal(format!("trace write failed: {e}")))?;
     println!(
-        "trace: quickstart.trace.json ({} events on {} thread(s)) — open in chrome://tracing",
+        "trace: {} ({} events on {} thread(s)) — open in chrome://tracing",
+        path.display(),
         trace.events.len(),
         trace.thread_ids().len()
     );
